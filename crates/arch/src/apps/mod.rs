@@ -1,0 +1,5 @@
+//! TCAM application workloads: route lookup, packet classification, TLB.
+
+pub mod classifier;
+pub mod router;
+pub mod tlb;

@@ -1,0 +1,239 @@
+//! Longest-prefix-match IP route lookup — the classic TCAM application
+//! (paper ref \[1\]).
+//!
+//! Prefixes are loaded sorted by descending length so the hardware priority
+//! encoder (lowest matching row) implements longest-prefix-match directly.
+
+use crate::array::{prefix_to_word, value_to_word, ArchError, Result, TcamArray};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// An IPv4 prefix `addr/len`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ipv4Prefix {
+    addr: u32,
+    len: u8,
+}
+
+impl Ipv4Prefix {
+    /// Creates `addr/len`, masking host bits off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 32`.
+    #[must_use]
+    pub fn new(addr: Ipv4Addr, len: u8) -> Self {
+        assert!(len <= 32, "prefix length at most 32");
+        let raw = u32::from(addr);
+        let mask = if len == 0 { 0 } else { u32::MAX << (32 - len) };
+        Self {
+            addr: raw & mask,
+            len,
+        }
+    }
+
+    /// Prefix length.
+    #[must_use]
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// The (masked) network address.
+    #[must_use]
+    pub fn network(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.addr)
+    }
+
+    /// `true` for the default route `0.0.0.0/0`.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `ip` falls inside this prefix.
+    #[must_use]
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        if self.len == 0 {
+            return true;
+        }
+        let mask = u32::MAX << (32 - self.len);
+        (u32::from(ip) & mask) == self.addr
+    }
+}
+
+impl fmt::Display for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", Ipv4Addr::from(self.addr), self.len)
+    }
+}
+
+/// A route: prefix → next-hop identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// Destination prefix.
+    pub prefix: Ipv4Prefix,
+    /// Opaque next-hop id.
+    pub next_hop: u32,
+}
+
+/// A TCAM-backed forwarding table with longest-prefix-match lookups.
+///
+/// ```
+/// use std::net::Ipv4Addr;
+/// use tcam_arch::apps::router::{Ipv4Prefix, Route, RouterTable};
+///
+/// # fn main() -> Result<(), tcam_arch::array::ArchError> {
+/// let table = RouterTable::from_routes(
+///     64,
+///     vec![
+///         Route { prefix: Ipv4Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 8), next_hop: 1 },
+///         Route { prefix: Ipv4Prefix::new(Ipv4Addr::new(10, 1, 0, 0), 16), next_hop: 2 },
+///         Route { prefix: Ipv4Prefix::new(Ipv4Addr::new(0, 0, 0, 0), 0), next_hop: 99 },
+///     ],
+/// )?;
+/// // Longest match wins.
+/// assert_eq!(table.lookup(Ipv4Addr::new(10, 1, 2, 3)), Some(2));
+/// assert_eq!(table.lookup(Ipv4Addr::new(10, 9, 9, 9)), Some(1));
+/// assert_eq!(table.lookup(Ipv4Addr::new(8, 8, 8, 8)), Some(99));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RouterTable {
+    tcam: TcamArray,
+    next_hops: Vec<u32>,
+}
+
+impl RouterTable {
+    /// Builds a table of capacity `rows` from `routes`, sorted longest
+    /// prefix first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::Full`] when `routes.len() > rows`.
+    pub fn from_routes(rows: usize, mut routes: Vec<Route>) -> Result<Self> {
+        if routes.len() > rows {
+            return Err(ArchError::Full);
+        }
+        routes.sort_by_key(|r| std::cmp::Reverse(r.prefix.len()));
+        let mut tcam = TcamArray::new(rows, 32);
+        let mut next_hops = Vec::with_capacity(routes.len());
+        for (i, r) in routes.iter().enumerate() {
+            tcam.write(
+                i,
+                prefix_to_word(u64::from(r.prefix.addr), r.prefix.len() as usize, 32),
+            )?;
+            next_hops.push(r.next_hop);
+        }
+        Ok(Self { tcam, next_hops })
+    }
+
+    /// Longest-prefix-match lookup.
+    #[must_use]
+    pub fn lookup(&self, ip: Ipv4Addr) -> Option<u32> {
+        let key = value_to_word(u64::from(u32::from(ip)), 32);
+        self.tcam.first_match(&key).map(|row| self.next_hops[row])
+    }
+
+    /// Number of installed routes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.next_hops.len()
+    }
+
+    /// `true` when no routes are installed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.next_hops.is_empty()
+    }
+
+    /// The searches this table issues per lookup (always 1 — that is the
+    /// TCAM's whole point; the trie alternative needs O(prefix length)).
+    #[must_use]
+    pub fn searches_per_lookup(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(a: [u8; 4], len: u8) -> Ipv4Prefix {
+        Ipv4Prefix::new(Ipv4Addr::from(a), len)
+    }
+
+    #[test]
+    fn prefix_masks_host_bits() {
+        let pre = p([10, 1, 2, 3], 16);
+        assert_eq!(pre.to_string(), "10.1.0.0/16");
+        assert!(pre.contains(Ipv4Addr::new(10, 1, 255, 255)));
+        assert!(!pre.contains(Ipv4Addr::new(10, 2, 0, 0)));
+    }
+
+    #[test]
+    fn lpm_prefers_longest() {
+        let table = RouterTable::from_routes(
+            16,
+            vec![
+                Route {
+                    prefix: p([0, 0, 0, 0], 0),
+                    next_hop: 0,
+                },
+                Route {
+                    prefix: p([192, 168, 0, 0], 16),
+                    next_hop: 1,
+                },
+                Route {
+                    prefix: p([192, 168, 7, 0], 24),
+                    next_hop: 2,
+                },
+                Route {
+                    prefix: p([192, 168, 7, 42], 32),
+                    next_hop: 3,
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(table.lookup(Ipv4Addr::new(192, 168, 7, 42)), Some(3));
+        assert_eq!(table.lookup(Ipv4Addr::new(192, 168, 7, 1)), Some(2));
+        assert_eq!(table.lookup(Ipv4Addr::new(192, 168, 200, 1)), Some(1));
+        assert_eq!(table.lookup(Ipv4Addr::new(1, 2, 3, 4)), Some(0));
+        assert_eq!(table.len(), 4);
+        assert_eq!(table.searches_per_lookup(), 1);
+    }
+
+    #[test]
+    fn no_default_route_misses() {
+        let table = RouterTable::from_routes(
+            4,
+            vec![Route {
+                prefix: p([10, 0, 0, 0], 8),
+                next_hop: 7,
+            }],
+        )
+        .unwrap();
+        assert_eq!(table.lookup(Ipv4Addr::new(11, 0, 0, 1)), None);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let routes = (0..5)
+            .map(|i| Route {
+                prefix: p([i as u8, 0, 0, 0], 8),
+                next_hop: i,
+            })
+            .collect();
+        assert!(matches!(
+            RouterTable::from_routes(4, routes),
+            Err(ArchError::Full)
+        ));
+    }
+
+    #[test]
+    fn zero_length_prefix_is_default() {
+        let d = p([1, 2, 3, 4], 0);
+        assert!(d.is_empty());
+        assert!(d.contains(Ipv4Addr::new(255, 255, 255, 255)));
+    }
+}

@@ -1,0 +1,224 @@
+//! A fully-associative TLB with mixed page sizes — the cache-style TCAM
+//! workload from the paper's introduction.
+//!
+//! Variable page sizes map naturally onto ternary storage: a 4 KiB entry
+//! stores all 20 VPN bits, a 2 MiB entry leaves its low 9 VPN bits as
+//! don't-cares. One TCAM search resolves the translation regardless of the
+//! page size — no per-size probing.
+
+use crate::array::{prefix_to_word, value_to_word, Result, TcamArray};
+
+/// Page sizes supported by the TLB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageSize {
+    /// 4 KiB (12 offset bits).
+    Small,
+    /// 2 MiB (21 offset bits).
+    Large,
+}
+
+impl PageSize {
+    /// Number of page-offset bits.
+    #[must_use]
+    pub fn offset_bits(self) -> u32 {
+        match self {
+            PageSize::Small => 12,
+            PageSize::Large => 21,
+        }
+    }
+
+    /// Page size in bytes.
+    #[must_use]
+    pub fn bytes(self) -> u64 {
+        1 << self.offset_bits()
+    }
+}
+
+/// Virtual-address width handled by this TLB.
+const VA_BITS: u32 = 32;
+/// VPN width for the smallest page.
+const VPN_BITS: usize = (VA_BITS - 12) as usize;
+
+/// One translation entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mapping {
+    /// Virtual base address (must be page-aligned).
+    pub va_base: u32,
+    /// Physical base address (must be page-aligned).
+    pub pa_base: u32,
+    /// Page size.
+    pub size: PageSize,
+}
+
+/// A fully-associative, mixed-page-size TLB on a ternary CAM.
+///
+/// ```
+/// use tcam_arch::apps::tlb::{Mapping, PageSize, Tlb};
+///
+/// # fn main() -> Result<(), tcam_arch::array::ArchError> {
+/// let mut tlb = Tlb::new(16);
+/// tlb.insert(Mapping { va_base: 0x0040_0000, pa_base: 0x1234_5000, size: PageSize::Small })?;
+/// tlb.insert(Mapping { va_base: 0x0020_0000, pa_base: 0x0800_0000, size: PageSize::Large })?;
+/// assert_eq!(tlb.translate(0x0040_0123), Some(0x1234_5123));
+/// assert_eq!(tlb.translate(0x002A_BCDE), Some(0x080A_BCDE)); // inside the 2 MiB page
+/// assert_eq!(tlb.translate(0xDEAD_0000), None);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    tcam: TcamArray,
+    entries: Vec<Mapping>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB with `slots` entries.
+    #[must_use]
+    pub fn new(slots: usize) -> Self {
+        Self {
+            tcam: TcamArray::new(slots, VPN_BITS),
+            entries: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Inserts a mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::array::ArchError::Full`] when no slot is free.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bases are not aligned to the page size.
+    pub fn insert(&mut self, m: Mapping) -> Result<usize> {
+        let off = m.size.offset_bits();
+        assert_eq!(m.va_base % (1 << off), 0, "va_base must be page-aligned");
+        assert_eq!(m.pa_base % (1 << off), 0, "pa_base must be page-aligned");
+        let vpn = u64::from(m.va_base >> 12);
+        // For large pages the low VPN bits are don't-care.
+        let defined = (VA_BITS - off) as usize;
+        let word = prefix_to_word(vpn, defined.min(VPN_BITS), VPN_BITS);
+        let row = self.tcam.append(word)?;
+        if row == self.entries.len() {
+            self.entries.push(m);
+        } else {
+            self.entries[row] = m;
+        }
+        Ok(row)
+    }
+
+    /// Removes the entry in `slot`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::array::ArchError::RowOutOfRange`] for a bad slot.
+    pub fn evict(&mut self, slot: usize) -> Result<()> {
+        self.tcam.erase(slot)
+    }
+
+    /// Translates a virtual address; `None` on a TLB miss. Updates hit/miss
+    /// counters.
+    pub fn translate(&mut self, va: u32) -> Option<u32> {
+        let key = value_to_word(u64::from(va >> 12), VPN_BITS);
+        match self.tcam.first_match(&key) {
+            Some(row) => {
+                self.hits += 1;
+                let m = self.entries[row];
+                let off_mask = (m.size.bytes() - 1) as u32;
+                Some(m.pa_base | (va & off_mask))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// `(hits, misses)` counters.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_page_translation() {
+        let mut tlb = Tlb::new(4);
+        tlb.insert(Mapping {
+            va_base: 0x0000_3000,
+            pa_base: 0x0BEE_F000,
+            size: PageSize::Small,
+        })
+        .unwrap();
+        assert_eq!(tlb.translate(0x0000_3ABC), Some(0x0BEE_FABC));
+        assert_eq!(tlb.translate(0x0000_4000), None);
+        assert_eq!(tlb.stats(), (1, 1));
+    }
+
+    #[test]
+    fn large_page_covers_range_with_one_entry() {
+        let mut tlb = Tlb::new(4);
+        tlb.insert(Mapping {
+            va_base: 0x0080_0000,
+            pa_base: 0x4000_0000,
+            size: PageSize::Large,
+        })
+        .unwrap();
+        // Everything in [0x800000, 0x9FFFFF] hits the same entry.
+        assert_eq!(tlb.translate(0x0080_0000), Some(0x4000_0000));
+        assert_eq!(tlb.translate(0x009F_FFFF), Some(0x401F_FFFF));
+        assert_eq!(tlb.translate(0x00A0_0000), None);
+    }
+
+    #[test]
+    fn eviction_frees_slot() {
+        let mut tlb = Tlb::new(1);
+        let slot = tlb
+            .insert(Mapping {
+                va_base: 0,
+                pa_base: 0x1000,
+                size: PageSize::Small,
+            })
+            .unwrap();
+        assert!(tlb
+            .insert(Mapping {
+                va_base: 0x1000,
+                pa_base: 0x2000,
+                size: PageSize::Small,
+            })
+            .is_err());
+        tlb.evict(slot).unwrap();
+        assert!(tlb
+            .insert(Mapping {
+                va_base: 0x1000,
+                pa_base: 0x2000,
+                size: PageSize::Small,
+            })
+            .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "page-aligned")]
+    fn misaligned_base_rejected() {
+        let mut tlb = Tlb::new(1);
+        let _ = tlb.insert(Mapping {
+            va_base: 0x123,
+            pa_base: 0,
+            size: PageSize::Small,
+        });
+    }
+
+    #[test]
+    fn page_size_constants() {
+        assert_eq!(PageSize::Small.bytes(), 4096);
+        assert_eq!(PageSize::Large.bytes(), 2 * 1024 * 1024);
+    }
+}

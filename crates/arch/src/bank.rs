@@ -1,0 +1,275 @@
+//! A timed TCAM bank: functional array + per-operation costs + refresh
+//! policy, driven by an operation trace.
+//!
+//! This is the level at which a system architect would evaluate the 3T2N
+//! TCAM: feed it the access stream of a router/classifier/TLB and get
+//! functional results *and* latency/energy totals, with refresh handled by
+//! the configured policy (one-shot for the 3T2N; none for SRAM/NVM).
+
+use crate::array::{ArchError, TcamArray};
+use crate::energy_model::{OperationCosts, WorkloadMeter};
+use tcam_core::bit::TernaryBit;
+
+/// One operation in a bank trace.
+#[derive(Debug, Clone)]
+pub enum BankOp {
+    /// Search with a key; the result (first match) is recorded.
+    Search(Vec<TernaryBit>),
+    /// Write a word into a row.
+    Write {
+        /// Target row.
+        row: usize,
+        /// Word to store.
+        word: Vec<TernaryBit>,
+    },
+    /// Invalidate a row.
+    Erase(usize),
+}
+
+/// Refresh handling for the bank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BankRefresh {
+    /// No refresh needed (SRAM / non-volatile designs).
+    None,
+    /// One-shot refresh: one operation of `op_time` per retention interval
+    /// (the 3T2N scheme). Energy comes from
+    /// [`OperationCosts::refresh_energy`].
+    OneShot {
+        /// OSR operation duration, seconds.
+        op_time: f64,
+    },
+    /// Row-by-row refresh: `rows` operations per retention interval.
+    RowByRow {
+        /// Duration of one row refresh, seconds.
+        op_time: f64,
+    },
+}
+
+/// Outcome of replaying a trace.
+#[derive(Debug, Clone)]
+pub struct BankReport {
+    /// First-match row per search, in trace order.
+    pub search_results: Vec<Option<usize>>,
+    /// Operation/energy accounting.
+    pub meter: WorkloadMeter,
+    /// Total elapsed (busy) time including refresh, seconds.
+    pub elapsed: f64,
+    /// Refresh operations interleaved.
+    pub refresh_ops: u64,
+}
+
+/// A timed TCAM bank.
+#[derive(Debug, Clone)]
+pub struct TcamBank {
+    array: TcamArray,
+    costs: OperationCosts,
+    refresh: BankRefresh,
+}
+
+impl TcamBank {
+    /// Creates a bank of `rows`×`width` with the given cost model and
+    /// refresh policy.
+    #[must_use]
+    pub fn new(rows: usize, width: usize, costs: OperationCosts, refresh: BankRefresh) -> Self {
+        Self {
+            array: TcamArray::new(rows, width),
+            costs,
+            refresh,
+        }
+    }
+
+    /// A 3T2N bank with the paper's measured costs and one-shot refresh.
+    #[must_use]
+    pub fn paper_3t2n(rows: usize, width: usize) -> Self {
+        Self::new(
+            rows,
+            width,
+            OperationCosts::paper_3t2n(),
+            BankRefresh::OneShot { op_time: 10e-9 },
+        )
+    }
+
+    /// The functional array (e.g. to preload content).
+    #[must_use]
+    pub fn array(&self) -> &TcamArray {
+        &self.array
+    }
+
+    /// Mutable access to the functional array.
+    pub fn array_mut(&mut self) -> &mut TcamArray {
+        &mut self.array
+    }
+
+    /// Replays a trace, interleaving refresh operations as the elapsed busy
+    /// time crosses retention deadlines.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first functional error (bad row, width mismatch).
+    pub fn replay(&mut self, trace: &[BankOp]) -> Result<BankReport, ArchError> {
+        let mut meter = WorkloadMeter::new();
+        let mut elapsed = 0.0_f64;
+        let mut refresh_ops = 0_u64;
+        let mut next_refresh = self.next_refresh_interval();
+        let mut results = Vec::new();
+
+        for op in trace {
+            // Retire any refresh deadline that passed. If refresh work
+            // outpaces the interval (a pathological configuration), the
+            // deadline re-anchors to "now" so the loop always terminates —
+            // such a bank does nothing but refresh, which the meter shows.
+            while elapsed >= next_refresh {
+                match self.refresh {
+                    BankRefresh::None => break,
+                    BankRefresh::OneShot { op_time } => {
+                        meter.refresh(&self.costs, op_time);
+                        elapsed += op_time;
+                        refresh_ops += 1;
+                    }
+                    BankRefresh::RowByRow { op_time } => {
+                        // All rows back to back (a pessimistic burst).
+                        for _ in 0..self.array.rows() {
+                            meter.refresh(&self.costs, op_time);
+                            elapsed += op_time;
+                            refresh_ops += 1;
+                        }
+                    }
+                }
+                let interval = self.next_refresh_interval();
+                next_refresh += interval;
+                if next_refresh <= elapsed {
+                    next_refresh = elapsed + interval;
+                }
+            }
+
+            match op {
+                BankOp::Search(key) => {
+                    results.push(self.array.first_match(key));
+                    meter.search(&self.costs);
+                    elapsed += self.costs.search_latency;
+                }
+                BankOp::Write { row, word } => {
+                    self.array.write(*row, word.clone())?;
+                    meter.write(&self.costs);
+                    elapsed += self.costs.write_latency;
+                }
+                BankOp::Erase(row) => {
+                    self.array.erase(*row)?;
+                    meter.write(&self.costs);
+                    elapsed += self.costs.write_latency;
+                }
+            }
+        }
+
+        Ok(BankReport {
+            search_results: results,
+            meter,
+            elapsed,
+            refresh_ops,
+        })
+    }
+
+    fn next_refresh_interval(&self) -> f64 {
+        if matches!(self.refresh, BankRefresh::None) || !self.costs.retention.is_finite() {
+            f64::INFINITY
+        } else {
+            self.costs.retention
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcam_core::bit::parse_ternary;
+
+    fn word(s: &str) -> Vec<TernaryBit> {
+        parse_ternary(s).expect("valid literal")
+    }
+
+    #[test]
+    fn replay_produces_functional_results_and_costs() {
+        let mut bank = TcamBank::paper_3t2n(8, 4);
+        let trace = vec![
+            BankOp::Write {
+                row: 0,
+                word: word("1X00"),
+            },
+            BankOp::Write {
+                row: 1,
+                word: word("1100"),
+            },
+            BankOp::Search(word("1100")),
+            BankOp::Erase(0),
+            BankOp::Search(word("1100")),
+            BankOp::Search(word("0000")),
+        ];
+        let report = bank.replay(&trace).unwrap();
+        assert_eq!(report.search_results, vec![Some(0), Some(1), None]);
+        assert_eq!(report.meter.searches, 3);
+        assert_eq!(report.meter.writes, 3); // 2 writes + 1 erase
+        assert!(report.meter.energy > 0.0);
+        // A 6-op trace is far shorter than retention: no refresh needed.
+        assert_eq!(report.refresh_ops, 0);
+    }
+
+    #[test]
+    fn long_traces_interleave_refresh() {
+        let mut bank = TcamBank::paper_3t2n(8, 4);
+        bank.array_mut().write(0, word("1010")).unwrap();
+        // Enough searches to exceed several retention intervals:
+        // 26.5 µs / 40 ps ≈ 660k searches per interval → use a cheaper
+        // route: shrink retention through a custom cost model.
+        let mut costs = OperationCosts::paper_3t2n();
+        costs.retention = 50.0 * costs.search_latency;
+        let mut bank = TcamBank::new(8, 4, costs, BankRefresh::OneShot { op_time: 10e-9 });
+        bank.array_mut().write(0, word("1010")).unwrap();
+        let trace: Vec<BankOp> = (0..500).map(|_| BankOp::Search(word("1010"))).collect();
+        let report = bank.replay(&trace).unwrap();
+        assert!(report.refresh_ops > 0, "refresh must interleave");
+        assert_eq!(report.meter.refreshes, report.refresh_ops);
+        assert!(report.search_results.iter().all(|r| *r == Some(0)));
+    }
+
+    #[test]
+    fn row_by_row_costs_n_times_more_ops() {
+        let mut costs = OperationCosts::paper_3t2n();
+        costs.retention = 10e-9;
+        let trace: Vec<BankOp> = (0..2000).map(|_| BankOp::Search(word("1010"))).collect();
+
+        let mut osr_bank = TcamBank::new(16, 4, costs, BankRefresh::OneShot { op_time: 0.1e-9 });
+        let osr = osr_bank.replay(&trace).unwrap();
+        let mut rbr_bank = TcamBank::new(16, 4, costs, BankRefresh::RowByRow { op_time: 0.1e-9 });
+        let rbr = rbr_bank.replay(&trace).unwrap();
+
+        assert!(osr.refresh_ops > 0);
+        assert!(
+            rbr.refresh_ops >= 8 * osr.refresh_ops,
+            "rbr {} osr {}",
+            rbr.refresh_ops,
+            osr.refresh_ops
+        );
+        assert!(rbr.elapsed > osr.elapsed);
+    }
+
+    #[test]
+    fn functional_errors_surface() {
+        let mut bank = TcamBank::paper_3t2n(2, 4);
+        let bad = vec![BankOp::Write {
+            row: 9,
+            word: word("1010"),
+        }];
+        assert!(matches!(
+            bank.replay(&bad),
+            Err(ArchError::RowOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn sram_bank_never_refreshes() {
+        let mut bank = TcamBank::new(8, 4, OperationCosts::paper_sram(), BankRefresh::None);
+        let trace: Vec<BankOp> = (0..100).map(|_| BankOp::Search(word("XXXX"))).collect();
+        let report = bank.replay(&trace).unwrap();
+        assert_eq!(report.refresh_ops, 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Per-operation latency/energy costs and workload accounting.
+//!
+//! [`OperationCosts`] carries the circuit-level figures of merit for one
+//! design — either the paper's published values ([`OperationCosts::paper_3t2n`]
+//! and friends) or numbers measured by `tcam-core` experiments
+//! ([`OperationCosts::from_measurements`]). [`WorkloadMeter`] accumulates
+//! operation counts into total energy/time for architectural studies.
+
+use tcam_core::experiments::{SearchRow, WriteRow};
+
+/// Circuit-level cost of each TCAM operation for one design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperationCosts {
+    /// Row write latency, seconds.
+    pub write_latency: f64,
+    /// Row write energy, joules.
+    pub write_energy: f64,
+    /// Worst-case search latency, seconds.
+    pub search_latency: f64,
+    /// Per-search energy, joules.
+    pub search_energy: f64,
+    /// Whole-array refresh-operation energy, joules (0 for non-volatile
+    /// or static designs).
+    pub refresh_energy: f64,
+    /// Retention interval between refreshes, seconds (∞ when no refresh
+    /// is needed).
+    pub retention: f64,
+}
+
+impl OperationCosts {
+    /// The paper's published 3T2N figures (64×64 array).
+    #[must_use]
+    pub fn paper_3t2n() -> Self {
+        Self {
+            write_latency: 2e-9,
+            write_energy: 0.35e-12,
+            search_latency: 40e-12,
+            search_energy: 10e-15,
+            refresh_energy: 520e-15,
+            retention: 26.5e-6,
+        }
+    }
+
+    /// The paper's published 16T SRAM figures.
+    #[must_use]
+    pub fn paper_sram() -> Self {
+        Self {
+            write_latency: 0.5e-9,
+            write_energy: 0.81e-12,
+            search_latency: 220e-12,
+            search_energy: 23.1e-15,
+            refresh_energy: 0.0,
+            retention: f64::INFINITY,
+        }
+    }
+
+    /// Builds costs from measured experiment rows (returns `None` when the
+    /// design name is missing from either set).
+    #[must_use]
+    pub fn from_measurements(
+        design: &str,
+        writes: &[WriteRow],
+        searches: &[SearchRow],
+        refresh_energy: f64,
+        retention: f64,
+    ) -> Option<Self> {
+        let w = writes.iter().find(|r| r.design == design)?;
+        let s = searches.iter().find(|r| r.design == design)?;
+        Some(Self {
+            write_latency: w.latency,
+            write_energy: w.energy,
+            search_latency: s.latency,
+            search_energy: s.energy,
+            refresh_energy,
+            retention,
+        })
+    }
+
+    /// Average refresh power, watts (0 when no refresh is needed).
+    #[must_use]
+    pub fn refresh_power(&self) -> f64 {
+        if self.retention.is_finite() && self.retention > 0.0 {
+            self.refresh_energy / self.retention
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Accumulates operation counts and totals for a workload.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WorkloadMeter {
+    /// Searches performed.
+    pub searches: u64,
+    /// Row writes performed.
+    pub writes: u64,
+    /// Refresh operations performed.
+    pub refreshes: u64,
+    /// Total energy, joules.
+    pub energy: f64,
+    /// Total device-busy time, seconds.
+    pub busy_time: f64,
+}
+
+impl WorkloadMeter {
+    /// A fresh meter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one search.
+    pub fn search(&mut self, costs: &OperationCosts) {
+        self.searches += 1;
+        self.energy += costs.search_energy;
+        self.busy_time += costs.search_latency;
+    }
+
+    /// Records one row write.
+    pub fn write(&mut self, costs: &OperationCosts) {
+        self.writes += 1;
+        self.energy += costs.write_energy;
+        self.busy_time += costs.write_latency;
+    }
+
+    /// Records one refresh operation of duration `op_time`.
+    pub fn refresh(&mut self, costs: &OperationCosts, op_time: f64) {
+        self.refreshes += 1;
+        self.energy += costs.refresh_energy;
+        self.busy_time += op_time;
+    }
+
+    /// Average power over `wall_time` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `wall_time` is not positive.
+    #[must_use]
+    pub fn average_power(&self, wall_time: f64) -> f64 {
+        assert!(wall_time > 0.0, "wall time must be positive");
+        self.energy / wall_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_costs_are_consistent() {
+        let c = OperationCosts::paper_3t2n();
+        // 520 fJ / 26.5 µs ≈ 19.6 nW — the paper's §IV-B refresh power.
+        assert!((c.refresh_power() - 19.6e-9).abs() < 0.3e-9);
+        let s = OperationCosts::paper_sram();
+        assert_eq!(s.refresh_power(), 0.0);
+        // Paper ratios: write energy 2.31x, search delay 5.5x, EDP 12.7x.
+        assert!((s.write_energy / c.write_energy - 2.31).abs() < 0.02);
+        assert!((s.search_latency / c.search_latency - 5.5).abs() < 0.01);
+        let edp_ratio = (s.search_latency * s.search_energy) / (c.search_latency * c.search_energy);
+        assert!((edp_ratio - 12.7).abs() < 0.1, "EDP ratio {edp_ratio}");
+    }
+
+    #[test]
+    fn meter_accumulates() {
+        let c = OperationCosts::paper_3t2n();
+        let mut m = WorkloadMeter::new();
+        for _ in 0..1000 {
+            m.search(&c);
+        }
+        m.write(&c);
+        m.refresh(&c, 10e-9);
+        assert_eq!(m.searches, 1000);
+        assert_eq!(m.writes, 1);
+        assert_eq!(m.refreshes, 1);
+        let expected = 1000.0 * c.search_energy + c.write_energy + c.refresh_energy;
+        assert!((m.energy - expected).abs() < 1e-18);
+        assert!(m.average_power(1e-3) > 0.0);
+    }
+
+    #[test]
+    fn from_measurements_finds_design() {
+        let writes = vec![WriteRow {
+            design: "3T2N".into(),
+            latency: 2e-9,
+            energy: 0.4e-12,
+            valid: true,
+        }];
+        let searches = vec![SearchRow {
+            design: "3T2N".into(),
+            latency: 50e-12,
+            energy: 9e-15,
+            edp: 4.5e-25,
+            mismatch_ok: true,
+            match_ok: true,
+        }];
+        let c =
+            OperationCosts::from_measurements("3T2N", &writes, &searches, 1e-12, 20e-6).unwrap();
+        assert_eq!(c.write_energy, 0.4e-12);
+        assert!(OperationCosts::from_measurements("nope", &writes, &searches, 0.0, 1.0).is_none());
+    }
+}

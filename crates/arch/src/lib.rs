@@ -1,0 +1,51 @@
+//! Architectural layer of the `nem-tcam` project.
+//!
+//! Where `tcam-core` answers "how fast/expensive is one operation at
+//! circuit level", this crate answers the system questions:
+//!
+//! * [`array`] — a functional ternary CAM with priority encoding, the
+//!   abstraction applications program against.
+//! * [`energy_model`] — per-operation costs (paper values or `tcam-core`
+//!   measurements) and workload accounting.
+//! * [`bank`] — a timed TCAM bank replaying operation traces with refresh
+//!   interleaved per policy.
+//! * [`refresh_sched`] — event-driven simulation of refresh interference:
+//!   row-by-row refresh vs the paper's one-shot refresh under search
+//!   traffic.
+//! * [`apps`] — longest-prefix-match routing, ACL packet classification
+//!   with range-to-prefix expansion, and a mixed-page-size TLB.
+//!
+//! # Example — one-shot refresh barely interferes with traffic
+//!
+//! ```
+//! use tcam_arch::refresh_sched::compare_policies;
+//!
+//! let (row_by_row, one_shot) = compare_policies(
+//!     64,       // rows
+//!     26.5e-6,  // retention (paper §IV-B)
+//!     10e-9,    // row refresh op time
+//!     0.7e-12,  // row refresh energy
+//!     10e-9,    // OSR op time
+//!     520e-15,  // OSR energy (paper §IV-B)
+//!     50e6,     // 50 Msearch/s
+//!     5e-9,     // search service time
+//!     1e-3,     // simulate 1 ms
+//!     1,        // seed
+//! );
+//! assert!(one_shot.delayed_searches < row_by_row.delayed_searches);
+//! assert!(one_shot.refresh_energy < row_by_row.refresh_energy);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod apps;
+pub mod array;
+pub mod bank;
+pub mod energy_model;
+pub mod refresh_sched;
+
+pub use array::{ArchError, TcamArray};
+pub use bank::{BankOp, BankRefresh, BankReport, TcamBank};
+pub use energy_model::{OperationCosts, WorkloadMeter};
+pub use refresh_sched::{simulate, RefreshPolicy, RefreshSimConfig, RefreshSimReport};

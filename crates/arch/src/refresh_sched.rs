@@ -1,0 +1,288 @@
+//! Event-driven simulation of refresh interference with search traffic —
+//! the paper's motivating architectural argument (§I, §III-D).
+//!
+//! A conventional dynamic TCAM refreshes **row by row**: every retention
+//! interval, `N` read–write operations must be interleaved with normal
+//! traffic, and each one stalls concurrent searches. One-shot refresh
+//! replaces them with a **single** short operation per interval.
+//!
+//! The simulator models one TCAM bank as a non-preemptive server: refresh
+//! operations are released on their schedule with priority (data integrity
+//! cannot wait), searches arrive as a Poisson process and queue FIFO. It
+//! reports search waiting-time statistics and refresh energy for each
+//! policy.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tcam_numeric::stats::{percentile, Running};
+
+/// Refresh policy under test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RefreshPolicy {
+    /// Row-by-row read–write refresh: `rows` operations per retention
+    /// interval, spread evenly, each taking `op_time` and costing
+    /// `op_energy`.
+    RowByRow {
+        /// Number of rows in the bank.
+        rows: usize,
+        /// Duration of one row refresh (read + write back), seconds.
+        op_time: f64,
+        /// Energy of one row refresh, joules.
+        op_energy: f64,
+    },
+    /// One-shot refresh: a single operation per retention interval.
+    OneShot {
+        /// Duration of the OSR operation, seconds.
+        op_time: f64,
+        /// Energy of the OSR operation, joules.
+        op_energy: f64,
+    },
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefreshSimConfig {
+    /// Retention interval, seconds.
+    pub retention: f64,
+    /// Policy under test.
+    pub policy: RefreshPolicy,
+    /// Mean Poisson search arrival rate, searches/second.
+    pub search_rate: f64,
+    /// Search service time, seconds.
+    pub search_time: f64,
+    /// Simulated wall time, seconds.
+    pub duration: f64,
+    /// RNG seed (deterministic runs).
+    pub seed: u64,
+}
+
+/// Simulation outcome.
+#[derive(Debug, Clone)]
+pub struct RefreshSimReport {
+    /// Searches completed.
+    pub searches: u64,
+    /// Searches that had to wait (arrived while the bank was busy).
+    pub delayed_searches: u64,
+    /// Refresh operations performed.
+    pub refresh_ops: u64,
+    /// Mean search waiting time, seconds.
+    pub mean_wait: f64,
+    /// 99th-percentile search waiting time, seconds.
+    pub p99_wait: f64,
+    /// Worst search waiting time, seconds.
+    pub max_wait: f64,
+    /// Total refresh energy, joules.
+    pub refresh_energy: f64,
+    /// Fraction of wall time the bank spent refreshing.
+    pub refresh_utilization: f64,
+}
+
+/// Runs the refresh-interference simulation.
+///
+/// # Panics
+///
+/// Panics on non-positive rates/durations (configuration bugs).
+#[must_use]
+pub fn simulate(config: &RefreshSimConfig) -> RefreshSimReport {
+    assert!(config.retention > 0.0, "retention must be positive");
+    assert!(config.duration > 0.0, "duration must be positive");
+    assert!(config.search_rate >= 0.0, "rate must be non-negative");
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Refresh release times and per-op parameters over the horizon.
+    let (ops_per_interval, op_time, op_energy) = match config.policy {
+        RefreshPolicy::RowByRow {
+            rows,
+            op_time,
+            op_energy,
+        } => (rows.max(1), op_time, op_energy),
+        RefreshPolicy::OneShot { op_time, op_energy } => (1, op_time, op_energy),
+    };
+    let refresh_spacing = config.retention / ops_per_interval as f64;
+
+    // Merge two ordered streams: refresh releases (deterministic) and
+    // search arrivals (Poisson). The bank serves refreshes with priority.
+    let mut t_bank_free = 0.0_f64; // when the bank next becomes idle
+    let mut next_refresh = refresh_spacing;
+    let mut next_search = sample_exp(&mut rng, config.search_rate);
+
+    let mut waits = Vec::new();
+    let mut stats = Running::new();
+    let mut delayed = 0_u64;
+    let mut refresh_ops = 0_u64;
+    let mut refresh_busy = 0.0_f64;
+
+    while next_refresh <= config.duration || next_search <= config.duration {
+        if next_refresh <= next_search {
+            if next_refresh > config.duration {
+                break;
+            }
+            // Refresh has release priority: it begins as soon as the bank
+            // frees up after its release time.
+            let start = t_bank_free.max(next_refresh);
+            t_bank_free = start + op_time;
+            refresh_busy += op_time;
+            refresh_ops += 1;
+            next_refresh += refresh_spacing;
+        } else {
+            if next_search > config.duration {
+                break;
+            }
+            let start = t_bank_free.max(next_search);
+            let wait = start - next_search;
+            if wait > 0.0 {
+                delayed += 1;
+            }
+            waits.push(wait);
+            stats.push(wait);
+            t_bank_free = start + config.search_time;
+            next_search += sample_exp(&mut rng, config.search_rate);
+        }
+    }
+
+    let p99 = if waits.is_empty() {
+        0.0
+    } else {
+        percentile(&waits, 99.0).expect("non-empty finite waits")
+    };
+    RefreshSimReport {
+        searches: stats.count(),
+        delayed_searches: delayed,
+        refresh_ops,
+        mean_wait: stats.mean(),
+        p99_wait: p99,
+        max_wait: if stats.count() == 0 { 0.0 } else { stats.max() },
+        refresh_energy: refresh_ops as f64 * op_energy,
+        refresh_utilization: refresh_busy / config.duration,
+    }
+}
+
+/// Exponential inter-arrival sample; infinite when the rate is zero.
+fn sample_exp(rng: &mut StdRng, rate: f64) -> f64 {
+    if rate <= 0.0 {
+        return f64::INFINITY;
+    }
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+/// Convenience: the paper-flavoured comparison — row-by-row vs one-shot on
+/// the same bank and traffic. Returns `(row_by_row, one_shot)`.
+#[must_use]
+#[allow(clippy::too_many_arguments)] // a deliberate flat convenience API
+pub fn compare_policies(
+    rows: usize,
+    retention: f64,
+    row_op_time: f64,
+    row_op_energy: f64,
+    osr_time: f64,
+    osr_energy: f64,
+    search_rate: f64,
+    search_time: f64,
+    duration: f64,
+    seed: u64,
+) -> (RefreshSimReport, RefreshSimReport) {
+    let base = RefreshSimConfig {
+        retention,
+        policy: RefreshPolicy::RowByRow {
+            rows,
+            op_time: row_op_time,
+            op_energy: row_op_energy,
+        },
+        search_rate,
+        search_time,
+        duration,
+        seed,
+    };
+    let rbr = simulate(&base);
+    let osr = simulate(&RefreshSimConfig {
+        policy: RefreshPolicy::OneShot {
+            op_time: osr_time,
+            op_energy: osr_energy,
+        },
+        ..base
+    });
+    (rbr, osr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(policy: RefreshPolicy) -> RefreshSimConfig {
+        RefreshSimConfig {
+            retention: 26.5e-6,
+            policy,
+            search_rate: 50e6, // 50 Msearch/s
+            search_time: 5e-9,
+            duration: 2e-3,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn osr_runs_one_op_per_interval() {
+        let r = simulate(&config(RefreshPolicy::OneShot {
+            op_time: 10e-9,
+            op_energy: 520e-15,
+        }));
+        let expected_ops = (2e-3 / 26.5e-6) as u64;
+        assert!((r.refresh_ops as i64 - expected_ops as i64).abs() <= 1);
+        assert!(r.searches > 50_000);
+    }
+
+    #[test]
+    fn row_by_row_runs_n_ops_per_interval() {
+        let r = simulate(&config(RefreshPolicy::RowByRow {
+            rows: 64,
+            op_time: 10e-9,
+            op_energy: 0.7e-12,
+        }));
+        let expected = 64.0 * 2e-3 / 26.5e-6;
+        assert!((r.refresh_ops as f64 - expected).abs() / expected < 0.01);
+    }
+
+    #[test]
+    fn osr_interferes_less_than_row_by_row() {
+        let (rbr, osr) = compare_policies(
+            64, 26.5e-6, 10e-9, 0.7e-12, 10e-9, 520e-15, 50e6, 5e-9, 2e-3, 7,
+        );
+        assert!(
+            osr.delayed_searches < rbr.delayed_searches,
+            "osr {} vs rbr {}",
+            osr.delayed_searches,
+            rbr.delayed_searches
+        );
+        assert!(osr.mean_wait <= rbr.mean_wait);
+        assert!(osr.refresh_utilization < rbr.refresh_utilization);
+        // Energy: 1 op of 520 fJ vs 64 ops of ~0.7 pJ per interval.
+        assert!(osr.refresh_energy < rbr.refresh_energy / 10.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let c = config(RefreshPolicy::OneShot {
+            op_time: 10e-9,
+            op_energy: 520e-15,
+        });
+        let a = simulate(&c);
+        let b = simulate(&c);
+        assert_eq!(a.searches, b.searches);
+        assert_eq!(a.mean_wait, b.mean_wait);
+    }
+
+    #[test]
+    fn zero_traffic_still_refreshes() {
+        let mut c = config(RefreshPolicy::OneShot {
+            op_time: 10e-9,
+            op_energy: 520e-15,
+        });
+        c.search_rate = 0.0;
+        let r = simulate(&c);
+        assert_eq!(r.searches, 0);
+        assert!(r.refresh_ops > 0);
+        assert_eq!(r.mean_wait, 0.0);
+        assert_eq!(r.max_wait, 0.0);
+    }
+}

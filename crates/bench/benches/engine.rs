@@ -1,0 +1,123 @@
+//! Engine performance benches + the integrator/solver ablations from
+//! DESIGN.md §4 (BE vs TR, dense vs sparse LU).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcam_numeric::sparse::TripletMatrix;
+use tcam_numeric::sparse_lu::SparseLu;
+use tcam_spice::prelude::*;
+
+/// A ladder RC network with `n` sections — a scalable linear benchmark
+/// circuit.
+fn rc_ladder(n: usize) -> Circuit {
+    let mut ckt = Circuit::new();
+    let gnd = ckt.gnd();
+    let input = ckt.node("in");
+    ckt.add(VoltageSource::new(
+        "vin",
+        input,
+        gnd,
+        Waveshape::step(0.0, 1.0, 0.0, 0.1e-9),
+    ))
+    .unwrap();
+    let mut prev = input;
+    for i in 0..n {
+        let node = ckt.node(&format!("n{i}"));
+        ckt.add(Resistor::new(format!("r{i}"), prev, node, 1e3).unwrap())
+            .unwrap();
+        ckt.add(Capacitor::new(format!("c{i}"), node, gnd, 1e-15).unwrap())
+            .unwrap();
+        prev = node;
+    }
+    ckt
+}
+
+fn bench_transient_ladder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transient_rc_ladder");
+    group.sample_size(10);
+    for n in [10usize, 50, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut ckt = rc_ladder(n);
+                transient(&mut ckt, TransientSpec::to(20e-9), &SimOptions::default())
+                    .expect("converges")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_integrators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("integrator_ablation");
+    group.sample_size(10);
+    for (name, integ) in [
+        ("backward_euler", Integrator::BackwardEuler),
+        ("trapezoidal", Integrator::Trapezoidal),
+    ] {
+        group.bench_function(name, |b| {
+            let opts = SimOptions::with_integrator(integ);
+            b.iter(|| {
+                let mut ckt = rc_ladder(50);
+                transient(&mut ckt, TransientSpec::to(20e-9), &opts).expect("converges")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_ablation");
+    group.sample_size(10);
+    for (name, solver) in [("dense", SolverKind::Dense), ("sparse", SolverKind::Sparse)] {
+        for n in [30usize, 120, 400] {
+            group.bench_with_input(
+                BenchmarkId::new(name, n),
+                &(solver, n),
+                |b, &(solver, n)| {
+                    let opts = SimOptions {
+                        solver,
+                        ..SimOptions::default()
+                    };
+                    b.iter(|| {
+                        let mut ckt = rc_ladder(n);
+                        transient(&mut ckt, TransientSpec::to(5e-9), &opts).expect("converges")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_sparse_lu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_lu");
+    group.sample_size(20);
+    for n in [100usize, 500, 2000] {
+        // Tridiagonal-ish circuit matrix.
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.add(i, i, 4.0);
+            if i + 1 < n {
+                t.add(i, i + 1, -1.0);
+                t.add(i + 1, i, -1.0);
+            }
+        }
+        let (a, _) = t.to_csc().unwrap();
+        let b_vec: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let lu = SparseLu::factorize(&a).expect("nonsingular");
+                lu.solve(&b_vec).expect("solves")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_transient_ladder,
+    bench_integrators,
+    bench_solvers,
+    bench_sparse_lu
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Regenerates **Fig. 3b**: the relay's quasi-static `I_DS`–`V_GB`
+//! hysteresis loop, printed as an ASCII table (and optionally dumped to
+//! CSV with `--csv <path>`).
+
+use tcam_core::experiments::fig3b_hysteresis;
+
+fn main() {
+    println!("=== Fig. 3b: NEM relay I_DS-V_GB hysteresis (V_DS = 50 mV) ===");
+    let wave = match fig3b_hysteresis(101) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    if let Some(pos) = std::env::args().position(|a| a == "--csv") {
+        if let Some(path) = std::env::args().nth(pos + 1) {
+            let mut buf = Vec::new();
+            wave.to_csv(&mut buf).expect("csv export");
+            std::fs::write(&path, buf).expect("write csv");
+            println!("full loop written to {path}");
+        }
+    }
+
+    let axis = wave.axis();
+    let contact = wave.trace("n1.contact").expect("recorded");
+    // The source-side resistor carries I_DS; the relay passes V_D = 50 mV
+    // through R_on = 1 kΩ + 1 Ω sense when closed.
+    let i_ds: Vec<f64> = wave
+        .trace("v(s)")
+        .expect("recorded")
+        .iter()
+        .map(|v| v / 1.0)
+        .collect();
+
+    // Transitions.
+    let mut v_pi = None;
+    let mut v_po = None;
+    for i in 1..axis.len() {
+        if contact[i - 1] < 0.5 && contact[i] > 0.5 && v_pi.is_none() {
+            v_pi = Some(axis[i]);
+        }
+        if contact[i - 1] > 0.5 && contact[i] < 0.5 {
+            v_po = Some(axis[i]);
+        }
+    }
+    println!(
+        "pull-in  at V_GB ≈ {:.3} V (paper: 0.53 V)",
+        v_pi.unwrap_or(f64::NAN)
+    );
+    println!(
+        "pull-out at V_GB ≈ {:.3} V (paper: 0.13 V)",
+        v_po.unwrap_or(f64::NAN)
+    );
+
+    println!("\n  V_GB     I_DS(up-leg)   I_DS(down-leg)");
+    let half = axis.len() / 2;
+    for k in (0..=10).map(|k| k as f64 / 10.0) {
+        let up_idx = axis[..=half]
+            .iter()
+            .position(|&v| (v - k).abs() < 6e-3)
+            .unwrap_or(0);
+        let down_idx = half
+            + axis[half..]
+                .iter()
+                .position(|&v| (v - k).abs() < 6e-3)
+                .unwrap_or(0);
+        println!(
+            "  {k:.1} V    {:>11.3e} A   {:>11.3e} A",
+            i_ds[up_idx],
+            i_ds[down_idx.min(i_ds.len() - 1)]
+        );
+    }
+    println!("\nabrupt ON at V_PI, OFF held down to V_PO: hysteresis window open.");
+}

@@ -1,0 +1,41 @@
+//! Regenerates **Fig. 6**: row write latency (a) and energy (b) for all
+//! four TCAM designs on the 64×64 array.
+
+use tcam_bench::{banner, spec_from_args, vs_paper};
+use tcam_core::experiments::fig6_write;
+use tcam_core::metrics::format_write_table;
+
+fn main() {
+    let spec = spec_from_args();
+    banner("Fig. 6: write latency / energy per row", &spec);
+    let rows = match fig6_write(&spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", format_write_table(&rows));
+
+    if spec.rows == 64 && spec.cols == 64 {
+        println!("\npaper comparison (absolute values):");
+        let paper = [
+            ("3T2N", 2e-9, 0.35e-12),
+            ("16T SRAM", 0.5e-9, 0.81e-12),
+            ("2T2R RRAM", 10e-9, 46e-12),
+            ("2FeFET", 10e-9, 4.7e-12),
+        ];
+        for (name, lat, energy) in paper {
+            if let Some(r) = rows.iter().find(|r| r.design == name) {
+                println!(
+                    "{}",
+                    vs_paper(&format!("{name} latency"), r.latency, lat, "s")
+                );
+                println!(
+                    "{}",
+                    vs_paper(&format!("{name} energy"), r.energy, energy, "J")
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Regenerates **Fig. 7**: worst-case search latency (a), search energy
+//! (b) and normalized EDP (c) for all four TCAM designs.
+//!
+//! `--sweep` additionally runs the array-size scaling ablation
+//! (16/32/64/128-bit words) showing where line parasitics take over.
+
+use tcam_bench::{banner, spec_from_args};
+use tcam_core::designs::ArraySpec;
+use tcam_core::experiments::fig7_search;
+use tcam_core::metrics::{format_search_table, search_edp_ratios, search_latency_ratios};
+
+fn main() {
+    let spec = spec_from_args();
+    banner("Fig. 7: search latency / energy / EDP", &spec);
+    let rows = match fig7_search(&spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", format_search_table(&rows));
+
+    if spec.rows == 64 && spec.cols == 64 {
+        println!("\npaper ratios for reference:");
+        println!("  search speedup of 3T2N: SRAM 5.50x, RRAM 1.47x, FeFET 3.36x");
+        println!("  EDP vs 3T2N:            SRAM 12.7x, RRAM 1.30x, FeFET 2.83x");
+    }
+
+    if std::env::args().any(|a| a == "--sweep") {
+        println!("\n--- array-size ablation (word width sweep) ---");
+        println!(
+            "{:<8} {:>12} {:>12} {:>12}",
+            "bits", "3T2N t50", "SRAM/3T2N", "EDP SRAM/3T2N"
+        );
+        for bits in [16usize, 32, 64, 128] {
+            let s = ArraySpec {
+                rows: bits,
+                cols: bits,
+                vdd: spec.vdd,
+            };
+            match fig7_search(&s) {
+                Ok(rows) => {
+                    let nem = rows.iter().find(|r| r.design == "3T2N").expect("present");
+                    let lat = search_latency_ratios(&rows, "3T2N");
+                    let edp = search_edp_ratios(&rows, "3T2N");
+                    let sram_lat = lat
+                        .iter()
+                        .find(|(n, _)| n == "16T SRAM")
+                        .map_or(f64::NAN, |(_, v)| *v);
+                    let sram_edp = edp
+                        .iter()
+                        .find(|(n, _)| n == "16T SRAM")
+                        .map_or(f64::NAN, |(_, v)| *v);
+                    println!(
+                        "{bits:<8} {:>12} {sram_lat:>11.2}x {sram_edp:>12.2}x",
+                        tcam_spice::units::format_si(nem.latency, "s"),
+                    );
+                }
+                Err(e) => println!("{bits:<8} failed: {e}"),
+            }
+        }
+    }
+}

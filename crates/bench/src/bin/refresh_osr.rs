@@ -1,0 +1,79 @@
+//! Regenerates the **§IV-B refresh study**: one-shot-refresh energy,
+//! retention time, refresh power — plus the V_R placement ablation
+//! (Fig. 4's window argument made quantitative).
+
+use tcam_bench::{banner, spec_from_args, vs_paper};
+use tcam_core::designs::Nem3t2n;
+use tcam_core::experiments::refresh_study;
+use tcam_core::osr::{osr_default_pattern, run_osr, V_REFRESH};
+use tcam_spice::units::format_si;
+
+fn main() {
+    let spec = spec_from_args();
+    banner("§IV-B: one-shot refresh, retention, refresh power", &spec);
+
+    let report = match refresh_study(&spec, V_REFRESH) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("refresh study failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "OSR state preservation: {}",
+        if report.osr.states_preserved {
+            "all states kept"
+        } else {
+            "CORRUPTED"
+        }
+    );
+    println!(
+        "storage nodes after OSR: {:.3} .. {:.3} V (V_R = {V_REFRESH} V)",
+        report.osr.q_after.0, report.osr.q_after.1
+    );
+    println!(
+        "{}",
+        vs_paper(
+            "OSR energy (whole array)",
+            report.osr.energy_array,
+            520e-15,
+            "J"
+        )
+    );
+    println!(
+        "  breakdown: wordlines {} + bitlines {}",
+        format_si(report.osr.energy_wordlines, "J"),
+        format_si(report.osr.energy_bitlines, "J")
+    );
+    match report.retention.retention {
+        Some(t) => {
+            println!("{}", vs_paper("retention time", t, 26.5e-6, "s"));
+            if let Some(p) = report.refresh_power {
+                println!("{}", vs_paper("refresh power", p, 19.6e-9, "W"));
+            }
+        }
+        None => println!(
+            "retention exceeded the simulated window (v_final = {:.3} V)",
+            report.retention.v_final
+        ),
+    }
+
+    println!("\n--- V_R placement ablation (hysteresis window: 0.13 V .. 0.53 V) ---");
+    println!("{:<8} {:>10} {:>14}", "V_R", "states", "energy");
+    let design = Nem3t2n::default();
+    for vr in [0.05, 0.20, 0.35, 0.50, 0.60, 0.80] {
+        match run_osr(&design, &spec, vr, osr_default_pattern) {
+            Ok(r) => println!(
+                "{vr:<8} {:>10} {:>14}",
+                if r.states_preserved {
+                    "kept"
+                } else {
+                    "CORRUPT"
+                },
+                format_si(r.energy_array, "J")
+            ),
+            Err(e) => println!("{vr:<8} failed: {e}"),
+        }
+    }
+    println!("(the paper picks V_R = 0.5 V: just under V_PI for noise margin)");
+}

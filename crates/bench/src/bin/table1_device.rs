@@ -1,0 +1,39 @@
+//! Regenerates **Table I**: the NEM relay's electrical parameters as
+//! measured from the calibrated beam model.
+
+use tcam_core::experiments::table1_measurements;
+use tcam_devices::params::NemTargets;
+use tcam_spice::units::format_si;
+
+fn main() {
+    println!("=== Table I: NEM relay simulation parameters ===");
+    let t = match table1_measurements() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("measurement failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let paper = NemTargets::paper();
+    let rows = [
+        ("V_PI", t.v_pi, paper.v_pi, "V"),
+        ("V_PO", t.v_po, paper.v_po, "V"),
+        ("C_on", t.c_on, paper.c_on, "F"),
+        ("C_off", t.c_off, paper.c_off, "F"),
+        ("R_on", t.r_on, paper.r_on, "Ω"),
+        ("tau_mech", t.tau_mech, paper.tau_mech, "s"),
+    ];
+    println!(
+        "{:<10} {:>14} {:>14} {:>9}",
+        "param", "measured", "paper", "error"
+    );
+    for (name, measured, paper_v, unit) in rows {
+        println!(
+            "{:<10} {:>14} {:>14} {:>8.2}%",
+            name,
+            format_si(measured, unit),
+            format_si(paper_v, unit),
+            (measured / paper_v - 1.0) * 100.0
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Quantifies the paper's Fig. 7c caveat: the RRAM comparison holds only
+//! "at the assumption of no device variations". Samples device spreads and
+//! reports the search sensing-margin distribution for the 3T2N and 2T2R
+//! designs.
+
+use tcam_core::designs::ArraySpec;
+use tcam_core::variation::{search_margin_study, VariationSpec, VariedDesign};
+
+fn main() {
+    // Reduced array: every trial is two full transient simulations.
+    let spec = ArraySpec {
+        rows: 16,
+        cols: 16,
+        vdd: 1.0,
+    };
+    let trials = 25;
+    println!("=== device-variation study: search sensing margin ===");
+    println!(
+        "array {}x{}, {trials} Monte-Carlo trials per point",
+        spec.rows, spec.cols
+    );
+    println!("margin = ML(match) − ML(mismatch) at the sense instant\n");
+    println!(
+        "{:<10} {:>8} {:>12} {:>12} {:>12} {:>10}",
+        "design", "sigma", "mean", "std", "worst", "failures"
+    );
+
+    for sigma in [0.05, 0.10, 0.20] {
+        for (name, design) in [
+            ("3T2N", VariedDesign::Nem3t2n),
+            ("2T2R", VariedDesign::Rram2t2r),
+        ] {
+            let cfg = VariationSpec {
+                design,
+                sigma,
+                trials,
+                seed: 99,
+            };
+            match search_margin_study(&spec, &cfg) {
+                Ok(s) => println!(
+                    "{:<10} {:>7.0}% {:>11.3} V {:>11.3} V {:>11.3} V {:>10}",
+                    name,
+                    sigma * 100.0,
+                    s.mean,
+                    s.std_dev,
+                    s.min,
+                    s.failures
+                ),
+                Err(e) => println!("{name:<10} {sigma:>8} failed: {e}"),
+            }
+        }
+    }
+    println!("\nthe 3T2N margin stays at the full V_DD across spreads; the");
+    println!("2T2R margin starts thin (HRS leakage droop) and degrades as");
+    println!("R_off spread widens — the paper's variation argument.");
+}

@@ -1,0 +1,158 @@
+//! Ternary values stored in and searched against a TCAM.
+
+use std::fmt;
+
+/// One ternary symbol: `0`, `1`, or don't-care (`X`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TernaryBit {
+    /// Binary zero.
+    #[default]
+    Zero,
+    /// Binary one.
+    One,
+    /// Don't care — matches both `0` and `1`.
+    X,
+}
+
+impl TernaryBit {
+    /// Whether a stored `self` matches a searched `key` bit, per the TCAM
+    /// rule: `X` on either side matches everything.
+    ///
+    /// ```
+    /// use tcam_core::bit::TernaryBit::{One, X, Zero};
+    /// assert!(One.matches(One));
+    /// assert!(!One.matches(Zero));
+    /// assert!(X.matches(Zero) && X.matches(One));
+    /// assert!(Zero.matches(X));
+    /// ```
+    #[must_use]
+    pub fn matches(self, key: TernaryBit) -> bool {
+        matches!(
+            (self, key),
+            (TernaryBit::X, _)
+                | (_, TernaryBit::X)
+                | (TernaryBit::Zero, TernaryBit::Zero)
+                | (TernaryBit::One, TernaryBit::One)
+        )
+    }
+
+    /// Converts from a bool (`true` = [`TernaryBit::One`]).
+    #[must_use]
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            TernaryBit::One
+        } else {
+            TernaryBit::Zero
+        }
+    }
+
+    /// The complementary pair `(s, s̄)` driven onto the two storage elements
+    /// of a differential cell: `1 → (1, 0)`, `0 → (0, 1)`, `X → (0, 0)`
+    /// (the encoding used by every design in this crate, per the paper's
+    /// §III-A).
+    #[must_use]
+    pub fn differential(self) -> (bool, bool) {
+        match self {
+            TernaryBit::One => (true, false),
+            TernaryBit::Zero => (false, true),
+            TernaryBit::X => (false, false),
+        }
+    }
+}
+
+impl fmt::Display for TernaryBit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TernaryBit::Zero => write!(f, "0"),
+            TernaryBit::One => write!(f, "1"),
+            TernaryBit::X => write!(f, "X"),
+        }
+    }
+}
+
+/// Parses a ternary string like `"10X1"` (also accepts `x`, `*`, `?` for
+/// don't-care). Returns `None` on any other character.
+///
+/// ```
+/// use tcam_core::bit::{parse_ternary, TernaryBit};
+/// let w = parse_ternary("1X0").unwrap();
+/// assert_eq!(w, vec![TernaryBit::One, TernaryBit::X, TernaryBit::Zero]);
+/// assert!(parse_ternary("1Z0").is_none());
+/// ```
+#[must_use]
+pub fn parse_ternary(s: &str) -> Option<Vec<TernaryBit>> {
+    s.chars()
+        .map(|c| match c {
+            '0' => Some(TernaryBit::Zero),
+            '1' => Some(TernaryBit::One),
+            'X' | 'x' | '*' | '?' => Some(TernaryBit::X),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Whether a stored word matches a search key (both must have equal length).
+///
+/// # Panics
+///
+/// Panics if lengths differ — mixing word widths is a programming error.
+#[must_use]
+pub fn word_matches(stored: &[TernaryBit], key: &[TernaryBit]) -> bool {
+    assert_eq!(stored.len(), key.len(), "word width mismatch");
+    stored.iter().zip(key).all(|(s, k)| s.matches(*k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TernaryBit::{One, Zero, X};
+
+    #[test]
+    fn match_truth_table() {
+        let cases = [
+            (Zero, Zero, true),
+            (Zero, One, false),
+            (One, Zero, false),
+            (One, One, true),
+            (X, Zero, true),
+            (X, One, true),
+            (Zero, X, true),
+            (One, X, true),
+            (X, X, true),
+        ];
+        for (s, k, expect) in cases {
+            assert_eq!(s.matches(k), expect, "{s} vs {k}");
+        }
+    }
+
+    #[test]
+    fn differential_encoding() {
+        assert_eq!(One.differential(), (true, false));
+        assert_eq!(Zero.differential(), (false, true));
+        assert_eq!(X.differential(), (false, false));
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let w = parse_ternary("10X").unwrap();
+        let s: String = w.iter().map(ToString::to_string).collect();
+        assert_eq!(s, "10X");
+        assert!(parse_ternary("abc").is_none());
+        assert_eq!(parse_ternary("").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn word_match_semantics() {
+        let stored = parse_ternary("1X0").unwrap();
+        assert!(word_matches(&stored, &parse_ternary("110").unwrap()));
+        assert!(word_matches(&stored, &parse_ternary("100").unwrap()));
+        assert!(!word_matches(&stored, &parse_ternary("101").unwrap()));
+        assert!(word_matches(&stored, &parse_ternary("XXX").unwrap()));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn word_match_width_checked() {
+        let _ = word_matches(&[One], &[One, Zero]);
+    }
+}

@@ -1,0 +1,294 @@
+//! Write-disturb study for the 2FeFET baseline.
+//!
+//! The paper's §II singles out the 2FeFET TCAM's weakness: "the 2-FeFET
+//! design is denser but is vulnerable to read and write disturbances
+//! \[9\]". Under the V_DD/2 write scheme, the *selected* row's gate stacks
+//! see the full ±V_W, but every **unselected** row sharing the driven
+//! search-line columns sees ±V_W/2 — inside the tail of the coercive-field
+//! distribution, so each aggressor write nudges victim polarization toward
+//! `tanh((V_W/2 − V_c)/σ)`. This module builds a two-row slice (aggressor +
+//! victim), replays `cycles` full write cycles, and reports the victim's
+//! cumulative polarization drift and threshold-margin loss.
+//!
+//! The 3T2N design has no analogous mechanism: unselected wordlines keep
+//! their write transistors off, and the relay's mechanical hysteresis
+//! ignores sub-window excursions — which the companion check verifies.
+
+use crate::bit::TernaryBit;
+use crate::designs::{add_driver, add_line_cap, ArraySpec, Fefet2f, TcamDesign};
+use tcam_devices::fefet::Fefet;
+use tcam_spice::analysis::{transient, TransientSpec};
+use tcam_spice::error::Result;
+use tcam_spice::netlist::Circuit;
+use tcam_spice::options::SimOptions;
+use tcam_spice::source::Waveshape;
+use tcam_spice::waveform::Waveform;
+
+/// One aggressor write cycle: positive phase, gap, negative phase, gap.
+const CYCLE: f64 = 26e-9;
+const T_POS: f64 = 1e-9;
+const POS_WIDTH: f64 = 10.5e-9;
+const T_NEG: f64 = 13e-9;
+const NEG_WIDTH: f64 = 10.5e-9;
+
+/// Outcome of the disturb study.
+#[derive(Debug)]
+pub struct DisturbResult {
+    /// Victim polarization per monitored element before any write.
+    pub victim_p_start: f64,
+    /// Victim polarization after `cycles` aggressor writes.
+    pub victim_p_end: f64,
+    /// Equivalent victim threshold-voltage shift, volts.
+    pub victim_vth_shift: f64,
+    /// Whether the victim's stored bit still decodes correctly
+    /// (polarization sign preserved).
+    pub victim_bit_ok: bool,
+    /// Whether the aggressor write completed correctly.
+    pub aggressor_ok: bool,
+    /// The simulation record.
+    pub waveform: Waveform,
+}
+
+/// Runs `cycles` aggressor write cycles on row 0 while row 1 (storing all
+/// ones) shares the search-line columns with its plate held at ground —
+/// the classic half-select disturb pattern.
+///
+/// # Errors
+///
+/// Propagates netlist/simulation failures.
+pub fn run_fefet_write_disturb(
+    design: &Fefet2f,
+    spec: &ArraySpec,
+    cycles: usize,
+) -> Result<DisturbResult> {
+    let cols = spec.cols;
+    let half = design.v_write / 2.0;
+    let mut ckt = Circuit::new();
+    let geom = design.geometry();
+    let c_line = geom.column_wire_cap(spec.rows);
+
+    // Shared columns. The aggressor writes the pattern "all ZEROS" — the
+    // polarity that stresses a victim storing ones: SL gets the +V/2 phase
+    // (driving F1 low-V_T on the selected row), SLB the −V/2 phase.
+    for j in 0..cols {
+        let sl = ckt.node(&format!("sl{j}"));
+        let slb = ckt.node(&format!("slb{j}"));
+        add_line_cap(&mut ckt, &format!("csl{j}"), sl, c_line)?;
+        add_line_cap(&mut ckt, &format!("cslb{j}"), slb, c_line)?;
+        add_driver(
+            &mut ckt,
+            &format!("vsl{j}"),
+            sl,
+            Waveshape::Pulse {
+                v1: 0.0,
+                v2: half,
+                delay: T_POS,
+                rise: 50e-12,
+                fall: 50e-12,
+                width: POS_WIDTH,
+                period: CYCLE,
+            },
+        )?;
+        add_driver(
+            &mut ckt,
+            &format!("vslb{j}"),
+            slb,
+            Waveshape::Pulse {
+                v1: 0.0,
+                v2: -half,
+                delay: T_NEG,
+                rise: 50e-12,
+                fall: 50e-12,
+                width: NEG_WIDTH,
+                period: CYCLE,
+            },
+        )?;
+    }
+
+    // Row plates: aggressor's plate swings ∓V/2 (selected); victim's plate
+    // is grounded (unselected) — so victim gates see only ±V/2.
+    let src_a = ckt.node("src_a");
+    add_line_cap(&mut ckt, "csrc_a", src_a, geom.row_wire_cap(cols))?;
+    {
+        use tcam_numeric::interp::PiecewiseLinear;
+        // One cycle of the plate waveform, repeated by construction of the
+        // gate pulses; approximate with a periodic pulse pair via PWL over
+        // the full span (built per cycle).
+        let mut xs = vec![0.0];
+        let mut ys = vec![0.0];
+        for k in 0..cycles {
+            let base = k as f64 * CYCLE;
+            for (t, v) in [
+                (base + T_POS, 0.0),
+                (base + T_POS + 0.1e-9, -half),
+                (base + T_POS + POS_WIDTH, -half),
+                (base + T_POS + POS_WIDTH + 0.1e-9, 0.0),
+                (base + T_NEG, 0.0),
+                (base + T_NEG + 0.1e-9, half),
+                (base + T_NEG + NEG_WIDTH, half),
+                (base + T_NEG + NEG_WIDTH + 0.1e-9, 0.0),
+            ] {
+                xs.push(t);
+                ys.push(v);
+            }
+        }
+        let pwl = PiecewiseLinear::new(xs, ys).map_err(tcam_spice::SpiceError::from)?;
+        add_driver(&mut ckt, "vsrc_a", src_a, Waveshape::Pwl(pwl))?;
+    }
+    let src_v = ckt.node("src_v");
+    add_line_cap(&mut ckt, "csrc_v", src_v, geom.row_wire_cap(cols))?;
+    add_driver(&mut ckt, "vsrc_v", src_v, Waveshape::Dc(0.0))?;
+
+    // Floating matchlines (one per row).
+    let ml_a = ckt.node("ml_a");
+    let ml_v = ckt.node("ml_v");
+    add_line_cap(&mut ckt, "cml_a", ml_a, geom.row_wire_cap(cols))?;
+    add_line_cap(&mut ckt, "cml_v", ml_v, geom.row_wire_cap(cols))?;
+
+    // Cells. Both rows start storing all-ones; the aggressor is rewritten
+    // to all-zeros (a full flip) while the victim must keep its ones.
+    for j in 0..cols {
+        let sl = ckt.find_node(&format!("sl{j}"))?;
+        let slb = ckt.find_node(&format!("slb{j}"))?;
+        for (row, ml, src, low_vt_f1, low_vt_f2) in [
+            ("a", ml_a, src_a, false, true), // stored One: f2 low
+            ("v", ml_v, src_v, false, true), // stored One: f2 low
+        ] {
+            for (branch, gate, low) in [(1, sl, low_vt_f1), (2, slb, low_vt_f2)] {
+                ckt.add(
+                    Fefet::new(
+                        format!("r{row}c{j}_f{branch}"),
+                        ml,
+                        gate,
+                        src,
+                        src,
+                        design.channel,
+                        design.fe,
+                    )
+                    .with_bit(low),
+                )?;
+            }
+        }
+    }
+
+    let t_stop = cycles as f64 * CYCLE;
+    let wave = transient(&mut ckt, TransientSpec::to(t_stop), &SimOptions::default())?;
+
+    // Victim f2 (stores the '1', p = +1) is pushed by the −V/2 phases on
+    // its shared SLB; track its drift. The aggressor must have flipped to
+    // stored Zero (f1 → low-V_T i.e. p > 0, f2 → high-V_T i.e. p < 0).
+    let victim_sig = "rvc0_f2.p";
+    let victim_p_start = wave.sample(victim_sig, 0.0)?;
+    let victim_p_end = wave.last(victim_sig)?;
+    let victim_vth_shift = (victim_p_start - victim_p_end) * design.fe.vth_window / 2.0;
+    let victim_bit_ok = victim_p_end > 0.0 && wave.last("rvc0_f1.p")? < 0.0;
+    // The aggressor's own opposite-phase elements also ride the ±V/2
+    // envelope (they are half-selected during the other phase), so the
+    // pass criterion is the decoded bit, not full saturation.
+    let aggressor_ok = wave.last("rac0_f1.p")? > 0.5 && wave.last("rac0_f2.p")? < -0.5;
+
+    Ok(DisturbResult {
+        victim_p_start,
+        victim_p_end,
+        victim_vth_shift,
+        victim_bit_ok,
+        aggressor_ok,
+        waveform: wave,
+    })
+}
+
+/// The 3T2N counterpart: the victim cell's relays see only the sub-window
+/// search-line excursions during a neighbour's write (its wordline stays
+/// low), so its mechanical state cannot move. Returns `true` when the
+/// victim survives `cycles` neighbour writes untouched.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn nem_victim_survives_neighbour_writes(
+    design: &crate::designs::Nem3t2n,
+    spec: &ArraySpec,
+    cycles: usize,
+) -> Result<bool> {
+    use crate::designs::add_pulse_driver;
+    let mut ckt = Circuit::new();
+    let geom = design.geometry();
+
+    // One victim cell storing '1', wordline held low, bitlines toggling
+    // with the aggressor's data every cycle (the shared-column disturb).
+    let wl = ckt.node("wl");
+    let bl = ckt.node("bl");
+    let blb = ckt.node("blb");
+    design.build_cell_for_osr(&mut ckt, "victim", TernaryBit::One, 0.8, wl, bl, blb)?;
+    add_line_cap(&mut ckt, "cwl", wl, geom.row_wire_cap(spec.cols))?;
+    add_line_cap(&mut ckt, "cbl", bl, geom.column_wire_cap(spec.rows))?;
+    add_line_cap(&mut ckt, "cblb", blb, geom.column_wire_cap(spec.rows))?;
+    add_driver(&mut ckt, "vwl", wl, Waveshape::Dc(0.0))?;
+    // Bitlines pulse to VDD every cycle (the neighbour's write data).
+    for (name, node, delay) in [("vbl", bl, 1e-9), ("vblb", blb, 4e-9)] {
+        add_pulse_driver(&mut ckt, name, node, 0.0, spec.vdd, delay, 2e-9)?;
+    }
+
+    let t_stop = cycles as f64 * 8e-9;
+    let wave = transient(&mut ckt, TransientSpec::to(t_stop), &SimOptions::default())?;
+    let n1 = wave.last("victim_n1.contact")?;
+    let n2 = wave.last("victim_n2.contact")?;
+    Ok(n1 > 0.5 && n2 < 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs::Nem3t2n;
+
+    fn spec() -> ArraySpec {
+        ArraySpec {
+            rows: 8,
+            cols: 2,
+            vdd: 1.0,
+        }
+    }
+
+    #[test]
+    fn fefet_victim_drifts_under_neighbour_writes() {
+        let d = Fefet2f::default();
+        let res = run_fefet_write_disturb(&d, &spec(), 3).unwrap();
+        assert!(res.aggressor_ok, "selected row must write correctly");
+        // Half-select stress measurably erodes the victim's polarization...
+        assert!(
+            res.victim_p_end < res.victim_p_start - 0.05,
+            "p: {} -> {}",
+            res.victim_p_start,
+            res.victim_p_end
+        );
+        assert!(res.victim_vth_shift > 0.02);
+        // ...but a handful of cycles does not yet flip the bit.
+        assert!(res.victim_bit_ok);
+    }
+
+    #[test]
+    fn disturb_saturates_at_the_half_select_envelope() {
+        // The Preisach envelope bounds the drift at tanh((V_W/2 − V_c)/σ):
+        // more cycles approach but never cross it.
+        let d = Fefet2f::default();
+        let few = run_fefet_write_disturb(&d, &spec(), 2).unwrap();
+        let many = run_fefet_write_disturb(&d, &spec(), 5).unwrap();
+        let envelope = ((d.v_write / 2.0 - d.fe.v_coercive) / d.fe.v_sigma).tanh();
+        // Drift target for a +1-stored victim under −V/2 stress is the
+        // mirrored envelope.
+        let floor = -envelope; // positive number below 1
+        assert!(many.victim_p_end <= few.victim_p_end + 1e-9);
+        assert!(
+            many.victim_p_end >= floor - 0.05,
+            "p_end {} vs envelope {}",
+            many.victim_p_end,
+            floor
+        );
+    }
+
+    #[test]
+    fn nem_cell_is_disturb_free() {
+        let d = Nem3t2n::default();
+        assert!(nem_victim_survives_neighbour_writes(&d, &spec(), 5).unwrap());
+    }
+}

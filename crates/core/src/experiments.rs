@@ -1,0 +1,309 @@
+//! Orchestration of the paper's experiments (Table I, Fig. 3b, Fig. 6,
+//! Fig. 7, §IV-B refresh) across all four designs.
+//!
+//! Each `figN_*` function returns plain-data rows that the `tcam-bench`
+//! binaries format; `EXPERIMENTS.md` records the resulting numbers against
+//! the paper's.
+
+use crate::bit::TernaryBit;
+use crate::designs::{ArraySpec, Fefet2f, Nem3t2n, Rram2t2r, Sram16t, TcamDesign};
+use crate::ops::{run_search, run_write};
+use crate::osr::{osr_default_pattern, run_osr, OsrResult};
+use crate::retention::{run_retention, RetentionResult};
+use tcam_devices::nem::NemRelay;
+use tcam_devices::params::NemTargets;
+use tcam_spice::analysis::{dc_sweep, DcSweepSpec};
+use tcam_spice::element::{Resistor, VoltageSource};
+use tcam_spice::error::Result;
+use tcam_spice::netlist::Circuit;
+use tcam_spice::options::SimOptions;
+use tcam_spice::waveform::Waveform;
+
+/// The four benchmarked designs, in the paper's reporting order.
+#[must_use]
+pub fn all_designs() -> Vec<Box<dyn TcamDesign>> {
+    vec![
+        Box::new(Nem3t2n::default()),
+        Box::new(Sram16t::default()),
+        Box::new(Rram2t2r::default()),
+        Box::new(Fefet2f::default()),
+    ]
+}
+
+/// The data word written/stored in comparisons: a repeating `1 0 X 1`
+/// pattern exercising both polarities and the don't-care state.
+#[must_use]
+pub fn pattern_word(cols: usize) -> Vec<TernaryBit> {
+    (0..cols)
+        .map(|i| match i % 4 {
+            0 | 3 => TernaryBit::One,
+            1 => TernaryBit::Zero,
+            _ => TernaryBit::X,
+        })
+        .collect()
+}
+
+/// A search key with exactly one mismatching bit against
+/// [`pattern_word`] (the paper's worst-case single-bit mismatch).
+#[must_use]
+pub fn mismatch_key(cols: usize) -> Vec<TernaryBit> {
+    let mut key = pattern_word(cols);
+    key[0] = TernaryBit::Zero; // stored One at position 0 → mismatch
+    key
+}
+
+/// One row of the Fig. 6 (write) comparison.
+#[derive(Debug, Clone)]
+pub struct WriteRow {
+    /// Design name.
+    pub design: String,
+    /// Worst-case row write latency, seconds.
+    pub latency: f64,
+    /// Row write energy, joules.
+    pub energy: f64,
+    /// All cells reached their target state.
+    pub valid: bool,
+}
+
+/// Reproduces Fig. 6: write latency and energy for one row of the array,
+/// for every design.
+///
+/// # Errors
+///
+/// Propagates simulation failures from any design.
+pub fn fig6_write(spec: &ArraySpec) -> Result<Vec<WriteRow>> {
+    let data = pattern_word(spec.cols);
+    let mut rows = Vec::new();
+    for design in all_designs() {
+        let exp = design.build_write(spec, &data)?;
+        let res = run_write(exp)?;
+        rows.push(WriteRow {
+            design: design.name().to_string(),
+            latency: res.latency,
+            energy: res.energy,
+            valid: res.all_valid,
+        });
+    }
+    Ok(rows)
+}
+
+/// One row of the Fig. 7 (search) comparison.
+#[derive(Debug, Clone)]
+pub struct SearchRow {
+    /// Design name.
+    pub design: String,
+    /// Worst-case (1-bit mismatch) search latency, seconds.
+    pub latency: f64,
+    /// Per-search energy, joules.
+    pub energy: f64,
+    /// Energy–delay product, J·s.
+    pub edp: f64,
+    /// The mismatch was detected within the sense window.
+    pub mismatch_ok: bool,
+    /// A matching search kept its ML above the design's sense margin.
+    pub match_ok: bool,
+}
+
+/// Reproduces Fig. 7: worst-case search latency, energy, and EDP for every
+/// design, plus the functional match/mismatch checks.
+///
+/// # Errors
+///
+/// Propagates simulation failures from any design.
+pub fn fig7_search(spec: &ArraySpec) -> Result<Vec<SearchRow>> {
+    let stored = pattern_word(spec.cols);
+    let key_miss = mismatch_key(spec.cols);
+    let mut rows = Vec::new();
+    for design in all_designs() {
+        let miss = run_search(design.build_search(spec, &stored, &key_miss)?)?;
+        let hit = run_search(design.build_search(spec, &stored, &stored)?)?;
+        let latency = miss.latency.unwrap_or(f64::NAN);
+        rows.push(SearchRow {
+            design: design.name().to_string(),
+            latency,
+            energy: miss.energy,
+            edp: latency * miss.energy,
+            mismatch_ok: miss.functional_ok,
+            match_ok: hit.functional_ok,
+        });
+    }
+    Ok(rows)
+}
+
+/// The §IV-B refresh study: OSR energy, retention, refresh power.
+#[derive(Debug)]
+pub struct RefreshReport {
+    /// The OSR slice experiment (array-assembled energies inside).
+    pub osr: OsrResult,
+    /// The retention experiment.
+    pub retention: RetentionResult,
+    /// Average refresh power `E_OSR / t_retention`, watts (`None` when the
+    /// retention window was not long enough to observe release).
+    pub refresh_power: Option<f64>,
+}
+
+/// Runs the refresh study at the given refresh voltage (use
+/// [`crate::osr::V_REFRESH`] for the paper's 0.5 V).
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn refresh_study(spec: &ArraySpec, v_refresh: f64) -> Result<RefreshReport> {
+    let design = Nem3t2n::default();
+    let osr = run_osr(&design, spec, v_refresh, osr_default_pattern)?;
+    let retention = run_retention(&design, spec, v_refresh, 100e-6)?;
+    let refresh_power = retention.refresh_power(osr.energy_array);
+    Ok(RefreshReport {
+        osr,
+        retention,
+        refresh_power,
+    })
+}
+
+/// Traces the relay's quasi-static `I_DS`–`V_GB` hysteresis loop
+/// (Fig. 3b): a triangle gate sweep with a 50 mV drain read bias. The
+/// returned waveform's axis is the gate voltage; `"i(vd)"` carries the
+/// (negated MNA-convention) drain source current and `"n1.contact"` the
+/// contact state.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig3b_hysteresis(points_per_leg: usize) -> Result<Waveform> {
+    let mut ckt = Circuit::new();
+    let gnd = ckt.gnd();
+    let d = ckt.node("d");
+    let s = ckt.node("s");
+    let g = ckt.node("g");
+    ckt.add(
+        NemRelay::new("n1", d, s, g, gnd, &NemTargets::paper())
+            .map_err(|e| tcam_spice::SpiceError::InvalidCircuit(e.to_string()))?,
+    )?;
+    ckt.add(VoltageSource::dc("vg", g, gnd, 0.0))?;
+    ckt.add(VoltageSource::dc("vd", d, gnd, 0.05))?;
+    ckt.add(Resistor::new("rs", s, gnd, 1.0)?)?;
+    let sweep = DcSweepSpec::triangle("vg", 0.0, 1.0, points_per_leg);
+    dc_sweep(&mut ckt, &sweep, &SimOptions::default())
+}
+
+/// Measured Table I parameters of the calibrated relay, for the
+/// `table1_device` report.
+#[derive(Debug, Clone, Copy)]
+pub struct Table1Row {
+    /// Measured pull-in voltage, volts.
+    pub v_pi: f64,
+    /// Measured pull-out voltage, volts.
+    pub v_po: f64,
+    /// ON-state gate capacitance, farads.
+    pub c_on: f64,
+    /// OFF-state gate capacitance, farads.
+    pub c_off: f64,
+    /// Contact resistance, ohms.
+    pub r_on: f64,
+    /// Simulated switching time at 1 V, seconds.
+    pub tau_mech: f64,
+}
+
+/// Measures the calibrated relay against Table I.
+///
+/// # Errors
+///
+/// Returns calibration failures as [`tcam_spice::SpiceError::InvalidCircuit`].
+pub fn table1_measurements() -> Result<Table1Row> {
+    use tcam_devices::nem::mechanics::time_to_contact;
+    let targets = NemTargets::paper();
+    let beam = tcam_devices::nem::calibrate(&targets)
+        .map_err(|e| tcam_spice::SpiceError::InvalidCircuit(e.to_string()))?;
+    let tau = time_to_contact(&beam, 1.0, 100e-9)
+        .ok_or_else(|| tcam_spice::SpiceError::NotFound("pull-in at 1 V".into()))?;
+    Ok(Table1Row {
+        v_pi: beam.v_pull_in(),
+        v_po: beam.v_pull_out(),
+        c_on: beam.c_gb(beam.g_contact),
+        c_off: beam.c_gb(0.0),
+        r_on: targets.r_on,
+        tau_mech: tau,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_words_are_consistent() {
+        let w = pattern_word(8);
+        assert_eq!(w.len(), 8);
+        let k = mismatch_key(8);
+        assert!(!crate::bit::word_matches(&w, &k));
+        assert!(crate::bit::word_matches(&w, &w));
+    }
+
+    #[test]
+    fn table1_measurements_match_paper() {
+        let t = table1_measurements().unwrap();
+        assert!((t.v_pi - 0.53).abs() < 5e-3);
+        assert!((t.v_po - 0.13).abs() < 5e-3);
+        assert!((t.c_on - 20e-18).abs() < 1e-20);
+        assert!((t.c_off - 15e-18).abs() < 1e-20);
+        assert!((t.tau_mech - 2e-9).abs() < 0.1e-9);
+    }
+
+    #[test]
+    fn hysteresis_loop_shows_window() {
+        let wave = fig3b_hysteresis(51).unwrap();
+        let contact = wave.trace("n1.contact").unwrap();
+        let axis = wave.axis();
+        // Pulls in on the way up near V_PI, releases on the way down near
+        // V_PO.
+        let on_at = axis[contact.iter().position(|&c| c > 0.5).unwrap()];
+        assert!((on_at - 0.53).abs() < 0.03, "on at {on_at}");
+        let off_at = (1..contact.len())
+            .rev()
+            .find(|&i| contact[i] < 0.5 && contact[i - 1] > 0.5)
+            .map(|i| axis[i])
+            .unwrap();
+        assert!(off_at < 0.2, "off at {off_at}");
+    }
+
+    /// The cross-design figures are exercised at reduced size here; the
+    /// full 64×64 runs live in the bench binaries.
+    #[test]
+    fn fig6_and_fig7_small_array() {
+        let spec = ArraySpec {
+            rows: 8,
+            cols: 4,
+            vdd: 1.0,
+        };
+        let writes = fig6_write(&spec).unwrap();
+        assert_eq!(writes.len(), 4);
+        for w in &writes {
+            assert!(w.valid, "{} write failed validation", w.design);
+            assert!(w.latency > 0.0 && w.energy > 0.0, "{:?}", w);
+        }
+        // Ordering: SRAM fastest, then 3T2N, then the NVM designs.
+        let lat: std::collections::HashMap<_, _> = writes
+            .iter()
+            .map(|w| (w.design.clone(), w.latency))
+            .collect();
+        assert!(lat["16T SRAM"] < lat["3T2N"]);
+        assert!(lat["3T2N"] < lat["2T2R RRAM"]);
+        assert!(lat["3T2N"] < lat["2FeFET"]);
+
+        let searches = fig7_search(&spec).unwrap();
+        assert_eq!(searches.len(), 4);
+        for s in &searches {
+            assert!(s.mismatch_ok, "{} mismatch undetected", s.design);
+            assert!(s.match_ok, "{} match corrupted", s.design);
+            assert!(s.latency > 0.0 && s.energy > 0.0);
+        }
+        let lat: std::collections::HashMap<_, _> = searches
+            .iter()
+            .map(|s| (s.design.clone(), s.latency))
+            .collect();
+        // The headline claim: 3T2N searches fastest.
+        assert!(lat["3T2N"] < lat["16T SRAM"]);
+        assert!(lat["3T2N"] < lat["2T2R RRAM"]);
+        assert!(lat["3T2N"] < lat["2FeFET"]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Ratio computation and report formatting for the paper-style tables.
+
+use crate::experiments::{SearchRow, WriteRow};
+use std::fmt::Write as _;
+use tcam_spice::units::format_si;
+
+/// Finds a row by design name.
+fn find<'a, T>(rows: &'a [T], name: &str, get: impl Fn(&T) -> &str) -> Option<&'a T> {
+    rows.iter().find(|r| get(r) == name)
+}
+
+/// Ratios of every design's write energy over the reference design's
+/// (the paper reports "energy efficiency over X" = `E_X / E_3T2N`).
+#[must_use]
+pub fn write_energy_ratios(rows: &[WriteRow], reference: &str) -> Vec<(String, f64)> {
+    let Some(base) = find(rows, reference, |r| &r.design) else {
+        return Vec::new();
+    };
+    rows.iter()
+        .filter(|r| r.design != reference)
+        .map(|r| (r.design.clone(), r.energy / base.energy))
+        .collect()
+}
+
+/// Ratios of every design's search latency over the reference design's.
+#[must_use]
+pub fn search_latency_ratios(rows: &[SearchRow], reference: &str) -> Vec<(String, f64)> {
+    let Some(base) = find(rows, reference, |r| &r.design) else {
+        return Vec::new();
+    };
+    rows.iter()
+        .filter(|r| r.design != reference)
+        .map(|r| (r.design.clone(), r.latency / base.latency))
+        .collect()
+}
+
+/// Ratios of every design's search EDP over the reference design's.
+#[must_use]
+pub fn search_edp_ratios(rows: &[SearchRow], reference: &str) -> Vec<(String, f64)> {
+    let Some(base) = find(rows, reference, |r| &r.design) else {
+        return Vec::new();
+    };
+    rows.iter()
+        .filter(|r| r.design != reference)
+        .map(|r| (r.design.clone(), r.edp / base.edp))
+        .collect()
+}
+
+/// Formats the Fig. 6 table.
+#[must_use]
+pub fn format_write_table(rows: &[WriteRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>14} {:>14} {:>8}",
+        "design", "write latency", "write energy", "valid"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>14} {:>14} {:>8}",
+            r.design,
+            format_si(r.latency, "s"),
+            format_si(r.energy, "J"),
+            if r.valid { "yes" } else { "NO" }
+        );
+    }
+    let ratios = write_energy_ratios(rows, "3T2N");
+    if !ratios.is_empty() {
+        let _ = writeln!(out, "write energy efficiency of 3T2N over:");
+        for (name, ratio) in ratios {
+            let _ = writeln!(out, "  {name:<12} {ratio:>7.2}x");
+        }
+    }
+    out
+}
+
+/// Formats the Fig. 7 table.
+#[must_use]
+pub fn format_search_table(rows: &[SearchRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>13} {:>13} {:>16} {:>6} {:>6}",
+        "design", "latency", "energy", "EDP", "miss", "match"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>13} {:>13} {:>16} {:>6} {:>6}",
+            r.design,
+            format_si(r.latency, "s"),
+            format_si(r.energy, "J"),
+            format_si(r.edp, "J·s"),
+            if r.mismatch_ok { "ok" } else { "FAIL" },
+            if r.match_ok { "ok" } else { "FAIL" },
+        );
+    }
+    for (title, ratios) in [
+        (
+            "search speedup of 3T2N over:",
+            search_latency_ratios(rows, "3T2N"),
+        ),
+        (
+            "search EDP of others vs 3T2N:",
+            search_edp_ratios(rows, "3T2N"),
+        ),
+    ] {
+        if !ratios.is_empty() {
+            let _ = writeln!(out, "{title}");
+            for (name, ratio) in ratios {
+                let _ = writeln!(out, "  {name:<12} {ratio:>7.2}x");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_rows() -> Vec<WriteRow> {
+        vec![
+            WriteRow {
+                design: "3T2N".into(),
+                latency: 2e-9,
+                energy: 0.35e-12,
+                valid: true,
+            },
+            WriteRow {
+                design: "16T SRAM".into(),
+                latency: 0.5e-9,
+                energy: 0.81e-12,
+                valid: true,
+            },
+        ]
+    }
+
+    fn search_rows() -> Vec<SearchRow> {
+        vec![
+            SearchRow {
+                design: "3T2N".into(),
+                latency: 40e-12,
+                energy: 10e-15,
+                edp: 4e-25,
+                mismatch_ok: true,
+                match_ok: true,
+            },
+            SearchRow {
+                design: "16T SRAM".into(),
+                latency: 220e-12,
+                energy: 23e-15,
+                edp: 5.06e-24,
+                mismatch_ok: true,
+                match_ok: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn ratios_reference_3t2n() {
+        let r = write_energy_ratios(&write_rows(), "3T2N");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].0, "16T SRAM");
+        assert!((r[0].1 - 0.81 / 0.35).abs() < 1e-9);
+
+        let l = search_latency_ratios(&search_rows(), "3T2N");
+        assert!((l[0].1 - 5.5).abs() < 1e-9);
+        let e = search_edp_ratios(&search_rows(), "3T2N");
+        assert!((e[0].1 - 12.65).abs() < 0.01);
+    }
+
+    #[test]
+    fn missing_reference_is_empty() {
+        assert!(write_energy_ratios(&write_rows(), "nope").is_empty());
+        assert!(search_latency_ratios(&search_rows(), "nope").is_empty());
+        assert!(search_edp_ratios(&search_rows(), "nope").is_empty());
+    }
+
+    #[test]
+    fn tables_render() {
+        let t = format_write_table(&write_rows());
+        assert!(t.contains("3T2N"));
+        assert!(t.contains("2.00 ns"));
+        assert!(t.contains("2.31x"));
+        let t = format_search_table(&search_rows());
+        assert!(t.contains("EDP"));
+        assert!(t.contains("5.50x"));
+    }
+}

@@ -1,0 +1,284 @@
+//! Netlist-parser builders for the device models, so TCAM cells can be
+//! written as plain SPICE-like cards:
+//!
+//! ```text
+//! * element letters: M = MOSFET, N = NEM relay, Z = RRAM, F = FeFET
+//! M1 d g s b nmos w=2
+//! N1 d s g b on
+//! Z1 top bot set
+//! F1 d g s b one
+//! ```
+//!
+//! Register all four on a parser with [`register_all`].
+
+use crate::fefet::Fefet;
+use crate::mosfet::{MosParams, Mosfet};
+use crate::nem::NemRelay;
+use crate::params::{FefetParams, NemTargets, RramParams};
+use crate::rram::Rram;
+use tcam_spice::device::Device;
+use tcam_spice::error::{Result, SpiceError};
+use tcam_spice::node::NodeId;
+use tcam_spice::parser::{ElementBuilder, Parser};
+use tcam_spice::units::parse_value;
+
+fn parse_err(line: usize, message: impl Into<String>) -> SpiceError {
+    SpiceError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Builder for `M<name> d g s b [nmos|pmos] [w=<factor>]`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MosfetBuilder;
+
+impl ElementBuilder for MosfetBuilder {
+    fn n_nodes(&self) -> usize {
+        4
+    }
+
+    fn build(
+        &self,
+        name: &str,
+        nodes: &[NodeId],
+        args: &[String],
+        line: usize,
+    ) -> Result<Box<dyn Device>> {
+        let mut params = MosParams::nmos_45lp();
+        for arg in args {
+            let lower = arg.to_ascii_lowercase();
+            if lower == "nmos" {
+                params = MosParams::nmos_45lp();
+            } else if lower == "pmos" {
+                params = MosParams::pmos_45lp();
+            } else if let Some(w) = lower.strip_prefix("w=") {
+                let f = parse_value(w)
+                    .map_err(|_| parse_err(line, format!("bad width factor '{w}'")))?;
+                params = params.scaled_width(f);
+            } else {
+                return Err(parse_err(line, format!("unknown MOSFET arg '{arg}'")));
+            }
+        }
+        Ok(Box::new(Mosfet::new(
+            name, nodes[0], nodes[1], nodes[2], nodes[3], params,
+        )))
+    }
+}
+
+/// Builder for `N<name> d s g b [on|off]` (defaults to `off`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NemRelayBuilder;
+
+impl ElementBuilder for NemRelayBuilder {
+    fn n_nodes(&self) -> usize {
+        4
+    }
+
+    fn build(
+        &self,
+        name: &str,
+        nodes: &[NodeId],
+        args: &[String],
+        line: usize,
+    ) -> Result<Box<dyn Device>> {
+        let mut on = false;
+        for arg in args {
+            match arg.to_ascii_lowercase().as_str() {
+                "on" => on = true,
+                "off" => on = false,
+                other => return Err(parse_err(line, format!("unknown NEM relay arg '{other}'"))),
+            }
+        }
+        let relay = NemRelay::new(
+            name,
+            nodes[0],
+            nodes[1],
+            nodes[2],
+            nodes[3],
+            &NemTargets::paper(),
+        )
+        .map_err(|e| parse_err(line, e.to_string()))?
+        .with_contact(on);
+        Ok(Box::new(relay))
+    }
+}
+
+/// Builder for `Z<name> top bottom [set|reset|s=<0..1>]` (defaults `reset`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RramBuilder;
+
+impl ElementBuilder for RramBuilder {
+    fn n_nodes(&self) -> usize {
+        2
+    }
+
+    fn build(
+        &self,
+        name: &str,
+        nodes: &[NodeId],
+        args: &[String],
+        line: usize,
+    ) -> Result<Box<dyn Device>> {
+        let mut cell = Rram::new(name, nodes[0], nodes[1], RramParams::default());
+        for arg in args {
+            let lower = arg.to_ascii_lowercase();
+            if lower == "set" {
+                cell = cell.with_bit(true);
+            } else if lower == "reset" {
+                cell = cell.with_bit(false);
+            } else if let Some(s) = lower.strip_prefix("s=") {
+                let v = parse_value(s).map_err(|_| parse_err(line, format!("bad state '{s}'")))?;
+                cell = cell.with_state(v);
+            } else {
+                return Err(parse_err(line, format!("unknown RRAM arg '{arg}'")));
+            }
+        }
+        Ok(Box::new(cell))
+    }
+}
+
+/// Builder for `F<name> d g s b [one|zero]` (defaults `zero`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FefetBuilder;
+
+impl ElementBuilder for FefetBuilder {
+    fn n_nodes(&self) -> usize {
+        4
+    }
+
+    fn build(
+        &self,
+        name: &str,
+        nodes: &[NodeId],
+        args: &[String],
+        line: usize,
+    ) -> Result<Box<dyn Device>> {
+        let mut one = false;
+        for arg in args {
+            match arg.to_ascii_lowercase().as_str() {
+                "one" => one = true,
+                "zero" => one = false,
+                other => return Err(parse_err(line, format!("unknown FeFET arg '{other}'"))),
+            }
+        }
+        Ok(Box::new(
+            Fefet::new(
+                name,
+                nodes[0],
+                nodes[1],
+                nodes[2],
+                nodes[3],
+                MosParams::nmos_45lp(),
+                FefetParams::default(),
+            )
+            .with_bit(one),
+        ))
+    }
+}
+
+/// Registers the `M`, `N`, `Z`, `F` element letters on a parser.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::InvalidCircuit`] when a letter is already taken.
+pub fn register_all(parser: &mut Parser) -> Result<()> {
+    parser.register('M', Box::new(MosfetBuilder))?;
+    parser.register('N', Box::new(NemRelayBuilder))?;
+    parser.register('Z', Box::new(RramBuilder))?;
+    parser.register('F', Box::new(FefetBuilder))?;
+    Ok(())
+}
+
+/// A parser pre-loaded with all device letters.
+///
+/// ```
+/// # fn main() -> Result<(), tcam_spice::SpiceError> {
+/// let parser = tcam_devices::builders::full_parser()?;
+/// let ckt = parser.parse("N1 d s g 0 on\nR1 d 0 1k\nR2 s 0 1k\nV1 g 0 DC 0.3\n")?;
+/// assert_eq!(ckt.devices().len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Propagates registration failures (cannot happen on a fresh parser).
+pub fn full_parser() -> Result<Parser> {
+    let mut p = Parser::new();
+    register_all(&mut p)?;
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcam_spice::analysis::operating_point;
+    use tcam_spice::options::SimOptions;
+
+    #[test]
+    fn mosfet_card_with_width() {
+        let p = full_parser().unwrap();
+        let ckt = p
+            .parse("M1 d g 0 0 nmos w=2\nV1 d 0 DC 1\nV2 g 0 DC 1\n")
+            .unwrap();
+        let m = ckt.device_as::<Mosfet>("M1").unwrap();
+        assert!((m.params().w - 180e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmos_card() {
+        let p = full_parser().unwrap();
+        let ckt = p
+            .parse("M1 d g s b pmos\nV1 d 0 DC 0\nV2 g 0 DC 0\nR1 s b 1k\nR2 b 0 1k\n")
+            .unwrap();
+        let m = ckt.device_as::<Mosfet>("M1").unwrap();
+        assert_eq!(m.params().polarity, crate::mosfet::Polarity::Pmos);
+    }
+
+    #[test]
+    fn nem_card_solves() {
+        let p = full_parser().unwrap();
+        let mut ckt = p
+            .parse(
+                "N1 d s g 0 on\n\
+                 V1 vdd 0 DC 1\n\
+                 Vg g 0 DC 0.3\n\
+                 R1 vdd d 10k\n\
+                 R2 s 0 10k\n",
+            )
+            .unwrap();
+        let op = operating_point(&mut ckt, &SimOptions::default()).unwrap();
+        let v_s = op.voltage(&ckt, "s").unwrap();
+        assert!(v_s > 0.4, "contacted relay must conduct, v(s) = {v_s}");
+    }
+
+    #[test]
+    fn rram_card_states() {
+        let p = full_parser().unwrap();
+        let ckt = p
+            .parse("Z1 a 0 set\nZ2 a 0 reset\nZ3 a 0 s=0.5\nV1 a 0 DC 0\n")
+            .unwrap();
+        assert_eq!(ckt.device_as::<Rram>("Z1").unwrap().state(), 1.0);
+        assert_eq!(ckt.device_as::<Rram>("Z2").unwrap().state(), 0.0);
+        assert_eq!(ckt.device_as::<Rram>("Z3").unwrap().state(), 0.5);
+    }
+
+    #[test]
+    fn fefet_card_states() {
+        let p = full_parser().unwrap();
+        let ckt = p
+            .parse("F1 d g 0 0 one\nV1 d 0 DC 0\nV2 g 0 DC 0\n")
+            .unwrap();
+        assert_eq!(ckt.device_as::<Fefet>("F1").unwrap().polarization(), 1.0);
+    }
+
+    #[test]
+    fn bad_args_error_with_line() {
+        let p = full_parser().unwrap();
+        let err = p.parse("M1 d g s b bipolar\n").unwrap_err();
+        assert!(matches!(err, SpiceError::Parse { line: 1, .. }));
+        let err = p.parse("V1 a 0 DC 1\nN1 d s g 0 maybe\n").unwrap_err();
+        assert!(matches!(err, SpiceError::Parse { line: 2, .. }));
+    }
+}

@@ -1,0 +1,55 @@
+//! Compact device models for the `nem-tcam` simulator.
+//!
+//! Every model implements [`tcam_spice::device::Device`] and can therefore
+//! be mixed freely with the built-in R/C/L/source elements:
+//!
+//! * [`mosfet`] — an EKV-style MOSFET calibrated to a 45 nm low-power
+//!   process (smooth from subthreshold leakage to strong inversion).
+//! * [`nem`] — the 4-terminal nanoelectromechanical relay: a calibrated
+//!   spring–mass–damper beam with electrostatic pull-in/pull-out
+//!   hysteresis, contact adhesion, and state-dependent gate capacitance.
+//! * [`rram`] — a bipolar filamentary RRAM with threshold switching.
+//! * [`fefet`] — a Preisach-envelope ferroelectric FET.
+//! * [`builders`] — netlist-parser hooks (`M`, `N`, `Z`, `F` letters).
+//! * [`companion`] — the embedded linear-capacitor companion shared by the
+//!   composite models.
+//!
+//! # Example — trace the relay's hysteresis (paper Fig. 3b)
+//!
+//! ```
+//! use tcam_devices::nem::NemRelay;
+//! use tcam_devices::params::NemTargets;
+//! use tcam_spice::prelude::*;
+//!
+//! # fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
+//! let mut ckt = Circuit::new();
+//! let (d, s, g) = (ckt.node("d"), ckt.node("s"), ckt.node("g"));
+//! let gnd = ckt.gnd();
+//! ckt.add(NemRelay::new("n1", d, s, g, gnd, &NemTargets::paper())?)?;
+//! ckt.add(VoltageSource::dc("vg", g, gnd, 0.0))?;
+//! ckt.add(VoltageSource::dc("vd", d, gnd, 0.05))?;
+//! ckt.add(Resistor::new("rs", s, gnd, 1e3)?)?;
+//! let sweep = DcSweepSpec::triangle("vg", 0.0, 1.0, 201);
+//! let wave = dc_sweep(&mut ckt, &sweep, &SimOptions::default())?;
+//! let contact = wave.trace("n1.contact")?;
+//! assert!(contact.iter().any(|&c| c > 0.5)); // pulls in on the way up
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod builders;
+pub mod companion;
+pub mod fefet;
+pub mod mosfet;
+pub mod nem;
+pub mod params;
+pub mod rram;
+
+pub use fefet::Fefet;
+pub use mosfet::{MosParams, Mosfet, Polarity};
+pub use nem::NemRelay;
+pub use params::{FefetParams, NemTargets, RramParams};
+pub use rram::Rram;

@@ -1,0 +1,218 @@
+//! Calibration of the lumped beam model against electrical targets.
+//!
+//! The paper (and the SPICE model it cites) characterizes the relay by six
+//! observables (Table I): V_PI, V_PO, C_on, C_off, R_on, τ_mech. This module
+//! solves the inverse problem: pick `(g0, g_contact, A, C_fixed, k, m, b,
+//! F_adh)` so that a simulated beam reproduces those observables.
+//!
+//! Closed-form steps (with design choices `g0 = 20 nm`,
+//! `g_contact = 0.6·g0` — past the g0/3 instability, giving snap-through —
+//! and quality factor `Q = 2`):
+//!
+//! * C_off = C_fixed + ε0·A/g0 and C_on = C_fixed + ε0·A/(g0 − g_c)
+//!   → two equations fixing A and C_fixed.
+//! * V_PI = √(8·k·g0³/(27·ε0·A)) → k.
+//! * V_PO from the contact force balance → F_adh.
+//! * τ_mech: the effective mass has no closed form (the pull-in trajectory
+//!   is nonlinear), so `m` is found by Brent root-finding on the *simulated*
+//!   time-to-contact at 1 V.
+
+use crate::nem::mechanics::{time_to_contact, BeamParams};
+use crate::params::{NemTargets, EPSILON_0};
+use tcam_numeric::roots::{brent, RootOptions};
+
+/// Error from an infeasible calibration target set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrateNemError(pub String);
+
+impl std::fmt::Display for CalibrateNemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NEM calibration failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for CalibrateNemError {}
+
+/// Rest gap design choice, metres.
+pub const G0: f64 = 20e-9;
+/// Contact-travel fraction of the rest gap (> 1/3 for snap-through).
+pub const CONTACT_FRACTION: f64 = 0.6;
+/// Mechanical quality factor design choice.
+pub const Q_FACTOR: f64 = 2.0;
+/// Drive voltage at which τ_mech is specified.
+pub const TAU_DRIVE: f64 = 1.0;
+
+/// Solves beam parameters reproducing `targets`.
+///
+/// # Errors
+///
+/// Returns [`CalibrateNemError`] when the target set is physically
+/// inconsistent (e.g. `C_on ≤ C_off`, `V_PO ≥ V_PI`, or an unreachable
+/// switching time).
+pub fn calibrate(targets: &NemTargets) -> Result<BeamParams, CalibrateNemError> {
+    if targets.c_on <= targets.c_off {
+        return Err(CalibrateNemError(format!(
+            "C_on ({:.3e}) must exceed C_off ({:.3e})",
+            targets.c_on, targets.c_off
+        )));
+    }
+    if targets.v_po >= targets.v_pi || targets.v_po < 0.0 {
+        return Err(CalibrateNemError(format!(
+            "need 0 ≤ V_PO < V_PI, got V_PO = {}, V_PI = {}",
+            targets.v_po, targets.v_pi
+        )));
+    }
+    if targets.tau_mech <= 0.0 || targets.v_pi >= TAU_DRIVE {
+        return Err(CalibrateNemError(format!(
+            "τ_mech must be positive and V_PI below the {TAU_DRIVE} V drive"
+        )));
+    }
+
+    let g0 = G0;
+    let gc = CONTACT_FRACTION * g0;
+
+    // Capacitance geometry.
+    let inv_off = 1.0 / g0;
+    let inv_on = 1.0 / (g0 - gc);
+    let area = (targets.c_on - targets.c_off) / (EPSILON_0 * (inv_on - inv_off));
+    let c_fixed = targets.c_off - EPSILON_0 * area * inv_off;
+    if c_fixed < 0.0 {
+        return Err(CalibrateNemError(format!(
+            "geometry yields negative fixed capacitance ({c_fixed:.3e} F)"
+        )));
+    }
+
+    // Spring constant from V_PI.
+    let k = targets.v_pi * targets.v_pi * 27.0 * EPSILON_0 * area / (8.0 * g0.powi(3));
+
+    // Adhesion from V_PO.
+    let gap_on = g0 - gc;
+    let f_e_po = EPSILON_0 * area * targets.v_po * targets.v_po / (2.0 * gap_on * gap_on);
+    let f_adhesion = k * gc - f_e_po;
+    if f_adhesion < 0.0 {
+        return Err(CalibrateNemError(format!(
+            "V_PO = {} is above the zero-adhesion release voltage",
+            targets.v_po
+        )));
+    }
+
+    // Mass from τ_mech by root finding on the simulated pull-in time.
+    // time_to_contact grows monotonically with mass; search log-space.
+    let t_max = 100.0 * targets.tau_mech;
+    let make = |log_m: f64| -> BeamParams {
+        let mass = log_m.exp();
+        let omega0 = (k / mass).sqrt();
+        BeamParams {
+            g0,
+            g_contact: gc,
+            area,
+            c_fixed,
+            k,
+            mass,
+            damping: omega0 * mass / Q_FACTOR,
+            f_adhesion,
+        }
+    };
+    let objective = |log_m: f64| -> f64 {
+        match time_to_contact(&make(log_m), TAU_DRIVE, t_max) {
+            Some(t) => t - targets.tau_mech,
+            None => t_max, // far too heavy
+        }
+    };
+    // Bracket: 1e-24 kg (fast) .. 1e-16 kg (slow).
+    let (lo, hi) = ((1e-24_f64).ln(), (1e-16_f64).ln());
+    if objective(lo) > 0.0 {
+        return Err(CalibrateNemError(format!(
+            "target τ_mech = {:.3e}s is faster than the light-mass limit",
+            targets.tau_mech
+        )));
+    }
+    let log_m = brent(
+        objective,
+        lo,
+        hi,
+        RootOptions {
+            x_tol: 1e-6,
+            f_tol: targets.tau_mech * 1e-4,
+            max_iter: 200,
+        },
+    )
+    .map_err(|e| CalibrateNemError(format!("mass search failed: {e}")))?;
+
+    Ok(make(log_m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nem::mechanics::time_to_contact;
+
+    #[test]
+    fn paper_targets_reproduced() {
+        let t = NemTargets::paper();
+        let p = calibrate(&t).unwrap();
+
+        // Capacitances exact by construction.
+        assert!((p.c_gb(0.0) - t.c_off).abs() < 1e-21);
+        assert!((p.c_gb(p.g_contact) - t.c_on).abs() < 1e-21);
+        // Pull-in / pull-out voltages.
+        assert!(
+            (p.v_pull_in() - t.v_pi).abs() < 1e-3,
+            "V_PI = {}",
+            p.v_pull_in()
+        );
+        assert!(
+            (p.v_pull_out() - t.v_po).abs() < 1e-3,
+            "V_PO = {}",
+            p.v_pull_out()
+        );
+        // Switching time within 2 % of target.
+        let tau = time_to_contact(&p, 1.0, 100e-9).unwrap();
+        assert!(
+            ((tau - t.tau_mech) / t.tau_mech).abs() < 0.02,
+            "tau = {tau:.3e}"
+        );
+    }
+
+    #[test]
+    fn snap_through_geometry() {
+        let p = calibrate(&NemTargets::paper()).unwrap();
+        assert!(
+            p.g_contact > p.g0 / 3.0,
+            "contact must lie past instability"
+        );
+        assert!(p.f_adhesion > 0.0);
+        assert!(p.c_fixed > 0.0);
+    }
+
+    #[test]
+    fn infeasible_targets_rejected() {
+        let mut t = NemTargets::paper();
+        t.c_on = t.c_off; // degenerate
+        assert!(calibrate(&t).is_err());
+
+        let mut t = NemTargets::paper();
+        t.v_po = t.v_pi + 0.1;
+        assert!(calibrate(&t).is_err());
+
+        let mut t = NemTargets::paper();
+        t.v_pi = 1.5; // above the 1 V τ-drive
+        assert!(calibrate(&t).is_err());
+    }
+
+    #[test]
+    fn calibration_is_deterministic() {
+        let a = calibrate(&NemTargets::paper()).unwrap();
+        let b = calibrate(&NemTargets::paper()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn faster_target_gives_lighter_beam() {
+        let slow = calibrate(&NemTargets::paper()).unwrap();
+        let mut t = NemTargets::paper();
+        t.tau_mech = 1e-9;
+        let fast = calibrate(&t).unwrap();
+        assert!(fast.mass < slow.mass);
+    }
+}

@@ -1,0 +1,141 @@
+//! Shared physical constants and the paper's published device parameters.
+
+/// Vacuum permittivity, F/m.
+pub const EPSILON_0: f64 = 8.854_187_812_8e-12;
+
+/// Thermal voltage kT/q at 300 K, volts.
+pub const VT_300K: f64 = 0.025_852;
+
+/// Parameters of the NEM relay from Table I of the paper.
+///
+/// These are the *observable* targets; the mechanical lumped model in
+/// [`crate::nem`] is calibrated so that a simulated device reproduces them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NemTargets {
+    /// Pull-in voltage, volts (paper: 0.53 V).
+    pub v_pi: f64,
+    /// Pull-out voltage, volts (paper: 0.13 V).
+    pub v_po: f64,
+    /// Gate–body capacitance in the ON (contacted) state, farads (20 aF).
+    pub c_on: f64,
+    /// Gate–body capacitance in the OFF state, farads (15 aF).
+    pub c_off: f64,
+    /// Drain–source contact resistance, ohms (1 kΩ).
+    pub r_on: f64,
+    /// Mechanical switching latency at 1 V drive, seconds (2 ns).
+    pub tau_mech: f64,
+}
+
+impl Default for NemTargets {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl NemTargets {
+    /// The published Table I values.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            v_pi: 0.53,
+            v_po: 0.13,
+            c_on: 20e-18,
+            c_off: 15e-18,
+            r_on: 1e3,
+            tau_mech: 2e-9,
+        }
+    }
+}
+
+/// RRAM parameters from the paper's benchmarking settings (§IV-A, after
+/// \[8\]\[20\]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RramParams {
+    /// Low-resistance (ON) state, ohms (20 kΩ).
+    pub r_on: f64,
+    /// High-resistance (OFF) state, ohms (2 MΩ).
+    pub r_off: f64,
+    /// SET threshold voltage, volts (1.8 V).
+    pub v_set: f64,
+    /// RESET threshold voltage magnitude, volts (1.2 V).
+    pub v_reset: f64,
+    /// Nominal full-switching time at threshold overdrive, seconds (10 ns).
+    pub t_write: f64,
+}
+
+impl Default for RramParams {
+    fn default() -> Self {
+        Self {
+            r_on: 20e3,
+            r_off: 2e6,
+            v_set: 1.8,
+            v_reset: 1.2,
+            t_write: 10e-9,
+        }
+    }
+}
+
+/// FeFET parameters for the Preisach-style model (§IV-A, after \[11\]\[2\]\[8\]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FefetParams {
+    /// Mean coercive voltage of the hysteron ensemble, volts.
+    pub v_coercive: f64,
+    /// Spread (sigma) of coercive voltages across the ensemble, volts.
+    pub v_sigma: f64,
+    /// Polarization switching time constant at full overdrive, seconds
+    /// (paper: ±4 V / 10 ns writes).
+    pub tau_switch: f64,
+    /// Threshold-voltage shift between fully-polarized states, volts
+    /// (the memory window; ~1.2 V for typical HfO₂ FeFETs).
+    pub vth_window: f64,
+    /// Remanent polarization charge referred to the gate, coulombs
+    /// (Q = 2·Pr·A_fe; sets the polarization-switching energy).
+    pub q_switch: f64,
+}
+
+impl Default for FefetParams {
+    fn default() -> Self {
+        Self {
+            v_coercive: 2.4,
+            v_sigma: 0.35,
+            tau_switch: 2e-9,
+            vth_window: 1.2,
+            q_switch: 8e-16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values_match_table1() {
+        let t = NemTargets::paper();
+        assert_eq!(t.v_pi, 0.53);
+        assert_eq!(t.v_po, 0.13);
+        assert_eq!(t.c_on, 20e-18);
+        assert_eq!(t.c_off, 15e-18);
+        assert_eq!(t.r_on, 1e3);
+        assert_eq!(t.tau_mech, 2e-9);
+        assert_eq!(NemTargets::default(), t);
+    }
+
+    #[test]
+    fn rram_defaults_match_section_iv() {
+        let r = RramParams::default();
+        assert_eq!(r.r_on, 20e3);
+        assert_eq!(r.r_off, 2e6);
+        assert_eq!(r.v_set, 1.8);
+        assert_eq!(r.v_reset, 1.2);
+        assert_eq!(r.t_write, 10e-9);
+    }
+
+    #[test]
+    fn hysteresis_window_is_open() {
+        let t = NemTargets::paper();
+        assert!(t.v_po < t.v_pi);
+        let f = FefetParams::default();
+        assert!(f.vth_window > 0.0);
+    }
+}

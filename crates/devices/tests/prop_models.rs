@@ -1,0 +1,103 @@
+//! Property-based tests on the compact device models' physical invariants.
+
+use proptest::prelude::*;
+use tcam_devices::mosfet::{MosParams, Mosfet};
+use tcam_devices::nem::calibrate;
+use tcam_devices::params::{NemTargets, RramParams};
+use tcam_devices::rram::Rram;
+use tcam_spice::node::NodeId;
+
+fn nmos() -> Mosfet {
+    Mosfet::new(
+        "m",
+        NodeId::GROUND,
+        NodeId::GROUND,
+        NodeId::GROUND,
+        NodeId::GROUND,
+        MosParams::nmos_45lp(),
+    )
+}
+
+proptest! {
+    /// I_D is monotone non-decreasing in V_GS at fixed V_DS.
+    #[test]
+    fn mosfet_monotone_in_vgs(vd in 0.05f64..1.2, vg in 0.0f64..1.2, dv in 0.001f64..0.2) {
+        let m = nmos();
+        let lo = m.ids(vg, vd, 0.0, 0.0);
+        let hi = m.ids(vg + dv, vd, 0.0, 0.0);
+        prop_assert!(hi >= lo - 1e-18);
+    }
+
+    /// Exchanging drain and source negates the current exactly.
+    #[test]
+    fn mosfet_ds_antisymmetry(vg in 0.0f64..1.2, va in 0.0f64..1.2, vb in 0.0f64..1.2) {
+        let m = nmos();
+        let fwd = m.ids(vg, va, vb, 0.0);
+        let rev = m.ids(vg, vb, va, 0.0);
+        prop_assert!((fwd + rev).abs() <= 1e-9 * fwd.abs().max(rev.abs()) + 1e-18);
+    }
+
+    /// Current at zero V_DS is zero (no spontaneous power).
+    #[test]
+    fn mosfet_zero_vds_zero_current(vg in 0.0f64..1.2, vs in 0.0f64..0.8) {
+        let m = nmos();
+        let id = m.ids(vg, vs, vs, 0.0);
+        prop_assert!(id.abs() < 1e-15);
+    }
+
+    /// RRAM resistance is bounded by [R_on, R_off] and monotone in state.
+    #[test]
+    fn rram_resistance_bounds(s1 in 0.0f64..1.0, s2 in 0.0f64..1.0) {
+        let p = RramParams::default();
+        let mk = |s: f64| {
+            Rram::new("z", NodeId::GROUND, NodeId::GROUND, p).with_state(s)
+        };
+        let (lo_s, hi_s) = (s1.min(s2), s1.max(s2));
+        let r_lo_state = mk(lo_s).resistance();
+        let r_hi_state = mk(hi_s).resistance();
+        prop_assert!(r_hi_state <= r_lo_state + 1e-6); // more filament = less R
+        prop_assert!(r_hi_state >= p.r_on - 1e-6);
+        prop_assert!(r_lo_state <= p.r_off + 1e-6);
+    }
+
+    /// Relay calibration succeeds across a range of physically consistent
+    /// targets and reproduces V_PI/V_PO closed-form.
+    #[test]
+    fn relay_calibration_tracks_targets(
+        v_pi in 0.3f64..0.8,
+        v_po_frac in 0.1f64..0.8,
+        tau_ns in 1.0f64..6.0,
+    ) {
+        let targets = NemTargets {
+            v_pi,
+            v_po: v_po_frac * v_pi * 0.9,
+            c_on: 20e-18,
+            c_off: 15e-18,
+            r_on: 1e3,
+            tau_mech: tau_ns * 1e-9,
+        };
+        prop_assume!(targets.v_pi < 0.95); // must switch below the 1 V drive
+        let beam = calibrate(&targets).expect("feasible targets");
+        prop_assert!((beam.v_pull_in() - targets.v_pi).abs() < 2e-3);
+        prop_assert!((beam.v_pull_out() - targets.v_po).abs() < 2e-3);
+        prop_assert!((beam.c_gb(0.0) - targets.c_off).abs() < 1e-20);
+        prop_assert!((beam.c_gb(beam.g_contact) - targets.c_on).abs() < 1e-20);
+    }
+
+    /// The relay's quasi-static equilibrium exists below V_PI, not above,
+    /// and the capacitance stays inside [C_off, C_on].
+    #[test]
+    fn relay_equilibrium_and_capacitance(v in 0.0f64..1.0) {
+        let beam = calibrate(&NemTargets::paper()).expect("paper targets");
+        match beam.equilibrium(v) {
+            Some(x) => {
+                prop_assert!(v < beam.v_pull_in() + 1e-6);
+                prop_assert!((0.0..=beam.g0 / 3.0 + 1e-12).contains(&x));
+                let c = beam.c_gb(x);
+                prop_assert!(c >= beam.c_gb(0.0) - 1e-21);
+                prop_assert!(c <= beam.c_gb(beam.g_contact) + 1e-21);
+            }
+            None => prop_assert!(v >= beam.v_pull_in() - 1e-6),
+        }
+    }
+}

@@ -1,0 +1,448 @@
+//! Dense row-major matrices with LU factorization.
+//!
+//! The circuit engine uses [`DenseMatrix`] for systems below the sparse
+//! crossover (a few hundred unknowns — which covers single-row TCAM
+//! experiments) and for reference solutions in the sparse-solver tests.
+
+use crate::{NumericError, Result};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major `n_rows × n_cols` matrix of `f64`.
+///
+/// ```
+/// use tcam_numeric::dense::DenseMatrix;
+/// # fn main() -> Result<(), tcam_numeric::NumericError> {
+/// let mut m = DenseMatrix::zeros(2, 2);
+/// m[(0, 0)] = 2.0;
+/// m[(1, 1)] = 4.0;
+/// let x = m.solve(&[2.0, 8.0])?;
+/// assert_eq!(x, vec![1.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates an `n_rows × n_cols` matrix of zeros.
+    #[must_use]
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        Self {
+            n_rows,
+            n_cols,
+            data: vec![0.0; n_rows * n_cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if rows have unequal
+    /// lengths, and [`NumericError::InvalidInput`] for an empty row set.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(NumericError::InvalidInput("no rows provided".into()));
+        }
+        let n_cols = rows[0].len();
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != n_cols {
+                return Err(NumericError::DimensionMismatch {
+                    expected: format!("row of len {n_cols}"),
+                    found: format!("row {i} of len {}", r.len()),
+                });
+            }
+        }
+        let mut data = Vec::with_capacity(rows.len() * n_cols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Ok(Self {
+            n_rows: rows.len(),
+            n_cols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Returns `true` when the matrix is square.
+    #[must_use]
+    pub fn is_square(&self) -> bool {
+        self.n_rows == self.n_cols
+    }
+
+    /// Sets every entry to zero, retaining the allocation.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Adds `value` to entry `(row, col)` — the MNA "stamp" primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        self[(row, col)] += value;
+    }
+
+    /// Matrix–vector product `A x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `x.len() != n_cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.n_cols {
+            return Err(NumericError::DimensionMismatch {
+                expected: format!("len {}", self.n_cols),
+                found: format!("len {}", x.len()),
+            });
+        }
+        let mut y = vec![0.0; self.n_rows];
+        for (i, yi) in y.iter_mut().enumerate() {
+            let row = &self.data[i * self.n_cols..(i + 1) * self.n_cols];
+            *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        Ok(y)
+    }
+
+    /// LU-factorizes the matrix with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] for non-square input and
+    /// [`NumericError::SingularMatrix`] when a pivot underflows.
+    pub fn lu(&self) -> Result<DenseLu> {
+        if !self.is_square() {
+            return Err(NumericError::DimensionMismatch {
+                expected: "square matrix".into(),
+                found: format!("{}x{}", self.n_rows, self.n_cols),
+            });
+        }
+        let n = self.n_rows;
+        let mut lu = self.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivot: largest magnitude in column k at or below row k.
+            let mut p = k;
+            let mut pmax = lu[k * n + k].abs();
+            for i in (k + 1)..n {
+                let v = lu[i * n + k].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax < f64::MIN_POSITIVE || !pmax.is_finite() {
+                return Err(NumericError::SingularMatrix { column: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    lu.swap(k * n + j, p * n + j);
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[k * n + k];
+            for i in (k + 1)..n {
+                let factor = lu[i * n + k] / pivot;
+                lu[i * n + k] = factor;
+                if factor != 0.0 {
+                    for j in (k + 1)..n {
+                        lu[i * n + j] -= factor * lu[k * n + j];
+                    }
+                }
+            }
+        }
+        Ok(DenseLu { n, lu, perm, sign })
+    }
+
+    /// Solves `A x = b` via a fresh LU factorization.
+    ///
+    /// Callers solving the same matrix repeatedly should hold a [`DenseLu`]
+    /// and use [`DenseLu::solve`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorization errors and length mismatches.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        self.lu()?.solve(b)
+    }
+
+    /// Determinant via LU. Returns 0 when the matrix is numerically singular.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] for non-square input.
+    pub fn det(&self) -> Result<f64> {
+        if !self.is_square() {
+            return Err(NumericError::DimensionMismatch {
+                expected: "square matrix".into(),
+                found: format!("{}x{}", self.n_rows, self.n_cols),
+            });
+        }
+        match self.lu() {
+            Ok(f) => Ok(f.det()),
+            Err(NumericError::SingularMatrix { .. }) => Ok(0.0),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Infinity norm (maximum absolute row sum).
+    #[must_use]
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.n_rows)
+            .map(|i| {
+                self.data[i * self.n_cols..(i + 1) * self.n_cols]
+                    .iter()
+                    .map(|v| v.abs())
+                    .sum::<f64>()
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.n_rows && c < self.n_cols, "index out of bounds");
+        &self.data[r * self.n_cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for DenseMatrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.n_rows && c < self.n_cols, "index out of bounds");
+        &mut self.data[r * self.n_cols + c]
+    }
+}
+
+impl fmt::Display for DenseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.n_rows {
+            for j in 0..self.n_cols {
+                write!(f, "{:>12.4e} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of [`DenseMatrix::lu`]: a packed LU factorization with its
+/// row permutation, reusable across multiple right-hand sides.
+#[derive(Debug, Clone)]
+pub struct DenseLu {
+    n: usize,
+    lu: Vec<f64>,
+    perm: Vec<usize>,
+    sign: f64,
+}
+
+impl DenseLu {
+    /// Solves `A x = b` using the stored factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `b.len() != n`.
+    #[allow(clippy::needless_range_loop)] // triangular solves index by pivot order
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != self.n {
+            return Err(NumericError::DimensionMismatch {
+                expected: format!("len {}", self.n),
+                found: format!("len {}", b.len()),
+            });
+        }
+        let n = self.n;
+        // Apply permutation.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution (L has unit diagonal).
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = s;
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = s / self.lu[i * n + i];
+        }
+        Ok(x)
+    }
+
+    /// Determinant from the factorization.
+    #[must_use]
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.n {
+            d *= self.lu[i * self.n + i];
+        }
+        d
+    }
+
+    /// System dimension.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &DenseMatrix, x: &[f64], b: &[f64]) -> f64 {
+        let ax = a.mul_vec(x).unwrap();
+        ax.iter()
+            .zip(b)
+            .fold(0.0_f64, |m, (p, q)| m.max((p - q).abs()))
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let a = DenseMatrix::identity(4);
+        let b = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(a.solve(&b).unwrap(), b.to_vec());
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the (0,0) diagonal forces a row swap.
+        let a = DenseMatrix::from_rows(&[&[0.0, 2.0], &[3.0, 1.0]]).unwrap();
+        let x = a.solve(&[4.0, 5.0]).unwrap();
+        assert!(residual(&a, &x, &[4.0, 5.0]) < 1e-12);
+    }
+
+    #[test]
+    fn solve_3x3_known_solution() {
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]])
+            .unwrap();
+        let x = a.solve(&[8.0, -11.0, -3.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+        assert!((x[2] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(NumericError::SingularMatrix { .. })
+        ));
+        assert_eq!(a.det().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn det_of_triangular_is_diagonal_product() {
+        let a = DenseMatrix::from_rows(&[&[2.0, 5.0], &[0.0, 3.0]]).unwrap();
+        assert!((a.det().unwrap() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_sign_tracks_permutation() {
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        assert!((a.det().unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_reuse_multiple_rhs() {
+        let a = DenseMatrix::from_rows(&[&[4.0, 3.0], &[6.0, 3.0]]).unwrap();
+        let f = a.lu().unwrap();
+        for b in [[1.0, 0.0], [0.0, 1.0], [5.0, -2.0]] {
+            let x = f.solve(&b).unwrap();
+            assert!(residual(&a, &x, &b) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn from_rows_ragged_errors() {
+        let r0: &[f64] = &[1.0, 2.0];
+        let r1: &[f64] = &[3.0];
+        assert!(DenseMatrix::from_rows(&[r0, r1]).is_err());
+    }
+
+    #[test]
+    fn mul_vec_dimension_check() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(a.mul_vec(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn non_square_lu_errors() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(matches!(
+            a.lu(),
+            Err(NumericError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn norm_inf_max_row_sum() {
+        let a = DenseMatrix::from_rows(&[&[1.0, -2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(a.norm_inf(), 7.0);
+    }
+
+    #[test]
+    fn display_contains_entries() {
+        let a = DenseMatrix::identity(2);
+        let s = a.to_string();
+        assert!(s.contains("1.0000e0"));
+    }
+
+    #[test]
+    fn random_solve_roundtrip() {
+        // Deterministic LCG so the test is reproducible without rand.
+        let mut state = 0x2545F4914F6CDD1D_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        for n in [1usize, 2, 5, 17, 40] {
+            let mut a = DenseMatrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    a[(i, j)] = next();
+                }
+                a[(i, i)] += 2.0; // diagonal dominance => well-conditioned
+            }
+            let b: Vec<f64> = (0..n).map(|_| next()).collect();
+            let x = a.solve(&b).unwrap();
+            assert!(residual(&a, &x, &b) < 1e-9, "n={n}");
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Piecewise-linear interpolation.
+//!
+//! Used by PWL voltage sources in the circuit engine and by waveform
+//! post-processing (e.g. finding the instant a matchline crosses half-VDD).
+
+use crate::{NumericError, Result};
+
+/// A piecewise-linear function defined by `(x, y)` breakpoints with strictly
+/// increasing `x`. Evaluation clamps to the end values outside the domain,
+/// matching SPICE PWL-source semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseLinear {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl PiecewiseLinear {
+    /// Builds a PWL from breakpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidInput`] when fewer than one point is
+    /// given, lengths differ, any coordinate is non-finite, or `xs` is not
+    /// strictly increasing.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self> {
+        if xs.is_empty() {
+            return Err(NumericError::InvalidInput("PWL needs ≥ 1 point".into()));
+        }
+        if xs.len() != ys.len() {
+            return Err(NumericError::DimensionMismatch {
+                expected: format!("len {}", xs.len()),
+                found: format!("len {}", ys.len()),
+            });
+        }
+        if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {
+            return Err(NumericError::InvalidInput(
+                "PWL coordinates must be finite".into(),
+            ));
+        }
+        if xs.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(NumericError::InvalidInput(
+                "PWL x-coordinates must be strictly increasing".into(),
+            ));
+        }
+        Ok(Self { xs, ys })
+    }
+
+    /// Evaluates the function at `x`, clamping outside the domain.
+    ///
+    /// ```
+    /// use tcam_numeric::interp::PiecewiseLinear;
+    /// # fn main() -> Result<(), tcam_numeric::NumericError> {
+    /// let p = PiecewiseLinear::new(vec![0.0, 1.0], vec![0.0, 2.0])?;
+    /// assert_eq!(p.eval(0.5), 1.0);
+    /// assert_eq!(p.eval(-1.0), 0.0); // clamped
+    /// assert_eq!(p.eval(9.0), 2.0);  // clamped
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1];
+        }
+        // Binary search for the segment.
+        let i = match self.xs.partition_point(|&v| v <= x) {
+            0 => 0,
+            p => p - 1,
+        };
+        let (x0, x1) = (self.xs[i], self.xs[i + 1]);
+        let (y0, y1) = (self.ys[i], self.ys[i + 1]);
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// Breakpoint x-coordinates.
+    #[must_use]
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// Breakpoint y-coordinates.
+    #[must_use]
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Largest breakpoint x (useful as "source settles after this time").
+    #[must_use]
+    pub fn x_max(&self) -> f64 {
+        *self.xs.last().expect("PWL is non-empty by construction")
+    }
+}
+
+/// Finds the first `x` at which a sampled trace crosses `level`, using linear
+/// interpolation between samples. `rising` selects the crossing direction.
+/// Returns `None` when no such crossing exists.
+///
+/// The trace is given as parallel slices; unequal lengths are treated as a
+/// caller bug and panic.
+///
+/// # Panics
+///
+/// Panics if `xs.len() != ys.len()`.
+#[must_use]
+pub fn first_crossing(xs: &[f64], ys: &[f64], level: f64, rising: bool) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "trace slices must be parallel");
+    for w in 0..xs.len().saturating_sub(1) {
+        let (y0, y1) = (ys[w], ys[w + 1]);
+        let crossed = if rising {
+            y0 < level && y1 >= level
+        } else {
+            y0 > level && y1 <= level
+        };
+        if crossed {
+            if (y1 - y0).abs() < f64::MIN_POSITIVE {
+                return Some(xs[w]);
+            }
+            let f = (level - y0) / (y1 - y0);
+            return Some(xs[w] + f * (xs[w + 1] - xs[w]));
+        }
+        // Exact hit at the first sample.
+        if w == 0 && y0 == level {
+            return Some(xs[0]);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_interpolates_and_clamps() {
+        let p = PiecewiseLinear::new(vec![0.0, 1.0, 3.0], vec![0.0, 10.0, 10.0]).unwrap();
+        assert_eq!(p.eval(0.5), 5.0);
+        assert_eq!(p.eval(2.0), 10.0);
+        assert_eq!(p.eval(-5.0), 0.0);
+        assert_eq!(p.eval(100.0), 10.0);
+        assert_eq!(p.x_max(), 3.0);
+    }
+
+    #[test]
+    fn eval_hits_breakpoints_exactly() {
+        let p = PiecewiseLinear::new(vec![0.0, 1.0, 2.0], vec![1.0, -1.0, 4.0]).unwrap();
+        assert_eq!(p.eval(0.0), 1.0);
+        assert_eq!(p.eval(1.0), -1.0);
+        assert_eq!(p.eval(2.0), 4.0);
+    }
+
+    #[test]
+    fn single_point_is_constant() {
+        let p = PiecewiseLinear::new(vec![1.0], vec![7.0]).unwrap();
+        assert_eq!(p.eval(0.0), 7.0);
+        assert_eq!(p.eval(2.0), 7.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_input() {
+        assert!(PiecewiseLinear::new(vec![], vec![]).is_err());
+        assert!(PiecewiseLinear::new(vec![0.0, 0.0], vec![1.0, 2.0]).is_err());
+        assert!(PiecewiseLinear::new(vec![1.0, 0.0], vec![1.0, 2.0]).is_err());
+        assert!(PiecewiseLinear::new(vec![0.0], vec![f64::NAN]).is_err());
+        assert!(PiecewiseLinear::new(vec![0.0, 1.0], vec![0.0]).is_err());
+    }
+
+    #[test]
+    fn falling_crossing_found() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 0.8, 0.4, 0.1];
+        let t = first_crossing(&xs, &ys, 0.5, false).unwrap();
+        assert!((t - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rising_crossing_found() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [0.0, 0.0, 1.0];
+        let t = first_crossing(&xs, &ys, 0.5, true).unwrap();
+        assert!((t - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_crossing_returns_none() {
+        let xs = [0.0, 1.0];
+        let ys = [0.0, 0.2];
+        assert_eq!(first_crossing(&xs, &ys, 0.5, true), None);
+        assert_eq!(first_crossing(&xs, &ys, -0.5, false), None);
+    }
+}

@@ -1,0 +1,323 @@
+//! Explicit ODE integrators for standalone device dynamics.
+//!
+//! The NEM relay's mechanical equation of motion (`m ẍ + b ẋ + k x = F(x,t)`)
+//! is integrated inside the circuit engine with an operator-split scheme, but
+//! device calibration and the device-level unit tests integrate it standalone
+//! with the fixed-step [`rk4`] and the adaptive [`rk45`] (Cash–Karp) methods
+//! provided here.
+
+use crate::{NumericError, Result};
+
+/// Right-hand side of `ẏ = f(t, y)`; writes the derivative into `dy`.
+pub trait OdeSystem {
+    /// Evaluates the derivative at time `t` for state `y` into `dy`.
+    fn eval(&mut self, t: f64, y: &[f64], dy: &mut [f64]);
+}
+
+impl<F> OdeSystem for F
+where
+    F: FnMut(f64, &[f64], &mut [f64]),
+{
+    fn eval(&mut self, t: f64, y: &[f64], dy: &mut [f64]) {
+        self(t, y, dy)
+    }
+}
+
+/// One classical RK4 step of size `h`, in place.
+pub fn rk4_step<S: OdeSystem>(sys: &mut S, t: f64, y: &mut [f64], h: f64) {
+    let n = y.len();
+    let mut k1 = vec![0.0; n];
+    let mut k2 = vec![0.0; n];
+    let mut k3 = vec![0.0; n];
+    let mut k4 = vec![0.0; n];
+    let mut tmp = vec![0.0; n];
+
+    sys.eval(t, y, &mut k1);
+    for i in 0..n {
+        tmp[i] = y[i] + 0.5 * h * k1[i];
+    }
+    sys.eval(t + 0.5 * h, &tmp, &mut k2);
+    for i in 0..n {
+        tmp[i] = y[i] + 0.5 * h * k2[i];
+    }
+    sys.eval(t + 0.5 * h, &tmp, &mut k3);
+    for i in 0..n {
+        tmp[i] = y[i] + h * k3[i];
+    }
+    sys.eval(t + h, &tmp, &mut k4);
+    for i in 0..n {
+        y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    }
+}
+
+/// Integrates from `t0` to `t1` with `steps` fixed RK4 steps, returning the
+/// final state.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidInput`] for zero steps or a reversed span.
+pub fn rk4<S: OdeSystem>(
+    sys: &mut S,
+    t0: f64,
+    t1: f64,
+    y0: &[f64],
+    steps: usize,
+) -> Result<Vec<f64>> {
+    if steps == 0 {
+        return Err(NumericError::InvalidInput("steps must be > 0".into()));
+    }
+    if t1 <= t0 {
+        return Err(NumericError::InvalidInput(format!(
+            "t1 ({t1}) must exceed t0 ({t0})"
+        )));
+    }
+    let h = (t1 - t0) / steps as f64;
+    let mut y = y0.to_vec();
+    let mut t = t0;
+    for _ in 0..steps {
+        rk4_step(sys, t, &mut y, h);
+        t += h;
+    }
+    Ok(y)
+}
+
+/// Options for the adaptive integrator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveOptions {
+    /// Relative error tolerance per step.
+    pub rel_tol: f64,
+    /// Absolute error tolerance per step.
+    pub abs_tol: f64,
+    /// Initial step size (guessed if ≤ 0).
+    pub h0: f64,
+    /// Smallest step permitted before giving up.
+    pub h_min: f64,
+    /// Step budget.
+    pub max_steps: usize,
+}
+
+impl Default for AdaptiveOptions {
+    fn default() -> Self {
+        Self {
+            rel_tol: 1e-8,
+            abs_tol: 1e-12,
+            h0: 0.0,
+            h_min: 1e-18,
+            max_steps: 1_000_000,
+        }
+    }
+}
+
+/// Cash–Karp RK45 coefficients.
+const A: [f64; 5] = [1.0 / 5.0, 3.0 / 10.0, 3.0 / 5.0, 1.0, 7.0 / 8.0];
+const B: [[f64; 5]; 5] = [
+    [1.0 / 5.0, 0.0, 0.0, 0.0, 0.0],
+    [3.0 / 40.0, 9.0 / 40.0, 0.0, 0.0, 0.0],
+    [3.0 / 10.0, -9.0 / 10.0, 6.0 / 5.0, 0.0, 0.0],
+    [-11.0 / 54.0, 5.0 / 2.0, -70.0 / 27.0, 35.0 / 27.0, 0.0],
+    [
+        1631.0 / 55296.0,
+        175.0 / 512.0,
+        575.0 / 13824.0,
+        44275.0 / 110592.0,
+        253.0 / 4096.0,
+    ],
+];
+const C5: [f64; 6] = [
+    37.0 / 378.0,
+    0.0,
+    250.0 / 621.0,
+    125.0 / 594.0,
+    0.0,
+    512.0 / 1771.0,
+];
+const C4: [f64; 6] = [
+    2825.0 / 27648.0,
+    0.0,
+    18575.0 / 48384.0,
+    13525.0 / 55296.0,
+    277.0 / 14336.0,
+    1.0 / 4.0,
+];
+
+/// Integrates `ẏ = f(t, y)` from `t0` to `t1` with adaptive Cash–Karp RK45,
+/// invoking `observer(t, y)` after every accepted step.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidInput`] for a reversed span and
+/// [`NumericError::NoConvergence`] when the step budget is exhausted or the
+/// step size underflows `h_min`.
+pub fn rk45<S: OdeSystem, O: FnMut(f64, &[f64])>(
+    sys: &mut S,
+    t0: f64,
+    t1: f64,
+    y0: &[f64],
+    opt: AdaptiveOptions,
+    mut observer: O,
+) -> Result<Vec<f64>> {
+    if t1 <= t0 {
+        return Err(NumericError::InvalidInput(format!(
+            "t1 ({t1}) must exceed t0 ({t0})"
+        )));
+    }
+    let n = y0.len();
+    let mut y = y0.to_vec();
+    let mut t = t0;
+    let mut h = if opt.h0 > 0.0 {
+        opt.h0
+    } else {
+        (t1 - t0) / 100.0
+    };
+    let mut k = vec![vec![0.0; n]; 6];
+    let mut tmp = vec![0.0; n];
+    observer(t, &y);
+
+    for _ in 0..opt.max_steps {
+        if t >= t1 {
+            return Ok(y);
+        }
+        h = h.min(t1 - t);
+        sys.eval(t, &y, &mut k[0]);
+        for s in 0..5 {
+            for i in 0..n {
+                let mut acc = y[i];
+                for (j, bj) in B[s].iter().enumerate().take(s + 1) {
+                    acc += h * bj * k[j][i];
+                }
+                tmp[i] = acc;
+            }
+            let (head, tail) = k.split_at_mut(s + 1);
+            let _ = head;
+            sys.eval(t + A[s] * h, &tmp, &mut tail[0]);
+        }
+        // 5th and 4th order solutions + error estimate.
+        let mut err = 0.0_f64;
+        for i in 0..n {
+            let mut y5 = y[i];
+            let mut y4 = y[i];
+            for s in 0..6 {
+                y5 += h * C5[s] * k[s][i];
+                y4 += h * C4[s] * k[s][i];
+            }
+            let sc = opt.abs_tol + opt.rel_tol * y[i].abs().max(y5.abs());
+            err = err.max(((y5 - y4) / sc).abs());
+            tmp[i] = y5;
+        }
+        if err <= 1.0 {
+            t += h;
+            y.copy_from_slice(&tmp);
+            observer(t, &y);
+            // Grow the step, bounded.
+            h *= (0.9 * err.max(1e-10).powf(-0.2)).min(5.0);
+        } else {
+            h *= (0.9 * err.powf(-0.25)).max(0.1);
+        }
+        if h < opt.h_min {
+            return Err(NumericError::NoConvergence {
+                iterations: opt.max_steps,
+                residual: h,
+            });
+        }
+    }
+    if t >= t1 {
+        Ok(y)
+    } else {
+        Err(NumericError::NoConvergence {
+            iterations: opt.max_steps,
+            residual: t1 - t,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rk4_exponential_decay() {
+        let mut f = |_t: f64, y: &[f64], dy: &mut [f64]| dy[0] = -y[0];
+        let y = rk4(&mut f, 0.0, 1.0, &[1.0], 100).unwrap();
+        assert!((y[0] - (-1.0_f64).exp()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rk4_harmonic_oscillator_conserves_energy() {
+        let mut f = |_t: f64, y: &[f64], dy: &mut [f64]| {
+            dy[0] = y[1];
+            dy[1] = -y[0];
+        };
+        let y = rk4(&mut f, 0.0, 2.0 * std::f64::consts::PI, &[1.0, 0.0], 1000).unwrap();
+        assert!((y[0] - 1.0).abs() < 1e-8);
+        assert!(y[1].abs() < 1e-8);
+    }
+
+    #[test]
+    fn rk45_matches_exact_solution() {
+        let mut f = |t: f64, _y: &[f64], dy: &mut [f64]| dy[0] = t.cos();
+        let y = rk45(
+            &mut f,
+            0.0,
+            3.0,
+            &[0.0],
+            AdaptiveOptions::default(),
+            |_, _| {},
+        )
+        .unwrap();
+        assert!((y[0] - 3.0_f64.sin()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn rk45_observer_sees_monotone_time() {
+        let mut f = |_t: f64, y: &[f64], dy: &mut [f64]| dy[0] = -10.0 * y[0];
+        let mut last = -1.0;
+        let mut count = 0usize;
+        rk45(
+            &mut f,
+            0.0,
+            1.0,
+            &[1.0],
+            AdaptiveOptions::default(),
+            |t, _| {
+                assert!(t >= last);
+                last = t;
+                count += 1;
+            },
+        )
+        .unwrap();
+        assert!(count > 2);
+        assert!((last - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rk45_stiff_rejection_shrinks_step() {
+        // Moderately stiff; adaptive control must still succeed.
+        let mut f = |_t: f64, y: &[f64], dy: &mut [f64]| dy[0] = -1e4 * (y[0] - 1.0);
+        let y = rk45(
+            &mut f,
+            0.0,
+            1e-2,
+            &[0.0],
+            AdaptiveOptions::default(),
+            |_, _| {},
+        )
+        .unwrap();
+        assert!((y[0] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn invalid_spans_rejected() {
+        let mut f = |_t: f64, _y: &[f64], dy: &mut [f64]| dy[0] = 0.0;
+        assert!(rk4(&mut f, 1.0, 0.0, &[0.0], 10).is_err());
+        assert!(rk4(&mut f, 0.0, 1.0, &[0.0], 0).is_err());
+        assert!(rk45(
+            &mut f,
+            1.0,
+            0.0,
+            &[0.0],
+            AdaptiveOptions::default(),
+            |_, _| {}
+        )
+        .is_err());
+    }
+}

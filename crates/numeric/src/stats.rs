@@ -1,0 +1,247 @@
+//! Summary statistics for Monte-Carlo device-variation studies and the
+//! architectural refresh-interference experiments.
+
+use crate::{NumericError, Result};
+
+/// Online mean/variance accumulator (Welford's algorithm): numerically
+/// stable, single pass, O(1) memory.
+///
+/// ```
+/// use tcam_numeric::stats::Running;
+/// let mut r = Running::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     r.push(x);
+/// }
+/// assert_eq!(r.mean(), 5.0);
+/// assert!((r.population_std_dev() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Running {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Sample count.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean; 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (divide by n); 0 when fewer than 1 sample.
+    #[must_use]
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample variance (divide by n−1); 0 when fewer than 2 samples.
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn population_std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Smallest sample seen; +∞ when empty.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample seen; −∞ when empty.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Running) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Percentile of a sample set by linear interpolation between order
+/// statistics (the "exclusive" R-7 definition used by numpy's default).
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidInput`] for an empty slice, a non-finite
+/// sample, or `q` outside `[0, 100]`.
+pub fn percentile(samples: &[f64], q: f64) -> Result<f64> {
+    if samples.is_empty() {
+        return Err(NumericError::InvalidInput("empty sample set".into()));
+    }
+    if !(0.0..=100.0).contains(&q) {
+        return Err(NumericError::InvalidInput(format!(
+            "percentile {q} outside [0, 100]"
+        )));
+    }
+    if samples.iter().any(|v| !v.is_finite()) {
+        return Err(NumericError::InvalidInput("samples must be finite".into()));
+    }
+    let mut s = samples.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    let h = (s.len() - 1) as f64 * q / 100.0;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    Ok(s[lo] + (s[hi] - s[lo]) * (h - lo as f64))
+}
+
+/// Geometric mean of strictly positive samples — the right average for the
+/// speedup/energy *ratios* the paper reports.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidInput`] for an empty slice or any
+/// non-positive sample.
+pub fn geometric_mean(samples: &[f64]) -> Result<f64> {
+    if samples.is_empty() {
+        return Err(NumericError::InvalidInput("empty sample set".into()));
+    }
+    if samples.iter().any(|&v| v <= 0.0 || !v.is_finite()) {
+        return Err(NumericError::InvalidInput(
+            "geometric mean needs positive finite samples".into(),
+        ));
+    }
+    let log_sum: f64 = samples.iter().map(|v| v.ln()).sum();
+    Ok((log_sum / samples.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_known_dataset() {
+        let mut r = Running::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            r.push(x);
+        }
+        assert_eq!(r.count(), 8);
+        assert_eq!(r.mean(), 5.0);
+        assert!((r.population_variance() - 4.0).abs() < 1e-12);
+        assert_eq!(r.min(), 2.0);
+        assert_eq!(r.max(), 9.0);
+    }
+
+    #[test]
+    fn running_merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Running::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = Running::new();
+        let mut b = Running::new();
+        for &x in &data[..37] {
+            a.push(x);
+        }
+        for &x in &data[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - whole.mean()).abs() < 1e-12);
+        assert!((a.sample_variance() - whole.sample_variance()).abs() < 1e-10);
+        assert_eq!(a.count(), whole.count());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Running::new();
+        a.push(1.0);
+        let before = a;
+        a.merge(&Running::new());
+        assert_eq!(a, before);
+        let mut e = Running::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&s, 0.0).unwrap(), 1.0);
+        assert_eq!(percentile(&s, 100.0).unwrap(), 4.0);
+        assert_eq!(percentile(&s, 50.0).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn percentile_validation() {
+        assert!(percentile(&[], 50.0).is_err());
+        assert!(percentile(&[1.0], -1.0).is_err());
+        assert!(percentile(&[1.0], 101.0).is_err());
+        assert!(percentile(&[f64::NAN], 50.0).is_err());
+    }
+
+    #[test]
+    fn geometric_mean_of_ratios() {
+        let g = geometric_mean(&[2.0, 8.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12);
+        assert!(geometric_mean(&[1.0, 0.0]).is_err());
+        assert!(geometric_mean(&[]).is_err());
+    }
+}

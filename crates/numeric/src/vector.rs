@@ -1,0 +1,140 @@
+//! Small dense-vector helpers shared by the solvers.
+//!
+//! These are free functions over `&[f64]` / `&mut [f64]` rather than a
+//! wrapper type: the circuit engine owns its state vectors as plain `Vec<f64>`
+//! so that waveform storage and external inspection stay trivial.
+
+use crate::{NumericError, Result};
+
+/// Dot product of two equal-length slices.
+///
+/// # Errors
+///
+/// Returns [`NumericError::DimensionMismatch`] when lengths differ.
+///
+/// ```
+/// # fn main() -> Result<(), tcam_numeric::NumericError> {
+/// let d = tcam_numeric::vector::dot(&[1.0, 2.0], &[3.0, 4.0])?;
+/// assert_eq!(d, 11.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn dot(a: &[f64], b: &[f64]) -> Result<f64> {
+    if a.len() != b.len() {
+        return Err(NumericError::DimensionMismatch {
+            expected: format!("len {}", a.len()),
+            found: format!("len {}", b.len()),
+        });
+    }
+    Ok(a.iter().zip(b).map(|(x, y)| x * y).sum())
+}
+
+/// `y += alpha * x`, the BLAS `axpy` primitive.
+///
+/// # Errors
+///
+/// Returns [`NumericError::DimensionMismatch`] when lengths differ.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) -> Result<()> {
+    if x.len() != y.len() {
+        return Err(NumericError::DimensionMismatch {
+            expected: format!("len {}", y.len()),
+            found: format!("len {}", x.len()),
+        });
+    }
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+    Ok(())
+}
+
+/// Euclidean (L2) norm.
+#[must_use]
+pub fn norm2(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Maximum-magnitude (L∞) norm. Returns 0 for an empty slice.
+#[must_use]
+pub fn norm_inf(v: &[f64]) -> f64 {
+    v.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+}
+
+/// Index of the maximum-magnitude entry, or `None` for an empty slice.
+/// NaN entries are never selected unless all entries are NaN-free losers.
+#[must_use]
+pub fn argmax_abs(v: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &x) in v.iter().enumerate() {
+        let a = x.abs();
+        match best {
+            Some((_, ba)) if a <= ba => {}
+            _ if a.is_nan() => {}
+            _ => best = Some((i, a)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Component-wise maximum of `|a - b|`; the convergence metric used by the
+/// Newton loop in `tcam-spice`.
+///
+/// # Errors
+///
+/// Returns [`NumericError::DimensionMismatch`] when lengths differ.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> Result<f64> {
+    if a.len() != b.len() {
+        return Err(NumericError::DimensionMismatch {
+            expected: format!("len {}", a.len()),
+            found: format!("len {}", b.len()),
+        });
+    }
+    Ok(a.iter()
+        .zip(b)
+        .fold(0.0_f64, |m, (x, y)| m.max((x - y).abs())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]).unwrap(), 32.0);
+    }
+
+    #[test]
+    fn dot_mismatch_errors() {
+        assert!(dot(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y).unwrap();
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn norms() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        assert_eq!(norm_inf(&[-7.0, 2.0]), 7.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn argmax_abs_picks_largest_magnitude() {
+        assert_eq!(argmax_abs(&[1.0, -9.0, 3.0]), Some(1));
+        assert_eq!(argmax_abs(&[]), None);
+    }
+
+    #[test]
+    fn argmax_abs_skips_nan() {
+        assert_eq!(argmax_abs(&[1.0, f64::NAN, 3.0]), Some(2));
+    }
+
+    #[test]
+    fn max_abs_diff_basic() {
+        let d = max_abs_diff(&[1.0, 2.0], &[1.5, 1.0]).unwrap();
+        assert_eq!(d, 1.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests on the numerical kernels.
+
+use proptest::prelude::*;
+use tcam_numeric::dense::DenseMatrix;
+use tcam_numeric::interp::PiecewiseLinear;
+use tcam_numeric::roots::{brent, RootOptions};
+use tcam_numeric::sparse::TripletMatrix;
+use tcam_numeric::sparse_lu::SparseLu;
+use tcam_numeric::stats::{percentile, Running};
+
+/// Strategy: a diagonally dominant n×n matrix and RHS.
+fn dominant_system(n: usize) -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
+    (
+        proptest::collection::vec(proptest::collection::vec(-1.0f64..1.0, n), n),
+        proptest::collection::vec(-10.0f64..10.0, n),
+    )
+        .prop_map(move |(mut rows, b)| {
+            for (i, row) in rows.iter_mut().enumerate() {
+                let sum: f64 = row.iter().map(|v| v.abs()).sum();
+                row[i] = sum + 1.0; // strict dominance ⇒ nonsingular
+            }
+            (rows, b)
+        })
+}
+
+proptest! {
+    #[test]
+    fn dense_lu_solves_dominant_systems((rows, b) in dominant_system(6)) {
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let a = DenseMatrix::from_rows(&refs).expect("well formed");
+        let x = a.solve(&b).expect("nonsingular");
+        let ax = a.mul_vec(&x).expect("dims");
+        for (p, q) in ax.iter().zip(&b) {
+            prop_assert!((p - q).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn sparse_lu_agrees_with_dense((rows, b) in dominant_system(8)) {
+        let mut t = TripletMatrix::new(8, 8);
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    t.add(i, j, v);
+                }
+            }
+        }
+        let (csc, _) = t.to_csc().expect("non-empty");
+        let xs = SparseLu::factorize(&csc).expect("nonsingular").solve(&b).expect("dims");
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let xd = DenseMatrix::from_rows(&refs).expect("well formed").solve(&b).expect("ok");
+        for (s, d) in xs.iter().zip(&xd) {
+            prop_assert!((s - d).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn pwl_eval_stays_in_value_envelope(
+        mut xs in proptest::collection::vec(-100.0f64..100.0, 2..10),
+        seed_ys in proptest::collection::vec(-50.0f64..50.0, 10),
+        probe in -200.0f64..200.0,
+    ) {
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        prop_assume!(xs.len() >= 2);
+        let ys: Vec<f64> = seed_ys.iter().take(xs.len()).copied().collect();
+        prop_assume!(ys.len() == xs.len());
+        let p = PiecewiseLinear::new(xs, ys.clone()).expect("monotone xs");
+        let v = p.eval(probe);
+        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+    }
+
+    #[test]
+    fn percentile_is_monotone_and_bounded(
+        samples in proptest::collection::vec(-1e6f64..1e6, 1..50),
+        q1 in 0.0f64..100.0,
+        q2 in 0.0f64..100.0,
+    ) {
+        let (lo_q, hi_q) = (q1.min(q2), q1.max(q2));
+        let p_lo = percentile(&samples, lo_q).expect("valid");
+        let p_hi = percentile(&samples, hi_q).expect("valid");
+        prop_assert!(p_lo <= p_hi + 1e-9);
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p_lo >= min - 1e-9 && p_hi <= max + 1e-9);
+    }
+
+    #[test]
+    fn running_merge_matches_sequential(
+        a in proptest::collection::vec(-1e3f64..1e3, 0..30),
+        b in proptest::collection::vec(-1e3f64..1e3, 0..30),
+    ) {
+        let mut whole = Running::new();
+        for &x in a.iter().chain(&b) {
+            whole.push(x);
+        }
+        let mut ra = Running::new();
+        for &x in &a {
+            ra.push(x);
+        }
+        let mut rb = Running::new();
+        for &x in &b {
+            rb.push(x);
+        }
+        ra.merge(&rb);
+        prop_assert_eq!(ra.count(), whole.count());
+        prop_assert!((ra.mean() - whole.mean()).abs() < 1e-6);
+        prop_assert!((ra.population_variance() - whole.population_variance()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn brent_finds_roots_of_shifted_cubics(shift in -5.0f64..5.0) {
+        // f(x) = (x − shift)³ is monotone with a root at `shift`.
+        let f = |x: f64| (x - shift).powi(3);
+        let root = brent(f, -10.0, 10.0, RootOptions::default()).expect("bracketed");
+        prop_assert!((root - shift).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,9 @@
+//! Circuit analyses: operating point, DC sweep, transient.
+
+mod dcsweep;
+mod op;
+mod transient;
+
+pub use dcsweep::{dc_sweep, DcSweepSpec};
+pub use op::{operating_point, OpSolution};
+pub use transient::{transient, TransientSpec};

@@ -1,0 +1,190 @@
+//! DC operating-point analysis with gmin stepping.
+
+use crate::device::{AnalysisKind, CommitCtx};
+use crate::error::{Result, SpiceError};
+use crate::mna::MnaSystem;
+use crate::netlist::Circuit;
+use crate::newton::{solve_point, NewtonOutcome};
+use crate::options::SimOptions;
+
+/// A solved operating point.
+#[derive(Debug, Clone)]
+pub struct OpSolution {
+    /// The unknown vector (node voltages then branch currents).
+    pub x: Vec<f64>,
+    /// Newton iterations of the final (target-gmin) solve.
+    pub iterations: usize,
+    /// Number of gmin-stepping ladder stages needed (0 = direct).
+    pub gmin_steps: usize,
+}
+
+impl OpSolution {
+    /// Voltage of a named node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::NotFound`] for unknown node names.
+    pub fn voltage(&self, circuit: &Circuit, node: &str) -> Result<f64> {
+        circuit.voltage_of(&self.x, node)
+    }
+}
+
+/// Computes the DC operating point of `circuit` and commits it into the
+/// devices (initializing their histories and quasi-static states).
+///
+/// On a direct Newton failure the solver walks a gmin ladder from
+/// [`SimOptions::gmin_step_start`] down to the target gmin, warm-starting
+/// each stage from the last.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::NonConvergence`] when even the gmin ladder fails,
+/// and propagates structural errors from system assembly.
+pub fn operating_point(circuit: &mut Circuit, opts: &SimOptions) -> Result<OpSolution> {
+    let mut sys = MnaSystem::build(circuit, AnalysisKind::Op, opts)?;
+    let n = sys.index().n_unknowns();
+    let zeros = vec![0.0; n];
+
+    let direct = solve_point(
+        circuit,
+        &mut sys,
+        0.0,
+        0.0,
+        opts.integrator,
+        &zeros,
+        &zeros,
+        opts,
+        opts.gmin,
+    );
+
+    let (outcome, gmin_steps) = match direct {
+        Ok(o) => (o, 0),
+        Err(SpiceError::NonConvergence { .. }) => gmin_ladder(circuit, &mut sys, &zeros, opts)?,
+        Err(e) => return Err(e),
+    };
+
+    commit_op(circuit, &outcome.x, &zeros);
+    Ok(OpSolution {
+        x: outcome.x,
+        iterations: outcome.iterations,
+        gmin_steps,
+    })
+}
+
+fn gmin_ladder(
+    circuit: &Circuit,
+    sys: &mut MnaSystem,
+    zeros: &[f64],
+    opts: &SimOptions,
+) -> Result<(NewtonOutcome, usize)> {
+    let mut guess = zeros.to_vec();
+    let mut stages = 0usize;
+    let mut gmin = opts.gmin_step_start;
+    let mut last: Option<NewtonOutcome> = None;
+    while gmin > opts.gmin {
+        let out = solve_point(
+            circuit,
+            sys,
+            0.0,
+            0.0,
+            opts.integrator,
+            zeros,
+            &guess,
+            opts,
+            gmin,
+        )?;
+        guess = out.x.clone();
+        last = Some(out);
+        stages += 1;
+        gmin *= 0.1;
+        if stages > opts.gmin_step_decades {
+            break;
+        }
+    }
+    // Final solve at the target gmin.
+    let out = solve_point(
+        circuit,
+        sys,
+        0.0,
+        0.0,
+        opts.integrator,
+        zeros,
+        &guess,
+        opts,
+        opts.gmin,
+    )
+    .or_else(|e| match (e, last) {
+        // If the very last refinement fails, fall back to the tightest
+        // ladder stage that converged — better a slightly soft OP than none.
+        (SpiceError::NonConvergence { .. }, Some(l)) => Ok(l),
+        (e, _) => Err(e),
+    })?;
+    Ok((out, stages))
+}
+
+pub(crate) fn commit_op(circuit: &mut Circuit, x: &[f64], x_prev: &[f64]) {
+    let index = circuit.unknown_index();
+    let ctx = CommitCtx {
+        analysis: AnalysisKind::Op,
+        time: 0.0,
+        dt: 0.0,
+        integrator: crate::options::Integrator::BackwardEuler,
+        x,
+        x_prev,
+        index,
+    };
+    for dev in circuit.devices_mut() {
+        dev.commit(&ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::{Capacitor, Resistor, VoltageSource};
+
+    #[test]
+    fn divider_op() {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let out = ckt.node("out");
+        let gnd = ckt.gnd();
+        ckt.add(VoltageSource::dc("v1", vdd, gnd, 1.8)).unwrap();
+        ckt.add(Resistor::new("r1", vdd, out, 2e3).unwrap())
+            .unwrap();
+        ckt.add(Resistor::new("r2", out, gnd, 1e3).unwrap())
+            .unwrap();
+        let op = operating_point(&mut ckt, &SimOptions::default()).unwrap();
+        assert!((op.voltage(&ckt, "out").unwrap() - 0.6).abs() < 1e-6);
+        assert_eq!(op.gmin_steps, 0);
+    }
+
+    #[test]
+    fn capacitor_open_at_dc() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let gnd = ckt.gnd();
+        ckt.add(VoltageSource::dc("v1", a, gnd, 1.0)).unwrap();
+        ckt.add(Resistor::new("r1", a, b, 1e3).unwrap()).unwrap();
+        ckt.add(Capacitor::new("c1", b, gnd, 1e-12).unwrap())
+            .unwrap();
+        let op = operating_point(&mut ckt, &SimOptions::default()).unwrap();
+        // No DC path through C ⇒ b floats to a through R (no current).
+        assert!((op.voltage(&ckt, "b").unwrap() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn capacitor_ic_forced_at_op() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let gnd = ckt.gnd();
+        ckt.add(VoltageSource::dc("v1", a, gnd, 1.0)).unwrap();
+        ckt.add(Resistor::new("r1", a, b, 1e9).unwrap()).unwrap();
+        ckt.add(Capacitor::new("c1", b, gnd, 1e-12).unwrap().with_ic(0.25))
+            .unwrap();
+        let op = operating_point(&mut ckt, &SimOptions::default()).unwrap();
+        assert!((op.voltage(&ckt, "b").unwrap() - 0.25).abs() < 1e-3);
+    }
+}

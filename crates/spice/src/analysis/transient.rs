@@ -1,0 +1,385 @@
+//! Adaptive-timestep transient analysis.
+//!
+//! The engine starts from a committed operating point, then advances with a
+//! step controlled by three mechanisms:
+//!
+//! 1. **Breakpoints** — source corner times are landed on exactly, and the
+//!    step restarts small afterwards so edges are resolved.
+//! 2. **Local truncation error** — a curvature estimate from the last three
+//!    solutions rejects steps whose per-node LTE exceeds
+//!    [`SimOptions::lte_tol`] and sizes the next step.
+//! 3. **Device hints** — any device can bound the next step via
+//!    [`crate::device::Device::dt_hint`] (the NEM relay uses this while its
+//!    beam is in flight).
+//!
+//! Newton failures shrink the step by [`SimOptions::dt_shrink`]; underflow
+//! of [`SimOptions::dt_min`] aborts with [`SpiceError::TimestepUnderflow`].
+
+use crate::analysis::op::operating_point;
+use crate::device::{AnalysisKind, CommitCtx};
+use crate::error::{Result, SpiceError};
+use crate::mna::MnaSystem;
+use crate::netlist::Circuit;
+use crate::newton::solve_point;
+use crate::options::SimOptions;
+use crate::waveform::Waveform;
+
+/// Transient run specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientSpec {
+    /// End time in seconds.
+    pub t_stop: f64,
+}
+
+impl TransientSpec {
+    /// Runs to `t_stop` seconds.
+    #[must_use]
+    pub fn to(t_stop: f64) -> Self {
+        Self { t_stop }
+    }
+}
+
+/// Hard cap on accepted+rejected step attempts, to bound runaway runs.
+const MAX_STEP_ATTEMPTS: usize = 50_000_000;
+
+/// Runs a transient analysis, recording every node voltage, branch current,
+/// device probe, and source energy meter at each accepted step.
+///
+/// The circuit's devices are left in their end-of-run state (energy meters
+/// hold run totals; hysteretic devices hold final states).
+///
+/// # Errors
+///
+/// * [`SpiceError::NonConvergence`] if the initial operating point fails.
+/// * [`SpiceError::TimestepUnderflow`] when Newton/LTE rejection drives the
+///   step below [`SimOptions::dt_min`].
+/// * [`SpiceError::InvalidCircuit`] for structural problems.
+pub fn transient(
+    circuit: &mut Circuit,
+    spec: TransientSpec,
+    opts: &SimOptions,
+) -> Result<Waveform> {
+    if !(spec.t_stop.is_finite() && spec.t_stop > 0.0) {
+        return Err(SpiceError::InvalidCircuit(format!(
+            "transient t_stop must be finite and positive, got {}",
+            spec.t_stop
+        )));
+    }
+
+    // 1. Operating point (also commits device initial states).
+    let op = operating_point(circuit, opts)?;
+
+    // 2. Signal list.
+    let index = circuit.unknown_index();
+    let mut names: Vec<String> = Vec::new();
+    for (id, name) in circuit.nodes().iter() {
+        if !id.is_ground() {
+            names.push(format!("v({name})"));
+        }
+    }
+    names.extend(circuit.branch_names().iter().cloned());
+    let mut probe_list: Vec<(usize, &'static str)> = Vec::new();
+    for (di, dev) in circuit.devices().iter().enumerate() {
+        for p in dev.probe_names() {
+            names.push(format!("{}.{p}", dev.name()));
+            probe_list.push((di, p));
+        }
+    }
+    let mut energy_list: Vec<usize> = Vec::new();
+    for (di, dev) in circuit.devices().iter().enumerate() {
+        if dev.delivered_energy().is_some() {
+            names.push(format!("e({})", dev.name()));
+            energy_list.push(di);
+        }
+    }
+    let mut wave = Waveform::new("time", names);
+
+    // 3. Transient MNA system.
+    let mut sys = MnaSystem::build(circuit, AnalysisKind::Transient, opts)?;
+
+    // 4. Breakpoints.
+    let mut breakpoints: Vec<f64> = Vec::new();
+    for dev in circuit.devices() {
+        breakpoints.extend(dev.breakpoints(spec.t_stop));
+    }
+    breakpoints.push(spec.t_stop);
+    breakpoints.retain(|&t| t > 0.0 && t <= spec.t_stop);
+    breakpoints.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+    breakpoints.dedup_by(|a, b| (*a - *b).abs() < 1e-18);
+
+    // Record t = 0.
+    let record = |wave: &mut Waveform, t: f64, x: &[f64], circuit: &Circuit| {
+        let mut row = Vec::with_capacity(x.len() + probe_list.len() + energy_list.len());
+        row.extend_from_slice(x);
+        for &(di, p) in &probe_list {
+            row.push(circuit.devices()[di].probe(p).unwrap_or(f64::NAN));
+        }
+        for &di in &energy_list {
+            let dev = &circuit.devices()[di];
+            row.push(
+                dev.sourced_energy()
+                    .or_else(|| dev.delivered_energy())
+                    .unwrap_or(f64::NAN),
+            );
+        }
+        wave.push(t, &row);
+    };
+    record(&mut wave, 0.0, &op.x, circuit);
+
+    // 5. Time loop.
+    let dt0 = if opts.dt_initial > 0.0 {
+        opts.dt_initial
+    } else {
+        spec.t_stop * opts.dt_initial_fraction
+    };
+    let mut t = 0.0_f64;
+    let mut dt = dt0;
+    let mut x_prev = op.x;
+    // Second-back history for the LTE curvature estimate.
+    let mut hist: Option<(Vec<f64>, f64)> = None; // (x_prev2, dt_prev)
+    let mut bp_cursor = 0usize;
+    let n_nodes = index.n_node_unknowns();
+
+    let mut attempts = 0usize;
+    while t < spec.t_stop * (1.0 - 1e-15) {
+        attempts += 1;
+        if attempts > MAX_STEP_ATTEMPTS {
+            return Err(SpiceError::NonConvergence {
+                time: t,
+                iterations: attempts,
+                max_delta: f64::NAN,
+            });
+        }
+
+        // Advance past consumed breakpoints.
+        while bp_cursor < breakpoints.len() && breakpoints[bp_cursor] <= t * (1.0 + 1e-15) {
+            bp_cursor += 1;
+        }
+
+        // Step-size selection.
+        let mut dt_lim = opts.dt_max.min(spec.t_stop - t);
+        for dev in circuit.devices() {
+            dt_lim = dt_lim.min(dev.dt_hint(t));
+        }
+        let mut step = dt.min(dt_lim).max(opts.dt_min);
+        let mut hit_bp = false;
+        if bp_cursor < breakpoints.len() {
+            let bp = breakpoints[bp_cursor];
+            if t + step >= bp - opts.dt_min {
+                step = bp - t;
+                hit_bp = true;
+            }
+        }
+        let t_new = t + step;
+
+        // Newton solve.
+        let outcome = match solve_point(
+            circuit,
+            &mut sys,
+            t_new,
+            step,
+            opts.integrator,
+            &x_prev,
+            &x_prev,
+            opts,
+            opts.gmin,
+        ) {
+            Ok(o) => o,
+            Err(SpiceError::NonConvergence { .. }) => {
+                dt = step * opts.dt_shrink;
+                if dt < opts.dt_min {
+                    return Err(SpiceError::TimestepUnderflow { time: t, dt });
+                }
+                hist = None;
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+
+        // LTE estimate and acceptance.
+        let mut lte_max = 0.0_f64;
+        if let Some((x_prev2, dt_prev)) = &hist {
+            for i in 0..n_nodes {
+                let d1 = (outcome.x[i] - x_prev[i]) / step;
+                let d0 = (x_prev[i] - x_prev2[i]) / dt_prev;
+                let curvature = 2.0 * (d1 - d0) / (step + dt_prev);
+                lte_max = lte_max.max((curvature * step * step * 0.5).abs());
+            }
+            if lte_max > 4.0 * opts.lte_tol && step > 4.0 * opts.dt_min && !hit_bp {
+                dt = step * (0.9 * (opts.lte_tol / lte_max).sqrt()).clamp(0.1, 0.5);
+                continue;
+            }
+        }
+
+        // Accept: commit devices, record.
+        let ctx = CommitCtx {
+            analysis: AnalysisKind::Transient,
+            time: t_new,
+            dt: step,
+            integrator: opts.integrator,
+            x: &outcome.x,
+            x_prev: &x_prev,
+            index,
+        };
+        for dev in circuit.devices_mut() {
+            dev.commit(&ctx);
+        }
+        record(&mut wave, t_new, &outcome.x, circuit);
+
+        // Next step size.
+        let grow = if lte_max > 0.0 {
+            (0.9 * (opts.lte_tol / lte_max).sqrt()).clamp(0.3, opts.dt_grow)
+        } else {
+            opts.dt_grow
+        };
+        let iter_factor = if outcome.iterations > 20 { 0.5 } else { 1.0 };
+        dt = (step * grow * iter_factor).max(opts.dt_min);
+
+        if hit_bp {
+            // Restart small after a corner; drop stale curvature history.
+            dt = dt0.min(dt);
+            hist = None;
+        } else {
+            hist = Some((x_prev.clone(), step));
+        }
+        x_prev = outcome.x;
+        t = t_new;
+    }
+
+    Ok(wave)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::{Capacitor, Inductor, Resistor, VoltageSource};
+    use crate::options::{Integrator, SimOptions};
+    use crate::source::Waveshape;
+
+    fn rc_circuit(tau_r: f64, tau_c: f64) -> Circuit {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("vin");
+        let out = ckt.node("out");
+        let gnd = ckt.gnd();
+        ckt.add(VoltageSource::new(
+            "v1",
+            vin,
+            gnd,
+            Waveshape::step(0.0, 1.0, 0.0, 1e-12),
+        ))
+        .unwrap();
+        ckt.add(Resistor::new("r1", vin, out, tau_r).unwrap())
+            .unwrap();
+        ckt.add(Capacitor::new("c1", out, gnd, tau_c).unwrap())
+            .unwrap();
+        ckt
+    }
+
+    #[test]
+    fn rc_step_response_be() {
+        // R = 1k, C = 1n → tau = 1 µs.
+        let mut ckt = rc_circuit(1e3, 1e-9);
+        let wave = transient(&mut ckt, TransientSpec::to(5e-6), &SimOptions::default()).unwrap();
+        // After 5 tau the output has settled.
+        assert!((wave.last("v(out)").unwrap() - 1.0).abs() < 1e-2);
+        // At exactly one tau: 1 − e⁻¹ ≈ 0.632 (BE is 1st order, so be loose).
+        let v_tau = wave.sample("v(out)", 1e-6).unwrap();
+        assert!((v_tau - 0.632).abs() < 0.03, "v(tau) = {v_tau}");
+    }
+
+    #[test]
+    fn rc_step_response_trapezoidal_is_tighter() {
+        let mut ckt = rc_circuit(1e3, 1e-9);
+        let opts = SimOptions::with_integrator(Integrator::Trapezoidal);
+        let wave = transient(&mut ckt, TransientSpec::to(5e-6), &opts).unwrap();
+        let v_tau = wave.sample("v(out)", 1e-6).unwrap();
+        assert!(
+            (v_tau - (1.0 - (-1.0_f64).exp())).abs() < 5e-3,
+            "v(tau) = {v_tau}"
+        );
+    }
+
+    #[test]
+    fn source_energy_matches_theory() {
+        // Charging C through R from a step: source delivers C·V² total
+        // (half stored, half dissipated).
+        let mut ckt = rc_circuit(1e3, 1e-9);
+        let _ = transient(&mut ckt, TransientSpec::to(20e-6), &SimOptions::default()).unwrap();
+        let e = ckt.total_source_energy();
+        let expected = 1e-9 * 1.0 * 1.0;
+        assert!(
+            ((e - expected) / expected).abs() < 0.05,
+            "E = {e}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn rl_circuit_current_rises() {
+        // V step into series R-L: i(t) = V/R (1 − e^{−tR/L}).
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("vin");
+        let mid = ckt.node("mid");
+        let gnd = ckt.gnd();
+        ckt.add(VoltageSource::new(
+            "v1",
+            vin,
+            gnd,
+            Waveshape::step(0.0, 1.0, 0.0, 1e-12),
+        ))
+        .unwrap();
+        ckt.add(Resistor::new("r1", vin, mid, 100.0).unwrap())
+            .unwrap();
+        ckt.add(Inductor::new("l1", mid, gnd, 1e-6).unwrap())
+            .unwrap();
+        // tau = L/R = 10 ns.
+        let wave = transient(&mut ckt, TransientSpec::to(100e-9), &SimOptions::default()).unwrap();
+        let i_end = wave.last("i(l1)").unwrap();
+        assert!((i_end - 0.01).abs() < 2e-4, "i_end = {i_end}");
+    }
+
+    #[test]
+    fn breakpoints_are_hit_exactly() {
+        let mut ckt = rc_circuit(1e3, 1e-12);
+        // Pulse with corners at 2, 3, 5, 6 ns.
+        ckt.device_as_mut::<VoltageSource>("v1")
+            .unwrap()
+            .set_shape(Waveshape::Pulse {
+                v1: 0.0,
+                v2: 1.0,
+                delay: 2e-9,
+                rise: 1e-9,
+                fall: 1e-9,
+                width: 2e-9,
+                period: f64::INFINITY,
+            });
+        let wave = transient(&mut ckt, TransientSpec::to(10e-9), &SimOptions::default()).unwrap();
+        for corner in [2e-9, 3e-9, 5e-9, 6e-9] {
+            assert!(
+                wave.axis().iter().any(|&t| (t - corner).abs() < 1e-15),
+                "corner {corner} missed"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_t_stop() {
+        let mut ckt = rc_circuit(1e3, 1e-12);
+        assert!(transient(&mut ckt, TransientSpec::to(0.0), &SimOptions::default()).is_err());
+        assert!(transient(
+            &mut ckt,
+            TransientSpec::to(f64::NAN),
+            &SimOptions::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn waveform_records_energy_signal() {
+        let mut ckt = rc_circuit(1e3, 1e-9);
+        let wave = transient(&mut ckt, TransientSpec::to(1e-6), &SimOptions::default()).unwrap();
+        let e = wave.trace("e(v1)").unwrap();
+        // Energy is monotone non-decreasing for a charging RC.
+        assert!(e.windows(2).all(|w| w[1] >= w[0] - 1e-18));
+        assert!(*e.last().unwrap() > 0.0);
+    }
+}

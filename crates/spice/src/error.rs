@@ -1,0 +1,127 @@
+//! Error types for the circuit engine.
+
+use std::fmt;
+use tcam_numeric::NumericError;
+
+/// Every fallible operation in `tcam-spice` returns this error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpiceError {
+    /// Forwarded numerical failure (factorization, interpolation, ...).
+    Numeric(NumericError),
+    /// Newton–Raphson failed to converge.
+    NonConvergence {
+        /// Simulation time at which convergence failed (NaN for OP).
+        time: f64,
+        /// Iterations attempted.
+        iterations: usize,
+        /// Largest unknown update at the final iteration.
+        max_delta: f64,
+    },
+    /// The transient engine could not complete the requested span.
+    TimestepUnderflow {
+        /// Time at which the step size underflowed.
+        time: f64,
+        /// The rejected step size.
+        dt: f64,
+    },
+    /// The circuit is malformed (floating node, duplicate name, ...).
+    InvalidCircuit(String),
+    /// A referenced node, device, or probe does not exist.
+    NotFound(String),
+    /// Netlist parse failure.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// An analysis was asked for a signal it did not record.
+    SignalUnavailable(String),
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::Numeric(e) => write!(f, "numeric failure: {e}"),
+            SpiceError::NonConvergence {
+                time,
+                iterations,
+                max_delta,
+            } => {
+                if time.is_nan() {
+                    write!(
+                        f,
+                        "operating point failed to converge after {iterations} iterations (max delta {max_delta:.3e})"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "no convergence at t={time:.4e}s after {iterations} iterations (max delta {max_delta:.3e})"
+                    )
+                }
+            }
+            SpiceError::TimestepUnderflow { time, dt } => {
+                write!(f, "timestep underflow at t={time:.4e}s (dt={dt:.3e}s)")
+            }
+            SpiceError::InvalidCircuit(msg) => write!(f, "invalid circuit: {msg}"),
+            SpiceError::NotFound(what) => write!(f, "not found: {what}"),
+            SpiceError::Parse { line, message } => {
+                write!(f, "netlist parse error at line {line}: {message}")
+            }
+            SpiceError::SignalUnavailable(sig) => {
+                write!(f, "signal not recorded: {sig}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpiceError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericError> for SpiceError {
+    fn from(e: NumericError) -> Self {
+        SpiceError::Numeric(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SpiceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = SpiceError::NonConvergence {
+            time: 1e-9,
+            iterations: 50,
+            max_delta: 0.1,
+        };
+        assert!(e.to_string().contains("t=1.0000e-9"));
+        let e = SpiceError::NonConvergence {
+            time: f64::NAN,
+            iterations: 50,
+            max_delta: 0.1,
+        };
+        assert!(e.to_string().contains("operating point"));
+        let e = SpiceError::Parse {
+            line: 7,
+            message: "bad value".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn numeric_error_converts() {
+        let ne = NumericError::SingularMatrix { column: 1 };
+        let se: SpiceError = ne.clone().into();
+        assert_eq!(se, SpiceError::Numeric(ne));
+    }
+}

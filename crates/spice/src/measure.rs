@@ -1,0 +1,201 @@
+//! `.meas`-style post-processing queries over a [`Waveform`].
+//!
+//! These are the measurement primitives the TCAM benchmarks are built from:
+//! threshold-crossing delay, windowed energy, settling checks, extrema.
+
+use crate::error::{Result, SpiceError};
+use crate::waveform::Waveform;
+use tcam_numeric::interp::first_crossing;
+
+/// Crossing direction for [`cross_time`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Edge {
+    /// Signal passes the level from below.
+    Rising,
+    /// Signal passes the level from above.
+    Falling,
+}
+
+/// First time `signal` crosses `level` in the given direction at or after
+/// `t_from`, with linear interpolation between samples.
+///
+/// # Errors
+///
+/// * [`SpiceError::SignalUnavailable`] for an unknown signal.
+/// * [`SpiceError::NotFound`] when no crossing exists.
+pub fn cross_time(
+    wave: &Waveform,
+    signal: &str,
+    level: f64,
+    edge: Edge,
+    t_from: f64,
+) -> Result<f64> {
+    let ys = wave.trace(signal)?;
+    let xs = wave.axis();
+    let start = xs.partition_point(|&t| t < t_from);
+    if start >= xs.len() {
+        return Err(SpiceError::NotFound(format!(
+            "crossing of {signal} at {level} after {t_from:.3e}s (window empty)"
+        )));
+    }
+    first_crossing(
+        &xs[start..],
+        &ys[start..],
+        level,
+        matches!(edge, Edge::Rising),
+    )
+    .ok_or_else(|| {
+        SpiceError::NotFound(format!(
+            "crossing of {signal} through {level} ({edge:?}) after {t_from:.3e}s"
+        ))
+    })
+}
+
+/// Difference of a cumulative signal (such as a source energy meter
+/// `e(vdd)`) between two instants: `sig(t1) − sig(t0)`.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::SignalUnavailable`] for unknown signals.
+pub fn delta(wave: &Waveform, signal: &str, t0: f64, t1: f64) -> Result<f64> {
+    Ok(wave.sample(signal, t1)? - wave.sample(signal, t0)?)
+}
+
+/// Trapezoidal integral of a signal over `[t0, t1]`.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::SignalUnavailable`] for unknown signals and
+/// [`SpiceError::InvalidCircuit`] for a reversed window.
+pub fn integral(wave: &Waveform, signal: &str, t0: f64, t1: f64) -> Result<f64> {
+    if t1 < t0 {
+        return Err(SpiceError::InvalidCircuit(format!(
+            "integral window reversed: [{t0:.3e}, {t1:.3e}]"
+        )));
+    }
+    let ys = wave.trace(signal)?;
+    let xs = wave.axis();
+    let mut acc = 0.0;
+    let mut prev_t = t0;
+    let mut prev_y = wave.sample(signal, t0)?;
+    for (i, &t) in xs.iter().enumerate() {
+        if t <= t0 {
+            continue;
+        }
+        if t >= t1 {
+            break;
+        }
+        acc += 0.5 * (ys[i] + prev_y) * (t - prev_t);
+        prev_t = t;
+        prev_y = ys[i];
+    }
+    let end_y = wave.sample(signal, t1)?;
+    acc += 0.5 * (end_y + prev_y) * (t1 - prev_t);
+    Ok(acc)
+}
+
+/// Minimum and maximum of a signal over `[t0, t1]` (sample-based; window
+/// endpoints included via interpolation).
+///
+/// # Errors
+///
+/// Returns [`SpiceError::SignalUnavailable`] for unknown signals.
+pub fn min_max(wave: &Waveform, signal: &str, t0: f64, t1: f64) -> Result<(f64, f64)> {
+    let ys = wave.trace(signal)?;
+    let xs = wave.axis();
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for (i, &t) in xs.iter().enumerate() {
+        if t >= t0 && t <= t1 {
+            lo = lo.min(ys[i]);
+            hi = hi.max(ys[i]);
+        }
+    }
+    for endpoint in [t0, t1] {
+        let v = wave.sample(signal, endpoint)?;
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    Ok((lo, hi))
+}
+
+/// Returns `true` when the signal stays within `±band` of `target` from
+/// `t_from` to the end of the record.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::SignalUnavailable`] for unknown signals.
+pub fn settled(wave: &Waveform, signal: &str, target: f64, band: f64, t_from: f64) -> Result<bool> {
+    let ys = wave.trace(signal)?;
+    let xs = wave.axis();
+    Ok(xs
+        .iter()
+        .zip(ys)
+        .filter(|(&t, _)| t >= t_from)
+        .all(|(_, &y)| (y - target).abs() <= band))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_wave() -> Waveform {
+        // v(a): ramp 0→1 over 0..1; e(x): cumulative quadratic.
+        let mut w = Waveform::new("time", vec!["v(a)".into(), "e(x)".into()]);
+        for i in 0..=10 {
+            let t = i as f64 / 10.0;
+            w.push(t, &[t, t * t]);
+        }
+        w
+    }
+
+    #[test]
+    fn cross_time_rising() {
+        let w = ramp_wave();
+        let t = cross_time(&w, "v(a)", 0.55, Edge::Rising, 0.0).unwrap();
+        assert!((t - 0.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_time_respects_window() {
+        let w = ramp_wave();
+        assert!(cross_time(&w, "v(a)", 0.55, Edge::Rising, 0.7).is_err());
+        assert!(cross_time(&w, "v(a)", 0.5, Edge::Falling, 0.0).is_err());
+        assert!(cross_time(&w, "v(a)", 0.5, Edge::Rising, 5.0).is_err());
+    }
+
+    #[test]
+    fn delta_of_cumulative_signal() {
+        let w = ramp_wave();
+        // e(x) = t² → Δ over [0.2, 0.8] = 0.64 − 0.04 = 0.6.
+        let d = delta(&w, "e(x)", 0.2, 0.8).unwrap();
+        assert!((d - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integral_of_ramp() {
+        let w = ramp_wave();
+        // ∫₀¹ t dt = 0.5 (trapezoid on a linear signal is exact).
+        let a = integral(&w, "v(a)", 0.0, 1.0).unwrap();
+        assert!((a - 0.5).abs() < 1e-12);
+        // Sub-window [0.25, 0.75]: 0.5·(0.75² − 0.25²) = 0.25.
+        let b = integral(&w, "v(a)", 0.25, 0.75).unwrap();
+        assert!((b - 0.25).abs() < 1e-12);
+        assert!(integral(&w, "v(a)", 0.8, 0.2).is_err());
+    }
+
+    #[test]
+    fn min_max_window() {
+        let w = ramp_wave();
+        let (lo, hi) = min_max(&w, "v(a)", 0.3, 0.7).unwrap();
+        assert!((lo - 0.3).abs() < 1e-12);
+        assert!((hi - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn settled_check() {
+        let w = ramp_wave();
+        assert!(settled(&w, "v(a)", 1.0, 0.35, 0.7).unwrap());
+        assert!(!settled(&w, "v(a)", 1.0, 0.05, 0.5).unwrap());
+    }
+}

@@ -1,0 +1,341 @@
+//! Modified-nodal-analysis system assembly.
+//!
+//! The sparsity pattern of a circuit is fixed across Newton iterations and
+//! time steps, so [`MnaSystem::build`] runs one *pattern pass* (recording
+//! every stamp a device makes into a triplet matrix) and compresses it once;
+//! every subsequent [`MnaSystem::refill`] writes stamp values into a flat
+//! array and scatters them into the compressed matrix in O(nnz).
+//!
+//! Devices must therefore make an identical sequence of matrix-stamp calls
+//! on every [`crate::device::Device::load`] — the refill pass asserts this.
+
+use crate::device::{AnalysisKind, EvalCtx, StampSink, Stamps, UnknownIndex};
+use crate::error::{Result, SpiceError};
+use crate::netlist::Circuit;
+use crate::options::{Integrator, SimOptions, SolverKind};
+use tcam_numeric::sparse::{CscMatrix, StampMap, TripletMatrix};
+use tcam_numeric::sparse_lu::SparseLu;
+
+/// Records the stamp pattern during the build pass.
+struct PatternSink {
+    triplets: TripletMatrix,
+    rhs_len: usize,
+}
+
+impl StampSink for PatternSink {
+    fn mat(&mut self, row: usize, col: usize, val: f64) {
+        self.triplets.add(row, col, val);
+    }
+    fn rhs(&mut self, row: usize, _val: f64) {
+        debug_assert!(row < self.rhs_len, "rhs row out of range");
+    }
+}
+
+/// Writes stamp values during a refill pass.
+struct ValueSink<'a> {
+    vals: &'a mut [f64],
+    cursor: usize,
+    rhs: &'a mut [f64],
+}
+
+impl StampSink for ValueSink<'_> {
+    fn mat(&mut self, _row: usize, _col: usize, val: f64) {
+        assert!(
+            self.cursor < self.vals.len(),
+            "device emitted more stamps than its pattern pass"
+        );
+        self.vals[self.cursor] = val;
+        self.cursor += 1;
+    }
+    fn rhs(&mut self, row: usize, val: f64) {
+        self.rhs[row] += val;
+    }
+}
+
+/// An assembled MNA system ready for repeated refill/solve cycles.
+#[derive(Debug)]
+pub struct MnaSystem {
+    index: UnknownIndex,
+    analysis: AnalysisKind,
+    csc: CscMatrix,
+    map: StampMap,
+    stamp_vals: Vec<f64>,
+    rhs: Vec<f64>,
+    /// Stamp indices of the per-node gmin diagonal entries (refreshed with
+    /// the active gmin each refill).
+    gmin_first_stamp: usize,
+    use_dense: bool,
+}
+
+impl MnaSystem {
+    /// Builds the system for `analysis` by running the pattern pass over the
+    /// circuit's devices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidCircuit`] for a circuit with no unknowns.
+    pub fn build(circuit: &Circuit, analysis: AnalysisKind, opts: &SimOptions) -> Result<Self> {
+        let index = circuit.unknown_index();
+        let n = index.n_unknowns();
+        if n == 0 {
+            return Err(SpiceError::InvalidCircuit(
+                "circuit has no unknowns (only ground?)".into(),
+            ));
+        }
+        let mut sink = PatternSink {
+            triplets: TripletMatrix::new(n, n),
+            rhs_len: n,
+        };
+        let zeros = vec![0.0; n];
+        let ctx = EvalCtx {
+            analysis,
+            time: 0.0,
+            // A placeholder positive dt so transient companions stamp their
+            // full pattern.
+            dt: 1e-12,
+            integrator: opts.integrator,
+            x: &zeros,
+            x_prev: &zeros,
+            index,
+        };
+        for dev in circuit.devices() {
+            let mut stamps = Stamps::new(&mut sink, index);
+            dev.load(&ctx, &mut stamps);
+        }
+        let gmin_first_stamp = sink.triplets.len();
+        // Unconditional gmin diagonal on every node unknown.
+        for i in 0..index.n_node_unknowns() {
+            sink.triplets.add(i, i, opts.gmin);
+        }
+        // Guard the branch diagonal too (some patterns leave it structurally
+        // empty, e.g. an ideal source short); a true zero there is fine for
+        // LU with pivoting, but a structurally *missing* column is not.
+        for b in 0..index.n_unknowns() - index.n_node_unknowns() {
+            let k = index.n_node_unknowns() + b;
+            sink.triplets.add(k, k, 0.0);
+        }
+        let n_stamps = sink.triplets.len();
+        let (csc, map) = sink.triplets.to_csc()?;
+        let use_dense = match opts.solver {
+            SolverKind::Dense => true,
+            SolverKind::Sparse => false,
+            SolverKind::Auto => n <= opts.sparse_threshold,
+        };
+        Ok(Self {
+            index,
+            analysis,
+            csc,
+            map,
+            stamp_vals: vec![0.0; n_stamps],
+            rhs: vec![0.0; n],
+            gmin_first_stamp,
+            use_dense,
+        })
+    }
+
+    /// The unknown layout.
+    #[must_use]
+    pub fn index(&self) -> UnknownIndex {
+        self.index
+    }
+
+    /// Whether the dense solver path is active.
+    #[must_use]
+    pub fn uses_dense_solver(&self) -> bool {
+        self.use_dense
+    }
+
+    /// Stored structural nonzeros.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.csc.nnz()
+    }
+
+    /// Refills matrix and RHS values from the devices at iterate `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a device emits a different number of stamps than during the
+    /// pattern pass (a violation of the [`crate::device::Device`] contract).
+    #[allow(clippy::too_many_arguments)]
+    pub fn refill(
+        &mut self,
+        circuit: &Circuit,
+        time: f64,
+        dt: f64,
+        integrator: Integrator,
+        x: &[f64],
+        x_prev: &[f64],
+        gmin: f64,
+    ) {
+        self.rhs.fill(0.0);
+        let ctx = EvalCtx {
+            analysis: self.analysis,
+            time,
+            dt,
+            integrator,
+            x,
+            x_prev,
+            index: self.index,
+        };
+        let mut sink = ValueSink {
+            vals: &mut self.stamp_vals,
+            cursor: 0,
+            rhs: &mut self.rhs,
+        };
+        for dev in circuit.devices() {
+            let mut stamps = Stamps::new(&mut sink, self.index);
+            dev.load(&ctx, &mut stamps);
+        }
+        assert_eq!(
+            sink.cursor, self.gmin_first_stamp,
+            "a device emitted a different stamp count than its pattern pass"
+        );
+        // gmin diagonals.
+        for i in 0..self.index.n_node_unknowns() {
+            self.stamp_vals[self.gmin_first_stamp + i] = gmin;
+        }
+        // Branch diagonal guards stay zero (indices after the gmin block).
+        for s in self.gmin_first_stamp + self.index.n_node_unknowns()..self.stamp_vals.len() {
+            self.stamp_vals[s] = 0.0;
+        }
+        self.map
+            .scatter(&self.stamp_vals, self.csc.values_mut())
+            .expect("stamp count fixed at build time");
+    }
+
+    /// Solves the assembled linear system `A x = z`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates singular-matrix failures from the factorization.
+    pub fn solve(&self) -> Result<Vec<f64>> {
+        if self.use_dense {
+            Ok(self.csc.to_dense().solve(&self.rhs)?)
+        } else {
+            Ok(SparseLu::factorize(&self.csc)?.solve(&self.rhs)?)
+        }
+    }
+
+    /// The current right-hand side (test/debug aid).
+    #[must_use]
+    pub fn rhs(&self) -> &[f64] {
+        &self.rhs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::{Resistor, VoltageSource};
+    use crate::netlist::Circuit;
+
+    fn divider() -> Circuit {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let out = ckt.node("out");
+        let gnd = ckt.gnd();
+        ckt.add(VoltageSource::dc("v1", vdd, gnd, 2.0)).unwrap();
+        ckt.add(Resistor::new("r1", vdd, out, 1e3).unwrap())
+            .unwrap();
+        ckt.add(Resistor::new("r2", out, gnd, 3e3).unwrap())
+            .unwrap();
+        ckt
+    }
+
+    #[test]
+    fn divider_op_solution() {
+        let ckt = divider();
+        let opts = SimOptions::default();
+        let mut sys = MnaSystem::build(&ckt, AnalysisKind::Op, &opts).unwrap();
+        let n = sys.index().n_unknowns();
+        let zeros = vec![0.0; n];
+        sys.refill(
+            &ckt,
+            0.0,
+            0.0,
+            Integrator::BackwardEuler,
+            &zeros,
+            &zeros,
+            opts.gmin,
+        );
+        let x = sys.solve().unwrap();
+        // vdd = 2.0, out = 2.0 * 3k/4k = 1.5, i(v1) = -2/4k = -0.5 mA.
+        assert!((ckt.voltage_of(&x, "vdd").unwrap() - 2.0).abs() < 1e-9);
+        assert!((ckt.voltage_of(&x, "out").unwrap() - 1.5).abs() < 1e-6);
+        let i = x[sys.index().n_node_unknowns()];
+        assert!((i + 0.5e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refill_is_idempotent() {
+        let ckt = divider();
+        let opts = SimOptions::default();
+        let mut sys = MnaSystem::build(&ckt, AnalysisKind::Op, &opts).unwrap();
+        let n = sys.index().n_unknowns();
+        let zeros = vec![0.0; n];
+        sys.refill(
+            &ckt,
+            0.0,
+            0.0,
+            Integrator::BackwardEuler,
+            &zeros,
+            &zeros,
+            opts.gmin,
+        );
+        let x1 = sys.solve().unwrap();
+        sys.refill(
+            &ckt,
+            0.0,
+            0.0,
+            Integrator::BackwardEuler,
+            &x1,
+            &zeros,
+            opts.gmin,
+        );
+        let x2 = sys.solve().unwrap();
+        for (a, b) in x1.iter().zip(&x2) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dense_and_sparse_agree() {
+        let ckt = divider();
+        let dense_opts = SimOptions {
+            solver: SolverKind::Dense,
+            ..SimOptions::default()
+        };
+        let sparse_opts = SimOptions {
+            solver: SolverKind::Sparse,
+            ..SimOptions::default()
+        };
+
+        let mut xs = Vec::new();
+        for opts in [dense_opts, sparse_opts] {
+            let mut sys = MnaSystem::build(&ckt, AnalysisKind::Op, &opts).unwrap();
+            assert_eq!(sys.uses_dense_solver(), opts.solver == SolverKind::Dense);
+            let n = sys.index().n_unknowns();
+            let zeros = vec![0.0; n];
+            sys.refill(
+                &ckt,
+                0.0,
+                0.0,
+                Integrator::BackwardEuler,
+                &zeros,
+                &zeros,
+                opts.gmin,
+            );
+            xs.push(sys.solve().unwrap());
+        }
+        for (a, b) in xs[0].iter().zip(&xs[1]) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn empty_circuit_rejected() {
+        let ckt = Circuit::new();
+        assert!(MnaSystem::build(&ckt, AnalysisKind::Op, &SimOptions::default()).is_err());
+    }
+}

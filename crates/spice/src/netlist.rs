@@ -1,0 +1,328 @@
+//! The [`Circuit`]: a named collection of nodes and devices.
+
+use crate::device::{BranchId, Device, UnknownIndex};
+use crate::error::{Result, SpiceError};
+use crate::node::{NodeId, NodeMap};
+use std::any::Any;
+use std::collections::HashMap;
+
+/// A circuit under construction or simulation.
+///
+/// ```
+/// use tcam_spice::netlist::Circuit;
+/// use tcam_spice::element::{Resistor, VoltageSource};
+///
+/// # fn main() -> Result<(), tcam_spice::SpiceError> {
+/// let mut ckt = Circuit::new();
+/// let vdd = ckt.node("vdd");
+/// let out = ckt.node("out");
+/// let gnd = ckt.gnd();
+/// ckt.add(VoltageSource::dc("v1", vdd, gnd, 1.0))?;
+/// ckt.add(Resistor::new("r1", vdd, out, 1e3)?)?;
+/// ckt.add(Resistor::new("r2", out, gnd, 1e3)?)?;
+/// let op = tcam_spice::analysis::operating_point(&mut ckt, &Default::default())?;
+/// assert!((op.voltage(&ckt, "out")? - 0.5).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Circuit {
+    nodes: NodeMap,
+    devices: Vec<Box<dyn Device>>,
+    by_name: HashMap<String, usize>,
+    n_branches: usize,
+    /// Signal name for each branch current, e.g. `i(vdd)`.
+    branch_names: Vec<String>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit (containing only the ground node).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            nodes: NodeMap::new(),
+            devices: Vec::new(),
+            by_name: HashMap::new(),
+            n_branches: 0,
+            branch_names: Vec::new(),
+        }
+    }
+
+    /// Returns (creating on first use) the node called `name`.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        self.nodes.node(name)
+    }
+
+    /// The ground node.
+    #[must_use]
+    pub fn gnd(&self) -> NodeId {
+        NodeId::GROUND
+    }
+
+    /// Looks up an existing node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::NotFound`] for unknown names.
+    pub fn find_node(&self, name: &str) -> Result<NodeId> {
+        self.nodes.find(name)
+    }
+
+    /// The node map (names, ids).
+    #[must_use]
+    pub fn nodes(&self) -> &NodeMap {
+        &self.nodes
+    }
+
+    /// Adds a device, allocating its branch unknowns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidCircuit`] on a duplicate device name.
+    pub fn add(&mut self, device: impl Device) -> Result<()> {
+        self.add_boxed(Box::new(device))
+    }
+
+    /// Adds an already-boxed device (used by the netlist parser).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidCircuit`] on a duplicate device name.
+    pub fn add_boxed(&mut self, mut device: Box<dyn Device>) -> Result<()> {
+        let name = device.name().to_string();
+        if self.by_name.contains_key(&name) {
+            return Err(SpiceError::InvalidCircuit(format!(
+                "duplicate device name '{name}'"
+            )));
+        }
+        let nb = device.n_branches();
+        if nb > 0 {
+            let branches: Vec<BranchId> = (0..nb).map(|k| BranchId(self.n_branches + k)).collect();
+            device.assign_branches(&branches);
+            for k in 0..nb {
+                let sig = if nb == 1 {
+                    format!("i({name})")
+                } else {
+                    format!("i({name}.{k})")
+                };
+                self.branch_names.push(sig);
+            }
+            self.n_branches += nb;
+        }
+        self.by_name.insert(name, self.devices.len());
+        self.devices.push(device);
+        Ok(())
+    }
+
+    /// The devices, in insertion order.
+    #[must_use]
+    pub fn devices(&self) -> &[Box<dyn Device>] {
+        &self.devices
+    }
+
+    /// Mutable access to the devices (engine-internal commits).
+    pub(crate) fn devices_mut(&mut self) -> &mut [Box<dyn Device>] {
+        &mut self.devices
+    }
+
+    /// A device by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::NotFound`] for unknown names.
+    pub fn device(&self, name: &str) -> Result<&dyn Device> {
+        self.by_name
+            .get(name)
+            .map(|&i| self.devices[i].as_ref())
+            .ok_or_else(|| SpiceError::NotFound(format!("device '{name}'")))
+    }
+
+    /// Typed access to a concrete device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::NotFound`] when the name is unknown **or** the
+    /// device is not of type `T`.
+    pub fn device_as<T: Any>(&self, name: &str) -> Result<&T> {
+        let dev = self.device(name)?;
+        (dev as &dyn Any)
+            .downcast_ref::<T>()
+            .ok_or_else(|| SpiceError::NotFound(format!("device '{name}' of requested type")))
+    }
+
+    /// Typed mutable access to a concrete device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::NotFound`] when the name is unknown **or** the
+    /// device is not of type `T`.
+    pub fn device_as_mut<T: Any>(&mut self, name: &str) -> Result<&mut T> {
+        let idx = *self
+            .by_name
+            .get(name)
+            .ok_or_else(|| SpiceError::NotFound(format!("device '{name}'")))?;
+        (self.devices[idx].as_mut() as &mut dyn Any)
+            .downcast_mut::<T>()
+            .ok_or_else(|| SpiceError::NotFound(format!("device '{name}' of requested type")))
+    }
+
+    /// Number of branch-current unknowns.
+    #[must_use]
+    pub fn n_branches(&self) -> usize {
+        self.n_branches
+    }
+
+    /// Signal names of the branch currents, in unknown order.
+    #[must_use]
+    pub fn branch_names(&self) -> &[String] {
+        &self.branch_names
+    }
+
+    /// The unknown-vector layout for this circuit.
+    #[must_use]
+    pub fn unknown_index(&self) -> UnknownIndex {
+        UnknownIndex {
+            n_node_unknowns: self.nodes.n_unknown_nodes(),
+            n_branches: self.n_branches,
+        }
+    }
+
+    /// Total energy delivered by all sources (sum over devices exposing
+    /// [`Device::delivered_energy`]), in joules.
+    #[must_use]
+    pub fn total_source_energy(&self) -> f64 {
+        self.devices
+            .iter()
+            .filter_map(|d| d.delivered_energy())
+            .sum()
+    }
+
+    /// Total *sourced* energy: positive supply excursions only, the CMOS
+    /// supply-energy figure (falls back to the net figure for sources that
+    /// do not track it).
+    #[must_use]
+    pub fn total_sourced_energy(&self) -> f64 {
+        self.devices
+            .iter()
+            .filter_map(|d| d.sourced_energy().or_else(|| d.delivered_energy()))
+            .sum()
+    }
+
+    /// Checks structural sanity: every non-ground node must be touched by at
+    /// least two device terminals (a singly-connected node cannot carry
+    /// current and almost always indicates a netlist typo).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidCircuit`] naming the offending node.
+    pub fn validate(&self) -> Result<()> {
+        if self.devices.is_empty() {
+            return Err(SpiceError::InvalidCircuit("circuit has no devices".into()));
+        }
+        let mut touch = vec![0usize; self.nodes.len()];
+        for d in &self.devices {
+            for n in d.nodes() {
+                touch[n.0] += 1;
+            }
+        }
+        for (id, name) in self.nodes.iter() {
+            if !id.is_ground() && touch[id.0] < 2 {
+                return Err(SpiceError::InvalidCircuit(format!(
+                    "node '{name}' is connected to fewer than two device terminals"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Voltage of the named node in a solved unknown vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::NotFound`] for an unknown node name.
+    pub fn voltage_of(&self, x: &[f64], node: &str) -> Result<f64> {
+        let id = self.nodes.find(node)?;
+        Ok(match id.unknown() {
+            Some(i) => x[i],
+            None => 0.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::{Resistor, VoltageSource};
+
+    fn divider() -> Circuit {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let out = ckt.node("out");
+        let gnd = ckt.gnd();
+        ckt.add(VoltageSource::dc("v1", vdd, gnd, 1.0)).unwrap();
+        ckt.add(Resistor::new("r1", vdd, out, 1e3).unwrap())
+            .unwrap();
+        ckt.add(Resistor::new("r2", out, gnd, 1e3).unwrap())
+            .unwrap();
+        ckt
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let gnd = ckt.gnd();
+        ckt.add(Resistor::new("r1", a, gnd, 1.0).unwrap()).unwrap();
+        let err = ckt.add(Resistor::new("r1", a, gnd, 2.0).unwrap());
+        assert!(matches!(err, Err(SpiceError::InvalidCircuit(_))));
+    }
+
+    #[test]
+    fn branch_allocation_and_names() {
+        let ckt = divider();
+        assert_eq!(ckt.n_branches(), 1);
+        assert_eq!(ckt.branch_names(), &["i(v1)".to_string()]);
+        assert_eq!(ckt.unknown_index().n_unknowns(), 3);
+    }
+
+    #[test]
+    fn typed_device_access() {
+        let mut ckt = divider();
+        assert!(ckt.device_as::<VoltageSource>("v1").is_ok());
+        assert!(ckt.device_as::<Resistor>("v1").is_err());
+        assert!(ckt.device_as::<Resistor>("missing").is_err());
+        let v = ckt.device_as_mut::<VoltageSource>("v1").unwrap();
+        v.reset_accounting();
+    }
+
+    #[test]
+    fn validate_flags_dangling_node() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let dangling = ckt.node("dangling");
+        ckt.add(Resistor::new("r1", a, dangling, 1.0).unwrap())
+            .unwrap();
+        ckt.add(VoltageSource::dc("v1", a, ckt.gnd(), 1.0)).unwrap();
+        let err = ckt.validate().unwrap_err();
+        assert!(err.to_string().contains("dangling"));
+    }
+
+    #[test]
+    fn validate_accepts_divider() {
+        assert!(divider().validate().is_ok());
+    }
+
+    #[test]
+    fn empty_circuit_invalid() {
+        assert!(Circuit::new().validate().is_err());
+    }
+
+    #[test]
+    fn voltage_of_ground_is_zero() {
+        let ckt = divider();
+        let x = vec![1.0, 0.5, -0.001];
+        assert_eq!(ckt.voltage_of(&x, "gnd").unwrap(), 0.0);
+        assert_eq!(ckt.voltage_of(&x, "vdd").unwrap(), 1.0);
+        assert!(ckt.voltage_of(&x, "nope").is_err());
+    }
+}

@@ -1,0 +1,249 @@
+//! Damped Newton–Raphson solution of one nonlinear circuit point.
+
+use crate::error::{Result, SpiceError};
+use crate::mna::MnaSystem;
+use crate::netlist::Circuit;
+use crate::options::{Integrator, SimOptions};
+use tcam_numeric::NumericError;
+
+/// Result of a converged Newton solve.
+#[derive(Debug, Clone)]
+pub struct NewtonOutcome {
+    /// The solution vector.
+    pub x: Vec<f64>,
+    /// Iterations used.
+    pub iterations: usize,
+}
+
+/// Solves the circuit at one (time, dt) point starting from `x_guess`.
+///
+/// Each iteration refills the MNA system at the current iterate and solves
+/// the linearized system; updates larger than
+/// [`SimOptions::nr_damping_limit`] (∞-norm) are uniformly scaled down.
+/// Convergence requires every unknown's update to satisfy
+/// `|Δ| ≤ reltol·max(|x|, |x'|) + atol` with `atol` = `vntol` for node
+/// voltages and `abstol` for branch currents, on an *undamped* iteration.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::NonConvergence`] when the iteration budget is
+/// exhausted, and propagates singular-matrix failures.
+#[allow(clippy::too_many_arguments)]
+pub fn solve_point(
+    circuit: &Circuit,
+    sys: &mut MnaSystem,
+    time: f64,
+    dt: f64,
+    integrator: Integrator,
+    x_prev: &[f64],
+    x_guess: &[f64],
+    opts: &SimOptions,
+    gmin: f64,
+) -> Result<NewtonOutcome> {
+    let n_nodes = sys.index().n_node_unknowns();
+    let mut x = x_guess.to_vec();
+    let mut max_delta = f64::INFINITY;
+
+    for iter in 1..=opts.max_nr_iters {
+        sys.refill(circuit, time, dt, integrator, &x, x_prev, gmin);
+        let x_new = match sys.solve() {
+            Ok(v) => v,
+            Err(SpiceError::Numeric(NumericError::SingularMatrix { .. })) if iter == 1 => {
+                // A cold start can present a structurally singular point for
+                // hysteretic devices; retry is meaningless — report clearly.
+                return Err(SpiceError::NonConvergence {
+                    time,
+                    iterations: iter,
+                    max_delta: f64::INFINITY,
+                });
+            }
+            Err(e) => return Err(e),
+        };
+        if x_new.iter().any(|v| !v.is_finite()) {
+            return Err(SpiceError::NonConvergence {
+                time,
+                iterations: iter,
+                max_delta: f64::INFINITY,
+            });
+        }
+
+        // Damping: uniformly scale oversized updates.
+        max_delta = x_new
+            .iter()
+            .zip(&x)
+            .fold(0.0_f64, |m, (n, o)| m.max((n - o).abs()));
+        let scale = if max_delta > opts.nr_damping_limit {
+            opts.nr_damping_limit / max_delta
+        } else {
+            1.0
+        };
+
+        let mut converged = scale == 1.0;
+        for (i, (xn, xo)) in x_new.iter().zip(x.iter()).enumerate() {
+            let atol = if i < n_nodes { opts.vntol } else { opts.abstol };
+            let tol = atol + opts.reltol * xn.abs().max(xo.abs());
+            if (xn - xo).abs() > tol {
+                converged = false;
+                // Keep scanning so partial updates below still apply.
+            }
+        }
+
+        if scale == 1.0 {
+            x = x_new;
+        } else {
+            for (xi, xn) in x.iter_mut().zip(&x_new) {
+                *xi += scale * (xn - *xi);
+            }
+        }
+
+        if converged {
+            return Ok(NewtonOutcome {
+                x,
+                iterations: iter,
+            });
+        }
+    }
+    Err(SpiceError::NonConvergence {
+        time,
+        iterations: opts.max_nr_iters,
+        max_delta,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{AnalysisKind, Device, EvalCtx, Stamps};
+    use crate::element::{Resistor, VoltageSource};
+    use crate::node::NodeId;
+
+    /// A diode-like nonlinear element for exercising the NR loop:
+    /// i = Is (exp(v/vt) − 1), anode → cathode.
+    #[derive(Debug)]
+    struct Diode {
+        name: String,
+        a: NodeId,
+        b: NodeId,
+        i_sat: f64,
+        vt: f64,
+    }
+
+    impl Device for Diode {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn nodes(&self) -> Vec<NodeId> {
+            vec![self.a, self.b]
+        }
+        fn load(&self, ctx: &EvalCtx<'_>, stamps: &mut Stamps<'_>) {
+            let v = (ctx.v(self.a) - ctx.v(self.b)).clamp(-5.0, 1.0);
+            let e = (v / self.vt).exp();
+            let i0 = self.i_sat * (e - 1.0);
+            let g = (self.i_sat / self.vt * e).max(1e-12);
+            stamps.nonlinear_current(self.a, self.b, i0, g, v);
+        }
+    }
+
+    #[test]
+    fn diode_divider_converges() {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let mid = ckt.node("mid");
+        let gnd = ckt.gnd();
+        ckt.add(VoltageSource::dc("v1", vdd, gnd, 5.0)).unwrap();
+        ckt.add(Resistor::new("r1", vdd, mid, 1e3).unwrap())
+            .unwrap();
+        ckt.add(Diode {
+            name: "d1".into(),
+            a: mid,
+            b: gnd,
+            i_sat: 1e-14,
+            vt: 0.02585,
+        })
+        .unwrap();
+
+        let opts = SimOptions::default();
+        let mut sys = MnaSystem::build(&ckt, AnalysisKind::Op, &opts).unwrap();
+        let zeros = vec![0.0; sys.index().n_unknowns()];
+        let out = solve_point(
+            &ckt,
+            &mut sys,
+            0.0,
+            0.0,
+            opts.integrator,
+            &zeros,
+            &zeros,
+            &opts,
+            opts.gmin,
+        )
+        .unwrap();
+        let vd = ckt.voltage_of(&out.x, "mid").unwrap();
+        // Forward drop of a silicon-like diode at ~4.3 mA.
+        assert!(vd > 0.6 && vd < 0.8, "vd = {vd}");
+        // KCL: resistor current equals diode current.
+        let ir = (5.0 - vd) / 1e3;
+        let id = 1e-14 * ((vd / 0.02585).exp() - 1.0);
+        assert!(((ir - id) / ir).abs() < 1e-3);
+        assert!(out.iterations >= 2);
+    }
+
+    #[test]
+    fn linear_circuit_converges_fast() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let gnd = ckt.gnd();
+        ckt.add(VoltageSource::dc("v1", a, gnd, 1.0)).unwrap();
+        ckt.add(Resistor::new("r1", a, gnd, 1e3).unwrap()).unwrap();
+        let opts = SimOptions::default();
+        let mut sys = MnaSystem::build(&ckt, AnalysisKind::Op, &opts).unwrap();
+        let zeros = vec![0.0; sys.index().n_unknowns()];
+        let out = solve_point(
+            &ckt,
+            &mut sys,
+            0.0,
+            0.0,
+            opts.integrator,
+            &zeros,
+            &zeros,
+            &opts,
+            opts.gmin,
+        )
+        .unwrap();
+        assert!(out.iterations <= 3);
+        assert!((out.x[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let gnd = ckt.gnd();
+        ckt.add(VoltageSource::dc("v1", a, gnd, 5.0)).unwrap();
+        ckt.add(Diode {
+            name: "d1".into(),
+            a,
+            b: gnd,
+            i_sat: 1e-14,
+            vt: 0.02585,
+        })
+        .unwrap();
+        let opts = SimOptions {
+            max_nr_iters: 1,
+            ..SimOptions::default()
+        };
+        let mut sys = MnaSystem::build(&ckt, AnalysisKind::Op, &opts).unwrap();
+        let zeros = vec![0.0; sys.index().n_unknowns()];
+        let err = solve_point(
+            &ckt,
+            &mut sys,
+            0.0,
+            0.0,
+            opts.integrator,
+            &zeros,
+            &zeros,
+            &opts,
+            opts.gmin,
+        );
+        assert!(matches!(err, Err(SpiceError::NonConvergence { .. })));
+    }
+}

@@ -1,0 +1,172 @@
+//! Node identities and the name-interning node map.
+
+use crate::error::{Result, SpiceError};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Opaque handle to a circuit node. Obtain via [`NodeMap::node`] or
+/// [`crate::netlist::Circuit::node`]. The ground node is [`NodeId::GROUND`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The global reference node (0 V by definition).
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Returns `true` for the ground node.
+    #[must_use]
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Index of this node's voltage unknown in the MNA vector, or `None`
+    /// for ground.
+    #[must_use]
+    pub(crate) fn unknown(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0 - 1)
+        }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Interns node names to [`NodeId`]s. Name lookups are case-sensitive except
+/// that `"0"`, `"gnd"` and `"GND"` all denote ground.
+#[derive(Debug, Clone, Default)]
+pub struct NodeMap {
+    by_name: HashMap<String, NodeId>,
+    names: Vec<String>,
+}
+
+impl NodeMap {
+    /// Creates a map containing only the ground node.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut m = Self {
+            by_name: HashMap::new(),
+            names: vec!["0".to_string()],
+        };
+        m.by_name.insert("0".into(), NodeId::GROUND);
+        m.by_name.insert("gnd".into(), NodeId::GROUND);
+        m.by_name.insert("GND".into(), NodeId::GROUND);
+        m
+    }
+
+    /// Returns the id for `name`, creating the node on first use.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = NodeId(self.names.len());
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up an existing node without creating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::NotFound`] for unknown names.
+    pub fn find(&self, name: &str) -> Result<NodeId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| SpiceError::NotFound(format!("node '{name}'")))
+    }
+
+    /// Name of a node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this map.
+    #[must_use]
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Total node count including ground.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Always `false`: ground always exists.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of non-ground nodes (voltage unknowns).
+    #[must_use]
+    pub fn n_unknown_nodes(&self) -> usize {
+        self.names.len() - 1
+    }
+
+    /// Iterates over `(id, name)` pairs, ground first.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_aliases() {
+        let mut m = NodeMap::new();
+        assert_eq!(m.node("0"), NodeId::GROUND);
+        assert_eq!(m.node("gnd"), NodeId::GROUND);
+        assert_eq!(m.node("GND"), NodeId::GROUND);
+        assert!(NodeId::GROUND.is_ground());
+        assert_eq!(NodeId::GROUND.unknown(), None);
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let mut m = NodeMap::new();
+        let a = m.node("a");
+        let b = m.node("b");
+        assert_ne!(a, b);
+        assert_eq!(m.node("a"), a);
+        assert_eq!(m.name(a), "a");
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.n_unknown_nodes(), 2);
+    }
+
+    #[test]
+    fn unknown_indices_skip_ground() {
+        let mut m = NodeMap::new();
+        let a = m.node("a");
+        let b = m.node("b");
+        assert_eq!(a.unknown(), Some(0));
+        assert_eq!(b.unknown(), Some(1));
+    }
+
+    #[test]
+    fn find_does_not_create() {
+        let m = NodeMap::new();
+        assert!(m.find("missing").is_err());
+        assert_eq!(m.find("gnd").unwrap(), NodeId::GROUND);
+    }
+
+    #[test]
+    fn iter_ground_first() {
+        let mut m = NodeMap::new();
+        m.node("x");
+        let v: Vec<_> = m.iter().collect();
+        assert_eq!(v[0], (NodeId::GROUND, "0"));
+        assert_eq!(v[1].1, "x");
+    }
+}

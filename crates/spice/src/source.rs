@@ -1,0 +1,335 @@
+//! Time-domain source waveform shapes.
+//!
+//! A [`Waveshape`] maps absolute time to a value (volts or amps) and exposes
+//! its *breakpoints* — instants of slope discontinuity the transient engine
+//! must land on exactly so that ramp corners are not smeared.
+
+use tcam_numeric::interp::PiecewiseLinear;
+
+/// A source waveform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Waveshape {
+    /// Constant value.
+    Dc(f64),
+    /// SPICE PULSE(v1 v2 delay rise fall width period). A `period` of
+    /// `f64::INFINITY` gives a single pulse.
+    Pulse {
+        /// Initial (and final) level.
+        v1: f64,
+        /// Pulsed level.
+        v2: f64,
+        /// Time of first rising edge start.
+        delay: f64,
+        /// Rise time (0 treated as 1 fs to stay piecewise-linear).
+        rise: f64,
+        /// Fall time (0 treated as 1 fs).
+        fall: f64,
+        /// Time spent at `v2`.
+        width: f64,
+        /// Repetition period.
+        period: f64,
+    },
+    /// Piecewise-linear waveform; clamps to end values outside its span.
+    Pwl(PiecewiseLinear),
+    /// Sinusoid `offset + ampl·sin(2π·freq·(t−delay))` for `t ≥ delay`.
+    Sine {
+        /// DC offset.
+        offset: f64,
+        /// Amplitude.
+        ampl: f64,
+        /// Frequency in Hz.
+        freq: f64,
+        /// Start delay.
+        delay: f64,
+    },
+}
+
+/// Minimum edge time substituted for zero rise/fall (1 fs).
+const MIN_EDGE: f64 = 1e-15;
+
+impl Waveshape {
+    /// A step from `v1` to `v2` at `t_step` with the given `rise` time —
+    /// the most common TCAM drive shape.
+    #[must_use]
+    pub fn step(v1: f64, v2: f64, t_step: f64, rise: f64) -> Self {
+        Waveshape::Pulse {
+            v1,
+            v2,
+            delay: t_step,
+            rise,
+            fall: rise,
+            width: f64::INFINITY,
+            period: f64::INFINITY,
+        }
+    }
+
+    /// Value at absolute time `t` (t < 0 evaluates the shape at 0).
+    #[must_use]
+    pub fn eval(&self, t: f64) -> f64 {
+        let t = t.max(0.0);
+        match self {
+            Waveshape::Dc(v) => *v,
+            Waveshape::Pulse {
+                v1,
+                v2,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
+                if t < *delay {
+                    return *v1;
+                }
+                let rise = rise.max(MIN_EDGE);
+                let fall = fall.max(MIN_EDGE);
+                let mut tau = t - delay;
+                if period.is_finite() && *period > 0.0 {
+                    tau %= period;
+                }
+                if tau < rise {
+                    v1 + (v2 - v1) * tau / rise
+                } else if tau < rise + width {
+                    *v2
+                } else if tau < rise + width + fall {
+                    v2 + (v1 - v2) * (tau - rise - width) / fall
+                } else {
+                    *v1
+                }
+            }
+            Waveshape::Pwl(p) => p.eval(t),
+            Waveshape::Sine {
+                offset,
+                ampl,
+                freq,
+                delay,
+            } => {
+                if t < *delay {
+                    *offset
+                } else {
+                    offset + ampl * (2.0 * std::f64::consts::PI * freq * (t - delay)).sin()
+                }
+            }
+        }
+    }
+
+    /// Slope-discontinuity instants within `[0, t_stop]`, unsorted and
+    /// possibly duplicated (the engine sorts/dedups).
+    #[must_use]
+    pub fn breakpoints(&self, t_stop: f64) -> Vec<f64> {
+        match self {
+            Waveshape::Dc(_) => Vec::new(),
+            Waveshape::Pulse {
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+                ..
+            } => {
+                let rise = rise.max(MIN_EDGE);
+                let fall = fall.max(MIN_EDGE);
+                let mut pts = Vec::new();
+                let mut base = *delay;
+                loop {
+                    for p in [
+                        base,
+                        base + rise,
+                        base + rise + width,
+                        base + rise + width + fall,
+                    ] {
+                        if p.is_finite() && p <= t_stop {
+                            pts.push(p);
+                        }
+                    }
+                    if !(period.is_finite() && *period > 0.0) {
+                        break;
+                    }
+                    base += period;
+                    if base > t_stop {
+                        break;
+                    }
+                }
+                pts
+            }
+            Waveshape::Pwl(p) => p.xs().iter().copied().filter(|&x| x <= t_stop).collect(),
+            Waveshape::Sine { delay, .. } => {
+                if *delay <= t_stop {
+                    vec![*delay]
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+
+    /// A conservative upper bound on the step size needed to resolve this
+    /// shape *at time `t`* — a quarter of the active edge while inside a
+    /// rise/fall or sloped PWL segment, `INFINITY` on flat stretches (the
+    /// engine's breakpoints guarantee edges are entered exactly).
+    #[must_use]
+    pub fn dt_hint(&self, t: f64) -> f64 {
+        let t = t.max(0.0);
+        match self {
+            Waveshape::Dc(_) => f64::INFINITY,
+            Waveshape::Pulse {
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+                ..
+            } => {
+                if t < *delay {
+                    return f64::INFINITY;
+                }
+                let rise = rise.max(MIN_EDGE);
+                let fall = fall.max(MIN_EDGE);
+                let mut tau = t - delay;
+                if period.is_finite() && *period > 0.0 {
+                    tau %= period;
+                }
+                // A small guard band so the step *entering* an edge is short.
+                let guard = 0.25 * rise.min(fall);
+                if tau + guard >= 0.0 && tau < rise {
+                    0.25 * rise
+                } else if tau + guard >= rise + width && tau < rise + width + fall {
+                    0.25 * fall
+                } else {
+                    f64::INFINITY
+                }
+            }
+            Waveshape::Pwl(p) => {
+                let xs = p.xs();
+                let ys = p.ys();
+                if xs.len() < 2 || t >= *xs.last().expect("non-empty") {
+                    return f64::INFINITY;
+                }
+                let i = match xs.partition_point(|&v| v <= t) {
+                    0 => 0,
+                    k => k - 1,
+                };
+                if (ys[i + 1] - ys[i]).abs() < f64::MIN_POSITIVE {
+                    f64::INFINITY
+                } else {
+                    0.25 * (xs[i + 1] - xs[i])
+                }
+            }
+            Waveshape::Sine { freq, delay, .. } => {
+                if *freq > 0.0 && t >= *delay {
+                    0.02 / freq
+                } else {
+                    f64::INFINITY
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_flat() {
+        let w = Waveshape::Dc(1.2);
+        assert_eq!(w.eval(0.0), 1.2);
+        assert_eq!(w.eval(5.0), 1.2);
+        assert!(w.breakpoints(1.0).is_empty());
+        assert_eq!(w.dt_hint(0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn pulse_shape() {
+        let w = Waveshape::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 1.0,
+            rise: 1.0,
+            fall: 1.0,
+            width: 2.0,
+            period: f64::INFINITY,
+        };
+        assert_eq!(w.eval(0.5), 0.0);
+        assert_eq!(w.eval(1.5), 0.5); // mid-rise
+        assert_eq!(w.eval(3.0), 1.0); // plateau
+        assert_eq!(w.eval(4.5), 0.5); // mid-fall
+        assert_eq!(w.eval(10.0), 0.0); // back to v1
+    }
+
+    #[test]
+    fn pulse_periodic_repeats() {
+        let w = Waveshape::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 0.0,
+            rise: 0.1,
+            fall: 0.1,
+            width: 0.3,
+            period: 1.0,
+        };
+        assert!((w.eval(0.2) - 1.0).abs() < 1e-12);
+        assert!((w.eval(1.2) - 1.0).abs() < 1e-12);
+        assert!((w.eval(2.7) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_constructor() {
+        let w = Waveshape::step(0.0, 1.0, 1e-9, 50e-12);
+        assert_eq!(w.eval(0.0), 0.0);
+        assert!((w.eval(1.05e-9) - 1.0).abs() < 1e-9);
+        assert!((w.eval(5e-9) - 1.0).abs() < 1e-12); // infinite width holds v2
+    }
+
+    #[test]
+    fn zero_rise_still_evaluates() {
+        let w = Waveshape::step(0.0, 1.0, 0.0, 0.0);
+        assert_eq!(w.eval(1e-12), 1.0);
+    }
+
+    #[test]
+    fn pulse_breakpoints_within_span() {
+        let w = Waveshape::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 1.0,
+            rise: 0.5,
+            fall: 0.5,
+            width: 1.0,
+            period: f64::INFINITY,
+        };
+        let bps = w.breakpoints(10.0);
+        assert_eq!(bps, vec![1.0, 1.5, 2.5, 3.0]);
+        let none = w.breakpoints(0.5);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn pwl_eval_and_breakpoints() {
+        let p = PiecewiseLinear::new(vec![0.0, 1e-9, 2e-9], vec![0.0, 1.0, 0.5]).unwrap();
+        let w = Waveshape::Pwl(p);
+        assert!((w.eval(0.5e-9) - 0.5).abs() < 1e-12);
+        assert_eq!(w.breakpoints(1.5e-9).len(), 2);
+        assert!(w.dt_hint(0.5e-9) <= 0.25e-9);
+        assert_eq!(w.dt_hint(5e-9), f64::INFINITY);
+    }
+
+    #[test]
+    fn sine_eval() {
+        let w = Waveshape::Sine {
+            offset: 0.5,
+            ampl: 0.5,
+            freq: 1.0,
+            delay: 0.0,
+        };
+        assert!((w.eval(0.25) - 1.0).abs() < 1e-12);
+        assert!((w.eval(0.0) - 0.5).abs() < 1e-12);
+        assert!(w.dt_hint(1.0) < 0.05);
+    }
+
+    #[test]
+    fn negative_time_clamps_to_zero() {
+        let w = Waveshape::step(0.3, 1.0, 0.5, 0.1);
+        assert_eq!(w.eval(-1.0), w.eval(0.0));
+    }
+}

@@ -1,0 +1,209 @@
+//! SI-suffixed engineering value parsing and formatting.
+//!
+//! SPICE netlists write `2.5n`, `20a`, `1k`, `4.7meg`; this module converts
+//! between those strings and `f64`, and pretty-prints values for reports
+//! (`format_si(3.5e-13, "J") == "350.00 fJ"`).
+
+use crate::error::{Result, SpiceError};
+
+/// Parses an engineering value with an optional SPICE SI suffix.
+///
+/// Recognized suffixes (case-insensitive): `a f p n u m k meg g t`, with
+/// `mil` unsupported (not used in this project). Trailing unit letters after
+/// the suffix are ignored (`10pF` parses as `10e-12`), matching SPICE.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::Parse`] (line 0) when the numeric prefix is missing
+/// or malformed.
+///
+/// ```
+/// # fn main() -> Result<(), tcam_spice::SpiceError> {
+/// assert_eq!(tcam_spice::units::parse_value("1.5k")?, 1500.0);
+/// assert_eq!(tcam_spice::units::parse_value("20a")?, 20e-18);
+/// assert_eq!(tcam_spice::units::parse_value("4.7MEG")?, 4.7e6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_value(s: &str) -> Result<f64> {
+    let s = s.trim();
+    let err = |msg: String| SpiceError::Parse {
+        line: 0,
+        message: msg,
+    };
+    if s.is_empty() {
+        return Err(err("empty value".into()));
+    }
+    // Split numeric prefix from suffix.
+    let mut split = s.len();
+    for (i, c) in s.char_indices() {
+        let numeric =
+            c.is_ascii_digit() || c == '.' || c == '+' || c == '-' || c == 'e' || c == 'E';
+        // 'e'/'E' only counts as numeric if followed by digit or sign
+        // (distinguish 1e3 from 1exa-nonsense); handle simply: accept e/E when
+        // the previous char is a digit or '.' and next is digit/sign.
+        if !numeric {
+            split = i;
+            break;
+        }
+        // Guard: a leading 'e' is not a number.
+        if (c == 'e' || c == 'E') && i == 0 {
+            split = 0;
+            break;
+        }
+    }
+    // Handle the case where 'e'/'E' begins a suffix-less exponent but the
+    // remainder is not a valid exponent (e.g. "2.5e" in "2.5eZ"): fall back
+    // to trying progressively shorter numeric prefixes.
+    let (num, suffix) = loop {
+        let cand = &s[..split];
+        if cand.is_empty() {
+            return Err(err(format!("no numeric prefix in '{s}'")));
+        }
+        match cand.parse::<f64>() {
+            Ok(v) => break (v, &s[split..]),
+            Err(_) => {
+                split -= 1;
+                continue;
+            }
+        }
+    };
+    let lower = suffix.to_ascii_lowercase();
+    let mult = if lower.starts_with("meg") {
+        1e6
+    } else if lower.starts_with("mil") {
+        return Err(err("'mil' suffix not supported".into()));
+    } else {
+        match lower.chars().next() {
+            None => 1.0,
+            Some('a') => 1e-18,
+            Some('f') => 1e-15,
+            Some('p') => 1e-12,
+            Some('n') => 1e-9,
+            Some('u') => 1e-6,
+            Some('m') => 1e-3,
+            Some('k') => 1e3,
+            Some('g') => 1e9,
+            Some('t') => 1e12,
+            // Unknown letters are treated as unit annotations ("V", "s").
+            Some(_) => 1.0,
+        }
+    };
+    Ok(num * mult)
+}
+
+/// Formats `value` with an SI prefix and `unit`, e.g. `format_si(3.5e-13,
+/// "J")` gives `"350.00 fJ"`. Values of exactly zero print as `"0.00 <unit>"`.
+#[must_use]
+pub fn format_si(value: f64, unit: &str) -> String {
+    if value == 0.0 {
+        return format!("0.00 {unit}");
+    }
+    const PREFIXES: [(f64, &str); 13] = [
+        (1e12, "T"),
+        (1e9, "G"),
+        (1e6, "M"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "µ"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+        (1e-15, "f"),
+        (1e-18, "a"),
+        (1e-21, "z"),
+        (1e-24, "y"),
+    ];
+    let mag = value.abs();
+    for &(scale, prefix) in &PREFIXES {
+        if mag >= scale * 0.9999999 {
+            return format!("{:.2} {}{}", value / scale, prefix, unit);
+        }
+    }
+    format!("{value:.3e} {unit}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_numbers() {
+        assert_eq!(parse_value("42").unwrap(), 42.0);
+        assert_eq!(parse_value("-3.5").unwrap(), -3.5);
+        assert_eq!(parse_value("1e3").unwrap(), 1000.0);
+        assert_eq!(parse_value("2.5E-9").unwrap(), 2.5e-9);
+    }
+
+    #[test]
+    fn suffixes() {
+        assert!((parse_value("20a").unwrap() - 20e-18).abs() < 1e-30);
+        assert!((parse_value("15f").unwrap() - 15e-15).abs() < 1e-27);
+        assert_eq!(parse_value("10p").unwrap(), 10e-12);
+        assert_eq!(parse_value("2n").unwrap(), 2e-9);
+        assert_eq!(parse_value("3u").unwrap(), 3e-6);
+        assert_eq!(parse_value("5m").unwrap(), 5e-3);
+        assert_eq!(parse_value("1k").unwrap(), 1e3);
+        assert_eq!(parse_value("4.7meg").unwrap(), 4.7e6);
+        assert_eq!(parse_value("2g").unwrap(), 2e9);
+        assert_eq!(parse_value("1t").unwrap(), 1e12);
+    }
+
+    #[test]
+    fn unit_annotations_ignored() {
+        assert_eq!(parse_value("10pF").unwrap(), 10e-12);
+        assert_eq!(parse_value("1kOhm").unwrap(), 1e3);
+        assert_eq!(parse_value("5V").unwrap(), 5.0);
+        assert_eq!(parse_value("2.5ns").unwrap(), 2.5e-9);
+    }
+
+    #[test]
+    fn case_insensitive_suffix() {
+        assert_eq!(parse_value("1K").unwrap(), 1e3);
+        assert_eq!(parse_value("4.7MEG").unwrap(), 4.7e6);
+        // Capital M is milli per SPICE tradition? No: SPICE is
+        // case-insensitive, M == m == milli. MEG is mega.
+        assert_eq!(parse_value("1M").unwrap(), 1e-3);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_value("").is_err());
+        assert!(parse_value("volts").is_err());
+        assert!(parse_value("e9").is_err());
+    }
+
+    #[test]
+    fn dangling_exponent_falls_back() {
+        // "2.5eZ": the 'e' cannot start an exponent, so value is 2.5.
+        assert_eq!(parse_value("2.5eZ").unwrap(), 2.5);
+    }
+
+    #[test]
+    fn format_si_picks_prefix() {
+        assert_eq!(format_si(3.5e-13, "J"), "350.00 fJ");
+        assert_eq!(format_si(2e-9, "s"), "2.00 ns");
+        assert_eq!(format_si(1.5e3, "Ω"), "1.50 kΩ");
+        assert_eq!(format_si(0.0, "V"), "0.00 V");
+        assert_eq!(format_si(-2.5e-6, "A"), "-2.50 µA");
+        assert_eq!(format_si(19.6e-9, "W"), "19.60 nW");
+    }
+
+    #[test]
+    fn parse_format_roundtrip() {
+        for (s, unit) in [("350f", "J"), ("2n", "s"), ("1k", "Ω")] {
+            let v = parse_value(s).unwrap();
+            let f = format_si(v, unit);
+            // Re-parse the formatted magnitude (strip unit + space).
+            let num = f.split(' ').next().unwrap();
+            let prefix_and_unit = f.split(' ').nth(1).unwrap();
+            let prefix = &prefix_and_unit[..prefix_and_unit.len() - unit.len()];
+            let suffix = match prefix {
+                "µ" => "u",
+                other => other,
+            };
+            let back = parse_value(&format!("{num}{suffix}")).unwrap();
+            assert!((back - v).abs() <= 1e-9 * v.abs());
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Explore the calibrated NEM relay: beam parameters, the quasi-static
+//! hysteresis loop (paper Fig. 3b), and switching time vs drive voltage.
+//!
+//! ```sh
+//! cargo run --release --example device_explorer
+//! ```
+
+use nem_tcam::core::experiments::fig3b_hysteresis;
+use nem_tcam::devices::nem::calibrate;
+use nem_tcam::devices::nem::mechanics::time_to_contact;
+use nem_tcam::devices::params::NemTargets;
+use nem_tcam::spice::units::format_si;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let targets = NemTargets::paper();
+    let beam = calibrate(&targets)?;
+
+    println!("calibrated lumped beam (from Table I targets):");
+    println!("  rest gap        {}", format_si(beam.g0, "m"));
+    println!("  contact travel  {}", format_si(beam.g_contact, "m"));
+    println!("  plate area      {:.3e} m²", beam.area);
+    println!("  spring k        {:.3e} N/m", beam.k);
+    println!("  mass            {:.3e} kg", beam.mass);
+    println!("  damping         {:.3e} N·s/m", beam.damping);
+    println!("  adhesion        {:.3e} N", beam.f_adhesion);
+    println!(
+        "  V_PI            {:.3} V (target {})",
+        beam.v_pull_in(),
+        targets.v_pi
+    );
+    println!(
+        "  V_PO            {:.3} V (target {})",
+        beam.v_pull_out(),
+        targets.v_po
+    );
+
+    println!("\nswitching time vs gate drive (τ_mech spec: 2 ns at 1 V):");
+    for v in [0.6, 0.8, 1.0, 1.2, 1.5] {
+        match time_to_contact(&beam, v, 200e-9) {
+            Some(t) => println!("  {v:.1} V -> {}", format_si(t, "s")),
+            None => println!("  {v:.1} V -> no pull-in (below V_PI or too slow)"),
+        }
+    }
+
+    println!("\nquasi-static hysteresis loop (Fig. 3b), contact state vs V_GB:");
+    let wave = fig3b_hysteresis(41)?;
+    let axis = wave.axis();
+    let contact = wave.trace("n1.contact")?;
+    let half = axis.len() / 2;
+    println!(
+        "  up-leg:   {}",
+        ascii_strip(&axis[..=half], &contact[..=half])
+    );
+    println!(
+        "  down-leg: {}",
+        ascii_strip(&axis[half..], &contact[half..])
+    );
+    println!("            0.0 V {:>34} 1.0 V", "");
+    println!("  ('#' = contact closed; note the window between V_PO and V_PI)");
+    Ok(())
+}
+
+/// Renders contact state along a voltage leg as a 41-char strip ordered
+/// low→high voltage.
+fn ascii_strip(axis: &[f64], contact: &[f64]) -> String {
+    let mut pairs: Vec<(f64, f64)> = axis.iter().copied().zip(contact.iter().copied()).collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    pairs
+        .iter()
+        .map(|&(_, c)| if c > 0.5 { '#' } else { '.' })
+        .collect()
+}

@@ -1,0 +1,84 @@
+//! IP route lookup on a TCAM: longest-prefix-match forwarding with
+//! energy/latency accounting from the paper's measured 3T2N figures.
+//!
+//! ```sh
+//! cargo run --release --example ip_route_lookup
+//! ```
+
+use nem_tcam::arch::apps::router::{Ipv4Prefix, Route, RouterTable};
+use nem_tcam::arch::{OperationCosts, WorkloadMeter};
+use nem_tcam::spice::units::format_si;
+use std::net::Ipv4Addr;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small ISP-flavoured forwarding table.
+    let routes = vec![
+        Route {
+            prefix: pfx([0, 0, 0, 0], 0),
+            next_hop: 0,
+        }, // default
+        Route {
+            prefix: pfx([10, 0, 0, 0], 8),
+            next_hop: 1,
+        }, // corp
+        Route {
+            prefix: pfx([10, 42, 0, 0], 16),
+            next_hop: 2,
+        }, // site
+        Route {
+            prefix: pfx([10, 42, 7, 0], 24),
+            next_hop: 3,
+        }, // rack
+        Route {
+            prefix: pfx([192, 168, 0, 0], 16),
+            next_hop: 4,
+        },
+        Route {
+            prefix: pfx([203, 0, 113, 0], 24),
+            next_hop: 5,
+        },
+    ];
+    let table = RouterTable::from_routes(64, routes)?;
+    println!("installed {} routes into a 64-entry TCAM", table.len());
+
+    let lookups = [
+        Ipv4Addr::new(10, 42, 7, 99),  // deepest prefix
+        Ipv4Addr::new(10, 42, 200, 1), // /16
+        Ipv4Addr::new(10, 9, 9, 9),    // /8
+        Ipv4Addr::new(8, 8, 8, 8),     // default
+        Ipv4Addr::new(203, 0, 113, 7), // /24
+    ];
+
+    // Energy accounting with the 3T2N figures (one TCAM search per lookup —
+    // that is the TCAM's selling point vs O(depth) trie walks).
+    let costs = OperationCosts::paper_3t2n();
+    let mut meter = WorkloadMeter::new();
+    println!("\nlookup results:");
+    for ip in lookups {
+        let hop = table.lookup(ip);
+        meter.search(&costs);
+        println!("  {ip:<16} -> next hop {hop:?}");
+    }
+
+    // A packet-rate projection.
+    let rate = 100e6; // 100 M lookups/s
+    println!("\nat {} lookups/s on the 3T2N TCAM:", rate as u64);
+    println!(
+        "  search power  {}",
+        format_si(costs.search_energy * rate, "W")
+    );
+    println!(
+        "  refresh power {} (one-shot refresh, from the paper's §IV-B)",
+        format_si(costs.refresh_power(), "W")
+    );
+    println!(
+        "  this run: {} searches, {} total",
+        meter.searches,
+        format_si(meter.energy, "J")
+    );
+    Ok(())
+}
+
+fn pfx(a: [u8; 4], len: u8) -> Ipv4Prefix {
+    Ipv4Prefix::new(Ipv4Addr::from(a), len)
+}

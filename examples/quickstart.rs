@@ -1,0 +1,58 @@
+//! Quickstart: build a small 3T2N TCAM at circuit level, write a word,
+//! search it, and print what happened.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use nem_tcam::core::bit::parse_ternary;
+use nem_tcam::core::designs::{ArraySpec, Nem3t2n, TcamDesign};
+use nem_tcam::core::ops::{run_search, run_write};
+use nem_tcam::spice::units::format_si;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An 8-word × 8-bit slice of the paper's array, at 1 V.
+    let spec = ArraySpec {
+        rows: 8,
+        cols: 8,
+        vdd: 1.0,
+    };
+    let design = Nem3t2n::default();
+
+    // --- 1. Write a ternary word into one row (full SPICE-level run). ---
+    let word = parse_ternary("10X110X0").expect("valid ternary literal");
+    println!("writing   {:?}", render(&word));
+    let write = run_write(design.build_write(&spec, &word)?)?;
+    println!(
+        "  -> completed in {} using {} (all cells valid: {})",
+        format_si(write.latency, "s"),
+        format_si(write.energy, "J"),
+        write.all_valid
+    );
+
+    // --- 2. Search with a matching key: X positions accept anything. ---
+    let key_hit = parse_ternary("10111010").expect("valid");
+    let hit = run_search(design.build_search(&spec, &word, &key_hit)?)?;
+    println!("searching {:?}", render(&key_hit));
+    println!(
+        "  -> MATCH (matchline held at {:.2} V), search energy {}",
+        hit.ml_at_sense,
+        format_si(hit.energy, "J")
+    );
+
+    // --- 3. Search with a single-bit mismatch: the worst case the paper
+    //        times (one cell discharging the whole matchline). ---
+    let key_miss = parse_ternary("00111010").expect("valid");
+    let miss = run_search(design.build_search(&spec, &word, &key_miss)?)?;
+    println!("searching {:?}", render(&key_miss));
+    println!(
+        "  -> MISMATCH detected in {} (EDP {})",
+        format_si(miss.latency.expect("mismatch discharges"), "s"),
+        format_si(miss.edp().expect("defined"), "J·s"),
+    );
+    Ok(())
+}
+
+fn render(word: &[nem_tcam::core::TernaryBit]) -> String {
+    word.iter().map(ToString::to_string).collect()
+}

@@ -1,0 +1,72 @@
+//! Dump and plot the matchline discharge waveform of a 3T2N search —
+//! the signal behind the paper's Fig. 7a latency measurement.
+//!
+//! ```sh
+//! cargo run --release --example search_waveform [-- --csv ml.csv]
+//! ```
+
+use nem_tcam::core::bit::parse_ternary;
+use nem_tcam::core::designs::{ArraySpec, Nem3t2n, Sram16t, TcamDesign};
+use nem_tcam::core::ops::run_search;
+use nem_tcam::spice::units::format_si;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = ArraySpec {
+        rows: 16,
+        cols: 8,
+        vdd: 1.0,
+    };
+    let stored = parse_ternary("10X110X0").expect("valid");
+    let mut key = stored.clone();
+    key[0] = nem_tcam::core::TernaryBit::Zero; // 1-bit mismatch
+
+    println!("worst-case 1-bit-mismatch search, 16x8 array:\n");
+    let mut csv_dump: Option<String> = None;
+    if let Some(pos) = std::env::args().position(|a| a == "--csv") {
+        csv_dump = std::env::args().nth(pos + 1);
+    }
+
+    for design in [&Nem3t2n::default() as &dyn TcamDesign, &Sram16t::default()] {
+        let exp = design.build_search(&spec, &stored, &key)?;
+        let t_search = exp.t_search;
+        let res = run_search(exp)?;
+        let wave = &res.waveform;
+        println!(
+            "{}: ML falls to VDD/2 in {}",
+            design.name(),
+            format_si(res.latency.expect("mismatch"), "s")
+        );
+
+        // ASCII plot: 60 columns over [t_search - 0.2 ns, t_search + 0.8 ns].
+        let t0 = t_search - 0.2e-9;
+        let t1 = t_search + 0.8e-9;
+        let mut rows = vec![String::new(); 11];
+        for col in 0..60 {
+            let t = t0 + (t1 - t0) * col as f64 / 59.0;
+            let v = wave.sample("v(ml)", t)?;
+            let level = ((v / spec.vdd) * 10.0).round().clamp(0.0, 10.0) as usize;
+            for (r, row) in rows.iter_mut().enumerate() {
+                row.push(if 10 - r == level { '*' } else { ' ' });
+            }
+        }
+        for (r, row) in rows.iter().enumerate() {
+            println!("  {:>4.1} |{row}", 1.0 - r as f64 / 10.0);
+        }
+        println!("       +{}", "-".repeat(60));
+        println!(
+            "        {:<28}{:>32}",
+            "-0.2 ns", "+0.8 ns (around SL edge)"
+        );
+        println!();
+
+        if design.name() == "3T2N" {
+            if let Some(path) = &csv_dump {
+                let mut buf = Vec::new();
+                wave.to_csv(&mut buf)?;
+                std::fs::write(path, buf)?;
+                println!("full 3T2N waveform written to {path}\n");
+            }
+        }
+    }
+    Ok(())
+}

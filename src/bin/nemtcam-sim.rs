@@ -1,0 +1,142 @@
+//! `nemtcam-sim` — batch netlist runner.
+//!
+//! Parses a SPICE-like netlist (with the `M`/`N`/`Z`/`F` device letters of
+//! this project pre-registered), executes its `.op` / `.tran` / `.dc`
+//! directives in order, prints result summaries, and optionally dumps the
+//! last waveform to CSV.
+//!
+//! ```sh
+//! nemtcam-sim cell.cir            # run all directives
+//! nemtcam-sim cell.cir --csv out.csv
+//! nemtcam-sim cell.cir --tran 10n # override/append a transient
+//! ```
+
+use nem_tcam::devices::builders::full_parser;
+use nem_tcam::spice::analysis::{dc_sweep, operating_point, transient, DcSweepSpec, TransientSpec};
+use nem_tcam::spice::options::SimOptions;
+use nem_tcam::spice::parser::Directive;
+use nem_tcam::spice::units::{format_si, parse_value};
+use nem_tcam::spice::waveform::Waveform;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("nemtcam-sim: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut netlist_path: Option<String> = None;
+    let mut csv_path: Option<String> = None;
+    let mut extra_tran: Option<f64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--csv" => {
+                csv_path = Some(args.get(i + 1).ok_or("--csv needs a path")?.clone());
+                i += 1;
+            }
+            "--tran" => {
+                let v = args.get(i + 1).ok_or("--tran needs a time")?;
+                extra_tran = Some(parse_value(v).map_err(|e| format!("bad --tran value: {e}"))?);
+                i += 1;
+            }
+            "--help" | "-h" => {
+                println!("usage: nemtcam-sim <netlist.cir> [--csv out.csv] [--tran t_stop]");
+                return Ok(());
+            }
+            other if netlist_path.is_none() => netlist_path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+        i += 1;
+    }
+    let path = netlist_path.ok_or("usage: nemtcam-sim <netlist.cir> [--csv out.csv]")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+
+    let parser = full_parser().map_err(|e| e.to_string())?;
+    let (mut ckt, mut directives) = parser
+        .parse_with_directives(&text)
+        .map_err(|e| e.to_string())?;
+    if let Some(t) = extra_tran {
+        directives.push(Directive::Tran { t_stop: t });
+    }
+    if directives.is_empty() {
+        directives.push(Directive::Op);
+    }
+    println!(
+        "parsed {path}: {} devices, {} nodes, {} directives",
+        ckt.devices().len(),
+        ckt.nodes().len(),
+        directives.len()
+    );
+
+    let opts = SimOptions::default();
+    let mut last_wave: Option<Waveform> = None;
+    for (k, d) in directives.iter().enumerate() {
+        match d {
+            Directive::Op => {
+                let op = operating_point(&mut ckt, &opts).map_err(|e| e.to_string())?;
+                println!("\n[{k}] .op converged in {} iterations:", op.iterations);
+                for (id, name) in ckt.nodes().iter() {
+                    if !id.is_ground() {
+                        let v = ckt.voltage_of(&op.x, name).map_err(|e| e.to_string())?;
+                        println!("  v({name}) = {}", format_si(v, "V"));
+                    }
+                }
+            }
+            Directive::Tran { t_stop } => {
+                let wave = transient(&mut ckt, TransientSpec::to(*t_stop), &opts)
+                    .map_err(|e| e.to_string())?;
+                println!(
+                    "\n[{k}] .tran to {}: {} points, {} signals",
+                    format_si(*t_stop, "s"),
+                    wave.len(),
+                    wave.signal_names().len()
+                );
+                for sig in wave.signal_names() {
+                    if sig.starts_with("v(") {
+                        let last = wave.last(sig).map_err(|e| e.to_string())?;
+                        println!("  {sig} final = {}", format_si(last, "V"));
+                    }
+                }
+                println!(
+                    "  total source energy: {}",
+                    format_si(ckt.total_sourced_energy(), "J")
+                );
+                last_wave = Some(wave);
+            }
+            Directive::Dc {
+                source,
+                from,
+                to,
+                points,
+            } => {
+                let spec = DcSweepSpec::linear(source.clone(), *from, *to, *points);
+                let wave = dc_sweep(&mut ckt, &spec, &opts).map_err(|e| e.to_string())?;
+                println!(
+                    "\n[{k}] .dc {source} {from} → {to} ({points} points): {} signals",
+                    wave.signal_names().len()
+                );
+                last_wave = Some(wave);
+            }
+        }
+    }
+
+    if let Some(csv) = csv_path {
+        match last_wave {
+            Some(w) => {
+                let mut buf = Vec::new();
+                w.to_csv(&mut buf).map_err(|e| e.to_string())?;
+                std::fs::write(&csv, buf).map_err(|e| format!("writing {csv}: {e}"))?;
+                println!("\nwaveform written to {csv}");
+            }
+            None => return Err("--csv given but no .tran/.dc produced a waveform".into()),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! One-shot refresh integration: OSR, retention, and the write path working
+//! together on the 3T2N design (paper §III-D / §IV-B / Fig. 4).
+
+use nem_tcam::core::bit::TernaryBit;
+use nem_tcam::core::designs::{ArraySpec, Nem3t2n};
+use nem_tcam::core::osr::{osr_default_pattern, run_osr, V_REFRESH};
+use nem_tcam::core::retention::run_retention;
+
+fn spec() -> ArraySpec {
+    ArraySpec {
+        rows: 8,
+        cols: 8,
+        vdd: 1.0,
+    }
+}
+
+#[test]
+fn osr_preserves_all_three_states_in_one_operation() {
+    let d = Nem3t2n::default();
+    let res = run_osr(&d, &spec(), V_REFRESH, osr_default_pattern).expect("simulates");
+    assert!(res.states_preserved, "Fig. 4 property violated");
+    // All storage nodes restored to V_R during the pulse.
+    assert!(
+        res.q_after.0 > 0.45 && res.q_after.1 < 0.55,
+        "{:?}",
+        res.q_after
+    );
+    // Energy splits into wordline + bitline shares.
+    let total = res.energy_wordlines + res.energy_bitlines;
+    assert!((res.energy_array - total).abs() < 1e-18);
+}
+
+#[test]
+fn refresh_voltage_window_brackets() {
+    // Inside the window: safe. Outside on either side: corrupt. This is the
+    // quantitative form of the paper's Fig. 4 argument.
+    let d = Nem3t2n::default();
+    for (vr, expect_safe) in [(0.3, true), (0.5, true), (0.05, false), (0.8, false)] {
+        let res = run_osr(&d, &spec(), vr, osr_default_pattern).expect("simulates");
+        assert_eq!(
+            res.states_preserved, expect_safe,
+            "V_R = {vr}: expected safe = {expect_safe}"
+        );
+    }
+}
+
+#[test]
+fn retention_exceeds_many_search_windows() {
+    // Retention (tens of µs) dwarfs a search cycle (ns): the refresh duty
+    // cycle is tiny, which is why OSR's overhead is negligible.
+    let d = Nem3t2n::default();
+    let res = run_retention(&d, &ArraySpec::paper(), V_REFRESH, 100e-6).expect("simulates");
+    let t = res.retention.expect("must eventually release");
+    assert!(t > 1e-5, "retention {t:.3e}s");
+    let search_cycle = 5e-9;
+    assert!(t / search_cycle > 1000.0);
+}
+
+#[test]
+fn osr_energy_scales_with_array_width() {
+    // Bitline share scales with columns; wordline share with rows — the
+    // column-slice assembly must reflect that.
+    let d = Nem3t2n::default();
+    let narrow = run_osr(
+        &d,
+        &ArraySpec {
+            rows: 8,
+            cols: 8,
+            vdd: 1.0,
+        },
+        V_REFRESH,
+        osr_default_pattern,
+    )
+    .expect("simulates");
+    let wide = run_osr(
+        &d,
+        &ArraySpec {
+            rows: 8,
+            cols: 32,
+            vdd: 1.0,
+        },
+        V_REFRESH,
+        osr_default_pattern,
+    )
+    .expect("simulates");
+    assert!(wide.energy_bitlines > 3.0 * narrow.energy_bitlines);
+    assert!(wide.energy_wordlines > narrow.energy_wordlines);
+}
+
+#[test]
+fn all_x_pattern_refreshes_cleanly() {
+    let d = Nem3t2n::default();
+    let res = run_osr(&d, &spec(), V_REFRESH, |_| TernaryBit::X).expect("simulates");
+    assert!(res.states_preserved);
+}

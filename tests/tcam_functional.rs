@@ -1,0 +1,89 @@
+//! Cross-layer functional tests: the circuit-level search outcome of every
+//! design must agree with the behavioral ternary match rule.
+
+use nem_tcam::core::bit::{parse_ternary, word_matches, TernaryBit};
+use nem_tcam::core::designs::{ArraySpec, Fefet2f, Nem3t2n, Rram2t2r, Sram16t, TcamDesign};
+use nem_tcam::core::ops::run_search;
+
+fn spec() -> ArraySpec {
+    ArraySpec {
+        rows: 8,
+        cols: 4,
+        vdd: 1.0,
+    }
+}
+
+fn designs() -> Vec<Box<dyn TcamDesign>> {
+    vec![
+        Box::new(Nem3t2n::default()),
+        Box::new(Sram16t::default()),
+        Box::new(Rram2t2r::default()),
+        Box::new(Fefet2f::default()),
+    ]
+}
+
+/// Stored/key pairs covering each interesting case: exact match, X-store
+/// wildcard, X-search wildcard, single mismatch at either end.
+fn cases() -> Vec<(Vec<TernaryBit>, Vec<TernaryBit>)> {
+    let t = |s: &str| parse_ternary(s).expect("valid literal");
+    vec![
+        (t("1010"), t("1010")), // exact match
+        (t("1X10"), t("1110")), // stored X matches
+        (t("1010"), t("10X0")), // searched X matches
+        (t("1010"), t("0010")), // mismatch in MSB
+        (t("1010"), t("1011")), // mismatch in LSB
+        (t("XXXX"), t("1001")), // all-wildcard row matches anything
+    ]
+}
+
+#[test]
+fn circuit_search_agrees_with_ternary_semantics() {
+    for design in designs() {
+        for (stored, key) in cases() {
+            let expected = word_matches(&stored, &key);
+            let exp = design
+                .build_search(&spec(), &stored, &key)
+                .expect("experiment builds");
+            assert_eq!(
+                exp.expect_match,
+                expected,
+                "{}: experiment expectation disagrees with semantics",
+                design.name()
+            );
+            let res = run_search(exp).expect("simulates");
+            assert!(
+                res.functional_ok,
+                "{}: stored {stored:?} key {key:?} (expected match = {expected}, \
+                 ml at sense = {:.3})",
+                design.name(),
+                res.ml_at_sense
+            );
+            if expected {
+                assert!(res.latency.is_none());
+            } else {
+                assert!(res.latency.is_some());
+            }
+        }
+    }
+}
+
+#[test]
+fn mismatch_count_does_not_change_outcome() {
+    // 1-bit and all-bit mismatches must both be detected; all-bit is faster
+    // (more parallel pull-downs).
+    let t = |s: &str| parse_ternary(s).expect("valid literal");
+    for design in designs() {
+        let stored = t("1010");
+        let one = run_search(design.build_search(&spec(), &stored, &t("0010")).unwrap())
+            .expect("simulates");
+        let all = run_search(design.build_search(&spec(), &stored, &t("0101")).unwrap())
+            .expect("simulates");
+        assert!(one.functional_ok && all.functional_ok, "{}", design.name());
+        let (l1, la) = (one.latency.unwrap(), all.latency.unwrap());
+        assert!(
+            la <= l1 * 1.05,
+            "{}: all-bit mismatch ({la:.3e}) should not be slower than 1-bit ({l1:.3e})",
+            design.name()
+        );
+    }
+}
