@@ -12,8 +12,7 @@
 //! reports search waiting-time statistics and refresh energy for each
 //! policy.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tcam_numeric::rng::SplitMix64;
 use tcam_numeric::stats::{percentile, Running};
 
 /// Refresh policy under test.
@@ -88,7 +87,7 @@ pub fn simulate(config: &RefreshSimConfig) -> RefreshSimReport {
     assert!(config.duration > 0.0, "duration must be positive");
     assert!(config.search_rate >= 0.0, "rate must be non-negative");
 
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = SplitMix64::new(config.seed);
 
     // Refresh release times and per-op parameters over the horizon.
     let (ops_per_interval, op_time, op_energy) = match config.policy {
@@ -105,7 +104,7 @@ pub fn simulate(config: &RefreshSimConfig) -> RefreshSimReport {
     // search arrivals (Poisson). The bank serves refreshes with priority.
     let mut t_bank_free = 0.0_f64; // when the bank next becomes idle
     let mut next_refresh = refresh_spacing;
-    let mut next_search = sample_exp(&mut rng, config.search_rate);
+    let mut next_search = rng.exp(config.search_rate);
 
     let mut waits = Vec::new();
     let mut stats = Running::new();
@@ -137,7 +136,7 @@ pub fn simulate(config: &RefreshSimConfig) -> RefreshSimReport {
             waits.push(wait);
             stats.push(wait);
             t_bank_free = start + config.search_time;
-            next_search += sample_exp(&mut rng, config.search_rate);
+            next_search += rng.exp(config.search_rate);
         }
     }
 
@@ -156,15 +155,6 @@ pub fn simulate(config: &RefreshSimConfig) -> RefreshSimReport {
         refresh_energy: refresh_ops as f64 * op_energy,
         refresh_utilization: refresh_busy / config.duration,
     }
-}
-
-/// Exponential inter-arrival sample; infinite when the rate is zero.
-fn sample_exp(rng: &mut StdRng, rate: f64) -> f64 {
-    if rate <= 0.0 {
-        return f64::INFINITY;
-    }
-    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    -u.ln() / rate
 }
 
 /// Convenience: the paper-flavoured comparison — row-by-row vs one-shot on

@@ -1,55 +1,55 @@
 //! Architectural-layer benches: functional search throughput, router
 //! lookups, refresh-interference simulation speed.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::net::Ipv4Addr;
 use tcam_arch::apps::router::{Ipv4Prefix, Route, RouterTable};
 use tcam_arch::array::{value_to_word, TcamArray};
 use tcam_arch::refresh_sched::{simulate, RefreshPolicy, RefreshSimConfig};
+use tcam_bench::timing::bench;
+use tcam_numeric::rng::SplitMix64;
 
-fn bench_tcam_search(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(1);
+fn bench_tcam_search() {
+    let mut rng = SplitMix64::new(1);
     let mut tcam = TcamArray::new(1024, 64);
     for row in 0..1024 {
-        let v: u64 = rng.gen();
+        let v = rng.next_u64();
         tcam.write(row, value_to_word(v, 64)).expect("fits");
     }
-    let keys: Vec<_> = (0..256).map(|_| value_to_word(rng.gen(), 64)).collect();
-    c.bench_function("functional_search_1k_rows", |b| {
-        b.iter(|| {
-            let mut hits = 0usize;
-            for k in &keys {
-                hits += usize::from(tcam.first_match(k).is_some());
-            }
-            hits
-        });
+    let keys: Vec<_> = (0..256).map(|_| value_to_word(rng.next_u64(), 64)).collect();
+    bench("functional_search_1k_rows", 50, || {
+        let mut hits = 0usize;
+        for k in &keys {
+            hits += usize::from(tcam.first_match(k).is_some());
+        }
+        hits
     });
 }
 
-fn bench_router_lookup(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(2);
+fn bench_router_lookup() {
+    let mut rng = SplitMix64::new(2);
     let routes: Vec<Route> = (0..512)
         .map(|i| Route {
-            prefix: Ipv4Prefix::new(Ipv4Addr::from(rng.gen::<u32>()), 8 + (i % 25) as u8),
+            prefix: Ipv4Prefix::new(
+                Ipv4Addr::from(rng.next_u64() as u32),
+                8 + (i % 25) as u8,
+            ),
             next_hop: i as u32,
         })
         .collect();
     let table = RouterTable::from_routes(512, routes).expect("fits");
-    let ips: Vec<Ipv4Addr> = (0..256).map(|_| Ipv4Addr::from(rng.gen::<u32>())).collect();
-    c.bench_function("router_lpm_512_routes", |b| {
-        b.iter(|| {
-            let mut found = 0usize;
-            for ip in &ips {
-                found += usize::from(table.lookup(*ip).is_some());
-            }
-            found
-        });
+    let ips: Vec<Ipv4Addr> = (0..256)
+        .map(|_| Ipv4Addr::from(rng.next_u64() as u32))
+        .collect();
+    bench("router_lpm_512_routes", 50, || {
+        let mut found = 0usize;
+        for ip in &ips {
+            found += usize::from(table.lookup(*ip).is_some());
+        }
+        found
     });
 }
 
-fn bench_refresh_sim(c: &mut Criterion) {
+fn bench_refresh_sim() {
     let cfg = RefreshSimConfig {
         retention: 26.5e-6,
         policy: RefreshPolicy::RowByRow {
@@ -62,15 +62,11 @@ fn bench_refresh_sim(c: &mut Criterion) {
         duration: 1e-3,
         seed: 3,
     };
-    c.bench_function("refresh_sim_1ms_50msps", |b| {
-        b.iter(|| simulate(&cfg));
-    });
+    bench("refresh_sim_1ms_50msps", 20, || simulate(&cfg));
 }
 
-criterion_group!(
-    benches,
-    bench_tcam_search,
-    bench_router_lookup,
-    bench_refresh_sim
-);
-criterion_main!(benches);
+fn main() {
+    bench_tcam_search();
+    bench_router_lookup();
+    bench_refresh_sim();
+}

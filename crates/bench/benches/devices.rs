@@ -1,14 +1,14 @@
 //! Device-model evaluation benches: MOSFET current evaluation, NEM beam
 //! integration, calibration cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tcam_bench::timing::bench;
 use tcam_devices::mosfet::{MosParams, Mosfet};
 use tcam_devices::nem::calibrate;
 use tcam_devices::nem::mechanics::{advance, BeamState};
 use tcam_devices::params::NemTargets;
 use tcam_spice::node::NodeId;
 
-fn bench_mosfet_ids(c: &mut Criterion) {
+fn bench_mosfet_ids() {
     let m = Mosfet::new(
         "m",
         NodeId::GROUND,
@@ -17,39 +17,33 @@ fn bench_mosfet_ids(c: &mut Criterion) {
         NodeId::GROUND,
         MosParams::nmos_45lp(),
     );
-    c.bench_function("mosfet_ids_eval", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for i in 0..100 {
-                let vg = i as f64 * 0.01;
-                acc += m.ids(std::hint::black_box(vg), 0.8, 0.0, 0.0);
-            }
-            acc
-        });
+    bench("mosfet_ids_eval", 100, || {
+        let mut acc = 0.0;
+        for i in 0..100 {
+            let vg = i as f64 * 0.01;
+            acc += m.ids(std::hint::black_box(vg), 0.8, 0.0, 0.0);
+        }
+        acc
     });
 }
 
-fn bench_beam_advance(c: &mut Criterion) {
+fn bench_beam_advance() {
     let beam = calibrate(&NemTargets::paper()).expect("calibrates");
-    c.bench_function("nem_beam_advance_2ns", |b| {
-        b.iter(|| {
-            let mut s = BeamState::released();
-            advance(&beam, &mut s, 1.0, 1.0, 2e-9, 10e-12);
-            s
-        });
+    bench("nem_beam_advance_2ns", 100, || {
+        let mut s = BeamState::released();
+        advance(&beam, &mut s, 1.0, 1.0, 2e-9, 10e-12);
+        s
     });
 }
 
-fn bench_calibration(c: &mut Criterion) {
-    c.bench_function("nem_calibrate_table1", |b| {
-        b.iter(|| calibrate(&NemTargets::paper()).expect("calibrates"));
+fn bench_calibration() {
+    bench("nem_calibrate_table1", 100, || {
+        calibrate(&NemTargets::paper()).expect("calibrates")
     });
 }
 
-criterion_group!(
-    benches,
-    bench_mosfet_ids,
-    bench_beam_advance,
-    bench_calibration
-);
-criterion_main!(benches);
+fn main() {
+    bench_mosfet_ids();
+    bench_beam_advance();
+    bench_calibration();
+}

@@ -1,7 +1,7 @@
 //! Engine performance benches + the integrator/solver ablations from
-//! DESIGN.md §4 (BE vs TR, dense vs sparse LU).
+//! DESIGN.md §4 (BE vs TR, dense vs sparse LU, factorize vs refactorize).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcam_bench::timing::bench;
 use tcam_numeric::sparse::TripletMatrix;
 use tcam_numeric::sparse_lu::SparseLu;
 use tcam_spice::prelude::*;
@@ -31,66 +31,45 @@ fn rc_ladder(n: usize) -> Circuit {
     ckt
 }
 
-fn bench_transient_ladder(c: &mut Criterion) {
-    let mut group = c.benchmark_group("transient_rc_ladder");
-    group.sample_size(10);
+fn bench_transient_ladder() {
     for n in [10usize, 50, 200] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut ckt = rc_ladder(n);
-                transient(&mut ckt, TransientSpec::to(20e-9), &SimOptions::default())
-                    .expect("converges")
-            });
+        bench(&format!("transient_rc_ladder/{n}"), 10, || {
+            let mut ckt = rc_ladder(n);
+            transient(&mut ckt, TransientSpec::to(20e-9), &SimOptions::default())
+                .expect("converges")
         });
     }
-    group.finish();
 }
 
-fn bench_integrators(c: &mut Criterion) {
-    let mut group = c.benchmark_group("integrator_ablation");
-    group.sample_size(10);
+fn bench_integrators() {
     for (name, integ) in [
         ("backward_euler", Integrator::BackwardEuler),
         ("trapezoidal", Integrator::Trapezoidal),
     ] {
-        group.bench_function(name, |b| {
-            let opts = SimOptions::with_integrator(integ);
-            b.iter(|| {
-                let mut ckt = rc_ladder(50);
-                transient(&mut ckt, TransientSpec::to(20e-9), &opts).expect("converges")
-            });
+        let opts = SimOptions::with_integrator(integ);
+        bench(&format!("integrator_ablation/{name}"), 10, || {
+            let mut ckt = rc_ladder(50);
+            transient(&mut ckt, TransientSpec::to(20e-9), &opts).expect("converges")
         });
     }
-    group.finish();
 }
 
-fn bench_solvers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("solver_ablation");
-    group.sample_size(10);
+fn bench_solvers() {
     for (name, solver) in [("dense", SolverKind::Dense), ("sparse", SolverKind::Sparse)] {
         for n in [30usize, 120, 400] {
-            group.bench_with_input(
-                BenchmarkId::new(name, n),
-                &(solver, n),
-                |b, &(solver, n)| {
-                    let opts = SimOptions {
-                        solver,
-                        ..SimOptions::default()
-                    };
-                    b.iter(|| {
-                        let mut ckt = rc_ladder(n);
-                        transient(&mut ckt, TransientSpec::to(5e-9), &opts).expect("converges")
-                    });
-                },
-            );
+            let opts = SimOptions {
+                solver,
+                ..SimOptions::default()
+            };
+            bench(&format!("solver_ablation/{name}/{n}"), 10, || {
+                let mut ckt = rc_ladder(n);
+                transient(&mut ckt, TransientSpec::to(5e-9), &opts).expect("converges")
+            });
         }
     }
-    group.finish();
 }
 
-fn bench_sparse_lu(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sparse_lu");
-    group.sample_size(20);
+fn bench_sparse_lu() {
     for n in [100usize, 500, 2000] {
         // Tridiagonal-ish circuit matrix.
         let mut t = TripletMatrix::new(n, n);
@@ -103,21 +82,24 @@ fn bench_sparse_lu(c: &mut Criterion) {
         }
         let (a, _) = t.to_csc().unwrap();
         let b_vec: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                let lu = SparseLu::factorize(&a).expect("nonsingular");
-                lu.solve(&b_vec).expect("solves")
-            });
+        bench(&format!("sparse_lu/factorize/{n}"), 20, || {
+            let lu = SparseLu::factorize(&a).expect("nonsingular");
+            lu.solve(&b_vec).expect("solves")
+        });
+        let mut lu = SparseLu::factorize(&a).expect("nonsingular");
+        let mut x = b_vec.clone();
+        bench(&format!("sparse_lu/refactorize/{n}"), 20, || {
+            lu.refactorize(&a).expect("healthy pivots");
+            x.copy_from_slice(&b_vec);
+            lu.solve_in_place(&mut x).expect("solves");
+            x[0]
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_transient_ladder,
-    bench_integrators,
-    bench_solvers,
-    bench_sparse_lu
-);
-criterion_main!(benches);
+fn main() {
+    bench_transient_ladder();
+    bench_integrators();
+    bench_solvers();
+    bench_sparse_lu();
+}

@@ -2,7 +2,7 @@
 //! one write / search experiment per design (reduced 8×8 arrays so the
 //! bench suite stays minutes, not hours).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcam_bench::timing::bench;
 use tcam_core::designs::{ArraySpec, Fefet2f, Nem3t2n, Rram2t2r, Sram16t, TcamDesign};
 use tcam_core::experiments::{mismatch_key, pattern_word};
 use tcam_core::ops::{run_search, run_write};
@@ -24,38 +24,30 @@ fn designs() -> Vec<Box<dyn TcamDesign>> {
     ]
 }
 
-fn bench_write_experiments(c: &mut Criterion) {
+fn bench_write_experiments() {
     let spec = small();
     let data = pattern_word(spec.cols);
-    let mut group = c.benchmark_group("write_experiment_8x8");
-    group.sample_size(10);
     for d in designs() {
-        group.bench_with_input(BenchmarkId::from_parameter(d.name()), &d, |b, d| {
-            b.iter(|| {
-                let exp = d.build_write(&spec, &data).expect("builds");
-                run_write(exp).expect("runs")
-            });
+        bench(&format!("write_experiment_8x8/{}", d.name()), 10, || {
+            let exp = d.build_write(&spec, &data).expect("builds");
+            run_write(exp).expect("runs")
         });
     }
-    group.finish();
 }
 
-fn bench_search_experiments(c: &mut Criterion) {
+fn bench_search_experiments() {
     let spec = small();
     let stored = pattern_word(spec.cols);
     let key = mismatch_key(spec.cols);
-    let mut group = c.benchmark_group("search_experiment_8x8");
-    group.sample_size(10);
     for d in designs() {
-        group.bench_with_input(BenchmarkId::from_parameter(d.name()), &d, |b, d| {
-            b.iter(|| {
-                let exp = d.build_search(&spec, &stored, &key).expect("builds");
-                run_search(exp).expect("runs")
-            });
+        bench(&format!("search_experiment_8x8/{}", d.name()), 10, || {
+            let exp = d.build_search(&spec, &stored, &key).expect("builds");
+            run_search(exp).expect("runs")
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_write_experiments, bench_search_experiments);
-criterion_main!(benches);
+fn main() {
+    bench_write_experiments();
+    bench_search_experiments();
+}

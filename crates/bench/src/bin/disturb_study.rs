@@ -4,7 +4,7 @@
 //! hysteresis is immune to the same stress.
 
 use tcam_core::designs::{ArraySpec, Fefet2f, Nem3t2n};
-use tcam_core::disturb::{nem_victim_survives_neighbour_writes, run_fefet_write_disturb};
+use tcam_core::disturb::{fefet_disturb_cycle_sweep, nem_victim_survives_neighbour_writes};
 
 fn main() {
     let spec = ArraySpec {
@@ -18,8 +18,9 @@ fn main() {
     println!("2FeFET victim polarization vs aggressor write cycles:");
     println!("{:<8} {:>10} {:>14} {:>10}", "cycles", "p(victim)", "ΔV_T shift", "bit ok");
     let design = Fefet2f::default();
-    for cycles in [1usize, 2, 5, 10] {
-        match run_fefet_write_disturb(&design, &spec, cycles) {
+    // All four corner points simulate concurrently on scoped threads.
+    for (cycles, outcome) in fefet_disturb_cycle_sweep(&design, &spec, &[1, 2, 5, 10]) {
+        match outcome {
             Ok(r) => println!(
                 "{cycles:<8} {:>10.3} {:>12.0} mV {:>10}",
                 r.victim_p_end,

@@ -1,0 +1,87 @@
+//! Fixed-workload performance baseline for trajectory tracking.
+//!
+//! Times (a) one 16×16 3T2N worst-case search transient and (b) a 10-trial
+//! device-variation sweep on the same array, then emits a single-line JSON
+//! record suitable for appending to a `BENCH_*.json` history:
+//!
+//! ```json
+//! {"bench":"perf_baseline","search_wall_ms":...,"search_no_reuse_ms":...,
+//!  "reuse_speedup":...,"sweep_wall_ms":...,"fresh_factorizations":...,
+//!  "refactorizations":...,"nr_iterations":...,"steps_accepted":...,
+//!  "steps_rejected":...,"sweep_margin_mean":...}
+//! ```
+//!
+//! The factorization counters come from the search transient's
+//! [`SolveStats`](tcam_spice::mna::SolveStats): with the cached-LU path a
+//! healthy run shows `fresh_factorizations` in the low single digits while
+//! `refactorizations` tracks the Newton iteration count.
+
+use std::time::Instant;
+use tcam_core::designs::{ArraySpec, Nem3t2n, TcamDesign};
+use tcam_core::experiments::{mismatch_key, pattern_word};
+use tcam_core::ops::run_search;
+use tcam_core::variation::{search_margin_study, VariationSpec, VariedDesign};
+
+fn main() {
+    let spec = ArraySpec {
+        rows: 16,
+        cols: 16,
+        vdd: 1.0,
+    };
+
+    // (a) Worst-case single-bit-mismatch search on the 16×16 3T2N array.
+    let design = Nem3t2n::default();
+    let stored = pattern_word(spec.cols);
+    let key = mismatch_key(spec.cols);
+    let t0 = Instant::now();
+    let exp = design.build_search(&spec, &stored, &key).expect("builds");
+    let search = run_search(exp).expect("search transient converges");
+    let search_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(search.functional_ok, "mismatch must be detected");
+    let stats = search
+        .waveform
+        .stats()
+        .expect("transient records solver stats");
+
+    // Same transient with the factorization cache disabled — the seed
+    // solver's behavior (one fresh factorization per Newton iteration).
+    let t0 = Instant::now();
+    let mut exp = design.build_search(&spec, &stored, &key).expect("builds");
+    exp.options.reuse_factorization = false;
+    run_search(exp).expect("search transient converges");
+    let search_no_reuse_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // (b) 10-trial Monte-Carlo variation sweep (two transients per trial).
+    let cfg = VariationSpec {
+        design: VariedDesign::Nem3t2n,
+        sigma: 0.05,
+        trials: 10,
+        seed: 7,
+    };
+    let t1 = Instant::now();
+    let sweep = search_margin_study(&spec, &cfg).expect("sweep converges");
+    let sweep_wall_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    println!(
+        "{{\"bench\":\"perf_baseline\",\"array\":\"16x16\",\
+         \"search_wall_ms\":{search_wall_ms:.2},\
+         \"search_no_reuse_ms\":{search_no_reuse_ms:.2},\
+         \"reuse_speedup\":{:.2},\
+         \"sweep_wall_ms\":{sweep_wall_ms:.2},\
+         \"fresh_factorizations\":{},\
+         \"refactorizations\":{},\
+         \"nr_iterations\":{},\
+         \"steps_accepted\":{},\
+         \"steps_rejected\":{},\
+         \"sweep_margin_mean\":{:.4},\
+         \"sweep_failures\":{}}}",
+        search_no_reuse_ms / search_wall_ms,
+        stats.fresh_factorizations,
+        stats.refactorizations,
+        stats.nr_iterations,
+        stats.steps_accepted,
+        stats.steps_rejected,
+        sweep.mean,
+        sweep.failures,
+    );
+}

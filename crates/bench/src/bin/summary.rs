@@ -3,8 +3,12 @@
 //! architectural refresh-interference study (A1).
 
 use tcam_arch::refresh_sched::compare_policies;
-use tcam_bench::{banner, spec_from_args};
-use tcam_core::experiments::{fig6_write, fig7_search, refresh_study, table1_measurements};
+use tcam_bench::{banner, has_flag, spec_from_args};
+use tcam_core::experiments::{
+    all_designs, fig6_write, fig7_search, mismatch_key, pattern_word, refresh_study,
+    table1_measurements,
+};
+use tcam_core::ops::run_search;
 use tcam_core::metrics::{
     format_search_table, format_write_table, search_edp_ratios, search_latency_ratios,
     write_energy_ratios,
@@ -118,5 +122,36 @@ fn main() {
         format_si(osr.mean_wait, "s"),
         format_si(osr.refresh_energy, "J")
     );
+    // Optional: per-design solver statistics for the F7 mismatch search,
+    // showing the cached-LU path at work (fresh factorizations stay in the
+    // low single digits; refactorizations track the NR iteration count).
+    if has_flag("stats") {
+        println!("\n[--stats] solver statistics, worst-case search transient");
+        println!(
+            "{:<12} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "design", "fresh", "refactor", "nr iters", "accepted", "rejected"
+        );
+        let stored = pattern_word(spec.cols);
+        let key = mismatch_key(spec.cols);
+        for design in all_designs() {
+            let outcome = design
+                .build_search(&spec, &stored, &key)
+                .and_then(run_search);
+            match outcome.map(|r| r.waveform.stats()) {
+                Ok(Some(s)) => println!(
+                    "{:<12} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                    design.name(),
+                    s.fresh_factorizations,
+                    s.refactorizations,
+                    s.nr_iterations,
+                    s.steps_accepted,
+                    s.steps_rejected
+                ),
+                Ok(None) => println!("{:<12} (no stats recorded)", design.name()),
+                Err(e) => println!("{:<12} failed: {e}", design.name()),
+            }
+        }
+    }
+
     println!("\ndone.");
 }

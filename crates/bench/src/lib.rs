@@ -5,6 +5,15 @@
 
 use tcam_core::designs::ArraySpec;
 
+pub mod timing;
+
+/// Returns whether the bare flag `--<name>` is present in argv.
+#[must_use]
+pub fn has_flag(name: &str) -> bool {
+    let flag = format!("--{name}");
+    std::env::args().any(|a| a == flag)
+}
+
 /// Parses `--size N` (array is N×N), `--rows N`, `--cols N` from argv;
 /// defaults to the paper's 64×64. Unknown arguments are ignored so the
 /// binaries stay forgiving.

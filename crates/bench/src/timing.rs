@@ -1,0 +1,54 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! The bench targets (`cargo bench`) use this instead of an external
+//! benchmarking crate so the workspace builds with no registry access.
+//! Each measurement reports min / median / mean over a fixed iteration
+//! count after one warm-up run — enough to spot order-of-magnitude
+//! regressions, which is all the in-tree benches are for.
+
+use std::time::Instant;
+use tcam_spice::units::format_si;
+
+/// Times `f` over `iters` runs (plus one warm-up) and prints one line.
+/// Returns the median wall time in seconds.
+///
+/// # Panics
+///
+/// Panics when `iters` is zero.
+pub fn bench<R>(name: &str, iters: usize, mut f: impl FnMut() -> R) -> f64 {
+    assert!(iters > 0, "need at least one iteration");
+    std::hint::black_box(f()); // warm-up: page in code, warm allocators
+    let mut times = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let min = times[0];
+    let median = times[times.len() / 2];
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    println!(
+        "{name:<44} min {:>10}  median {:>10}  mean {:>10}  ({iters} iters)",
+        format_si(min, "s"),
+        format_si(median, "s"),
+        format_si(mean, "s"),
+    );
+    median
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_returns_positive_median() {
+        let mut n = 0u64;
+        let med = bench("noop", 5, || {
+            n += 1;
+            n
+        });
+        assert!(med >= 0.0);
+        assert_eq!(n, 6); // warm-up + 5 timed runs
+    }
+}

@@ -131,7 +131,11 @@ pub struct SearchExperiment {
 }
 
 /// A TCAM design: cell geometry plus experiment-circuit constructors.
-pub trait TcamDesign {
+///
+/// `Send` lets boxed designs be distributed across the scoped worker
+/// threads of the Monte-Carlo and per-design sweeps; implementations hold
+/// plain owned parameter data, so this costs nothing.
+pub trait TcamDesign: Send {
     /// Human-readable design name (`"3T2N"`, `"16T SRAM"`, ...).
     fn name(&self) -> &'static str;
 

@@ -197,6 +197,21 @@ pub fn run_fefet_write_disturb(
     })
 }
 
+/// Runs [`run_fefet_write_disturb`] for every cycle count in
+/// `cycle_counts` on a scoped-thread work pool. Each point simulates an
+/// independent two-row slice, so the sweep is share-nothing; results come
+/// back in input order and are identical to running the points serially.
+#[must_use]
+pub fn fefet_disturb_cycle_sweep(
+    design: &Fefet2f,
+    spec: &ArraySpec,
+    cycle_counts: &[usize],
+) -> Vec<(usize, Result<DisturbResult>)> {
+    tcam_numeric::parallel::parallel_map(cycle_counts.to_vec(), |cycles| {
+        (cycles, run_fefet_write_disturb(design, spec, cycles))
+    })
+}
+
 /// The 3T2N counterpart: the victim cell's relays see only the sub-window
 /// search-line excursions during a neighbour's write (its wordline stays
 /// low), so its mechanical state cannot move. Returns `true` when the

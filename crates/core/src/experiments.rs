@@ -12,6 +12,7 @@ use crate::osr::{osr_default_pattern, run_osr, OsrResult};
 use crate::retention::{run_retention, RetentionResult};
 use tcam_devices::nem::NemRelay;
 use tcam_devices::params::NemTargets;
+use tcam_numeric::parallel::parallel_map;
 use tcam_spice::analysis::{dc_sweep, DcSweepSpec};
 use tcam_spice::element::{Resistor, VoltageSource};
 use tcam_spice::error::Result;
@@ -73,18 +74,19 @@ pub struct WriteRow {
 /// Propagates simulation failures from any design.
 pub fn fig6_write(spec: &ArraySpec) -> Result<Vec<WriteRow>> {
     let data = pattern_word(spec.cols);
-    let mut rows = Vec::new();
-    for design in all_designs() {
+    // Each design builds and simulates its own circuit — share-nothing, so
+    // the four designs run concurrently (results stay in reporting order).
+    let outcomes = parallel_map(all_designs(), |design| {
         let exp = design.build_write(spec, &data)?;
         let res = run_write(exp)?;
-        rows.push(WriteRow {
+        Ok(WriteRow {
             design: design.name().to_string(),
             latency: res.latency,
             energy: res.energy,
             valid: res.all_valid,
-        });
-    }
-    Ok(rows)
+        })
+    });
+    outcomes.into_iter().collect()
 }
 
 /// One row of the Fig. 7 (search) comparison.
@@ -113,21 +115,20 @@ pub struct SearchRow {
 pub fn fig7_search(spec: &ArraySpec) -> Result<Vec<SearchRow>> {
     let stored = pattern_word(spec.cols);
     let key_miss = mismatch_key(spec.cols);
-    let mut rows = Vec::new();
-    for design in all_designs() {
+    let outcomes = parallel_map(all_designs(), |design| {
         let miss = run_search(design.build_search(spec, &stored, &key_miss)?)?;
         let hit = run_search(design.build_search(spec, &stored, &stored)?)?;
         let latency = miss.latency.unwrap_or(f64::NAN);
-        rows.push(SearchRow {
+        Ok(SearchRow {
             design: design.name().to_string(),
             latency,
             energy: miss.energy,
             edp: latency * miss.energy,
             mismatch_ok: miss.functional_ok,
             match_ok: hit.functional_ok,
-        });
-    }
-    Ok(rows)
+        })
+    });
+    outcomes.into_iter().collect()
 }
 
 /// The §IV-B refresh study: OSR energy, retention, refresh power.

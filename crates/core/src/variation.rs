@@ -16,8 +16,8 @@
 use crate::designs::{ArraySpec, Nem3t2n, Rram2t2r, TcamDesign};
 use crate::experiments::{mismatch_key, pattern_word};
 use crate::ops::run_search;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tcam_numeric::parallel::parallel_map;
+use tcam_numeric::rng::SplitMix64;
 use tcam_numeric::stats::Running;
 use tcam_spice::error::Result;
 
@@ -59,15 +59,46 @@ pub struct MarginStudy {
     pub failures: usize,
 }
 
-/// Gaussian sample via Box–Muller (keeps `rand` usage to uniform draws).
-fn gaussian(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+/// Samples all trial designs serially from one seeded generator.
+///
+/// Pulling the sampling out of the simulation loop keeps the draw order —
+/// and therefore every sampled parameter set — identical regardless of how
+/// many worker threads later run the trials. Infeasible samples come back
+/// as `None` (yield loss).
+fn sample_designs(cfg: &VariationSpec) -> Vec<Option<Box<dyn TcamDesign>>> {
+    let mut rng = SplitMix64::new(cfg.seed);
+    (0..cfg.trials)
+        .map(|_| -> Option<Box<dyn TcamDesign>> {
+            match cfg.design {
+                VariedDesign::Nem3t2n => {
+                    let mut d = Nem3t2n::default();
+                    d.relay.v_pi *= 1.0 + cfg.sigma * rng.normal();
+                    d.relay.v_po *= 1.0 + cfg.sigma * rng.normal();
+                    d.relay.r_on *= (cfg.sigma * rng.normal()).exp();
+                    if d.relay.v_po >= d.relay.v_pi * 0.9 || d.relay.v_po <= 0.0 {
+                        None // infeasible sample = yield loss
+                    } else {
+                        Some(Box::new(d))
+                    }
+                }
+                VariedDesign::Rram2t2r => {
+                    let mut d = Rram2t2r::default();
+                    d.rram.r_on *= (cfg.sigma * rng.normal()).exp();
+                    d.rram.r_off *= (cfg.sigma * rng.normal()).exp();
+                    Some(Box::new(d))
+                }
+            }
+        })
+        .collect()
 }
 
 /// Runs the study on a reduced array (variation trials are full transient
 /// simulations; keep `spec` modest).
+///
+/// Parameter sets are sampled up front from the seeded generator; the
+/// independent trial simulations then run on a scoped worker pool, with
+/// results collected in trial order — output is bit-identical to a serial
+/// run for any worker count.
 ///
 /// # Errors
 ///
@@ -75,45 +106,32 @@ fn gaussian(rng: &mut StdRng) -> f64 {
 /// infeasible (e.g. a sampled V_PO above V_PI) count as failures rather
 /// than erroring, mirroring a yield loss.
 pub fn search_margin_study(spec: &ArraySpec, cfg: &VariationSpec) -> Result<MarginStudy> {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
     let stored = pattern_word(spec.cols);
     let key_miss = mismatch_key(spec.cols);
 
-    let mut margins = Vec::with_capacity(cfg.trials);
+    // Phase 1 (serial): sample every trial's parameters.
+    let sampled = sample_designs(cfg);
+    let mut failures = sampled.iter().filter(|d| d.is_none()).count();
+    let feasible: Vec<Box<dyn TcamDesign>> = sampled.into_iter().flatten().collect();
+
+    // Phase 2 (parallel): each feasible trial is a share-nothing pair of
+    // transient searches on its own circuits.
+    let spec = *spec;
+    let outcomes: Vec<Result<(f64, bool)>> = parallel_map(feasible, |design| {
+        let miss = run_search(design.build_search(&spec, &stored, &key_miss)?)?;
+        let hit = run_search(design.build_search(&spec, &stored, &stored)?)?;
+        let margin = hit.ml_at_sense - miss.ml_at_sense;
+        Ok((margin, miss.functional_ok && hit.functional_ok))
+    });
+
+    // Phase 3 (serial): fold in trial order.
+    let mut margins = Vec::with_capacity(outcomes.len());
     let mut stats = Running::new();
-    let mut failures = 0usize;
-
-    for _ in 0..cfg.trials {
-        let design: Option<Box<dyn TcamDesign>> = match cfg.design {
-            VariedDesign::Nem3t2n => {
-                let mut d = Nem3t2n::default();
-                d.relay.v_pi *= 1.0 + cfg.sigma * gaussian(&mut rng);
-                d.relay.v_po *= 1.0 + cfg.sigma * gaussian(&mut rng);
-                d.relay.r_on *= (cfg.sigma * gaussian(&mut rng)).exp();
-                if d.relay.v_po >= d.relay.v_pi * 0.9 || d.relay.v_po <= 0.0 {
-                    None // infeasible sample = yield loss
-                } else {
-                    Some(Box::new(d))
-                }
-            }
-            VariedDesign::Rram2t2r => {
-                let mut d = Rram2t2r::default();
-                d.rram.r_on *= (cfg.sigma * gaussian(&mut rng)).exp();
-                d.rram.r_off *= (cfg.sigma * gaussian(&mut rng)).exp();
-                Some(Box::new(d))
-            }
-        };
-        let Some(design) = design else {
-            failures += 1;
-            continue;
-        };
-
-        let miss = run_search(design.build_search(spec, &stored, &key_miss)?)?;
-        let hit = run_search(design.build_search(spec, &stored, &stored)?)?;
-        if !miss.functional_ok || !hit.functional_ok {
+    for outcome in outcomes {
+        let (margin, ok) = outcome?;
+        if !ok {
             failures += 1;
         }
-        let margin = hit.ml_at_sense - miss.ml_at_sense;
         margins.push(margin);
         stats.push(margin);
     }

@@ -19,6 +19,7 @@
 
 use crate::nem::mechanics::{time_to_contact, BeamParams};
 use crate::params::{NemTargets, EPSILON_0};
+use std::sync::Mutex;
 use tcam_numeric::roots::{brent, RootOptions};
 
 /// Error from an infeasible calibration target set.
@@ -142,6 +143,60 @@ pub fn calibrate(targets: &NemTargets) -> Result<BeamParams, CalibrateNemError> 
     Ok(make(log_m))
 }
 
+/// The five target fields [`calibrate`] actually reads (`r_on` is purely
+/// electrical and never enters the mechanical inverse problem), as exact
+/// bit patterns.
+type CalKey = [u64; 5];
+
+fn cal_key(t: &NemTargets) -> CalKey {
+    [
+        t.v_pi.to_bits(),
+        t.v_po.to_bits(),
+        t.c_on.to_bits(),
+        t.c_off.to_bits(),
+        t.tau_mech.to_bits(),
+    ]
+}
+
+/// Bound on the memoization table; a variation sweep produces one distinct
+/// target set per trial, so this covers hundreds of trials before the
+/// (correctness-neutral) reset.
+const CACHE_CAP: usize = 256;
+
+static CALIBRATION_CACHE: Mutex<Vec<(CalKey, BeamParams)>> = Mutex::new(Vec::new());
+
+/// Memoizing wrapper around [`calibrate`].
+///
+/// Calibration is deterministic but costs milliseconds (the τ_mech mass
+/// search integrates the beam ODE inside a Brent iteration), and an array
+/// build instantiates one relay per cell branch from the *same* targets —
+/// this cache turns O(cells) calibrations into one. Results are bit-exact
+/// equal to calling [`calibrate`] directly.
+///
+/// # Errors
+///
+/// Same as [`calibrate`] (errors are not cached).
+pub fn calibrate_cached(targets: &NemTargets) -> Result<BeamParams, CalibrateNemError> {
+    let key = cal_key(targets);
+    {
+        let cache = CALIBRATION_CACHE
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some((_, p)) = cache.iter().find(|(k, _)| *k == key) {
+            return Ok(*p);
+        }
+    }
+    let params = calibrate(targets)?;
+    let mut cache = CALIBRATION_CACHE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if cache.len() >= CACHE_CAP {
+        cache.clear();
+    }
+    cache.push((key, params));
+    Ok(params)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +260,31 @@ mod tests {
         let a = calibrate(&NemTargets::paper()).unwrap();
         let b = calibrate(&NemTargets::paper()).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cached_calibration_is_bit_exact() {
+        let direct = calibrate(&NemTargets::paper()).unwrap();
+        let cached1 = calibrate_cached(&NemTargets::paper()).unwrap();
+        let cached2 = calibrate_cached(&NemTargets::paper()).unwrap();
+        assert_eq!(direct, cached1);
+        assert_eq!(direct, cached2);
+
+        // Distinct targets get distinct entries; errors are propagated.
+        let mut t = NemTargets::paper();
+        t.tau_mech = 1.5e-9;
+        assert!(calibrate_cached(&t).unwrap().mass < direct.mass);
+        t.v_po = t.v_pi + 0.1;
+        assert!(calibrate_cached(&t).is_err());
+    }
+
+    #[test]
+    fn cache_ignores_r_on() {
+        let base = calibrate_cached(&NemTargets::paper()).unwrap();
+        let mut t = NemTargets::paper();
+        t.r_on *= 2.0; // does not enter the mechanical inverse problem
+        assert_eq!(cal_key(&t), cal_key(&NemTargets::paper()));
+        assert_eq!(calibrate_cached(&t).unwrap(), base);
     }
 
     #[test]

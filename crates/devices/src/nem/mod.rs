@@ -10,6 +10,6 @@ pub mod calibrate;
 pub mod mechanics;
 pub mod relay;
 
-pub use calibrate::{calibrate, CalibrateNemError};
+pub use calibrate::{calibrate, calibrate_cached, CalibrateNemError};
 pub use mechanics::{BeamParams, BeamState};
 pub use relay::{NemRelay, R_OFF_LEAK};

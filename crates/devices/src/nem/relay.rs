@@ -15,7 +15,7 @@
 //! quasi-static equilibrium with pull-in/pull-out hysteresis.
 
 use crate::companion::CompanionCap;
-use crate::nem::calibrate::{calibrate, CalibrateNemError};
+use crate::nem::calibrate::{calibrate_cached, CalibrateNemError};
 use crate::nem::mechanics::{advance, BeamParams, BeamState};
 use crate::params::NemTargets;
 use tcam_spice::device::{AnalysisKind, CommitCtx, Device, EvalCtx, Stamps};
@@ -44,7 +44,9 @@ pub struct NemRelay {
 
 impl NemRelay {
     /// Creates a relay calibrated to `targets` (use
-    /// [`NemTargets::paper`] for Table I).
+    /// [`NemTargets::paper`] for Table I). Calibration is memoized
+    /// process-wide, so building an array of relays from the same targets
+    /// pays the millisecond-scale inverse problem once.
     ///
     /// # Errors
     ///
@@ -57,7 +59,7 @@ impl NemRelay {
         b: NodeId,
         targets: &NemTargets,
     ) -> Result<Self, CalibrateNemError> {
-        let beam = calibrate(targets)?;
+        let beam = calibrate_cached(targets)?;
         Ok(Self::from_beam(
             name,
             d,

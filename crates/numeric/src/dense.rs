@@ -138,6 +138,20 @@ impl DenseMatrix {
     /// Returns [`NumericError::DimensionMismatch`] for non-square input and
     /// [`NumericError::SingularMatrix`] when a pivot underflows.
     pub fn lu(&self) -> Result<DenseLu> {
+        let mut out = DenseLu::empty();
+        self.lu_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// LU-factorizes into an existing [`DenseLu`], reusing its buffers.
+    ///
+    /// After the first call with a given dimension this performs no heap
+    /// allocation, which is what the circuit engine's solve loop needs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DenseMatrix::lu`].
+    pub fn lu_into(&self, out: &mut DenseLu) -> Result<()> {
         if !self.is_square() {
             return Err(NumericError::DimensionMismatch {
                 expected: "square matrix".into(),
@@ -145,9 +159,14 @@ impl DenseMatrix {
             });
         }
         let n = self.n_rows;
-        let mut lu = self.data.clone();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut sign = 1.0;
+        out.n = n;
+        out.lu.clear();
+        out.lu.extend_from_slice(&self.data);
+        out.perm.clear();
+        out.perm.extend(0..n);
+        out.sign = 1.0;
+        let lu = &mut out.lu;
+        let perm = &mut out.perm;
 
         for k in 0..n {
             // Partial pivot: largest magnitude in column k at or below row k.
@@ -168,7 +187,7 @@ impl DenseMatrix {
                     lu.swap(k * n + j, p * n + j);
                 }
                 perm.swap(k, p);
-                sign = -sign;
+                out.sign = -out.sign;
             }
             let pivot = lu[k * n + k];
             for i in (k + 1)..n {
@@ -181,7 +200,7 @@ impl DenseMatrix {
                 }
             }
         }
-        Ok(DenseLu { n, lu, perm, sign })
+        Ok(())
     }
 
     /// Solves `A x = b` via a fresh LU factorization.
@@ -267,13 +286,38 @@ pub struct DenseLu {
 }
 
 impl DenseLu {
+    /// An empty factorization to be filled by [`DenseMatrix::lu_into`].
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            n: 0,
+            lu: Vec::new(),
+            perm: Vec::new(),
+            sign: 1.0,
+        }
+    }
+
     /// Solves `A x = b` using the stored factors.
     ///
     /// # Errors
     ///
     /// Returns [`NumericError::DimensionMismatch`] if `b.len() != n`.
-    #[allow(clippy::needless_range_loop)] // triangular solves index by pivot order
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let mut x = Vec::new();
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A x = b` writing the solution into `x` (resized as needed).
+    ///
+    /// Reuses `x`'s allocation, so repeated solves with the same `x` buffer
+    /// do not touch the heap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `b.len() != n`.
+    #[allow(clippy::needless_range_loop)] // triangular solves index by pivot order
+    pub fn solve_into(&self, b: &[f64], x: &mut Vec<f64>) -> Result<()> {
         if b.len() != self.n {
             return Err(NumericError::DimensionMismatch {
                 expected: format!("len {}", self.n),
@@ -282,7 +326,8 @@ impl DenseLu {
         }
         let n = self.n;
         // Apply permutation.
-        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        x.clear();
+        x.extend(self.perm.iter().map(|&p| b[p]));
         // Forward substitution (L has unit diagonal).
         for i in 1..n {
             let mut s = x[i];
@@ -299,7 +344,7 @@ impl DenseLu {
             }
             x[i] = s / self.lu[i * n + i];
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Determinant from the factorization.
@@ -316,6 +361,12 @@ impl DenseLu {
     #[must_use]
     pub fn n(&self) -> usize {
         self.n
+    }
+}
+
+impl Default for DenseLu {
+    fn default() -> Self {
+        Self::empty()
     }
 }
 

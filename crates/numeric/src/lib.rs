@@ -16,6 +16,11 @@
 //!   waveform post-processing.
 //! * [`stats`] — summary statistics for Monte-Carlo and architectural
 //!   experiments.
+//! * [`rng`] — a seedable SplitMix64 generator with uniform, normal
+//!   (Box–Muller) and exponential draws, so the Monte-Carlo studies need
+//!   no external `rand` dependency.
+//! * [`parallel`] — a scoped-thread, share-nothing `parallel_map` for
+//!   fanning independent trials across cores.
 //!
 //! The crate is dependency-free and deterministic: identical inputs produce
 //! bit-identical outputs, which the reproducibility tests rely on.
@@ -39,6 +44,8 @@
 pub mod dense;
 pub mod interp;
 pub mod ode;
+pub mod parallel;
+pub mod rng;
 pub mod roots;
 pub mod sparse;
 pub mod sparse_lu;
@@ -62,6 +69,12 @@ pub enum NumericError {
         /// Pivot column at which elimination broke down.
         column: usize,
     },
+    /// A reused (symbolic) pivot order degraded on the new values; the
+    /// caller should fall back to a fresh full-pivoting factorization.
+    PivotDegraded {
+        /// Pivot column at which the reused pivot failed the growth check.
+        column: usize,
+    },
     /// An iterative routine failed to converge within its budget.
     NoConvergence {
         /// Number of iterations performed before giving up.
@@ -81,6 +94,12 @@ impl fmt::Display for NumericError {
             }
             NumericError::SingularMatrix { column } => {
                 write!(f, "singular matrix at pivot column {column}")
+            }
+            NumericError::PivotDegraded { column } => {
+                write!(
+                    f,
+                    "reused pivot degraded at column {column}; refactorize needs a fresh factorization"
+                )
             }
             NumericError::NoConvergence {
                 iterations,

@@ -1,0 +1,108 @@
+//! Share-nothing parallel mapping over scoped threads.
+//!
+//! The Monte-Carlo and corner sweeps are embarrassingly parallel: every
+//! trial builds its own circuit from a handful of sampled parameters and
+//! runs an independent simulation. [`parallel_map`] fans such work out over
+//! `std::thread::scope` — no external thread-pool dependency, no shared
+//! mutable state, and results come back in input order so parallel runs are
+//! bit-identical to serial ones.
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Number of worker threads to use for `n_items` independent tasks:
+/// the available parallelism, capped by the item count.
+#[must_use]
+pub fn worker_count(n_items: usize) -> usize {
+    let cores = thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(n_items).max(1)
+}
+
+/// Maps `f` over `items` on a scoped-thread work pool and returns results
+/// in input order.
+///
+/// Work is handed out in contiguous chunks, one per worker; each worker
+/// writes only its own result slots, so no locking is needed and the output
+/// is deterministic regardless of scheduling. With one item (or one core)
+/// the map runs inline on the calling thread.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = worker_count(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(workers);
+    let f = &f;
+    thread::scope(|s| {
+        for (in_chunk, out_chunk) in slots.chunks_mut(chunk).zip(results.chunks_mut(chunk)) {
+            s.spawn(move || {
+                for (slot, out) in in_chunk.iter_mut().zip(out_chunk.iter_mut()) {
+                    let item = slot.take().expect("each slot visited once");
+                    *out = Some(f(item));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every worker filled its chunk"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = parallel_map(items, |i| i * 2);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(empty, |x| x).is_empty());
+        assert_eq!(parallel_map(vec![41], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn matches_serial_map() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items.iter().map(|&i| i * i + 1).collect();
+        let parallel = parallel_map(items, |i| i * i + 1);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn worker_count_is_bounded() {
+        assert_eq!(worker_count(0), 1);
+        assert_eq!(worker_count(1), 1);
+        assert!(worker_count(10_000) >= 1);
+    }
+
+    #[test]
+    fn results_can_be_fallible() {
+        let out = parallel_map(vec![1i32, -2, 3], |i| {
+            if i > 0 {
+                Ok(i)
+            } else {
+                Err("negative")
+            }
+        });
+        assert_eq!(out, vec![Ok(1), Err("negative"), Ok(3)]);
+    }
+}

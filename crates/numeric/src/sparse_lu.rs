@@ -1,4 +1,5 @@
-//! Sparse LU factorization (left-looking, partial pivoting).
+//! Sparse LU factorization (left-looking, partial pivoting) with a
+//! reusable symbolic phase.
 //!
 //! This is a Gilbert–Peierls-style factorization specialized for circuit
 //! matrices: column-by-column elimination with a dense working column
@@ -7,11 +8,34 @@
 //! unknowns with a few entries per row) this comfortably beats dense LU
 //! while staying simple enough to verify exhaustively against
 //! [`crate::dense::DenseMatrix::lu`].
+//!
+//! Circuit matrices have a **fixed sparsity pattern** across Newton
+//! iterations and time steps — only the values change. [`SparseLu::factorize`]
+//! therefore captures the full symbolic result (column elimination
+//! patterns, pivot order, preallocated L/U storage), and
+//! [`SparseLu::refactorize`] redoes only the numeric elimination over that
+//! pattern with **zero allocation**, which is the production-SPICE
+//! (KLU-style) split between symbolic and numeric factorization. A pivot
+//! growth check guards the reused pivot order: when the new values make a
+//! reused pivot relatively tiny, `refactorize` reports
+//! [`NumericError::PivotDegraded`] and the caller falls back to a fresh
+//! full-pivoting [`SparseLu::factorize`].
 
 use crate::sparse::CscMatrix;
 use crate::{NumericError, Result};
 
+/// Relative pivot-growth threshold for [`SparseLu::refactorize`]: a reused
+/// pivot smaller than this fraction of the largest candidate magnitude in
+/// its column triggers the full-pivoting fallback. The same 1e-3 default as
+/// KLU's partial-pivot tolerance.
+const REFACTOR_PIVOT_TOL: f64 = 1e-3;
+
 /// A sparse LU factorization `P·A = L·U` of a square [`CscMatrix`].
+///
+/// The L/U **pattern** stored here is structural: every position reachable
+/// by the elimination is kept even when its first numeric value happens to
+/// be zero, so the pattern stays valid for any later value assignment with
+/// the same sparsity — the invariant [`SparseLu::refactorize`] relies on.
 #[derive(Debug, Clone)]
 pub struct SparseLu {
     n: usize,
@@ -19,17 +43,24 @@ pub struct SparseLu {
     l_col_ptr: Vec<usize>,
     l_row_idx: Vec<usize>,
     l_values: Vec<f64>,
-    /// Column-compressed upper-triangular factor (diagonal stored last per
-    /// column).
+    /// Column-compressed upper-triangular factor: off-diagonals sorted by
+    /// ascending pivot row, diagonal stored last per column.
     u_col_ptr: Vec<usize>,
     u_row_idx: Vec<usize>,
     u_values: Vec<f64>,
     /// Row permutation: `perm[k]` is the original row index placed at row k.
     perm: Vec<usize>,
+    /// Dense working column (original-row indexed), kept zeroed between
+    /// calls so `refactorize` allocates nothing.
+    work: Vec<f64>,
+    /// Gather buffer for `solve_in_place`.
+    scratch: Vec<f64>,
 }
 
 impl SparseLu {
-    /// Factorizes `a`.
+    /// Factorizes `a` from scratch, choosing a fresh pivot order by partial
+    /// (magnitude) pivoting and capturing the symbolic pattern for later
+    /// [`SparseLu::refactorize`] calls.
     ///
     /// # Errors
     ///
@@ -59,6 +90,8 @@ impl SparseLu {
         let mut work = vec![0.0_f64; n];
         let mut pattern: Vec<usize> = Vec::with_capacity(n);
         let mut in_pattern = vec![false; n];
+        // Scratch for sorting one U column by pivot row.
+        let mut u_col_sort: Vec<(usize, f64)> = Vec::with_capacity(n);
 
         let col_ptr = a.col_ptr();
         let row_idx = a.row_idx();
@@ -77,20 +110,17 @@ impl SparseLu {
             }
 
             // Left-looking update: eliminate with every previous pivot column
-            // j < k whose pivot row appears in the working pattern. Process in
-            // pivot order so fill-in cascades correctly.
-            // We iterate j in 0..k and check whether perm[j] is active: for
-            // circuit matrices the column count is modest and each check is
-            // O(1), and the inner loop only runs when elimination occurs.
+            // j < k whose pivot row appears in the working pattern, in
+            // ascending pivot order so fill-in cascades correctly. The merge
+            // is purely structural — a numerically zero multiplier still
+            // contributes its fill pattern, so the captured pattern stays
+            // valid for any later values (refactorize depends on this).
             for j in 0..k {
                 let pr = perm[j];
                 if !in_pattern[pr] {
                     continue;
                 }
                 let ujk = work[pr];
-                if ujk == 0.0 {
-                    continue;
-                }
                 for idx in l_col_ptr[j]..l_col_ptr[j + 1] {
                     let r = l_row_idx[idx];
                     if !in_pattern[r] {
@@ -120,21 +150,28 @@ impl SparseLu {
             perm[k] = piv_row;
             pinv[piv_row] = k;
 
-            // Emit U column k (entries with pivoted rows), then diagonal.
+            // Emit U column k: every structurally reached pivoted row (even
+            // if its value is currently zero), sorted ascending so the
+            // refactorize elimination replays in pivot order; diagonal last.
+            u_col_sort.clear();
             for &r in &pattern {
                 let p = pinv[r];
-                if p != usize::MAX && p < k && work[r] != 0.0 {
-                    u_row_idx.push(p);
-                    u_values.push(work[r]);
+                if p != usize::MAX && p < k {
+                    u_col_sort.push((p, work[r]));
                 }
+            }
+            u_col_sort.sort_unstable_by_key(|&(p, _)| p);
+            for &(p, v) in &u_col_sort {
+                u_row_idx.push(p);
+                u_values.push(v);
             }
             u_row_idx.push(k);
             u_values.push(pivot);
             u_col_ptr.push(u_row_idx.len());
 
-            // Emit L column k (entries with unpivoted rows), scaled by pivot.
+            // Emit L column k (all unpivoted pattern rows), scaled by pivot.
             for &r in &pattern {
-                if pinv[r] == usize::MAX && work[r] != 0.0 {
+                if pinv[r] == usize::MAX {
                     l_row_idx.push(r);
                     l_values.push(work[r] / pivot);
                 }
@@ -157,7 +194,87 @@ impl SparseLu {
             u_row_idx,
             u_values,
             perm,
+            work,
+            scratch: vec![0.0; n],
         })
+    }
+
+    /// Recomputes the numeric factors for `a` reusing the stored symbolic
+    /// pattern and pivot order — zero allocation, no pattern recomputation.
+    ///
+    /// `a` must have the same sparsity pattern as the matrix this
+    /// factorization was created from (the fixed-pattern invariant of MNA
+    /// systems); entries outside the captured pattern would be silently
+    /// mis-handled, which is why the circuit layer owns that contract.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericError::DimensionMismatch`] when `a` has a different size.
+    /// * [`NumericError::PivotDegraded`] when a reused pivot fails the
+    ///   relative growth check (or became exactly zero / non-finite). The
+    ///   factorization content is unspecified afterwards; the caller must
+    ///   fall back to [`SparseLu::factorize`].
+    pub fn refactorize(&mut self, a: &CscMatrix) -> Result<()> {
+        if a.n_rows() != self.n || a.n_cols() != self.n {
+            return Err(NumericError::DimensionMismatch {
+                expected: format!("{0}x{0} matrix", self.n),
+                found: format!("{}x{}", a.n_rows(), a.n_cols()),
+            });
+        }
+        let col_ptr = a.col_ptr();
+        let row_idx = a.row_idx();
+        let values = a.values();
+
+        for k in 0..self.n {
+            // Scatter column k of A (work is zeroed between columns).
+            for idx in col_ptr[k]..col_ptr[k + 1] {
+                self.work[row_idx[idx]] = values[idx];
+            }
+
+            // Eliminate along the stored U pattern, ascending pivot order.
+            let ulo = self.u_col_ptr[k];
+            let uhi = self.u_col_ptr[k + 1];
+            for uidx in ulo..uhi - 1 {
+                let j = self.u_row_idx[uidx];
+                let ujk = self.work[self.perm[j]];
+                self.u_values[uidx] = ujk;
+                if ujk != 0.0 {
+                    for lidx in self.l_col_ptr[j]..self.l_col_ptr[j + 1] {
+                        self.work[self.l_row_idx[lidx]] -= self.l_values[lidx] * ujk;
+                    }
+                }
+            }
+
+            // Reused pivot with growth check: candidates for this column
+            // under full pivoting would be the pivot row plus every L row.
+            let piv_row = self.perm[k];
+            let pivot = self.work[piv_row];
+            let mut cand_max = pivot.abs();
+            for lidx in self.l_col_ptr[k]..self.l_col_ptr[k + 1] {
+                cand_max = cand_max.max(self.work[self.l_row_idx[lidx]].abs());
+            }
+            if !pivot.is_finite()
+                || pivot.abs() < f64::MIN_POSITIVE
+                || pivot.abs() < REFACTOR_PIVOT_TOL * cand_max
+            {
+                // Leave the workspace clean for the next attempt.
+                self.work.fill(0.0);
+                return Err(NumericError::PivotDegraded { column: k });
+            }
+            self.u_values[uhi - 1] = pivot;
+
+            // Emit L column k and clear the touched work entries.
+            for lidx in self.l_col_ptr[k]..self.l_col_ptr[k + 1] {
+                let r = self.l_row_idx[lidx];
+                self.l_values[lidx] = self.work[r] / pivot;
+                self.work[r] = 0.0;
+            }
+            self.work[piv_row] = 0.0;
+            for uidx in ulo..uhi - 1 {
+                self.work[self.perm[self.u_row_idx[uidx]]] = 0.0;
+            }
+        }
+        Ok(())
     }
 
     /// Solves `A x = b` with the stored factors.
@@ -172,37 +289,66 @@ impl SparseLu {
                 found: format!("len {}", b.len()),
             });
         }
-        // Forward solve L y = P b. y is indexed by pivot position; L columns
-        // hold original row indices, so map through pinv-equivalent ordering.
-        // We keep y in *original-row* space to match L's row indices, then
-        // gather at the end.
-        let mut y = b.to_vec();
+        let mut x = b.to_vec();
+        let mut gather = vec![0.0; self.n];
+        self.solve_buffers(&mut x, &mut gather);
+        Ok(x)
+    }
+
+    /// Solves `A x = b` in place: `b` enters as the right-hand side and
+    /// exits as the solution. Uses the preallocated internal gather buffer,
+    /// so the hot loop performs no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `b.len() != n`.
+    pub fn solve_in_place(&mut self, b: &mut [f64]) -> Result<()> {
+        if b.len() != self.n {
+            return Err(NumericError::DimensionMismatch {
+                expected: format!("len {}", self.n),
+                found: format!("len {}", b.len()),
+            });
+        }
+        // Split-borrow the scratch out so `self` stays shareable.
+        let mut gather = std::mem::take(&mut self.scratch);
+        self.solve_buffers(b, &mut gather);
+        self.scratch = gather;
+        Ok(())
+    }
+
+    /// Core triangular solves over caller-provided buffers. `x` holds `b`
+    /// on entry and the solution on exit; `gather` is overwritten.
+    fn solve_buffers(&self, x: &mut [f64], gather: &mut [f64]) {
+        // Forward solve L y = P b. y is kept in *original-row* space to
+        // match L's row indices.
         for k in 0..self.n {
             let pr = self.perm[k];
-            let yk = y[pr];
+            let yk = x[pr];
             if yk != 0.0 {
                 for idx in self.l_col_ptr[k]..self.l_col_ptr[k + 1] {
-                    y[self.l_row_idx[idx]] -= self.l_values[idx] * yk;
+                    x[self.l_row_idx[idx]] -= self.l_values[idx] * yk;
                 }
             }
         }
         // Gather into pivot order.
-        let mut z: Vec<f64> = (0..self.n).map(|k| y[self.perm[k]]).collect();
+        for k in 0..self.n {
+            gather[k] = x[self.perm[k]];
+        }
         // Back solve U x = z. U column k: off-diagonals (rows < k) then
         // diagonal last.
         for k in (0..self.n).rev() {
             let lo = self.u_col_ptr[k];
             let hi = self.u_col_ptr[k + 1];
             let diag = self.u_values[hi - 1];
-            let xk = z[k] / diag;
-            z[k] = xk;
+            let xk = gather[k] / diag;
+            gather[k] = xk;
             if xk != 0.0 {
                 for idx in lo..hi - 1 {
-                    z[self.u_row_idx[idx]] -= self.u_values[idx] * xk;
+                    gather[self.u_row_idx[idx]] -= self.u_values[idx] * xk;
                 }
             }
         }
-        Ok(z)
+        x.copy_from_slice(gather);
     }
 
     /// System dimension.
@@ -221,6 +367,7 @@ impl SparseLu {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::SplitMix64;
     use crate::sparse::TripletMatrix;
 
     fn residual_inf(a: &CscMatrix, x: &[f64], b: &[f64]) -> f64 {
@@ -280,32 +427,174 @@ mod tests {
         assert!(SparseLu::factorize(&a).is_err());
     }
 
+    /// A circuit-flavoured random pattern: dominant diagonal plus ring
+    /// couplings, values drawn from `rng`.
+    fn ring_system(n: usize, rng: &mut SplitMix64) -> (CscMatrix, Vec<f64>) {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.add(i, i, 3.0 + rng.uniform(-0.5, 0.5));
+            let j = (i + 1) % n;
+            t.add(i, j, rng.uniform(-0.5, 0.5));
+            t.add(j, i, rng.uniform(-0.5, 0.5));
+        }
+        let (a, _) = t.to_csc().unwrap();
+        let b: Vec<f64> = (0..n).map(|_| rng.uniform(-0.5, 0.5)).collect();
+        (a, b)
+    }
+
     #[test]
     fn matches_dense_on_random_systems() {
-        let mut state = 0x9E3779B97F4A7C15_u64;
-        let mut next = move || {
-            state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
-        };
+        let mut rng = SplitMix64::new(0x9E37_79B9);
         for n in [2usize, 5, 12, 30, 64] {
-            let mut t = TripletMatrix::new(n, n);
-            for i in 0..n {
-                t.add(i, i, 3.0 + next()); // dominant diagonal
-                                           // A few off-diagonal couplings, circuit-like.
-                let j = (i + 1) % n;
-                t.add(i, j, next());
-                t.add(j, i, next());
-            }
-            let (a, _) = t.to_csc().unwrap();
-            let b: Vec<f64> = (0..n).map(|_| next()).collect();
+            let (a, b) = ring_system(n, &mut rng);
             let xs = SparseLu::factorize(&a).unwrap().solve(&b).unwrap();
             let xd = a.to_dense().solve(&b).unwrap();
             for (s, d) in xs.iter().zip(&xd) {
                 assert!((s - d).abs() < 1e-9, "n={n}");
             }
         }
+    }
+
+    #[test]
+    fn solve_in_place_matches_solve() {
+        let mut rng = SplitMix64::new(11);
+        let (a, b) = ring_system(20, &mut rng);
+        let mut lu = SparseLu::factorize(&a).unwrap();
+        let x_ref = lu.solve(&b).unwrap();
+        let mut x = b.clone();
+        lu.solve_in_place(&mut x).unwrap();
+        assert_eq!(x, x_ref);
+        // And the scratch reuse survives a second call.
+        let mut x2 = b.clone();
+        lu.solve_in_place(&mut x2).unwrap();
+        assert_eq!(x2, x_ref);
+    }
+
+    #[test]
+    fn refactorize_identical_values_is_identity() {
+        let mut rng = SplitMix64::new(21);
+        let (a, b) = ring_system(24, &mut rng);
+        let mut lu = SparseLu::factorize(&a).unwrap();
+        let x1 = lu.solve(&b).unwrap();
+        lu.refactorize(&a).unwrap();
+        let x2 = lu.solve(&b).unwrap();
+        assert_eq!(x1, x2, "same values must reproduce bit-identical factors");
+    }
+
+    #[test]
+    fn refactorize_matches_fresh_factorization() {
+        // Property test: fixed pattern, randomized values. The cached
+        // symbolic refactorization must agree with a from-scratch
+        // factorization to 1e-12 on every solve.
+        let mut rng = SplitMix64::new(0xD1CE);
+        for n in [4usize, 9, 33, 80] {
+            let (a0, _) = ring_system(n, &mut rng);
+            let mut lu = SparseLu::factorize(&a0).unwrap();
+            for _round in 0..25 {
+                // New values on the same pattern (keep diagonals dominant so
+                // the reused pivot order stays healthy).
+                let mut a = a0.clone();
+                let nv = a.values().len();
+                for idx in 0..nv {
+                    let on_diag = a0.values()[idx].abs() >= 2.0;
+                    a.values_mut()[idx] = if on_diag {
+                        3.0 + rng.uniform(-0.5, 0.5)
+                    } else {
+                        rng.uniform(-0.5, 0.5)
+                    };
+                }
+                let b: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+                lu.refactorize(&a).unwrap();
+                let x_re = lu.solve(&b).unwrap();
+                let x_fresh = SparseLu::factorize(&a).unwrap().solve(&b).unwrap();
+                for (p, q) in x_re.iter().zip(&x_fresh) {
+                    assert!((p - q).abs() < 1e-12, "n={n}: {p} vs {q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refactorize_captures_fill_that_was_numerically_zero() {
+        // The first factorization sees a value of exactly 0.0 on a
+        // structural entry; a later refactorize makes it nonzero. The
+        // structural pattern must have kept the slot.
+        let mut t = TripletMatrix::new(3, 3);
+        t.add(0, 0, 2.0);
+        t.add(1, 0, 0.0); // structurally present, numerically zero
+        t.add(1, 1, 2.0);
+        t.add(2, 1, 1.0);
+        t.add(0, 2, 1.0);
+        t.add(2, 2, 2.0);
+        let (a0, _) = t.to_csc().unwrap();
+        let mut lu = SparseLu::factorize(&a0).unwrap();
+
+        let mut a1 = a0.clone();
+        // Flip the zero entry on: fill at (1,2) now matters.
+        for (idx, _) in a0.values().iter().enumerate() {
+            if a1.values()[idx] == 0.0 {
+                a1.values_mut()[idx] = 1.5;
+            }
+        }
+        let b = [1.0, -2.0, 0.5];
+        lu.refactorize(&a1).unwrap();
+        let x = lu.solve(&b).unwrap();
+        assert!(residual_inf(&a1, &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn degraded_pivot_reports_fallback_not_wrong_answer() {
+        // Factorize with a dominant (0,0); then shrink it so the reused
+        // pivot order is catastrophically bad for the new values.
+        let mut t = TripletMatrix::new(2, 2);
+        t.add(0, 0, 10.0);
+        t.add(0, 1, 1.0);
+        t.add(1, 0, 1.0);
+        t.add(1, 1, 10.0);
+        let (a0, _) = t.to_csc().unwrap();
+        let mut lu = SparseLu::factorize(&a0).unwrap();
+
+        let mut a1 = a0.clone();
+        for idx in 0..a1.values().len() {
+            let (r, v) = (a0.row_idx()[idx], a0.values()[idx]);
+            // Column-major CSC: identify (0,0) by column 0 / row 0.
+            if idx < a0.col_ptr()[1] && r == 0 && v == 10.0 {
+                a1.values_mut()[idx] = 1e-9;
+            }
+        }
+        match lu.refactorize(&a1) {
+            Err(NumericError::PivotDegraded { .. }) => {
+                // The documented fallback path must still solve correctly.
+                let fresh = SparseLu::factorize(&a1).unwrap();
+                let b = [1.0, 2.0];
+                let x = fresh.solve(&b).unwrap();
+                assert!(residual_inf(&a1, &x, &b) < 1e-9);
+            }
+            other => panic!("expected PivotDegraded, got {other:?}"),
+        }
+        // After the failed refactorize, the workspace must be clean enough
+        // for a subsequent successful refactorize on the original values.
+        lu.refactorize(&a0).unwrap();
+        let x = lu.solve(&[1.0, 2.0]).unwrap();
+        assert!(residual_inf(&a0, &x, &[1.0, 2.0]) < 1e-12);
+    }
+
+    #[test]
+    fn refactorize_dimension_check() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.add(0, 0, 1.0);
+        t.add(1, 1, 1.0);
+        let (a, _) = t.to_csc().unwrap();
+        let mut lu = SparseLu::factorize(&a).unwrap();
+        let mut t3 = TripletMatrix::new(3, 3);
+        for i in 0..3 {
+            t3.add(i, i, 1.0);
+        }
+        let (a3, _) = t3.to_csc().unwrap();
+        assert!(matches!(
+            lu.refactorize(&a3),
+            Err(NumericError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]
@@ -326,7 +615,9 @@ mod tests {
         t.add(0, 0, 1.0);
         t.add(1, 1, 1.0);
         let (a, _) = t.to_csc().unwrap();
-        let lu = SparseLu::factorize(&a).unwrap();
+        let mut lu = SparseLu::factorize(&a).unwrap();
         assert!(lu.solve(&[1.0]).is_err());
+        let mut short = [1.0];
+        assert!(lu.solve_in_place(&mut short).is_err());
     }
 }

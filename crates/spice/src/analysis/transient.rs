@@ -20,9 +20,10 @@ use crate::device::{AnalysisKind, CommitCtx};
 use crate::error::{Result, SpiceError};
 use crate::mna::MnaSystem;
 use crate::netlist::Circuit;
-use crate::newton::solve_point;
+use crate::newton::solve_point_in_place;
 use crate::options::SimOptions;
 use crate::waveform::Waveform;
+use std::mem;
 
 /// Transient run specification.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -107,9 +108,11 @@ pub fn transient(
     breakpoints.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
     breakpoints.dedup_by(|a, b| (*a - *b).abs() < 1e-18);
 
-    // Record t = 0.
-    let record = |wave: &mut Waveform, t: f64, x: &[f64], circuit: &Circuit| {
-        let mut row = Vec::with_capacity(x.len() + probe_list.len() + energy_list.len());
+    // Record t = 0. `row` is a hoisted scratch buffer so each recorded step
+    // reuses one allocation.
+    let mut row: Vec<f64> = Vec::new();
+    let record = |wave: &mut Waveform, row: &mut Vec<f64>, t: f64, x: &[f64], circuit: &Circuit| {
+        row.clear();
         row.extend_from_slice(x);
         for &(di, p) in &probe_list {
             row.push(circuit.devices()[di].probe(p).unwrap_or(f64::NAN));
@@ -122,9 +125,9 @@ pub fn transient(
                     .unwrap_or(f64::NAN),
             );
         }
-        wave.push(t, &row);
+        wave.push(t, row);
     };
-    record(&mut wave, 0.0, &op.x, circuit);
+    record(&mut wave, &mut row, 0.0, &op.x, circuit);
 
     // 5. Time loop.
     let dt0 = if opts.dt_initial > 0.0 {
@@ -135,8 +138,15 @@ pub fn transient(
     let mut t = 0.0_f64;
     let mut dt = dt0;
     let mut x_prev = op.x;
-    // Second-back history for the LTE curvature estimate.
-    let mut hist: Option<(Vec<f64>, f64)> = None; // (x_prev2, dt_prev)
+    // Second-back history for the LTE curvature estimate. The buffers
+    // rotate via `mem::swap` instead of cloning: `x_prev2`/`dt_prev` are
+    // only meaningful while `hist_valid` is set.
+    let mut x_prev2: Vec<f64> = vec![0.0; x_prev.len()];
+    let mut dt_prev = 0.0_f64;
+    let mut hist_valid = false;
+    // Newton iterate and scratch buffers, ping-ponged by the in-place solve.
+    let mut x_cur: Vec<f64> = Vec::with_capacity(x_prev.len());
+    let mut x_scratch: Vec<f64> = Vec::with_capacity(x_prev.len());
     let mut bp_cursor = 0usize;
     let n_nodes = index.n_node_unknowns();
 
@@ -172,25 +182,29 @@ pub fn transient(
         }
         let t_new = t + step;
 
-        // Newton solve.
-        let outcome = match solve_point(
+        // Newton solve: guess is the previous accepted state.
+        x_cur.clear();
+        x_cur.extend_from_slice(&x_prev);
+        let iterations = match solve_point_in_place(
             circuit,
             &mut sys,
             t_new,
             step,
             opts.integrator,
             &x_prev,
-            &x_prev,
+            &mut x_cur,
+            &mut x_scratch,
             opts,
             opts.gmin,
         ) {
-            Ok(o) => o,
+            Ok(iters) => iters,
             Err(SpiceError::NonConvergence { .. }) => {
+                sys.stats_mut().steps_rejected += 1;
                 dt = step * opts.dt_shrink;
                 if dt < opts.dt_min {
                     return Err(SpiceError::TimestepUnderflow { time: t, dt });
                 }
-                hist = None;
+                hist_valid = false;
                 continue;
             }
             Err(e) => return Err(e),
@@ -198,14 +212,15 @@ pub fn transient(
 
         // LTE estimate and acceptance.
         let mut lte_max = 0.0_f64;
-        if let Some((x_prev2, dt_prev)) = &hist {
+        if hist_valid {
             for i in 0..n_nodes {
-                let d1 = (outcome.x[i] - x_prev[i]) / step;
+                let d1 = (x_cur[i] - x_prev[i]) / step;
                 let d0 = (x_prev[i] - x_prev2[i]) / dt_prev;
                 let curvature = 2.0 * (d1 - d0) / (step + dt_prev);
                 lte_max = lte_max.max((curvature * step * step * 0.5).abs());
             }
             if lte_max > 4.0 * opts.lte_tol && step > 4.0 * opts.dt_min && !hit_bp {
+                sys.stats_mut().steps_rejected += 1;
                 dt = step * (0.9 * (opts.lte_tol / lte_max).sqrt()).clamp(0.1, 0.5);
                 continue;
             }
@@ -217,14 +232,15 @@ pub fn transient(
             time: t_new,
             dt: step,
             integrator: opts.integrator,
-            x: &outcome.x,
+            x: &x_cur,
             x_prev: &x_prev,
             index,
         };
         for dev in circuit.devices_mut() {
             dev.commit(&ctx);
         }
-        record(&mut wave, t_new, &outcome.x, circuit);
+        record(&mut wave, &mut row, t_new, &x_cur, circuit);
+        sys.stats_mut().steps_accepted += 1;
 
         // Next step size.
         let grow = if lte_max > 0.0 {
@@ -232,20 +248,25 @@ pub fn transient(
         } else {
             opts.dt_grow
         };
-        let iter_factor = if outcome.iterations > 20 { 0.5 } else { 1.0 };
+        let iter_factor = if iterations > 20 { 0.5 } else { 1.0 };
         dt = (step * grow * iter_factor).max(opts.dt_min);
 
         if hit_bp {
             // Restart small after a corner; drop stale curvature history.
             dt = dt0.min(dt);
-            hist = None;
+            hist_valid = false;
         } else {
-            hist = Some((x_prev.clone(), step));
+            // Rotate: old x_prev becomes x_prev2 (no clone).
+            mem::swap(&mut x_prev2, &mut x_prev);
+            dt_prev = step;
+            hist_valid = true;
         }
-        x_prev = outcome.x;
+        // New accepted state; the displaced buffer becomes next scratch.
+        mem::swap(&mut x_prev, &mut x_cur);
         t = t_new;
     }
 
+    wave.set_stats(sys.stats());
     Ok(wave)
 }
 
@@ -358,6 +379,76 @@ mod tests {
                 wave.axis().iter().any(|&t| (t - corner).abs() < 1e-15),
                 "corner {corner} missed"
             );
+        }
+    }
+
+    #[test]
+    fn solver_stats_show_refactorization_reuse() {
+        use crate::options::SolverKind;
+        let mut ckt = rc_circuit(1e3, 1e-9);
+        let opts = SimOptions {
+            solver: SolverKind::Sparse,
+            ..SimOptions::default()
+        };
+        let wave = transient(&mut ckt, TransientSpec::to(5e-6), &opts).unwrap();
+        let stats = wave.stats().expect("transient records stats");
+        assert!(stats.steps_accepted > 10);
+        assert_eq!(stats.steps_accepted + 1, wave.len());
+        assert!(stats.nr_iterations >= stats.steps_accepted);
+        // Every sparse solve is either fresh or a symbolic reuse...
+        assert_eq!(
+            stats.fresh_factorizations + stats.refactorizations,
+            stats.nr_iterations
+        );
+        // ...and fresh ones happen only at the first solve plus rare
+        // pivot-degradation fallbacks: O(fallbacks), not O(steps).
+        assert!(
+            stats.fresh_factorizations <= 1 + stats.nr_iterations / 50,
+            "expected O(fallbacks) fresh factorizations, got {stats:?}"
+        );
+    }
+
+    #[test]
+    fn disabling_reuse_forces_fresh_factorizations() {
+        use crate::options::SolverKind;
+        let mut ckt = rc_circuit(1e3, 1e-9);
+        let opts = SimOptions {
+            solver: SolverKind::Sparse,
+            reuse_factorization: false,
+            ..SimOptions::default()
+        };
+        let wave = transient(&mut ckt, TransientSpec::to(5e-6), &opts).unwrap();
+        let stats = wave.stats().unwrap();
+        assert_eq!(stats.refactorizations, 0);
+        assert_eq!(stats.fresh_factorizations, stats.nr_iterations);
+    }
+
+    #[test]
+    fn cached_solver_waveform_is_bitwise_identical() {
+        use crate::options::SolverKind;
+        // The cached-refactorization path must not change a single bit of
+        // the produced waveform relative to factorize-every-solve.
+        let run = |reuse: bool| {
+            let mut ckt = rc_circuit(1e3, 1e-9);
+            let opts = SimOptions {
+                solver: SolverKind::Sparse,
+                reuse_factorization: reuse,
+                ..SimOptions::default()
+            };
+            transient(&mut ckt, TransientSpec::to(5e-6), &opts).unwrap()
+        };
+        let cached = run(true);
+        let fresh = run(false);
+        assert_eq!(cached.len(), fresh.len());
+        for (a, b) in cached.axis().iter().zip(fresh.axis()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for name in cached.signal_names() {
+            let ta = cached.trace(name).unwrap();
+            let tb = fresh.trace(name).unwrap();
+            for (a, b) in ta.iter().zip(tb) {
+                assert_eq!(a.to_bits(), b.to_bits(), "trace {name} diverged");
+            }
         }
     }
 

@@ -284,8 +284,11 @@ impl<'a> Stamps<'a> {
 ///
 /// The `Any` supertrait enables typed access to concrete devices through
 /// [`crate::netlist::Circuit::device_as`], which experiments use to read
-/// source energy meters and adjust waveforms between phases.
-pub trait Device: fmt::Debug + Any {
+/// source energy meters and adjust waveforms between phases. The `Send`
+/// supertrait lets whole circuits move across the scoped worker threads the
+/// Monte-Carlo sweeps use; device state must therefore be plain owned data
+/// (no `Rc`/`RefCell`), which every in-tree model already satisfies.
+pub trait Device: fmt::Debug + Any + Send {
     /// Instance name (unique within a circuit).
     fn name(&self) -> &str;
 

@@ -62,6 +62,7 @@ pub mod prelude {
     };
     pub use crate::error::{Result, SpiceError};
     pub use crate::measure::{cross_time, delta, integral, min_max, settled, Edge};
+    pub use crate::mna::{MnaSystem, SolveStats};
     pub use crate::netlist::Circuit;
     pub use crate::node::NodeId;
     pub use crate::options::{Integrator, SimOptions, SolverKind};

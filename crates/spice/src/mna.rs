@@ -13,8 +13,26 @@ use crate::device::{AnalysisKind, EvalCtx, StampSink, Stamps, UnknownIndex};
 use crate::error::{Result, SpiceError};
 use crate::netlist::Circuit;
 use crate::options::{Integrator, SimOptions, SolverKind};
+use tcam_numeric::dense::{DenseLu, DenseMatrix};
 use tcam_numeric::sparse::{CscMatrix, StampMap, TripletMatrix};
 use tcam_numeric::sparse_lu::SparseLu;
+use tcam_numeric::NumericError;
+
+/// Cumulative linear/nonlinear solver counters, reset with
+/// [`MnaSystem::reset_stats`] and surfaced on transient waveforms.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Full factorizations (fresh symbolic + numeric with full pivoting).
+    pub fresh_factorizations: usize,
+    /// Value-only refactorizations reusing the cached symbolic phase.
+    pub refactorizations: usize,
+    /// Newton–Raphson iterations performed.
+    pub nr_iterations: usize,
+    /// Transient steps accepted.
+    pub steps_accepted: usize,
+    /// Transient steps rejected (Newton failure or LTE).
+    pub steps_rejected: usize,
+}
 
 /// Records the stamp pattern during the build pass.
 struct PatternSink {
@@ -65,6 +83,14 @@ pub struct MnaSystem {
     /// the active gmin each refill).
     gmin_first_stamp: usize,
     use_dense: bool,
+    reuse_factorization: bool,
+    /// Cached sparse factorization (symbolic pattern + numeric values),
+    /// refactorized in place on subsequent solves.
+    lu: Option<SparseLu>,
+    /// Cached dense mirror + factorization buffers for the dense path.
+    dense_mat: Option<DenseMatrix>,
+    dense_lu: Option<DenseLu>,
+    stats: SolveStats,
 }
 
 impl MnaSystem {
@@ -130,6 +156,11 @@ impl MnaSystem {
             rhs: vec![0.0; n],
             gmin_first_stamp,
             use_dense,
+            reuse_factorization: opts.reuse_factorization,
+            lu: None,
+            dense_mat: None,
+            dense_lu: None,
+            stats: SolveStats::default(),
         })
     }
 
@@ -206,15 +237,91 @@ impl MnaSystem {
 
     /// Solves the assembled linear system `A x = z`.
     ///
+    /// Allocating convenience wrapper around [`MnaSystem::solve_into`];
+    /// hot loops should hold a reusable output buffer and call that instead.
+    ///
     /// # Errors
     ///
     /// Propagates singular-matrix failures from the factorization.
-    pub fn solve(&self) -> Result<Vec<f64>> {
+    pub fn solve(&mut self) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.solve_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// Solves the assembled linear system `A x = z` into `out`.
+    ///
+    /// On the sparse path the first solve factorizes from scratch and caches
+    /// the factorization; later solves refactorize the cached symbolic
+    /// pattern in place (zero heap traffic), falling back to a fresh
+    /// full-pivoting factorization when a reused pivot degrades. On the
+    /// dense path the matrix mirror and factorization buffers are cached and
+    /// refilled. Either way, the steady state performs no allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates singular-matrix failures from the factorization.
+    pub fn solve_into(&mut self, out: &mut Vec<f64>) -> Result<()> {
         if self.use_dense {
-            Ok(self.csc.to_dense().solve(&self.rhs)?)
+            self.solve_dense_into(out)
         } else {
-            Ok(SparseLu::factorize(&self.csc)?.solve(&self.rhs)?)
+            self.solve_sparse_into(out)
         }
+    }
+
+    fn solve_sparse_into(&mut self, out: &mut Vec<f64>) -> Result<()> {
+        let need_fresh = match self.lu.as_mut() {
+            Some(lu) if self.reuse_factorization => match lu.refactorize(&self.csc) {
+                Ok(()) => {
+                    self.stats.refactorizations += 1;
+                    false
+                }
+                // The reused pivot order went bad numerically — fall back
+                // to a fresh factorization with full partial pivoting.
+                Err(NumericError::PivotDegraded { .. }) => true,
+                Err(e) => return Err(e.into()),
+            },
+            _ => true,
+        };
+        if need_fresh {
+            self.stats.fresh_factorizations += 1;
+            self.lu = Some(SparseLu::factorize(&self.csc)?);
+        }
+        out.resize(self.rhs.len(), 0.0);
+        out.copy_from_slice(&self.rhs);
+        self.lu
+            .as_mut()
+            .expect("factorization set above")
+            .solve_in_place(out)?;
+        Ok(())
+    }
+
+    fn solve_dense_into(&mut self, out: &mut Vec<f64>) -> Result<()> {
+        let dense = self.dense_mat.get_or_insert_with(|| DenseMatrix::zeros(0, 0));
+        self.csc.to_dense_into(dense);
+        let lu = self.dense_lu.get_or_insert_with(DenseLu::empty);
+        dense.lu_into(lu)?;
+        // Dense LU always pivots from scratch, so it counts as fresh.
+        self.stats.fresh_factorizations += 1;
+        lu.solve_into(&self.rhs, out)?;
+        Ok(())
+    }
+
+    /// Cumulative solver statistics since construction or the last
+    /// [`MnaSystem::reset_stats`].
+    #[must_use]
+    pub fn stats(&self) -> SolveStats {
+        self.stats
+    }
+
+    /// Mutable access for the stepping layers to record Newton/step counts.
+    pub fn stats_mut(&mut self) -> &mut SolveStats {
+        &mut self.stats
+    }
+
+    /// Zeroes all counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = SolveStats::default();
     }
 
     /// The current right-hand side (test/debug aid).

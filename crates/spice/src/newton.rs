@@ -40,14 +40,56 @@ pub fn solve_point(
     opts: &SimOptions,
     gmin: f64,
 ) -> Result<NewtonOutcome> {
-    let n_nodes = sys.index().n_node_unknowns();
     let mut x = x_guess.to_vec();
+    let mut scratch = Vec::new();
+    let iterations = solve_point_in_place(
+        circuit,
+        sys,
+        time,
+        dt,
+        integrator,
+        x_prev,
+        &mut x,
+        &mut scratch,
+        opts,
+        gmin,
+    )?;
+    Ok(NewtonOutcome { x, iterations })
+}
+
+/// Allocation-free Newton solve: `x` carries the guess in and the solution
+/// out; `x_new` is a caller-held scratch buffer ping-ponged with `x` on each
+/// undamped iteration. With both buffers warm (and the sparse factorization
+/// cached in `sys`) an iteration performs no heap allocation.
+///
+/// Newton iterations are recorded in the system's
+/// [`crate::mna::SolveStats`].
+///
+/// # Errors
+///
+/// Returns [`SpiceError::NonConvergence`] when the iteration budget is
+/// exhausted, and propagates singular-matrix failures.
+#[allow(clippy::too_many_arguments)]
+pub fn solve_point_in_place(
+    circuit: &Circuit,
+    sys: &mut MnaSystem,
+    time: f64,
+    dt: f64,
+    integrator: Integrator,
+    x_prev: &[f64],
+    x: &mut Vec<f64>,
+    x_new: &mut Vec<f64>,
+    opts: &SimOptions,
+    gmin: f64,
+) -> Result<usize> {
+    let n_nodes = sys.index().n_node_unknowns();
     let mut max_delta = f64::INFINITY;
 
     for iter in 1..=opts.max_nr_iters {
-        sys.refill(circuit, time, dt, integrator, &x, x_prev, gmin);
-        let x_new = match sys.solve() {
-            Ok(v) => v,
+        sys.refill(circuit, time, dt, integrator, x, x_prev, gmin);
+        sys.stats_mut().nr_iterations += 1;
+        match sys.solve_into(x_new) {
+            Ok(()) => {}
             Err(SpiceError::Numeric(NumericError::SingularMatrix { .. })) if iter == 1 => {
                 // A cold start can present a structurally singular point for
                 // hysteretic devices; retry is meaningless — report clearly.
@@ -58,7 +100,7 @@ pub fn solve_point(
                 });
             }
             Err(e) => return Err(e),
-        };
+        }
         if x_new.iter().any(|v| !v.is_finite()) {
             return Err(SpiceError::NonConvergence {
                 time,
@@ -70,7 +112,7 @@ pub fn solve_point(
         // Damping: uniformly scale oversized updates.
         max_delta = x_new
             .iter()
-            .zip(&x)
+            .zip(x.iter())
             .fold(0.0_f64, |m, (n, o)| m.max((n - o).abs()));
         let scale = if max_delta > opts.nr_damping_limit {
             opts.nr_damping_limit / max_delta
@@ -89,18 +131,15 @@ pub fn solve_point(
         }
 
         if scale == 1.0 {
-            x = x_new;
+            std::mem::swap(x, x_new);
         } else {
-            for (xi, xn) in x.iter_mut().zip(&x_new) {
+            for (xi, xn) in x.iter_mut().zip(x_new.iter()) {
                 *xi += scale * (xn - *xi);
             }
         }
 
         if converged {
-            return Ok(NewtonOutcome {
-                x,
-                iterations: iter,
-            });
+            return Ok(iter);
         }
     }
     Err(SpiceError::NonConvergence {

@@ -47,6 +47,11 @@ pub struct SimOptions {
     pub solver: SolverKind,
     /// Unknown-count at which `Auto` switches to the sparse solver.
     pub sparse_threshold: usize,
+    /// Reuse the sparse symbolic factorization across Newton iterations and
+    /// time steps (refactorizing values only, with a pivot-growth fallback
+    /// to a fresh full-pivoting factorization). Disable as a safety valve to
+    /// force a fresh factorization on every solve.
+    pub reuse_factorization: bool,
     /// Initial transient step as a fraction of the span (if `dt_initial` ≤ 0).
     pub dt_initial_fraction: f64,
     /// Explicit initial step (overrides the fraction when > 0).
@@ -79,6 +84,7 @@ impl Default for SimOptions {
             integrator: Integrator::default(),
             solver: SolverKind::default(),
             sparse_threshold: 120,
+            reuse_factorization: true,
             dt_initial_fraction: 1e-4,
             dt_initial: 0.0,
             dt_min: 1e-18,

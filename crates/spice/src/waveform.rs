@@ -2,6 +2,7 @@
 //! non-uniform) time axis, with CSV export.
 
 use crate::error::{Result, SpiceError};
+use crate::mna::SolveStats;
 use std::collections::HashMap;
 use std::io::Write;
 
@@ -14,6 +15,7 @@ pub struct Waveform {
     names: Vec<String>,
     data: Vec<Vec<f64>>,
     by_name: HashMap<String, usize>,
+    stats: Option<SolveStats>,
 }
 
 impl Waveform {
@@ -36,7 +38,20 @@ impl Waveform {
             names,
             data: vec![Vec::new(); count],
             by_name,
+            stats: None,
         }
+    }
+
+    /// Attaches solver statistics from the run that produced this waveform.
+    pub fn set_stats(&mut self, stats: SolveStats) {
+        self.stats = Some(stats);
+    }
+
+    /// Solver statistics for the producing run, when the analysis recorded
+    /// them (transient does; other analyses may not).
+    #[must_use]
+    pub fn stats(&self) -> Option<SolveStats> {
+        self.stats
     }
 
     /// Appends one sample row.

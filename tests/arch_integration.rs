@@ -9,7 +9,7 @@ use nem_tcam::arch::array::{value_to_word, TcamArray};
 use nem_tcam::arch::refresh_sched::compare_policies;
 use nem_tcam::arch::{OperationCosts, WorkloadMeter};
 use nem_tcam::core::bit::word_matches;
-use proptest::prelude::*;
+use nem_tcam::numeric::rng::SplitMix64;
 use std::net::Ipv4Addr;
 
 #[test]
@@ -77,39 +77,50 @@ fn osr_scheduling_beats_row_by_row_across_seeds() {
     }
 }
 
-proptest! {
-    /// The functional array must agree with the reference match rule for
-    /// arbitrary stored words and keys.
-    #[test]
-    fn array_search_matches_reference(stored in 0u64..1024, key in 0u64..1024) {
+/// The functional array must agree with the reference match rule for
+/// randomized stored words and keys.
+#[test]
+fn array_search_matches_reference() {
+    let mut rng = SplitMix64::new(31);
+    for _ in 0..256 {
+        let stored = rng.below(1024);
+        let key = rng.below(1024);
         let mut tcam = TcamArray::new(4, 10);
         let word = value_to_word(stored, 10);
         tcam.write(2, word.clone()).expect("fits");
         let key_word = value_to_word(key, 10);
         let expected = word_matches(&word, &key_word);
-        prop_assert_eq!(tcam.first_match(&key_word) == Some(2), expected);
+        assert_eq!(tcam.first_match(&key_word) == Some(2), expected);
     }
+}
 
-    /// Range expansion covers exactly the range, for arbitrary ranges.
-    #[test]
-    fn range_expansion_exact(a in 0u16..256, b in 0u16..256) {
+/// Range expansion covers exactly the range, for randomized ranges.
+#[test]
+fn range_expansion_exact() {
+    let mut rng = SplitMix64::new(32);
+    for _ in 0..64 {
+        let a = rng.below(256) as u16;
+        let b = rng.below(256) as u16;
         let (lo, hi) = (a.min(b), a.max(b));
         let words = range_to_prefixes(lo, hi, 8);
         // No more than 2·bits − 2 prefixes (the classic worst case).
-        prop_assert!(words.len() <= 14);
+        assert!(words.len() <= 14);
         for v in 0u16..256 {
             let key = value_to_word(u64::from(v), 8);
             let covered = words.iter().any(|w| word_matches(w, &key));
-            prop_assert_eq!(covered, (lo..=hi).contains(&v));
+            assert_eq!(covered, (lo..=hi).contains(&v));
         }
     }
+}
 
-    /// LPM on the TCAM agrees with a linear scan over prefixes.
-    #[test]
-    fn lpm_agrees_with_linear_scan(
-        addrs in proptest::collection::vec(0u32.., 1..12),
-        probe in 0u32..,
-    ) {
+/// LPM on the TCAM agrees with a linear scan over prefixes.
+#[test]
+fn lpm_agrees_with_linear_scan() {
+    let mut rng = SplitMix64::new(33);
+    for _ in 0..128 {
+        let n_routes = 1 + rng.below(11) as usize;
+        let addrs: Vec<u32> = (0..n_routes).map(|_| rng.next_u64() as u32).collect();
+        let probe = rng.next_u64() as u32;
         let routes: Vec<Route> = addrs
             .iter()
             .enumerate()
@@ -128,6 +139,6 @@ proptest! {
         let got = table.lookup(ip).map(|hop| routes[hop as usize].prefix.len());
         // Compare by matched prefix length (ties between equal-length
         // prefixes may resolve to either route).
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
 }

@@ -1,0 +1,8 @@
+#!/bin/sh
+# Tier-1 gate: build, test, and lint the whole workspace offline.
+# The workspace has zero external dependencies, so this must pass with no
+# network access to crates.io.
+set -eux
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo clippy --offline --workspace --all-targets -- -D warnings
