@@ -45,6 +45,109 @@ pub enum BankRefresh {
     },
 }
 
+impl BankRefresh {
+    /// Refresh operations a single retention event costs on a bank of
+    /// `rows` rows: 0 (none), 1 (one-shot) or `rows` (row-by-row).
+    #[must_use]
+    pub fn ops_per_event(&self, rows: usize) -> u64 {
+        match self {
+            BankRefresh::None => 0,
+            BankRefresh::OneShot { .. } => 1,
+            BankRefresh::RowByRow { .. } => rows.max(1) as u64,
+        }
+    }
+
+    /// Duration of one refresh operation, seconds (0 when no refresh).
+    #[must_use]
+    pub fn op_time(&self) -> f64 {
+        match self {
+            BankRefresh::None => 0.0,
+            BankRefresh::OneShot { op_time } | BankRefresh::RowByRow { op_time } => *op_time,
+        }
+    }
+}
+
+/// One refresh event due on a bank: `ops` operations of `op_time` each.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefreshEvent {
+    /// Refresh operations in this event (1 for one-shot, `rows` for
+    /// row-by-row).
+    pub ops: u64,
+    /// Duration of each operation, seconds.
+    pub op_time: f64,
+}
+
+/// Deadline tracker for a bank's refresh policy.
+///
+/// This is the single place retention deadlines are turned into refresh
+/// events. [`TcamBank::replay`] drives it on the bank's internal (virtual)
+/// clock; external schedulers — the `tcam-serve` workers run the same
+/// policy against a wall clock — create one via
+/// [`TcamBank::refresh_schedule`] or [`RefreshSchedule::new`] instead of
+/// duplicating the interval logic.
+#[derive(Debug, Clone)]
+pub struct RefreshSchedule {
+    policy: BankRefresh,
+    interval: f64,
+    next_deadline: f64,
+}
+
+impl RefreshSchedule {
+    /// A schedule for `policy` on a bank with the given retention interval
+    /// (seconds). A non-finite retention, or [`BankRefresh::None`], never
+    /// fires.
+    #[must_use]
+    pub fn new(policy: BankRefresh, retention: f64) -> Self {
+        let interval = if matches!(policy, BankRefresh::None) || !retention.is_finite() {
+            f64::INFINITY
+        } else {
+            retention
+        };
+        Self {
+            policy,
+            interval,
+            next_deadline: interval,
+        }
+    }
+
+    /// The policy this schedule enforces.
+    #[must_use]
+    pub fn policy(&self) -> BankRefresh {
+        self.policy
+    }
+
+    /// Seconds between refresh events (∞ when refresh never fires).
+    #[must_use]
+    pub fn interval(&self) -> f64 {
+        self.interval
+    }
+
+    /// Takes the next refresh event if its deadline has passed at `elapsed`
+    /// seconds, advancing the deadline by one interval. Call repeatedly
+    /// until `None` (several deadlines may have passed), adding the event's
+    /// busy time to `elapsed` in between, then [`Self::reanchor`].
+    pub fn pop_due(&mut self, elapsed: f64, rows: usize) -> Option<RefreshEvent> {
+        if elapsed < self.next_deadline {
+            return None;
+        }
+        self.next_deadline += self.interval;
+        Some(RefreshEvent {
+            ops: self.policy.ops_per_event(rows),
+            op_time: self.policy.op_time(),
+        })
+    }
+
+    /// Re-anchors the deadline to `elapsed + interval` when refresh work
+    /// outpaced the interval (a pathological configuration) so event loops
+    /// always terminate — such a bank does nothing but refresh, which the
+    /// meter shows.
+    pub fn reanchor(&mut self, elapsed: f64) {
+        if self.next_deadline <= elapsed {
+            self.next_deadline = elapsed + self.interval;
+        }
+    }
+}
+
 /// Outcome of replaying a trace.
 #[derive(Debug, Clone)]
 pub struct BankReport {
@@ -100,6 +203,40 @@ impl TcamBank {
         &mut self.array
     }
 
+    /// The refresh policy this bank runs.
+    #[must_use]
+    pub fn refresh_policy(&self) -> BankRefresh {
+        self.refresh
+    }
+
+    /// The per-operation cost model.
+    #[must_use]
+    pub fn costs(&self) -> &OperationCosts {
+        &self.costs
+    }
+
+    /// A fresh deadline tracker for this bank's policy and retention —
+    /// the hook external schedulers (e.g. `tcam-serve` workers) use to
+    /// trigger and observe refresh instead of duplicating the policy logic.
+    #[must_use]
+    pub fn refresh_schedule(&self) -> RefreshSchedule {
+        RefreshSchedule::new(self.refresh, self.costs.retention)
+    }
+
+    /// Performs one refresh event *now*, regardless of deadlines, metering
+    /// its operations and energy into `meter`. Returns the event (0 ops
+    /// under [`BankRefresh::None`]).
+    pub fn force_refresh(&mut self, meter: &mut WorkloadMeter) -> RefreshEvent {
+        let event = RefreshEvent {
+            ops: self.refresh.ops_per_event(self.array.rows()),
+            op_time: self.refresh.op_time(),
+        };
+        for _ in 0..event.ops {
+            meter.refresh(&self.costs, event.op_time);
+        }
+        event
+    }
+
     /// Replays a trace, interleaving refresh operations as the elapsed busy
     /// time crosses retention deadlines.
     ///
@@ -110,36 +247,19 @@ impl TcamBank {
         let mut meter = WorkloadMeter::new();
         let mut elapsed = 0.0_f64;
         let mut refresh_ops = 0_u64;
-        let mut next_refresh = self.next_refresh_interval();
+        let mut schedule = self.refresh_schedule();
         let mut results = Vec::new();
 
         for op in trace {
-            // Retire any refresh deadline that passed. If refresh work
-            // outpaces the interval (a pathological configuration), the
-            // deadline re-anchors to "now" so the loop always terminates —
-            // such a bank does nothing but refresh, which the meter shows.
-            while elapsed >= next_refresh {
-                match self.refresh {
-                    BankRefresh::None => break,
-                    BankRefresh::OneShot { op_time } => {
-                        meter.refresh(&self.costs, op_time);
-                        elapsed += op_time;
-                        refresh_ops += 1;
-                    }
-                    BankRefresh::RowByRow { op_time } => {
-                        // All rows back to back (a pessimistic burst).
-                        for _ in 0..self.array.rows() {
-                            meter.refresh(&self.costs, op_time);
-                            elapsed += op_time;
-                            refresh_ops += 1;
-                        }
-                    }
+            // Retire any refresh deadline that passed (all rows back to
+            // back for row-by-row — a pessimistic burst).
+            while let Some(event) = schedule.pop_due(elapsed, self.array.rows()) {
+                for _ in 0..event.ops {
+                    meter.refresh(&self.costs, event.op_time);
+                    elapsed += event.op_time;
+                    refresh_ops += 1;
                 }
-                let interval = self.next_refresh_interval();
-                next_refresh += interval;
-                if next_refresh <= elapsed {
-                    next_refresh = elapsed + interval;
-                }
+                schedule.reanchor(elapsed);
             }
 
             match op {
@@ -167,14 +287,6 @@ impl TcamBank {
             elapsed,
             refresh_ops,
         })
-    }
-
-    fn next_refresh_interval(&self) -> f64 {
-        if matches!(self.refresh, BankRefresh::None) || !self.costs.retention.is_finite() {
-            f64::INFINITY
-        } else {
-            self.costs.retention
-        }
     }
 }
 
@@ -271,5 +383,66 @@ mod tests {
         let trace: Vec<BankOp> = (0..100).map(|_| BankOp::Search(word("XXXX"))).collect();
         let report = bank.replay(&trace).unwrap();
         assert_eq!(report.refresh_ops, 0);
+    }
+
+    /// Driving the exposed schedule externally must reproduce the refresh
+    /// accounting `replay` does internally.
+    #[test]
+    fn external_schedule_matches_replay_accounting() {
+        let mut costs = OperationCosts::paper_3t2n();
+        costs.retention = 50.0 * costs.search_latency;
+        let refresh = BankRefresh::OneShot { op_time: 10e-9 };
+        let mut bank = TcamBank::new(8, 4, costs, refresh);
+        bank.array_mut().write(0, word("1010")).unwrap();
+        let trace: Vec<BankOp> = (0..500).map(|_| BankOp::Search(word("1010"))).collect();
+        let report = bank.replay(&trace).unwrap();
+
+        // Re-run the same virtual timeline by hand through the hook.
+        let mut schedule = bank.refresh_schedule();
+        assert_eq!(schedule.policy(), refresh);
+        assert!((schedule.interval() - costs.retention).abs() < 1e-18);
+        let mut elapsed = 0.0;
+        let mut external_ops = 0u64;
+        for _ in 0..500 {
+            while let Some(event) = schedule.pop_due(elapsed, 8) {
+                elapsed += event.ops as f64 * event.op_time;
+                external_ops += event.ops;
+                schedule.reanchor(elapsed);
+            }
+            elapsed += costs.search_latency;
+        }
+        assert_eq!(external_ops, report.refresh_ops);
+    }
+
+    #[test]
+    fn force_refresh_meters_policy_ops() {
+        let costs = OperationCosts::paper_3t2n();
+        let mut meter = WorkloadMeter::new();
+        let mut bank = TcamBank::new(16, 4, costs, BankRefresh::RowByRow { op_time: 1e-9 });
+        let event = bank.force_refresh(&mut meter);
+        assert_eq!(event.ops, 16);
+        assert_eq!(meter.refreshes, 16);
+        let mut none = TcamBank::new(16, 4, costs, BankRefresh::None);
+        assert_eq!(none.force_refresh(&mut meter).ops, 0);
+        assert_eq!(meter.refreshes, 16);
+    }
+
+    #[test]
+    fn schedule_never_fires_without_refresh() {
+        let mut s = RefreshSchedule::new(BankRefresh::None, 1e-6);
+        assert!(s.pop_due(1e9, 8).is_none());
+        let mut s = RefreshSchedule::new(BankRefresh::OneShot { op_time: 1e-9 }, f64::INFINITY);
+        assert!(s.pop_due(1e9, 8).is_none());
+    }
+
+    /// The bank (and its building blocks) must be `Send` so `tcam-serve`
+    /// can hand one to each worker thread.
+    #[test]
+    fn bank_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<TcamBank>();
+        assert_send::<TcamArray>();
+        assert_send::<RefreshSchedule>();
+        assert_send::<WorkloadMeter>();
     }
 }

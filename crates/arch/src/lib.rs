@@ -7,8 +7,11 @@
 //!   abstraction applications program against.
 //! * [`energy_model`] — per-operation costs (paper values or `tcam-core`
 //!   measurements) and workload accounting.
+//! * [`packed`] — bit-packed ternary words and arrays for the serving path
+//!   (`tcam-serve`), matching millions of keys per second.
 //! * [`bank`] — a timed TCAM bank replaying operation traces with refresh
-//!   interleaved per policy.
+//!   interleaved per policy; exposes its [`bank::RefreshSchedule`] so
+//!   external schedulers reuse the same deadline logic.
 //! * [`refresh_sched`] — event-driven simulation of refresh interference:
 //!   row-by-row refresh vs the paper's one-shot refresh under search
 //!   traffic.
@@ -43,9 +46,11 @@ pub mod apps;
 pub mod array;
 pub mod bank;
 pub mod energy_model;
+pub mod packed;
 pub mod refresh_sched;
 
 pub use array::{ArchError, TcamArray};
-pub use bank::{BankOp, BankRefresh, BankReport, TcamBank};
+pub use bank::{BankOp, BankRefresh, BankReport, RefreshEvent, RefreshSchedule, TcamBank};
 pub use energy_model::{OperationCosts, WorkloadMeter};
+pub use packed::{PackedTcamArray, PackedWord};
 pub use refresh_sched::{simulate, RefreshPolicy, RefreshSimConfig, RefreshSimReport};

@@ -1,0 +1,299 @@
+//! Bit-packed ternary words for high-rate matching.
+//!
+//! [`crate::array::TcamArray`] stores one enum per ternary bit, which is the
+//! right representation for circuit-level studies but far too slow for a
+//! serving path that must sustain millions of lookups per second. This
+//! module packs a ternary word of up to 128 bits into two `u64` limb pairs
+//! — a *care mask* (1 where the bit is `0`/`1`, 0 where it is `X`) and a
+//! *value* (the cared-for bits) — so a stored/key match is four ANDs, two
+//! XORs and two compares:
+//!
+//! ```text
+//! matches ⇔ (value_s ^ value_k) & mask_s & mask_k == 0   (per limb)
+//! ```
+//!
+//! This implements exactly [`tcam_core::bit::TernaryBit::matches`]: `X` on
+//! *either* side matches everything. [`PackedTcamArray`] keeps rows in
+//! structure-of-arrays layout and scans them in priority order, returning a
+//! caller-supplied row id — the serving layer stores *global* rule indices
+//! there so sharded lookups report the same winner as a monolithic array.
+
+use crate::array::TcamArray;
+use tcam_core::bit::TernaryBit;
+
+/// Maximum word width a [`PackedWord`] can hold (two 64-bit limbs).
+pub const MAX_PACKED_WIDTH: usize = 128;
+
+/// A ternary word packed into care-mask/value limb pairs.
+///
+/// Logical bit `j` (0 = leftmost, matching the `Vec<TernaryBit>` order used
+/// everywhere else) lives in limb `j / 64` at bit position `63 - (j % 64)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackedWord {
+    /// Care bits: 1 where the ternary bit is `0` or `1`, 0 where it is `X`.
+    pub mask: [u64; 2],
+    /// Bit values at cared-for positions (0 elsewhere).
+    pub value: [u64; 2],
+}
+
+impl PackedWord {
+    /// Packs a ternary word.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bits.len() > MAX_PACKED_WIDTH` (serving-path words are
+    /// validated at table-build time).
+    #[must_use]
+    pub fn pack(bits: &[TernaryBit]) -> Self {
+        assert!(
+            bits.len() <= MAX_PACKED_WIDTH,
+            "word of {} bits exceeds packed width {MAX_PACKED_WIDTH}",
+            bits.len()
+        );
+        let mut mask = [0u64; 2];
+        let mut value = [0u64; 2];
+        for (j, bit) in bits.iter().enumerate() {
+            let limb = j / 64;
+            let pos = 63 - (j % 64);
+            match bit {
+                TernaryBit::Zero => mask[limb] |= 1 << pos,
+                TernaryBit::One => {
+                    mask[limb] |= 1 << pos;
+                    value[limb] |= 1 << pos;
+                }
+                TernaryBit::X => {}
+            }
+        }
+        Self { mask, value }
+    }
+
+    /// Whether a stored `self` matches a searched `key`, per the TCAM rule
+    /// (`X` on either side matches everything).
+    #[inline]
+    #[must_use]
+    pub fn matches(&self, key: &PackedWord) -> bool {
+        ((self.value[0] ^ key.value[0]) & self.mask[0] & key.mask[0]) == 0
+            && ((self.value[1] ^ key.value[1]) & self.mask[1] & key.mask[1]) == 0
+    }
+}
+
+/// A priority-ordered, bit-packed TCAM: the serving-path counterpart of
+/// [`TcamArray`].
+///
+/// Rows are scanned in insertion order and the first match wins, so callers
+/// control priority by insertion order and attach their own row ids (a
+/// shard stores global rule indices; [`PackedTcamArray::from_array`] stores
+/// the source array's row numbers).
+#[derive(Debug, Clone, Default)]
+pub struct PackedTcamArray {
+    width: usize,
+    masks: Vec<[u64; 2]>,
+    values: Vec<[u64; 2]>,
+    ids: Vec<u32>,
+}
+
+impl PackedTcamArray {
+    /// An empty packed array for `width`-bit words.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width > MAX_PACKED_WIDTH`.
+    #[must_use]
+    pub fn new(width: usize) -> Self {
+        assert!(
+            width <= MAX_PACKED_WIDTH,
+            "width {width} exceeds packed width {MAX_PACKED_WIDTH}"
+        );
+        Self {
+            width,
+            masks: Vec::new(),
+            values: Vec::new(),
+            ids: Vec::new(),
+        }
+    }
+
+    /// Packs the occupied rows of a functional array, preserving priority
+    /// order and recording each source row number as the id.
+    ///
+    /// Returns `None` when the array is wider than [`MAX_PACKED_WIDTH`].
+    #[must_use]
+    pub fn from_array(array: &TcamArray) -> Option<Self> {
+        if array.width() > MAX_PACKED_WIDTH {
+            return None;
+        }
+        let mut packed = Self::new(array.width());
+        for row in 0..array.rows() {
+            if let Some(word) = array.entry(row) {
+                packed.push(word, u32::try_from(row).ok()?);
+            }
+        }
+        Some(packed)
+    }
+
+    /// Appends a stored word with the given id (lowest insertion order =
+    /// highest priority).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a width mismatch.
+    pub fn push(&mut self, word: &[TernaryBit], id: u32) {
+        assert_eq!(word.len(), self.width, "word width mismatch");
+        let p = PackedWord::pack(word);
+        self.masks.push(p.mask);
+        self.values.push(p.value);
+        self.ids.push(id);
+    }
+
+    /// Word width.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of stored rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` when no rows are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The id of the highest-priority matching row, or `None`.
+    #[inline]
+    #[must_use]
+    pub fn first_match(&self, key: &PackedWord) -> Option<u32> {
+        for (i, (mask, value)) in self.masks.iter().zip(&self.values).enumerate() {
+            if ((value[0] ^ key.value[0]) & mask[0] & key.mask[0]) == 0
+                && ((value[1] ^ key.value[1]) & mask[1] & key.mask[1]) == 0
+            {
+                return Some(self.ids[i]);
+            }
+        }
+        None
+    }
+
+    /// Ids of all matching rows in priority order.
+    #[must_use]
+    pub fn matches(&self, key: &PackedWord) -> Vec<u32> {
+        let stored = self.masks.iter().zip(&self.values);
+        stored
+            .enumerate()
+            .filter(|(_, (mask, value))| {
+                PackedWord {
+                    mask: **mask,
+                    value: **value,
+                }
+                .matches(key)
+            })
+            .map(|(i, _)| self.ids[i])
+            .collect()
+    }
+
+    /// The stored row at insertion index `i` as `(id, packed word)`.
+    #[must_use]
+    pub fn row(&self, i: usize) -> Option<(u32, PackedWord)> {
+        Some((
+            *self.ids.get(i)?,
+            PackedWord {
+                mask: self.masks[i],
+                value: self.values[i],
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcam_core::bit::{parse_ternary, word_matches};
+    use tcam_numeric::rng::SplitMix64;
+
+    fn random_word(rng: &mut SplitMix64, width: usize, x_prob: f64) -> Vec<TernaryBit> {
+        (0..width)
+            .map(|_| {
+                if rng.next_f64() < x_prob {
+                    TernaryBit::X
+                } else {
+                    TernaryBit::from_bool(rng.next_u64() & 1 == 1)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pack_matches_truth_table() {
+        let stored = PackedWord::pack(&parse_ternary("1X0").unwrap());
+        assert!(stored.matches(&PackedWord::pack(&parse_ternary("110").unwrap())));
+        assert!(stored.matches(&PackedWord::pack(&parse_ternary("100").unwrap())));
+        assert!(!stored.matches(&PackedWord::pack(&parse_ternary("101").unwrap())));
+        // X in the key matches any stored bit.
+        assert!(stored.matches(&PackedWord::pack(&parse_ternary("XXX").unwrap())));
+    }
+
+    #[test]
+    fn packed_match_equals_reference_rule() {
+        let mut rng = SplitMix64::new(71);
+        for width in [1usize, 7, 32, 63, 64, 65, 88, 128] {
+            for _ in 0..200 {
+                let stored = random_word(&mut rng, width, 0.3);
+                let key = random_word(&mut rng, width, 0.1);
+                assert_eq!(
+                    PackedWord::pack(&stored).matches(&PackedWord::pack(&key)),
+                    word_matches(&stored, &key),
+                    "width {width} stored {stored:?} key {key:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_array_agrees_with_functional_array() {
+        let mut rng = SplitMix64::new(72);
+        for _ in 0..100 {
+            let width = 1 + rng.below(100) as usize;
+            let rows = 1 + rng.below(20) as usize;
+            let mut array = TcamArray::new(rows, width);
+            for row in 0..rows {
+                if rng.next_f64() < 0.7 {
+                    array.write(row, random_word(&mut rng, width, 0.3)).unwrap();
+                }
+            }
+            let packed = PackedTcamArray::from_array(&array).expect("width fits");
+            assert_eq!(packed.len(), array.occupancy());
+            for _ in 0..50 {
+                let key = random_word(&mut rng, width, 0.05);
+                let packed_key = PackedWord::pack(&key);
+                assert_eq!(
+                    packed.first_match(&packed_key),
+                    array.first_match(&key).map(|r| r as u32)
+                );
+                let all: Vec<u32> = array.matches(&key).iter().map(|&r| r as u32).collect();
+                assert_eq!(packed.matches(&packed_key), all);
+            }
+        }
+    }
+
+    #[test]
+    fn from_array_rejects_wide_words() {
+        let array = TcamArray::new(2, MAX_PACKED_WIDTH + 1);
+        assert!(PackedTcamArray::from_array(&array).is_none());
+    }
+
+    #[test]
+    fn ids_are_caller_controlled() {
+        let mut packed = PackedTcamArray::new(4);
+        packed.push(&parse_ternary("1XXX").unwrap(), 42);
+        packed.push(&parse_ternary("XXXX").unwrap(), 7);
+        let key = PackedWord::pack(&parse_ternary("1000").unwrap());
+        assert_eq!(packed.first_match(&key), Some(42));
+        assert_eq!(packed.matches(&key), vec![42, 7]);
+        let miss_all_care = PackedWord::pack(&parse_ternary("0000").unwrap());
+        assert_eq!(packed.first_match(&miss_all_care), Some(7));
+        assert_eq!(packed.row(0).unwrap().0, 42);
+        assert!(packed.row(5).is_none());
+    }
+}

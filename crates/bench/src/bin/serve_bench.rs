@@ -1,0 +1,212 @@
+//! Benchmark driver for the `tcam-serve` lookup service.
+//!
+//! Builds a deterministic workload (router LPM or ACL classifier), shards
+//! it, starts the service, drives open-loop load, and emits a single-line
+//! JSON record in the same style as `perf_baseline` — suitable for
+//! appending to a `BENCH_*.json` history:
+//!
+//! ```json
+//! {"bench":"serve_bench","workload":"router_lpm","shards":4,...,
+//!  "throughput_lps":...,"p50_ns":...,"p99_ns":...,"refresh_stall_us":...}
+//! ```
+//!
+//! Flags (all optional):
+//!
+//! * `--seed N` (default 1) — workload + load-generator seed
+//! * `--duration-ms N` (default 200) — open-loop offering window
+//! * `--shard-bits N` (default 2) — `2^N` shards/workers
+//! * `--batch N` (default 256) — keys per submitted batch
+//! * `--rate N` (default 0 = saturation) — offered lookups/second
+//! * `--workload router|acl` (default router)
+//! * `--routes N` (default 1024) — rules in the table
+//! * `--policy oneshot|rowbyrow|none` (default oneshot)
+//! * `--refresh-interval-us N` (default 5000)
+//! * `--compare-refresh` — additionally run the *same* seed and load under
+//!   both refresh policies at a paced rate and report delayed-search
+//!   counts side by side (the paper's one-shot-vs-row-by-row claim, as a
+//!   serving experiment)
+
+use std::time::Duration;
+use tcam_serve::loadgen::{open_loop, OpenLoop};
+use tcam_serve::service::{ServiceConfig, TcamService};
+use tcam_serve::shard::ShardedRuleSet;
+use tcam_serve::telemetry::ServeReport;
+use tcam_serve::workload::Workload;
+use tcam_serve::BankRefresh;
+
+struct Args {
+    seed: u64,
+    duration_ms: u64,
+    shard_bits: u32,
+    batch: usize,
+    rate: f64,
+    workload: String,
+    routes: usize,
+    policy: String,
+    refresh_interval_us: u64,
+    compare_refresh: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 1,
+        duration_ms: 200,
+        shard_bits: 2,
+        batch: 256,
+        rate: 0.0,
+        workload: "router".into(),
+        routes: 1024,
+        policy: "oneshot".into(),
+        refresh_interval_us: 5000,
+        compare_refresh: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--seed" => args.seed = value("--seed").parse().expect("--seed"),
+            "--duration-ms" => {
+                args.duration_ms = value("--duration-ms").parse().expect("--duration-ms");
+            }
+            "--shard-bits" => {
+                args.shard_bits = value("--shard-bits").parse().expect("--shard-bits");
+            }
+            "--batch" => args.batch = value("--batch").parse().expect("--batch"),
+            "--rate" => args.rate = value("--rate").parse().expect("--rate"),
+            "--workload" => args.workload = value("--workload"),
+            "--routes" => args.routes = value("--routes").parse().expect("--routes"),
+            "--policy" => args.policy = value("--policy"),
+            "--refresh-interval-us" => {
+                args.refresh_interval_us = value("--refresh-interval-us")
+                    .parse()
+                    .expect("--refresh-interval-us");
+            }
+            "--compare-refresh" => args.compare_refresh = true,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn policy_of(name: &str) -> BankRefresh {
+    match name {
+        "oneshot" => BankRefresh::OneShot { op_time: 10e-9 },
+        "rowbyrow" => BankRefresh::RowByRow { op_time: 10e-9 },
+        "none" => BankRefresh::None,
+        other => panic!("unknown policy {other} (oneshot|rowbyrow|none)"),
+    }
+}
+
+fn workload_of(args: &Args) -> Workload {
+    match args.workload.as_str() {
+        "router" => Workload::router_lpm(args.routes, 4096, args.seed),
+        "acl" => Workload::acl_classifier(args.routes, 4096, args.seed),
+        other => panic!("unknown workload {other} (router|acl)"),
+    }
+}
+
+/// Runs one service under `policy` and returns (offered, report).
+fn run_once(w: &Workload, args: &Args, policy: BankRefresh, rate: f64) -> (u64, ServeReport) {
+    let rules = ShardedRuleSet::build(&w.words, args.shard_bits).expect("shardable workload");
+    let config = ServiceConfig {
+        refresh: policy,
+        refresh_interval: Duration::from_micros(args.refresh_interval_us),
+        ..ServiceConfig::default()
+    };
+    let service = TcamService::start(rules, &config).expect("service starts");
+    let cfg = OpenLoop {
+        batch: args.batch,
+        rate,
+        duration: Duration::from_millis(args.duration_ms),
+    };
+    let offered = open_loop(&service, &w.keys, args.seed ^ 0x10AD, &cfg).expect("load offered");
+    (offered, service.shutdown())
+}
+
+fn main() {
+    let args = parse_args();
+    let w = workload_of(&args);
+    let (offered, report) = run_once(&w, &args, policy_of(&args.policy), args.rate);
+
+    let rules = ShardedRuleSet::build(&w.words, args.shard_bits).expect("shardable workload");
+    let lat = &report.latency;
+    let searches = report.searches();
+    let match_fraction = if searches > 0 {
+        report.matched() as f64 / searches as f64
+    } else {
+        0.0
+    };
+    let max_queue_depth = report.shards.iter().map(|s| s.max_queue_depth).max();
+
+    let mut record = format!(
+        "{{\"bench\":\"serve_bench\",\"workload\":\"{}\",\
+         \"seed\":{},\"shards\":{},\"rules\":{},\"rows\":{},\
+         \"replication\":{:.3},\"policy\":\"{}\",\
+         \"offered\":{offered},\"lookups\":{searches},\
+         \"throughput_lps\":{:.0},\
+         \"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\
+         \"max_ns\":{},\"mean_ns\":{:.0},\
+         \"queue_wait_p99_ns\":{},\"max_queue_depth\":{},\
+         \"delayed_searches\":{},\"stalled_searches\":{},\
+         \"refresh_events\":{},\"refresh_ops\":{},\
+         \"refresh_stall_us\":{:.1},\
+         \"energy_j\":{:.6e},\"match_fraction\":{match_fraction:.4}",
+        w.name,
+        args.seed,
+        rules.shards(),
+        rules.rules(),
+        rules.total_rows(),
+        rules.replication_factor(),
+        args.policy,
+        report.throughput(),
+        lat.quantile(50.0),
+        lat.quantile(95.0),
+        lat.quantile(99.0),
+        lat.quantile(99.9),
+        lat.max(),
+        lat.mean(),
+        report.queue_wait.quantile(99.0),
+        max_queue_depth.unwrap_or(0),
+        report.delayed_searches(),
+        report.stalled_searches(),
+        report.refresh_events(),
+        report.refresh_ops(),
+        report.refresh_stall().as_secs_f64() * 1e6,
+        report.meter.energy,
+    );
+
+    if args.compare_refresh {
+        // Identical seed and paced load under both policies: the paper's
+        // claim is that one-shot refresh delays far fewer searches than
+        // row-by-row. Pace well below the measured saturation throughput
+        // so queueing delay comes from refresh stalls, not offered
+        // overload.
+        let paced = (report.throughput() * 0.3).max(50_000.0);
+        let (_, osr) = run_once(&w, &args, policy_of("oneshot"), paced);
+        let (_, rbr) = run_once(&w, &args, policy_of("rowbyrow"), paced);
+        record.push_str(&format!(
+            ",\"compare_rate_lps\":{paced:.0},\
+             \"osr_delayed\":{},\"rbr_delayed\":{},\
+             \"osr_stalled\":{},\"rbr_stalled\":{},\
+             \"osr_stall_us\":{:.1},\"rbr_stall_us\":{:.1},\
+             \"osr_p99_ns\":{},\"rbr_p99_ns\":{},\
+             \"osr_fewer_delayed\":{}",
+            osr.delayed_searches(),
+            rbr.delayed_searches(),
+            osr.stalled_searches(),
+            rbr.stalled_searches(),
+            osr.refresh_stall().as_secs_f64() * 1e6,
+            rbr.refresh_stall().as_secs_f64() * 1e6,
+            osr.latency.quantile(99.0),
+            rbr.latency.quantile(99.0),
+            osr.delayed_searches() + osr.stalled_searches()
+                < rbr.delayed_searches() + rbr.stalled_searches(),
+        ));
+    }
+
+    record.push('}');
+    println!("{record}");
+}

@@ -1,0 +1,66 @@
+//! Error type for the serving layer.
+
+use std::fmt;
+
+/// Errors from building or querying the lookup service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// A rule or key width differs from the rule set's.
+    WidthMismatch {
+        /// The rule set's word width.
+        expected: usize,
+        /// The offered word's width.
+        found: usize,
+    },
+    /// The word width exceeds what the packed serving path supports.
+    TooWide {
+        /// The offered width.
+        width: usize,
+        /// The packed maximum.
+        max: usize,
+    },
+    /// More shard-selector bits than the word has, or than the replication
+    /// guard allows.
+    BadShardBits {
+        /// The offered selector width.
+        bits: u32,
+        /// The maximum allowed here.
+        max: u32,
+    },
+    /// A search key carries a don't-care inside the shard-selector bits, so
+    /// it cannot be routed to a single shard.
+    AmbiguousKey {
+        /// The offending bit position (0 = leftmost).
+        bit: usize,
+    },
+    /// The rule set holds no rules.
+    EmptyRuleSet,
+    /// The service has shut down (queue closed).
+    ServiceClosed,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::WidthMismatch { expected, found } => {
+                write!(f, "word width {found} does not match rule width {expected}")
+            }
+            ServeError::TooWide { width, max } => {
+                write!(f, "word width {width} exceeds packed maximum {max}")
+            }
+            ServeError::BadShardBits { bits, max } => {
+                write!(f, "{bits} shard bits exceed maximum {max}")
+            }
+            ServeError::AmbiguousKey { bit } => {
+                write!(f, "key has a don't-care in shard-selector bit {bit}")
+            }
+            ServeError::EmptyRuleSet => write!(f, "rule set is empty"),
+            ServeError::ServiceClosed => write!(f, "service has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, ServeError>;

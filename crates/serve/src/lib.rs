@@ -1,0 +1,68 @@
+//! `tcam-serve`: a sharded, batched TCAM lookup service with
+//! refresh-aware scheduling and latency/throughput telemetry.
+//!
+//! The lower layers of this workspace establish *device-level* numbers
+//! for the paper's 3T2N NEM-relay dynamic TCAM — search energy, refresh
+//! cost, retention — and replay traces against a timed bank model. This
+//! crate asks the system-level question those numbers exist to answer:
+//! **what does a dynamic TCAM look like as a serving component**, where
+//! refresh is not a line in a trace but a recurring deadline competing
+//! with live traffic for the array?
+//!
+//! The pieces:
+//!
+//! * [`shard::ShardedRuleSet`] — prefix-range sharding of a ternary rule
+//!   set with don't-care replication, provably equivalent to a monolithic
+//!   array (property-tested against the oracle).
+//! * [`service::TcamService`] — one worker thread per shard behind a
+//!   bounded [`queue::BoundedQueue`] (blocking push = backpressure),
+//!   draining batched searches over bit-packed rule arrays and executing
+//!   refresh events on schedule per [`BankRefresh`] policy.
+//! * [`telemetry`] — HDR-style log-bucketed latency histograms
+//!   (p50/p95/p99/p999), per-shard counters, refresh-stall gauges, and
+//!   energy via the arch crate's `WorkloadMeter`.
+//! * [`loadgen`] — deterministic open-loop and closed-loop generators
+//!   driven by [`SplitMix64`](tcam_numeric::rng::SplitMix64) forks.
+//! * [`workload`] — router-LPM and ACL-classifier rule/key generators.
+//!
+//! The `serve_bench` binary in `tcam-bench` wires these together and
+//! emits single-line JSON records alongside `perf_baseline`'s.
+//!
+//! ```
+//! use std::time::Duration;
+//! use tcam_serve::loadgen::{open_loop, OpenLoop};
+//! use tcam_serve::service::{ServiceConfig, TcamService};
+//! use tcam_serve::shard::ShardedRuleSet;
+//! use tcam_serve::workload::Workload;
+//!
+//! let w = Workload::router_lpm(128, 256, 42);
+//! let rules = ShardedRuleSet::build(&w.words, 2).unwrap();
+//! let service = TcamService::start(rules, &ServiceConfig::default()).unwrap();
+//! let cfg = OpenLoop { duration: Duration::from_millis(5), ..OpenLoop::default() };
+//! let offered = open_loop(&service, &w.keys, 1, &cfg).unwrap();
+//! let report = service.shutdown();
+//! assert_eq!(report.searches(), offered);
+//! assert!(report.latency.quantile(99.0) >= report.latency.quantile(50.0));
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod error;
+pub mod loadgen;
+pub mod queue;
+pub mod service;
+pub mod shard;
+pub mod telemetry;
+pub mod workload;
+
+pub use error::{Result, ServeError};
+pub use loadgen::OpenLoop;
+pub use queue::BoundedQueue;
+pub use service::{SearchBatch, ServiceConfig, TcamService};
+pub use shard::ShardedRuleSet;
+pub use telemetry::{LatencyHistogram, ServeReport, ShardStats};
+pub use workload::Workload;
+
+// Re-exported so service configuration reads naturally at the call site.
+pub use tcam_arch::bank::BankRefresh;

@@ -1,0 +1,261 @@
+//! Deterministic load generators for the lookup service.
+//!
+//! Two standard shapes:
+//!
+//! * **Open loop** ([`open_loop`]) — keys are offered on a fixed schedule
+//!   (or flat-out when `rate` is 0) regardless of how fast the service
+//!   drains them, the shape that exposes queueing delay: if a refresh
+//!   event stalls a shard, the offered keys pile up and the latency
+//!   histogram records the damage. Keys are pre-routed and pre-packed so
+//!   generation is one RNG draw + one copy per key.
+//! * **Closed loop** ([`closed_loop`]) — `clients` threads each keep
+//!   exactly one lookup in flight ([`TcamService::search_blocking`]),
+//!   the shape that measures service latency without queue buildup.
+//!
+//! Both derive every random choice from a caller seed via
+//! [`SplitMix64::fork`], so identical seeds offer identical key sequences
+//! — the property the refresh-policy comparison in `serve_bench` relies
+//! on.
+
+use crate::error::Result;
+use crate::service::{SearchBatch, TcamService};
+use std::time::{Duration, Instant};
+use tcam_arch::packed::PackedWord;
+use tcam_core::bit::TernaryBit;
+use tcam_numeric::rng::SplitMix64;
+
+/// Open-loop generator settings.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoop {
+    /// Keys per submitted batch.
+    pub batch: usize,
+    /// Offered load in lookups/second; `0.0` = saturation (submit as fast
+    /// as backpressure allows).
+    pub rate: f64,
+    /// How long to keep offering load.
+    pub duration: Duration,
+}
+
+impl Default for OpenLoop {
+    fn default() -> Self {
+        Self {
+            batch: 256,
+            rate: 0.0,
+            duration: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Routes and packs a key pool once, so the offering loop never touches
+/// ternary vectors.
+///
+/// # Errors
+///
+/// Propagates routing errors (short or ambiguous keys).
+fn prepare(service: &TcamService, keys: &[Vec<TernaryBit>]) -> Result<Vec<(usize, PackedWord)>> {
+    keys.iter()
+        .map(|k| Ok((service.rules().route(k)?, PackedWord::pack(k))))
+        .collect()
+}
+
+/// Offers `cfg.duration` of open-loop load drawn from `keys`, returning
+/// the number of lookups offered.
+///
+/// Keys are drawn uniformly from the pool by a [`SplitMix64`] seeded with
+/// `seed` and accumulated into per-shard batches; a batch is submitted
+/// when full (blocking on backpressure) and partial batches are flushed at
+/// the end, so every offered key is eventually served.
+///
+/// # Errors
+///
+/// Routing errors from the key pool, or
+/// [`ServeError::ServiceClosed`](crate::error::ServeError::ServiceClosed)
+/// if the service shuts down mid-run.
+///
+/// # Panics
+///
+/// Panics when `keys` is empty or `cfg.batch` is 0.
+pub fn open_loop(
+    service: &TcamService,
+    keys: &[Vec<TernaryBit>],
+    seed: u64,
+    cfg: &OpenLoop,
+) -> Result<u64> {
+    assert!(!keys.is_empty() && cfg.batch > 0, "degenerate open loop");
+    let pool = prepare(service, keys)?;
+    let mut rng = SplitMix64::new(seed);
+    let mut buffers: Vec<Vec<PackedWord>> = vec![Vec::with_capacity(cfg.batch); service.shards()];
+    let start = Instant::now();
+    let deadline = start + cfg.duration;
+    let mut offered = 0u64;
+
+    'offer: while Instant::now() < deadline {
+        // Draw a block of keys between deadline checks.
+        for _ in 0..cfg.batch {
+            let (shard, word) = pool[rng.below(pool.len() as u64) as usize];
+            let buffer = &mut buffers[shard];
+            buffer.push(word);
+            if buffer.len() == cfg.batch {
+                let batch = std::mem::replace(buffer, Vec::with_capacity(cfg.batch));
+                offered += flush(service, shard, batch, cfg.rate, start, offered)?;
+                if Instant::now() >= deadline {
+                    break 'offer;
+                }
+            }
+        }
+    }
+    for (shard, buffer) in buffers.into_iter().enumerate() {
+        if !buffer.is_empty() {
+            offered += flush(service, shard, buffer, 0.0, start, offered)?;
+        }
+    }
+    Ok(offered)
+}
+
+/// Submits one batch, pacing against the absolute schedule when `rate` is
+/// positive: key `offered` is due at `start + offered / rate`, so pacing
+/// never drifts even if individual submits run long.
+fn flush(
+    service: &TcamService,
+    shard: usize,
+    batch: Vec<PackedWord>,
+    rate: f64,
+    start: Instant,
+    offered: u64,
+) -> Result<u64> {
+    if rate > 0.0 {
+        let due = start + Duration::from_secs_f64(offered as f64 / rate);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+    }
+    let n = batch.len() as u64;
+    service.submit(
+        shard,
+        SearchBatch {
+            keys: batch,
+            submitted: Instant::now(),
+            reply: None,
+        },
+    )?;
+    Ok(n)
+}
+
+/// Runs `clients` closed-loop client threads for `duration`, each keeping
+/// one lookup in flight, and returns the total lookups completed.
+///
+/// Client `i` draws keys with an RNG forked from `seed` in index order, so
+/// the offered sequence is deterministic per client count.
+///
+/// # Errors
+///
+/// Routing errors from the key pool.
+///
+/// # Panics
+///
+/// Panics when `keys` is empty, `clients` is 0, or a client thread
+/// panics.
+pub fn closed_loop(
+    service: &TcamService,
+    keys: &[Vec<TernaryBit>],
+    clients: usize,
+    seed: u64,
+    duration: Duration,
+) -> Result<u64> {
+    assert!(!keys.is_empty() && clients > 0, "degenerate closed loop");
+    // Validate the pool up front so per-lookup routing cannot fail below.
+    let _ = prepare(service, keys)?;
+    let mut seeder = SplitMix64::new(seed);
+    let seeds: Vec<u64> = (0..clients).map(|_| seeder.next_u64()).collect();
+    let total = std::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .into_iter()
+            .map(|client_seed| {
+                scope.spawn(move || {
+                    let mut rng = SplitMix64::new(client_seed);
+                    let deadline = Instant::now() + duration;
+                    let mut done = 0u64;
+                    while Instant::now() < deadline {
+                        let key = &keys[rng.below(keys.len() as u64) as usize];
+                        match service.search_blocking(key) {
+                            Ok(_) => done += 1,
+                            Err(_) => break,
+                        }
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("closed-loop client panicked"))
+            .sum()
+    });
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use crate::shard::ShardedRuleSet;
+    use crate::workload::Workload;
+    use tcam_arch::bank::BankRefresh;
+
+    fn service(refresh: BankRefresh) -> (Workload, TcamService) {
+        let w = Workload::router_lpm(64, 256, 7);
+        let rules = ShardedRuleSet::build(&w.words, 2).unwrap();
+        let config = ServiceConfig {
+            refresh,
+            refresh_interval: Duration::from_millis(2),
+            ..ServiceConfig::default()
+        };
+        (w, TcamService::start(rules, &config).unwrap())
+    }
+
+    #[test]
+    fn open_loop_serves_every_offered_key() {
+        let (w, svc) = service(BankRefresh::None);
+        let cfg = OpenLoop {
+            batch: 64,
+            rate: 0.0,
+            duration: Duration::from_millis(20),
+        };
+        let offered = open_loop(&svc, &w.keys, 11, &cfg).unwrap();
+        let report = svc.shutdown();
+        assert!(offered > 0);
+        assert_eq!(report.searches(), offered, "shutdown must drain the queues");
+        assert_eq!(report.latency.count(), offered);
+    }
+
+    #[test]
+    fn paced_open_loop_respects_the_schedule() {
+        let (w, svc) = service(BankRefresh::None);
+        let cfg = OpenLoop {
+            batch: 32,
+            rate: 50_000.0,
+            duration: Duration::from_millis(40),
+        };
+        let t0 = Instant::now();
+        let offered = open_loop(&svc, &w.keys, 11, &cfg).unwrap();
+        let elapsed = t0.elapsed();
+        let report = svc.shutdown();
+        assert_eq!(report.searches(), offered);
+        // 50k/s for 40ms ≈ 2000 keys; allow generous slack for scheduling.
+        let expected = cfg.rate * elapsed.as_secs_f64();
+        assert!(
+            (offered as f64) < expected * 1.5 + 2.0 * cfg.batch as f64,
+            "offered {offered} vs schedule {expected}"
+        );
+    }
+
+    #[test]
+    fn closed_loop_completes_lookups_under_refresh() {
+        let (w, svc) = service(BankRefresh::OneShot { op_time: 10e-9 });
+        let total = closed_loop(&svc, &w.keys, 2, 13, Duration::from_millis(20)).unwrap();
+        let report = svc.shutdown();
+        assert!(total > 0);
+        assert_eq!(report.searches(), total);
+    }
+}

@@ -1,0 +1,212 @@
+//! A bounded MPSC queue with blocking backpressure.
+//!
+//! Each shard worker owns one of these: load generators and closed-loop
+//! clients push [`batches`](crate::service::SearchBatch) from any thread,
+//! the worker drains them. The capacity bound is the service's flow
+//! control — when a shard falls behind (e.g. stalled in a row-by-row
+//! refresh burst), producers block on `push` instead of growing an
+//! unbounded backlog, which is exactly the backpressure a real lookup
+//! frontend would exert.
+//!
+//! Built on `Mutex` + `Condvar` only, so the queue can report its depth
+//! (a telemetry gauge) and pop in batches — two things
+//! `std::sync::mpsc::sync_channel` cannot do.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer queue (see module docs).
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is 0.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues `item`, blocking while the queue is full (backpressure).
+    /// Returns the item back when the queue has been closed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue mutex was poisoned (a worker panicked).
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if state.closed {
+                return Err(item);
+            }
+            if state.items.len() < self.capacity {
+                state.items.push_back(item);
+                drop(state);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.not_full.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Dequeues up to `max` items, waiting up to `timeout` for the first
+    /// one. Returns the items (possibly empty on timeout) and whether the
+    /// queue is closed *and* fully drained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue mutex was poisoned.
+    pub fn pop_batch(&self, max: usize, timeout: Duration) -> (Vec<T>, bool) {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if !state.items.is_empty() {
+                let take = state.items.len().min(max.max(1));
+                let batch: Vec<T> = state.items.drain(..take).collect();
+                drop(state);
+                // Every drained slot can admit a blocked producer.
+                self.not_full.notify_all();
+                return (batch, false);
+            }
+            if state.closed {
+                return (Vec::new(), true);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return (Vec::new(), false);
+            }
+            let (next, timed_out) = self
+                .not_empty
+                .wait_timeout(state, deadline - now)
+                .expect("queue lock");
+            state = next;
+            if timed_out.timed_out() && state.items.is_empty() {
+                return (Vec::new(), state.closed);
+            }
+        }
+    }
+
+    /// Current queue depth (items waiting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue mutex was poisoned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// `true` when no items are waiting.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: pending items remain poppable, further pushes
+    /// fail, and blocked producers/consumers wake.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue mutex was poisoned.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_and_batch_pop() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.len(), 5);
+        let (batch, closed) = q.pop_batch(3, Duration::from_millis(1));
+        assert_eq!(batch, vec![0, 1, 2]);
+        assert!(!closed);
+        let (rest, _) = q.pop_batch(10, Duration::from_millis(1));
+        assert_eq!(rest, vec![3, 4]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_times_out_when_empty() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(2);
+        let (batch, closed) = q.pop_batch(4, Duration::from_millis(5));
+        assert!(batch.is_empty());
+        assert!(!closed);
+    }
+
+    #[test]
+    fn close_rejects_push_and_drains() {
+        let q = BoundedQueue::new(2);
+        q.push(1).unwrap();
+        q.close();
+        assert_eq!(q.push(2), Err(2));
+        let (batch, closed) = q.pop_batch(4, Duration::from_millis(1));
+        assert_eq!(batch, vec![1]);
+        assert!(!closed); // items were returned; closed reported once empty
+        let (empty, closed) = q.pop_batch(4, Duration::from_millis(1));
+        assert!(empty.is_empty());
+        assert!(closed);
+    }
+
+    #[test]
+    fn full_queue_blocks_until_consumed() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(0u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.push(1).is_ok())
+        };
+        // The producer must be blocked; free a slot and it completes.
+        thread::sleep(Duration::from_millis(10));
+        let (batch, _) = q.pop_batch(1, Duration::from_millis(100));
+        assert_eq!(batch, vec![0]);
+        assert!(producer.join().unwrap());
+        let (batch, _) = q.pop_batch(1, Duration::from_millis(100));
+        assert_eq!(batch, vec![1]);
+    }
+
+    #[test]
+    fn close_wakes_blocked_producer() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(7u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.push(8))
+        };
+        thread::sleep(Duration::from_millis(10));
+        q.close();
+        assert_eq!(producer.join().unwrap(), Err(8));
+    }
+}

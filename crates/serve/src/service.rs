@@ -1,0 +1,450 @@
+//! The concurrent lookup service: one worker thread per shard, bounded
+//! queues in front, refresh competing with traffic on the worker's clock.
+//!
+//! # Execution model
+//!
+//! Searches arrive as [`SearchBatch`]es on a shard's [`BoundedQueue`]
+//! (blocking `push` = backpressure). The shard worker drains batches and
+//! scans its packed rule array; batching amortizes queue synchronization
+//! over hundreds of lookups, which is what lets the service clear a
+//! million lookups per second on modest hardware.
+//!
+//! # Refresh under load
+//!
+//! A dynamic TCAM must refresh within every retention interval, and the
+//! whole point of the paper's one-shot scheme is that doing so barely
+//! interrupts traffic. Here refresh is a *scheduled event on the worker's
+//! wall clock* — not an entry in a replayed trace — so interference is
+//! observed under real concurrency: while a worker executes a refresh
+//! event, its queue keeps filling, and the telemetry records both the
+//! stall time and the searches caught waiting. Event sizing comes from the
+//! same [`BankRefresh`] policy hooks the timed bank uses (1 op for
+//! one-shot, `rows` ops for row-by-row); each op performs
+//! `refresh_op_work` units of real work, so a row-by-row event stalls the
+//! shard ~`rows`× longer than a one-shot event — the paper's argument,
+//! measured instead of assumed. Energy is metered per op through
+//! [`WorkloadMeter`] exactly as the trace-replay bank does.
+
+use crate::error::{Result, ServeError};
+use crate::queue::BoundedQueue;
+use crate::shard::ShardedRuleSet;
+use crate::telemetry::{ServeReport, ShardStats};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::SyncSender;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tcam_arch::bank::BankRefresh;
+use tcam_arch::energy_model::OperationCosts;
+use tcam_arch::packed::{PackedTcamArray, PackedWord};
+
+/// Service configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Batches each shard queue can hold before producers block.
+    pub queue_capacity: usize,
+    /// Max batches a worker drains per queue visit.
+    pub drain_batches: usize,
+    /// Refresh policy (event sizing; `None` disables refresh).
+    pub refresh: BankRefresh,
+    /// Wall-clock interval between refresh events per shard. The physical
+    /// retention (26.5 µs for the paper's 3T2N) is far below what software
+    /// can schedule, so benches run a scaled-up interval; the *ratio*
+    /// between policies is what the model preserves.
+    pub refresh_interval: Duration,
+    /// Units of work per refresh operation (SplitMix64 rounds); scales how
+    /// long one op occupies the shard.
+    pub refresh_op_work: u32,
+    /// A search counts as *delayed* when its batch waited longer than this
+    /// in the queue.
+    pub delayed_threshold: Duration,
+    /// Per-operation cost model for energy accounting.
+    pub costs: OperationCosts,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            drain_batches: 4,
+            refresh: BankRefresh::OneShot { op_time: 10e-9 },
+            refresh_interval: Duration::from_millis(5),
+            refresh_op_work: 512,
+            delayed_threshold: Duration::from_micros(300),
+            costs: OperationCosts::paper_3t2n(),
+        }
+    }
+}
+
+/// A batch of pre-routed, packed search keys.
+#[derive(Debug)]
+pub struct SearchBatch {
+    /// Packed keys, all belonging to the destination shard.
+    pub keys: Vec<PackedWord>,
+    /// When the batch was submitted (queue-wait measurement starts here).
+    pub submitted: Instant,
+    /// Reply channel for closed-loop callers; `None` discards results
+    /// (open-loop load generation counts completions instead).
+    pub reply: Option<SyncSender<Vec<Option<u32>>>>,
+}
+
+/// Shared per-shard gauges (updated outside the match loop).
+struct ShardGauges {
+    /// Keys currently waiting in the queue (batch contents included).
+    queued_keys: AtomicU64,
+}
+
+/// The running service. Dropping without [`TcamService::shutdown`] aborts
+/// workers by closing their queues.
+pub struct TcamService {
+    rules: Arc<ShardedRuleSet>,
+    queues: Vec<Arc<BoundedQueue<SearchBatch>>>,
+    gauges: Vec<Arc<ShardGauges>>,
+    completed: Arc<AtomicU64>,
+    workers: Vec<JoinHandle<ShardStats>>,
+    started: Instant,
+}
+
+impl TcamService {
+    /// Starts one worker thread per shard of `rules`.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice (signature reserved for future
+    /// validation); config values of 0 are clamped to 1.
+    pub fn start(rules: ShardedRuleSet, config: &ServiceConfig) -> Result<Self> {
+        let rules = Arc::new(rules);
+        let completed = Arc::new(AtomicU64::new(0));
+        let mut queues = Vec::with_capacity(rules.shards());
+        let mut gauges = Vec::with_capacity(rules.shards());
+        let mut workers = Vec::with_capacity(rules.shards());
+        for shard in 0..rules.shards() {
+            let queue = Arc::new(BoundedQueue::new(config.queue_capacity.max(1)));
+            let gauge = Arc::new(ShardGauges {
+                queued_keys: AtomicU64::new(0),
+            });
+            let ctx = WorkerCtx {
+                shard,
+                rules: Arc::clone(&rules),
+                queue: Arc::clone(&queue),
+                gauge: Arc::clone(&gauge),
+                completed: Arc::clone(&completed),
+                config: *config,
+            };
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("tcam-shard-{shard}"))
+                    .spawn(move || run_worker(&ctx))
+                    .expect("spawn shard worker"),
+            );
+            queues.push(queue);
+            gauges.push(gauge);
+        }
+        Ok(Self {
+            rules,
+            queues,
+            gauges,
+            completed,
+            workers,
+            started: Instant::now(),
+        })
+    }
+
+    /// The sharded rule set being served.
+    #[must_use]
+    pub fn rules(&self) -> &ShardedRuleSet {
+        &self.rules
+    }
+
+    /// Number of shards (= worker threads).
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Lookups completed so far (all shards).
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Current depth of shard `s`'s queue, in batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `s` is out of range.
+    #[must_use]
+    pub fn queue_depth(&self, s: usize) -> usize {
+        self.queues[s].len()
+    }
+
+    /// Submits a batch to shard `shard`, blocking while its queue is full.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ServiceClosed`] after shutdown began.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` is out of range.
+    pub fn submit(&self, shard: usize, batch: SearchBatch) -> Result<()> {
+        self.gauges[shard]
+            .queued_keys
+            .fetch_add(batch.keys.len() as u64, Ordering::Relaxed);
+        self.queues[shard].push(batch).map_err(|rejected| {
+            self.gauges[shard]
+                .queued_keys
+                .fetch_sub(rejected.keys.len() as u64, Ordering::Relaxed);
+            ServeError::ServiceClosed
+        })
+    }
+
+    /// One closed-loop lookup: routes `key`, waits for the worker's reply,
+    /// returns the winning rule's global id.
+    ///
+    /// # Errors
+    ///
+    /// Routing errors, or [`ServeError::ServiceClosed`].
+    pub fn search_blocking(&self, key: &[tcam_core::bit::TernaryBit]) -> Result<Option<u32>> {
+        let shard = self.rules.route(key)?;
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        self.submit(
+            shard,
+            SearchBatch {
+                keys: vec![PackedWord::pack(key)],
+                submitted: Instant::now(),
+                reply: Some(tx),
+            },
+        )?;
+        let mut results = rx.recv().map_err(|_| ServeError::ServiceClosed)?;
+        Ok(results.pop().flatten())
+    }
+
+    /// Stops accepting work, drains the queues, joins every worker and
+    /// returns the merged telemetry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked.
+    #[must_use]
+    pub fn shutdown(self) -> ServeReport {
+        for queue in &self.queues {
+            queue.close();
+        }
+        let stats = self
+            .workers
+            .into_iter()
+            .map(|w| w.join().expect("shard worker panicked"))
+            .collect();
+        ServeReport::from_shards(stats, self.started.elapsed())
+    }
+}
+
+struct WorkerCtx {
+    shard: usize,
+    rules: Arc<ShardedRuleSet>,
+    queue: Arc<BoundedQueue<SearchBatch>>,
+    gauge: Arc<ShardGauges>,
+    completed: Arc<AtomicU64>,
+    config: ServiceConfig,
+}
+
+/// One refresh operation's worth of work: `work` SplitMix64 rounds over
+/// the op counter, kept live via `black_box` so the optimizer cannot
+/// elide the stall being measured.
+fn refresh_op(state: u64, work: u32) -> u64 {
+    let mut acc = state;
+    for _ in 0..work {
+        acc = acc.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = acc;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        acc ^= z >> 27;
+    }
+    std::hint::black_box(acc)
+}
+
+fn run_worker(ctx: &WorkerCtx) -> ShardStats {
+    let table: &PackedTcamArray = ctx.rules.shard(ctx.shard);
+    let mut stats = ShardStats::new(ctx.shard, table.len());
+    let config = &ctx.config;
+    let refresh_on = !matches!(config.refresh, BankRefresh::None);
+    let refresh_interval = config.refresh_interval.max(Duration::from_micros(10));
+    let mut next_refresh = Instant::now() + refresh_interval;
+    let mut refresh_state = ctx.shard as u64;
+    let delayed_ns = config.delayed_threshold.as_nanos() as u64;
+    let rows = table.len();
+
+    loop {
+        let now = Instant::now();
+        if refresh_on && now >= next_refresh {
+            // A refresh event competes with traffic: the shard serves
+            // nothing until its ops complete.
+            let ops = config.refresh.ops_per_event(rows);
+            for _ in 0..ops {
+                refresh_state = refresh_op(refresh_state, config.refresh_op_work);
+                stats.meter.refresh(&config.costs, config.refresh.op_time());
+            }
+            let end = Instant::now();
+            stats.refresh_events += 1;
+            stats.refresh_ops += ops;
+            stats.refresh_stall += end - now;
+            // Everything queued right now sat through the stall.
+            stats.stalled_searches += ctx.gauge.queued_keys.load(Ordering::Relaxed);
+            next_refresh += refresh_interval;
+            if next_refresh <= end {
+                next_refresh = end + refresh_interval;
+            }
+            continue;
+        }
+
+        let timeout = if refresh_on {
+            next_refresh.saturating_duration_since(now)
+        } else {
+            Duration::from_millis(50)
+        };
+        let (batches, closed) = ctx.queue.pop_batch(config.drain_batches.max(1), timeout);
+        if batches.is_empty() {
+            if closed {
+                return stats;
+            }
+            continue;
+        }
+
+        let depth = ctx.queue.len() + batches.len();
+        stats.max_queue_depth = stats.max_queue_depth.max(depth);
+        let t0 = Instant::now();
+        for batch in batches {
+            let n = batch.keys.len() as u64;
+            ctx.gauge.queued_keys.fetch_sub(n, Ordering::Relaxed);
+            let wait_ns = u64::try_from(
+                Instant::now()
+                    .saturating_duration_since(batch.submitted)
+                    .as_nanos(),
+            )
+            .unwrap_or(u64::MAX);
+            stats.queue_wait.record(wait_ns);
+            if wait_ns > delayed_ns {
+                stats.delayed_searches += n;
+            }
+            stats.batches += 1;
+
+            let mut results = batch
+                .reply
+                .is_some()
+                .then(|| Vec::with_capacity(batch.keys.len()));
+            for key in &batch.keys {
+                let hit = table.first_match(key);
+                stats.searches += 1;
+                stats.matched += u64::from(hit.is_some());
+                stats.meter.search(&config.costs);
+                let latency = u64::try_from(
+                    Instant::now()
+                        .saturating_duration_since(batch.submitted)
+                        .as_nanos(),
+                )
+                .unwrap_or(u64::MAX);
+                stats.latency.record(latency);
+                if let Some(out) = results.as_mut() {
+                    out.push(hit);
+                }
+            }
+            ctx.completed.fetch_add(n, Ordering::Relaxed);
+            if let (Some(reply), Some(out)) = (batch.reply, results) {
+                // A departed closed-loop caller is not an error.
+                let _ = reply.send(out);
+            }
+        }
+        stats.busy += t0.elapsed();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use tcam_arch::bank::BankRefresh;
+
+    fn tiny_service(refresh: BankRefresh) -> (Workload, TcamService) {
+        let w = Workload::router_lpm(64, 128, 21);
+        let rules = ShardedRuleSet::build(&w.words, 2).unwrap();
+        let config = ServiceConfig {
+            refresh,
+            refresh_interval: Duration::from_millis(1),
+            ..ServiceConfig::default()
+        };
+        let service = TcamService::start(rules, &config).unwrap();
+        (w, service)
+    }
+
+    #[test]
+    fn closed_loop_results_match_reference_path() {
+        let (w, service) = tiny_service(BankRefresh::None);
+        let reference = ShardedRuleSet::build(&w.words, 2).unwrap();
+        for key in w.keys.iter().take(64) {
+            assert_eq!(
+                service.search_blocking(key).unwrap(),
+                reference.search(key).unwrap()
+            );
+        }
+        let report = service.shutdown();
+        assert_eq!(report.searches(), 64);
+        assert_eq!(report.meter.searches, 64);
+        assert_eq!(report.refresh_events(), 0);
+        assert!(report.latency.count() == 64);
+        assert!(report.latency.quantile(50.0) > 0);
+    }
+
+    #[test]
+    fn refresh_events_fire_while_serving() {
+        let (w, service) = tiny_service(BankRefresh::OneShot { op_time: 10e-9 });
+        let deadline = Instant::now() + Duration::from_millis(30);
+        let mut i = 0;
+        while Instant::now() < deadline {
+            let _ = service.search_blocking(&w.keys[i % w.keys.len()]).unwrap();
+            i += 1;
+        }
+        let report = service.shutdown();
+        assert!(report.refresh_events() > 0, "no refresh events in 30 ms");
+        assert_eq!(report.refresh_ops(), report.refresh_events()); // one-shot
+        assert!(report.meter.refreshes == report.refresh_ops());
+        assert!(report.refresh_stall() > Duration::ZERO);
+        assert!(report.meter.energy > 0.0);
+    }
+
+    #[test]
+    fn row_by_row_runs_rows_ops_per_event() {
+        let (_, service) = tiny_service(BankRefresh::RowByRow { op_time: 10e-9 });
+        std::thread::sleep(Duration::from_millis(10));
+        let report = service.shutdown();
+        assert!(report.refresh_events() > 0);
+        let per_shard_rows: u64 = report.shards.iter().map(|s| s.rows as u64).sum();
+        assert!(per_shard_rows > 0);
+        for s in &report.shards {
+            if s.refresh_events > 0 {
+                assert_eq!(s.refresh_ops, s.refresh_events * s.rows as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let (w, service) = tiny_service(BankRefresh::None);
+        let rules = ShardedRuleSet::build(&w.words, 2).unwrap();
+        let shard = rules.route(&w.keys[0]).unwrap();
+        let report_service = service;
+        // Close queues via shutdown, keeping a handle impossible — so test
+        // through a fresh service whose queues we close first.
+        let report = report_service.shutdown();
+        assert_eq!(report.searches(), 0);
+        let _ = shard;
+        let (w2, service2) = tiny_service(BankRefresh::None);
+        for q in &service2.queues {
+            q.close();
+        }
+        assert!(matches!(
+            service2.search_blocking(&w2.keys[0]),
+            Err(ServeError::ServiceClosed)
+        ));
+        let _ = service2.shutdown();
+    }
+}

@@ -1,0 +1,306 @@
+//! Prefix-range sharding of a ternary rule set.
+//!
+//! The shard selector is the top `shard_bits` bits of the word, so a
+//! fully-specified key routes by reading those bits directly — `2^bits`
+//! shards, one shard per key. A *rule* may carry don't-cares in the
+//! selector; it is then **replicated** into every shard its selector
+//! covers (an `X` doubles the cover set), carrying its *global* priority
+//! index. That gives the correctness invariant the property tests pin
+//! down:
+//!
+//! > every rule that can match key `k` is present in `shard(k)` with its
+//! > global priority, so a shard-local first match over global ids equals
+//! > the monolithic array's first match.
+//!
+//! Prefix-range sharding is the natural fit for the ternary rule sets the
+//! paper's applications use (LPM tables, ACLs): prefixes of length ≥
+//! `shard_bits` land in exactly one shard, and only broad rules (e.g. the
+//! default route) pay replication.
+
+use crate::error::{Result, ServeError};
+use tcam_arch::array::TcamArray;
+use tcam_arch::packed::{PackedTcamArray, PackedWord, MAX_PACKED_WIDTH};
+use tcam_core::bit::TernaryBit;
+
+/// Replication guard: an all-`X` selector replicates a rule `2^bits`
+/// times, so selector widths are capped.
+pub const MAX_SHARD_BITS: u32 = 12;
+
+/// A ternary rule set sharded by its top `shard_bits` bits.
+#[derive(Debug, Clone)]
+pub struct ShardedRuleSet {
+    shard_bits: u32,
+    width: usize,
+    rules: usize,
+    shards: Vec<PackedTcamArray>,
+}
+
+impl ShardedRuleSet {
+    /// Builds shards from `words` in priority order (index = global id =
+    /// match priority, lower wins).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::EmptyRuleSet`], [`ServeError::TooWide`],
+    /// [`ServeError::BadShardBits`], or [`ServeError::WidthMismatch`] when
+    /// a word's width differs from the first word's.
+    pub fn build(words: &[Vec<TernaryBit>], shard_bits: u32) -> Result<Self> {
+        let width = words.first().ok_or(ServeError::EmptyRuleSet)?.len();
+        if width > MAX_PACKED_WIDTH {
+            return Err(ServeError::TooWide {
+                width,
+                max: MAX_PACKED_WIDTH,
+            });
+        }
+        let max_bits = MAX_SHARD_BITS.min(u32::try_from(width).unwrap_or(u32::MAX));
+        if shard_bits > max_bits {
+            return Err(ServeError::BadShardBits {
+                bits: shard_bits,
+                max: max_bits,
+            });
+        }
+        let mut shards = vec![PackedTcamArray::new(width); 1 << shard_bits];
+        for (id, word) in words.iter().enumerate() {
+            if word.len() != width {
+                return Err(ServeError::WidthMismatch {
+                    expected: width,
+                    found: word.len(),
+                });
+            }
+            for shard in covered_shards(&word[..shard_bits as usize]) {
+                shards[shard].push(word, id as u32);
+            }
+        }
+        Ok(Self {
+            shard_bits,
+            width,
+            rules: words.len(),
+            shards,
+        })
+    }
+
+    /// Number of shards (`2^shard_bits`).
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Selector width in bits.
+    #[must_use]
+    pub fn shard_bits(&self) -> u32 {
+        self.shard_bits
+    }
+
+    /// Word width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of logical rules (before replication).
+    #[must_use]
+    pub fn rules(&self) -> usize {
+        self.rules
+    }
+
+    /// Total stored rows across shards (after replication).
+    #[must_use]
+    pub fn total_rows(&self) -> usize {
+        self.shards.iter().map(PackedTcamArray::len).sum()
+    }
+
+    /// Average copies per rule (1.0 = no replication).
+    #[must_use]
+    pub fn replication_factor(&self) -> f64 {
+        if self.rules == 0 {
+            1.0
+        } else {
+            self.total_rows() as f64 / self.rules as f64
+        }
+    }
+
+    /// The packed rule array of shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `s` is out of range.
+    #[must_use]
+    pub fn shard(&self, s: usize) -> &PackedTcamArray {
+        &self.shards[s]
+    }
+
+    /// Routes a key to its shard by reading the selector bits.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::WidthMismatch`] on a short key,
+    /// [`ServeError::AmbiguousKey`] when a selector bit is `X`.
+    pub fn route(&self, key: &[TernaryBit]) -> Result<usize> {
+        if key.len() != self.width {
+            return Err(ServeError::WidthMismatch {
+                expected: self.width,
+                found: key.len(),
+            });
+        }
+        let mut shard = 0usize;
+        for (bit, b) in key[..self.shard_bits as usize].iter().enumerate() {
+            shard <<= 1;
+            match b {
+                TernaryBit::One => shard |= 1,
+                TernaryBit::Zero => {}
+                TernaryBit::X => return Err(ServeError::AmbiguousKey { bit }),
+            }
+        }
+        Ok(shard)
+    }
+
+    /// Single-threaded sharded lookup: route, then shard-local first match.
+    /// Returns the winning rule's global id. This is the reference path the
+    /// concurrent service and the property tests are checked against.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::route`].
+    pub fn search(&self, key: &[TernaryBit]) -> Result<Option<u32>> {
+        let shard = self.route(key)?;
+        Ok(self.shards[shard].first_match(&PackedWord::pack(key)))
+    }
+
+    /// The monolithic oracle: every rule in one functional array, priority
+    /// = global id. Sharded search must be bit-identical to
+    /// `oracle.first_match`.
+    #[must_use]
+    pub fn oracle(words: &[Vec<TernaryBit>]) -> TcamArray {
+        let width = words.first().map_or(0, Vec::len);
+        let mut array = TcamArray::new(words.len().max(1), width);
+        for (i, w) in words.iter().enumerate() {
+            array.write(i, w.clone()).expect("uniform widths");
+        }
+        array
+    }
+}
+
+/// All shard indices a selector (possibly containing `X`) covers.
+fn covered_shards(selector: &[TernaryBit]) -> Vec<usize> {
+    let mut cover = vec![0usize];
+    for bit in selector {
+        match bit {
+            TernaryBit::Zero => {
+                for s in &mut cover {
+                    *s <<= 1;
+                }
+            }
+            TernaryBit::One => {
+                for s in &mut cover {
+                    *s = (*s << 1) | 1;
+                }
+            }
+            TernaryBit::X => {
+                let mut doubled = Vec::with_capacity(cover.len() * 2);
+                for s in &cover {
+                    doubled.push(s << 1);
+                    doubled.push((s << 1) | 1);
+                }
+                cover = doubled;
+            }
+        }
+    }
+    cover
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcam_core::bit::parse_ternary;
+
+    fn words(specs: &[&str]) -> Vec<Vec<TernaryBit>> {
+        specs.iter().map(|s| parse_ternary(s).unwrap()).collect()
+    }
+
+    #[test]
+    fn selector_cover_expands_dont_cares() {
+        assert_eq!(covered_shards(&parse_ternary("10").unwrap()), vec![2]);
+        assert_eq!(covered_shards(&parse_ternary("1X").unwrap()), vec![2, 3]);
+        assert_eq!(
+            covered_shards(&parse_ternary("XX").unwrap()),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(covered_shards(&[]), vec![0]);
+    }
+
+    #[test]
+    fn rules_land_in_covered_shards_with_global_ids() {
+        let rules = words(&["1100", "0X11", "XXXX"]);
+        let set = ShardedRuleSet::build(&rules, 2).unwrap();
+        assert_eq!(set.shards(), 4);
+        assert_eq!(set.rules(), 3);
+        // rule 0 → shard 3; rule 1 → shards 0,1; rule 2 → all four.
+        assert_eq!(set.total_rows(), 1 + 2 + 4);
+        assert!((set.replication_factor() - 7.0 / 3.0).abs() < 1e-12);
+        let in_shard3 = set.shard(3).matches(&PackedWord::pack(&rules[0]));
+        assert_eq!(in_shard3, vec![0, 2]);
+    }
+
+    #[test]
+    fn sharded_search_equals_oracle() {
+        let rules = words(&["110X", "0X11", "1XXX", "XXXX"]);
+        let set = ShardedRuleSet::build(&rules, 2).unwrap();
+        let oracle = ShardedRuleSet::oracle(&rules);
+        for v in 0..16u64 {
+            let key = tcam_arch::array::value_to_word(v, 4);
+            assert_eq!(
+                set.search(&key).unwrap(),
+                oracle.first_match(&key).map(|r| r as u32),
+                "key {v:04b}"
+            );
+        }
+    }
+
+    #[test]
+    fn routing_requires_concrete_selector_bits() {
+        let set = ShardedRuleSet::build(&words(&["1010"]), 2).unwrap();
+        assert_eq!(set.route(&parse_ternary("1010").unwrap()).unwrap(), 2);
+        assert_eq!(
+            set.route(&parse_ternary("1X10").unwrap()),
+            Err(ServeError::AmbiguousKey { bit: 1 })
+        );
+        // X beyond the selector is fine.
+        assert_eq!(set.route(&parse_ternary("10XX").unwrap()).unwrap(), 2);
+        assert!(matches!(
+            set.route(&parse_ternary("101").unwrap()),
+            Err(ServeError::WidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn build_validates_inputs() {
+        assert!(matches!(
+            ShardedRuleSet::build(&[], 1),
+            Err(ServeError::EmptyRuleSet)
+        ));
+        assert!(matches!(
+            ShardedRuleSet::build(&words(&["10", "100"]), 1),
+            Err(ServeError::WidthMismatch { .. })
+        ));
+        assert!(matches!(
+            ShardedRuleSet::build(&words(&["10"]), 3),
+            Err(ServeError::BadShardBits { .. })
+        ));
+        let wide = vec![vec![TernaryBit::X; MAX_PACKED_WIDTH + 1]];
+        assert!(matches!(
+            ShardedRuleSet::build(&wide, 1),
+            Err(ServeError::TooWide { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_shard_bits_is_the_monolithic_case() {
+        let rules = words(&["110X", "XXXX"]);
+        let set = ShardedRuleSet::build(&rules, 0).unwrap();
+        assert_eq!(set.shards(), 1);
+        assert_eq!(set.total_rows(), 2);
+        let key = parse_ternary("1101").unwrap();
+        assert_eq!(set.route(&key).unwrap(), 0);
+        assert_eq!(set.search(&key).unwrap(), Some(0));
+    }
+}

@@ -1,0 +1,391 @@
+//! Latency/throughput telemetry for the lookup service.
+//!
+//! [`LatencyHistogram`] is an HDR-style log-linear histogram: values are
+//! bucketed by magnitude (power of two) with 64 linear sub-buckets per
+//! magnitude, giving ~1.6 % relative resolution over the full `u64`
+//! nanosecond range in a fixed 30 KiB footprint and O(1) recording — cheap
+//! enough to record every lookup at millions per second. Quantiles come
+//! from a cumulative walk, reported as the bucket's lower bound (a
+//! conservative estimate with the same ~1.6 % error bound).
+//!
+//! [`ShardStats`] is the per-shard counter block each worker owns (no
+//! sharing, no atomics on the hot path) and [`ServeReport`] is the
+//! shutdown-time merge across shards.
+
+use std::time::Duration;
+use tcam_arch::energy_model::WorkloadMeter;
+
+/// Linear sub-buckets per power-of-two magnitude (2⁶ → ~1.6 % resolution).
+const SUB_BITS: u32 = 6;
+const SUBS: u64 = 1 << SUB_BITS;
+/// Bucket count covering every `u64` value: magnitudes `SUB_BITS..=63`
+/// each contribute `SUBS` buckets on top of the exact linear range.
+const BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUBS as usize;
+
+/// A log-linear latency histogram (see module docs). Values are in
+/// nanoseconds by convention, but any `u64` works.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    if v < SUBS {
+        return v as usize;
+    }
+    let msb = 63 - u64::from(v.leading_zeros());
+    let shift = msb - u64::from(SUB_BITS);
+    let sub = (v >> shift) - SUBS;
+    ((shift + 1) * SUBS + sub) as usize
+}
+
+fn value_of(bucket: usize) -> u64 {
+    let b = bucket as u64;
+    if b < SUBS {
+        return b;
+    }
+    let shift = b / SUBS - 1;
+    let sub = b % SUBS;
+    (SUBS + sub) << shift
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean of recorded values (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded value (exact, not bucketed).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-th percentile (0–100) as the containing bucket's lower
+    /// bound; 0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is outside `[0, 100]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=100.0).contains(&q), "quantile {q} outside [0, 100]");
+        if self.count == 0 {
+            return 0;
+        }
+        // Rank of the target order statistic, at least 1.
+        let rank = ((q / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (bucket, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return value_of(bucket);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Counters one shard worker accumulates privately and returns at join.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Rules stored in this shard (after replication).
+    pub rows: usize,
+    /// Searches completed.
+    pub searches: u64,
+    /// Searches that produced a match.
+    pub matched: u64,
+    /// Batches processed.
+    pub batches: u64,
+    /// Searches whose batch waited longer than the configured delay
+    /// threshold before a worker picked it up.
+    pub delayed_searches: u64,
+    /// Keys observed waiting in the queue at the end of refresh events —
+    /// traffic directly stalled behind refresh.
+    pub stalled_searches: u64,
+    /// Refresh events executed (one per deadline).
+    pub refresh_events: u64,
+    /// Refresh operations executed (1/event one-shot, rows/event
+    /// row-by-row).
+    pub refresh_ops: u64,
+    /// Wall time spent inside refresh events.
+    pub refresh_stall: Duration,
+    /// Largest queue depth (in batches) observed at dequeue.
+    pub max_queue_depth: usize,
+    /// Wall time spent processing batches.
+    pub busy: Duration,
+    /// End-to-end per-lookup latency (submit → result), nanoseconds.
+    pub latency: LatencyHistogram,
+    /// Batch queue-wait latency (submit → dequeue), nanoseconds.
+    pub queue_wait: LatencyHistogram,
+    /// Modeled per-operation energy/time accounting.
+    pub meter: WorkloadMeter,
+}
+
+impl ShardStats {
+    /// Fresh counters for shard `shard` holding `rows` rules.
+    #[must_use]
+    pub fn new(shard: usize, rows: usize) -> Self {
+        Self {
+            shard,
+            rows,
+            searches: 0,
+            matched: 0,
+            batches: 0,
+            delayed_searches: 0,
+            stalled_searches: 0,
+            refresh_events: 0,
+            refresh_ops: 0,
+            refresh_stall: Duration::ZERO,
+            max_queue_depth: 0,
+            busy: Duration::ZERO,
+            latency: LatencyHistogram::new(),
+            queue_wait: LatencyHistogram::new(),
+            meter: WorkloadMeter::new(),
+        }
+    }
+}
+
+/// Shutdown-time service report: per-shard stats plus aggregates.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Per-shard counters, indexed by shard.
+    pub shards: Vec<ShardStats>,
+    /// Service wall-clock uptime.
+    pub wall: Duration,
+    /// All shards' lookup latencies merged.
+    pub latency: LatencyHistogram,
+    /// All shards' queue waits merged.
+    pub queue_wait: LatencyHistogram,
+    /// All shards' meters merged.
+    pub meter: WorkloadMeter,
+}
+
+impl ServeReport {
+    /// Builds the aggregate view from per-shard stats.
+    #[must_use]
+    pub fn from_shards(shards: Vec<ShardStats>, wall: Duration) -> Self {
+        let mut latency = LatencyHistogram::new();
+        let mut queue_wait = LatencyHistogram::new();
+        let mut meter = WorkloadMeter::new();
+        for s in &shards {
+            latency.merge(&s.latency);
+            queue_wait.merge(&s.queue_wait);
+            meter.searches += s.meter.searches;
+            meter.writes += s.meter.writes;
+            meter.refreshes += s.meter.refreshes;
+            meter.energy += s.meter.energy;
+            meter.busy_time += s.meter.busy_time;
+        }
+        Self {
+            shards,
+            wall,
+            latency,
+            queue_wait,
+            meter,
+        }
+    }
+
+    /// Total searches completed across shards.
+    #[must_use]
+    pub fn searches(&self) -> u64 {
+        self.shards.iter().map(|s| s.searches).sum()
+    }
+
+    /// Total searches that found a match.
+    #[must_use]
+    pub fn matched(&self) -> u64 {
+        self.shards.iter().map(|s| s.matched).sum()
+    }
+
+    /// Total delayed searches (queue wait above threshold).
+    #[must_use]
+    pub fn delayed_searches(&self) -> u64 {
+        self.shards.iter().map(|s| s.delayed_searches).sum()
+    }
+
+    /// Total keys observed stalled behind refresh events.
+    #[must_use]
+    pub fn stalled_searches(&self) -> u64 {
+        self.shards.iter().map(|s| s.stalled_searches).sum()
+    }
+
+    /// Total refresh events across shards.
+    #[must_use]
+    pub fn refresh_events(&self) -> u64 {
+        self.shards.iter().map(|s| s.refresh_events).sum()
+    }
+
+    /// Total refresh operations across shards.
+    #[must_use]
+    pub fn refresh_ops(&self) -> u64 {
+        self.shards.iter().map(|s| s.refresh_ops).sum()
+    }
+
+    /// Total wall time spent refreshing across shards.
+    #[must_use]
+    pub fn refresh_stall(&self) -> Duration {
+        self.shards.iter().map(|s| s.refresh_stall).sum()
+    }
+
+    /// Achieved throughput, lookups/second over the uptime.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.searches() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_tight() {
+        let mut last = 0usize;
+        for exp in 0..63u32 {
+            for v in [1u64 << exp, (1u64 << exp) + 1, (1u64 << exp) * 3 / 2] {
+                let b = bucket_of(v);
+                assert!(b >= last || v < SUBS * 2, "bucket order at {v}");
+                last = last.max(b);
+                let lo = value_of(b);
+                assert!(lo <= v, "lower bound {lo} > {v}");
+                // Relative error bounded by one sub-bucket (~1/64).
+                assert!(
+                    (v - lo) as f64 <= v as f64 / SUBS as f64 + 1.0,
+                    "bucket too wide at {v}: lo {lo}"
+                );
+            }
+        }
+        assert!(bucket_of(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..SUBS * 2 {
+            assert_eq!(value_of(bucket_of(v)), v);
+        }
+    }
+
+    #[test]
+    fn quantiles_of_known_distribution() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(50.0);
+        let p99 = h.quantile(99.0);
+        assert!((490..=500).contains(&p50), "p50 {p50}");
+        assert!((975..=990).contains(&p99), "p99 {p99}");
+        assert!(p99 > p50);
+        // 1000 = 125·2³ sits exactly on its bucket's lower bound.
+        assert_eq!(h.quantile(100.0), 1000);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(50.0), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for v in 0..500u64 {
+            let x = v * v % 10_000;
+            if v % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            whole.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.max(), whole.max());
+        for q in [1.0, 25.0, 50.0, 90.0, 99.0] {
+            assert_eq!(a.quantile(q), whole.quantile(q));
+        }
+    }
+
+    #[test]
+    fn report_aggregates_shards() {
+        let mut s0 = ShardStats::new(0, 10);
+        let mut s1 = ShardStats::new(1, 12);
+        s0.searches = 100;
+        s1.searches = 50;
+        s0.delayed_searches = 3;
+        s1.stalled_searches = 4;
+        s0.latency.record(100);
+        s1.latency.record(300);
+        let report = ServeReport::from_shards(vec![s0, s1], Duration::from_millis(100));
+        assert_eq!(report.searches(), 150);
+        assert_eq!(report.delayed_searches(), 3);
+        assert_eq!(report.stalled_searches(), 4);
+        assert_eq!(report.latency.count(), 2);
+        assert!((report.throughput() - 1500.0).abs() < 1e-9);
+    }
+}

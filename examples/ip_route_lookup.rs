@@ -4,13 +4,25 @@
 //! ```sh
 //! cargo run --release --example ip_route_lookup
 //! ```
+//!
+//! With `--serve`, the same forwarding table is additionally sharded and
+//! served through the concurrent `tcam-serve` lookup service, and the two
+//! paths are checked against each other:
+//!
+//! ```sh
+//! cargo run --release --example ip_route_lookup -- --serve
+//! ```
 
 use nem_tcam::arch::apps::router::{Ipv4Prefix, Route, RouterTable};
+use nem_tcam::arch::array::prefix_to_word;
 use nem_tcam::arch::{OperationCosts, WorkloadMeter};
+use nem_tcam::serve::service::{ServiceConfig, TcamService};
+use nem_tcam::serve::ShardedRuleSet;
 use nem_tcam::spice::units::format_si;
 use std::net::Ipv4Addr;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let serve_mode = std::env::args().any(|a| a == "--serve");
     // A small ISP-flavoured forwarding table.
     let routes = vec![
         Route {
@@ -38,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             next_hop: 5,
         },
     ];
-    let table = RouterTable::from_routes(64, routes)?;
+    let table = RouterTable::from_routes(64, routes.clone())?;
     println!("installed {} routes into a 64-entry TCAM", table.len());
 
     let lookups = [
@@ -75,6 +87,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  this run: {} searches, {} total",
         meter.searches,
         format_si(meter.energy, "J")
+    );
+
+    if serve_mode {
+        serve_demo(&table, routes, &lookups)?;
+    }
+    Ok(())
+}
+
+/// Runs the same lookups through the sharded concurrent `tcam-serve`
+/// service and checks it agrees with the direct TCAM array path.
+fn serve_demo(
+    table: &RouterTable,
+    mut routes: Vec<Route>,
+    lookups: &[Ipv4Addr],
+) -> Result<(), Box<dyn std::error::Error>> {
+    use nem_tcam::arch::array::value_to_word;
+
+    // Same priority order RouterTable uses (longest prefix first), so the
+    // service's global rule ids map back to next hops.
+    routes.sort_by_key(|r| std::cmp::Reverse(r.prefix.len()));
+    let words: Vec<_> = routes
+        .iter()
+        .map(|r| prefix_to_word(u64::from(u32::from(r.prefix.network())), r.prefix.len() as usize, 32))
+        .collect();
+    let rules = ShardedRuleSet::build(&words, 2)?;
+    println!(
+        "\n--serve: sharded the table into {} shards ({} rows incl. replication)",
+        rules.shards(),
+        rules.total_rows()
+    );
+
+    let service = TcamService::start(rules, &ServiceConfig::default())?;
+    println!("serving the same lookups through worker threads:");
+    for &ip in lookups {
+        let key = value_to_word(u64::from(u32::from(ip)), 32);
+        let hop = service
+            .search_blocking(&key)?
+            .map(|id| routes[id as usize].next_hop);
+        assert_eq!(hop, table.lookup(ip), "service disagrees with array");
+        println!("  {ip:<16} -> next hop {hop:?}  (service == direct array)");
+    }
+    let report = service.shutdown();
+    println!(
+        "service telemetry: {} lookups, p50 {} ns, p99 {} ns, {} refresh events",
+        report.searches(),
+        report.latency.quantile(50.0),
+        report.latency.quantile(99.0),
+        report.refresh_events()
     );
     Ok(())
 }

@@ -15,6 +15,7 @@
 //! | [`devices`] | `tcam-devices` | NEM relay, MOSFET, RRAM, FeFET models |
 //! | [`core`] | `tcam-core` | the TCAM designs + paper experiments |
 //! | [`arch`] | `tcam-arch` | functional arrays, refresh scheduling, apps |
+//! | [`serve`] | `tcam-serve` | sharded, batched lookup service + telemetry |
 //!
 //! # Quickstart
 //!
@@ -41,4 +42,5 @@ pub use tcam_arch as arch;
 pub use tcam_core as core;
 pub use tcam_devices as devices;
 pub use tcam_numeric as numeric;
+pub use tcam_serve as serve;
 pub use tcam_spice as spice;

@@ -6,3 +6,15 @@ set -eux
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
+
+# Smoke-run the serving bench: the JSON record must parse, report real
+# lookups, and show a latency distribution with spread (p99 > p50).
+./target/release/serve_bench --seed 1 --duration-ms 50 | python3 -c '
+import json, sys
+r = json.loads(sys.stdin.readline())
+assert r["bench"] == "serve_bench", r
+assert r["lookups"] > 0, r
+assert r["p99_ns"] > r["p50_ns"] > 0, r
+print("serve_bench smoke ok:", r["lookups"], "lookups,",
+      "p50", r["p50_ns"], "ns, p99", r["p99_ns"], "ns")
+'
