@@ -25,6 +25,11 @@
 //!   both refresh policies at a paced rate and report delayed-search
 //!   counts side by side (the paper's one-shot-vs-row-by-row claim, as a
 //!   serving experiment)
+//! * `--check` — after emitting the record, re-parse it and assert the
+//!   invariants the tier-1 gate cares about (valid flat JSON, nonzero
+//!   lookups, ordered latency quantiles); exits nonzero on violation.
+//!   This replaces the old `| python3 -c "json.loads(...)"` smoke test,
+//!   so the harness needs no toolchain beyond cargo.
 
 use std::time::Duration;
 use tcam_serve::loadgen::{open_loop, OpenLoop};
@@ -45,6 +50,7 @@ struct Args {
     policy: String,
     refresh_interval_us: u64,
     compare_refresh: bool,
+    check: bool,
 }
 
 fn parse_args() -> Args {
@@ -59,6 +65,7 @@ fn parse_args() -> Args {
         policy: "oneshot".into(),
         refresh_interval_us: 5000,
         compare_refresh: false,
+        check: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -85,6 +92,7 @@ fn parse_args() -> Args {
                     .expect("--refresh-interval-us");
             }
             "--compare-refresh" => args.compare_refresh = true,
+            "--check" => args.check = true,
             other => panic!("unknown flag {other}"),
         }
     }
@@ -209,4 +217,35 @@ fn main() {
 
     record.push('}');
     println!("{record}");
+    if args.check {
+        check_record(&record);
+        eprintln!("serve_bench --check: record ok ({searches} lookups)");
+    }
+}
+
+/// Re-parses the just-emitted record and asserts the invariants the
+/// tier-1 gate relies on. Exits nonzero with a diagnostic on violation.
+fn check_record(record: &str) {
+    use tcam_bench::jsonline::{num, parse_flat_object, str_of};
+
+    let bail = |msg: String| -> ! {
+        eprintln!("serve_bench --check FAILED: {msg}");
+        eprintln!("record: {record}");
+        std::process::exit(1);
+    };
+    let obj = match parse_flat_object(record) {
+        Ok(obj) => obj,
+        Err(e) => bail(format!("record is not valid flat JSON: {e}")),
+    };
+    if str_of(&obj, "bench") != Some("serve_bench") {
+        bail("\"bench\" field missing or not \"serve_bench\"".into());
+    }
+    let field = |key: &str| num(&obj, key).unwrap_or_else(|| bail(format!("missing number {key:?}")));
+    if field("lookups") <= 0.0 {
+        bail("no lookups were served".into());
+    }
+    let (p50, p99) = (field("p50_ns"), field("p99_ns"));
+    if !(p50 > 0.0 && p99 >= p50) {
+        bail(format!("latency quantiles unordered: p50={p50}, p99={p99}"));
+    }
 }

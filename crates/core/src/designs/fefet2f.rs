@@ -19,7 +19,8 @@
 
 use crate::bit::TernaryBit;
 use crate::designs::{
-    add_line_cap, add_ml_precharge, add_pulse_driver, add_step_driver, check_spec, search_drive,
+    add_line_cap, add_ml_precharge, add_pulse_driver, add_step_driver, check_spec,
+    experiment_options, search_drive,
     ArraySpec, SearchExperiment, StateProbe, TcamDesign, WriteExperiment,
 };
 use crate::parasitics::{fefet2f_geometry, CellGeometry};
@@ -29,7 +30,6 @@ use tcam_devices::params::FefetParams;
 use tcam_spice::error::Result;
 use tcam_spice::netlist::Circuit;
 use tcam_spice::node::NodeId;
-use tcam_spice::options::SimOptions;
 
 /// The 2FeFET design.
 #[derive(Debug, Clone, PartialEq)]
@@ -224,7 +224,7 @@ impl TcamDesign for Fefet2f {
             t_drive: T_POS,
             t_stop: T_WRITE_STOP,
             probes,
-            options: SimOptions::default(),
+            options: experiment_options(),
         })
     }
 
@@ -276,7 +276,7 @@ impl TcamDesign for Fefet2f {
             t_sense: T_SEARCH + SENSE_WINDOW,
             v_match_min: 0.8 * spec.vdd,
             vdd: spec.vdd,
-            options: SimOptions::default(),
+            options: experiment_options(),
         })
     }
 }

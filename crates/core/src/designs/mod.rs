@@ -32,6 +32,20 @@ use tcam_spice::node::NodeId;
 use tcam_spice::options::SimOptions;
 use tcam_spice::source::Waveshape;
 
+/// Solver options shared by every design's experiment circuits: the
+/// defaults plus the convergence-recovery ladder, so an abrupt NEM relay
+/// pull-in or a stiff ferroelectric write in a large array engages the
+/// gmin/source-stepping/BE-fallback rungs instead of failing the run. On
+/// circuits that never miss a Newton solve this is bit-identical to the
+/// plain defaults (the ladder only runs after a failure).
+#[must_use]
+pub fn experiment_options() -> SimOptions {
+    SimOptions {
+        recovery_ladder: true,
+        ..SimOptions::default()
+    }
+}
+
 /// Array dimensions and supply for an experiment (the paper uses 64×64 at
 /// V_DD = 1 V).
 #[derive(Debug, Clone, Copy, PartialEq)]

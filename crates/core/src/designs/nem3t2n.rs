@@ -19,7 +19,8 @@
 
 use crate::bit::TernaryBit;
 use crate::designs::{
-    add_line_cap, add_ml_precharge, add_pulse_driver, add_step_driver, check_spec, search_drive,
+    add_line_cap, add_ml_precharge, add_pulse_driver, add_step_driver, check_spec,
+    experiment_options, search_drive,
     ArraySpec, SearchExperiment, StateProbe, TcamDesign, WriteExperiment,
 };
 use crate::parasitics::{nem3t2n_geometry, CellGeometry};
@@ -30,7 +31,6 @@ use tcam_spice::element::Capacitor;
 use tcam_spice::error::Result;
 use tcam_spice::netlist::Circuit;
 use tcam_spice::node::NodeId;
-use tcam_spice::options::SimOptions;
 
 /// The 3T2N design with its sizing/drive knobs.
 #[derive(Debug, Clone, PartialEq)]
@@ -285,7 +285,7 @@ impl TcamDesign for Nem3t2n {
             t_drive: T_WL,
             t_stop: T_WRITE_STOP,
             probes,
-            options: SimOptions::default(),
+            options: experiment_options(),
         })
     }
 
@@ -332,7 +332,7 @@ impl TcamDesign for Nem3t2n {
             t_sense: T_SEARCH + SENSE_WINDOW,
             v_match_min: 0.85 * spec.vdd,
             vdd: spec.vdd,
-            options: SimOptions::default(),
+            options: experiment_options(),
         })
     }
 }

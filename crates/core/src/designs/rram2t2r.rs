@@ -22,7 +22,8 @@
 
 use crate::bit::TernaryBit;
 use crate::designs::{
-    add_line_cap, add_ml_precharge, add_pulse_driver, add_step_driver, check_spec, search_drive,
+    add_line_cap, add_ml_precharge, add_pulse_driver, add_step_driver, check_spec,
+    experiment_options, search_drive,
     ArraySpec, SearchExperiment, StateProbe, TcamDesign, WriteExperiment,
 };
 use crate::parasitics::{rram2t2r_geometry, CellGeometry};
@@ -32,7 +33,6 @@ use tcam_devices::rram::Rram;
 use tcam_spice::error::Result;
 use tcam_spice::netlist::Circuit;
 use tcam_spice::node::NodeId;
-use tcam_spice::options::SimOptions;
 
 /// The 2T2R design.
 #[derive(Debug, Clone, PartialEq)]
@@ -234,7 +234,7 @@ impl TcamDesign for Rram2t2r {
             t_drive: T_SET,
             t_stop: T_WRITE_STOP,
             probes,
-            options: SimOptions::default(),
+            options: experiment_options(),
         })
     }
 
@@ -288,7 +288,7 @@ impl TcamDesign for Rram2t2r {
             // HRS leakage droops the ML even on a match: accept 0.42·V_DD.
             v_match_min: 0.42 * spec.vdd,
             vdd: spec.vdd,
-            options: SimOptions::default(),
+            options: experiment_options(),
         })
     }
 }

@@ -12,7 +12,8 @@
 
 use crate::bit::TernaryBit;
 use crate::designs::{
-    add_line_cap, add_ml_precharge, add_pulse_driver, add_step_driver, check_spec, search_drive,
+    add_line_cap, add_ml_precharge, add_pulse_driver, add_step_driver, check_spec,
+    experiment_options, search_drive,
     ArraySpec, SearchExperiment, StateProbe, TcamDesign, WriteExperiment,
 };
 use crate::parasitics::{sram16t_geometry, CellGeometry};
@@ -21,7 +22,6 @@ use tcam_spice::element::{Capacitor, VoltageSource};
 use tcam_spice::error::Result;
 use tcam_spice::netlist::Circuit;
 use tcam_spice::node::NodeId;
-use tcam_spice::options::SimOptions;
 
 /// The 16T SRAM TCAM design.
 #[derive(Debug, Clone, PartialEq)]
@@ -291,7 +291,7 @@ impl TcamDesign for Sram16t {
             t_drive: T_WL,
             t_stop: T_WRITE_STOP,
             probes,
-            options: SimOptions::default(),
+            options: experiment_options(),
         })
     }
 
@@ -360,7 +360,7 @@ impl TcamDesign for Sram16t {
             t_sense: T_SEARCH + SENSE_WINDOW,
             v_match_min: 0.85 * spec.vdd,
             vdd: spec.vdd,
-            options: SimOptions::default(),
+            options: experiment_options(),
         })
     }
 }

@@ -102,7 +102,10 @@ impl LatencyHistogram {
     }
 
     /// The `q`-th percentile (0–100) as the containing bucket's lower
-    /// bound; 0 when empty.
+    /// bound; 0 when empty. The top quantile is exact: when the target
+    /// order statistic is the last one (`q` high enough that the rank
+    /// reaches `count`), the tracked maximum is returned instead of its
+    /// bucket's lower bound, so `quantile(100.0) == max()` always.
     ///
     /// # Panics
     ///
@@ -115,6 +118,9 @@ impl LatencyHistogram {
         }
         // Rank of the target order statistic, at least 1.
         let rank = ((q / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        if rank >= self.count {
+            return self.max;
+        }
         let mut seen = 0u64;
         for (bucket, &c) in self.counts.iter().enumerate() {
             seen += c;
@@ -368,6 +374,47 @@ mod tests {
         assert_eq!(a.max(), whole.max());
         for q in [1.0, 25.0, 50.0, 90.0, 99.0] {
             assert_eq!(a.quantile(q), whole.quantile(q));
+        }
+    }
+
+    #[test]
+    fn top_quantile_is_exact_max() {
+        // A max that falls strictly inside a wide bucket: the old code
+        // reported the bucket's lower bound (e.g. 1015 buckets with 1000)
+        // and under-read the tail.
+        let mut h = LatencyHistogram::new();
+        h.record(10);
+        h.record(1015);
+        assert_eq!(h.quantile(100.0), 1015);
+        assert_eq!(h.quantile(100.0), h.max());
+    }
+
+    #[test]
+    fn top_quantile_equals_max_property() {
+        use tcam_numeric::rng::SplitMix64;
+        let mut rng = SplitMix64::new(0x5eed_7e1e);
+        for trial in 0..200 {
+            let mut h = LatencyHistogram::new();
+            let n = 1 + (rng.next_u64() % 64) as usize;
+            let mut true_max = 0u64;
+            for _ in 0..n {
+                // Mix magnitudes: spread draws across the full log range so
+                // maxima routinely land mid-bucket.
+                let shift = rng.next_u64() % 50;
+                let v = rng.next_u64() >> (14 + shift);
+                h.record(v);
+                true_max = true_max.max(v);
+            }
+            assert_eq!(h.max(), true_max, "trial {trial}");
+            assert_eq!(
+                h.quantile(100.0),
+                true_max,
+                "trial {trial}: p100 must be the exact max"
+            );
+            // Monotonicity and bounds survive the clamp.
+            let p50 = h.quantile(50.0);
+            let p999 = h.quantile(99.9);
+            assert!(p50 <= p999 && p999 <= true_max, "trial {trial}");
         }
     }
 

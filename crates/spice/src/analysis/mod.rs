@@ -5,5 +5,5 @@ mod op;
 mod transient;
 
 pub use dcsweep::{dc_sweep, DcSweepSpec};
-pub use op::{operating_point, OpSolution};
+pub use op::{operating_point, operating_point_traced, OpSolution};
 pub use transient::{transient, TransientSpec};

@@ -1,4 +1,5 @@
-//! DC operating-point analysis with gmin stepping.
+//! DC operating-point analysis with gmin stepping and (opt-in) source
+//! stepping.
 
 use crate::device::{AnalysisKind, CommitCtx};
 use crate::error::{Result, SpiceError};
@@ -6,6 +7,7 @@ use crate::mna::MnaSystem;
 use crate::netlist::Circuit;
 use crate::newton::{solve_point, NewtonOutcome};
 use crate::options::SimOptions;
+use crate::trace::SolverTrace;
 
 /// A solved operating point.
 #[derive(Debug, Clone)]
@@ -16,6 +18,9 @@ pub struct OpSolution {
     pub iterations: usize,
     /// Number of gmin-stepping ladder stages needed (0 = direct).
     pub gmin_steps: usize,
+    /// Number of source-stepping stages needed (0 unless the gmin ladder
+    /// also failed and [`SimOptions::recovery_ladder`] is on).
+    pub source_steps: usize,
 }
 
 impl OpSolution {
@@ -38,9 +43,26 @@ impl OpSolution {
 ///
 /// # Errors
 ///
-/// Returns [`SpiceError::NonConvergence`] when even the gmin ladder fails,
-/// and propagates structural errors from system assembly.
+/// Returns [`SpiceError::NonConvergence`] when even the recovery ladder
+/// fails, and propagates structural errors from system assembly.
 pub fn operating_point(circuit: &mut Circuit, opts: &SimOptions) -> Result<OpSolution> {
+    let mut trace = SolverTrace::new(0);
+    operating_point_traced(circuit, opts, &mut trace)
+}
+
+/// [`operating_point`] with ladder telemetry recorded into `trace`
+/// (gmin-ramp and source-stepping stage counts). The transient engine uses
+/// this to fold initial-OP recovery work into the run's
+/// [`SolverTrace`].
+///
+/// # Errors
+///
+/// As [`operating_point`].
+pub fn operating_point_traced(
+    circuit: &mut Circuit,
+    opts: &SimOptions,
+    trace: &mut SolverTrace,
+) -> Result<OpSolution> {
     let mut sys = MnaSystem::build(circuit, AnalysisKind::Op, opts)?;
     let n = sys.index().n_unknowns();
     let zeros = vec![0.0; n];
@@ -57,9 +79,24 @@ pub fn operating_point(circuit: &mut Circuit, opts: &SimOptions) -> Result<OpSol
         opts.gmin,
     );
 
-    let (outcome, gmin_steps) = match direct {
-        Ok(o) => (o, 0),
-        Err(SpiceError::NonConvergence { .. }) => gmin_ladder(circuit, &mut sys, &zeros, opts)?,
+    let (outcome, gmin_steps, source_steps) = match direct {
+        Ok(o) => (o, 0, 0),
+        Err(SpiceError::NonConvergence { .. }) => {
+            match gmin_ladder(circuit, &mut sys, &zeros, opts, trace) {
+                Ok((o, stages)) => (o, stages, 0),
+                // Rung 2, initial OP only: walk the solution in from the
+                // trivial all-sources-off point.
+                Err(gmin_err) if opts.recovery_ladder => {
+                    match source_stepping(circuit, &mut sys, &zeros, opts, trace) {
+                        Ok((o, stages)) => (o, opts.gmin_step_decades, stages),
+                        // The gmin ladder's error names the worst unknown at
+                        // full drive, which is the more actionable report.
+                        Err(_) => return Err(gmin_err),
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
         Err(e) => return Err(e),
     };
 
@@ -68,6 +105,7 @@ pub fn operating_point(circuit: &mut Circuit, opts: &SimOptions) -> Result<OpSol
         x: outcome.x,
         iterations: outcome.iterations,
         gmin_steps,
+        source_steps,
     })
 }
 
@@ -76,12 +114,14 @@ fn gmin_ladder(
     sys: &mut MnaSystem,
     zeros: &[f64],
     opts: &SimOptions,
+    trace: &mut SolverTrace,
 ) -> Result<(NewtonOutcome, usize)> {
     let mut guess = zeros.to_vec();
     let mut stages = 0usize;
     let mut gmin = opts.gmin_step_start;
     let mut last: Option<NewtonOutcome> = None;
     while gmin > opts.gmin {
+        trace.gmin_stage();
         let out = solve_point(
             circuit,
             sys,
@@ -102,6 +142,7 @@ fn gmin_ladder(
         }
     }
     // Final solve at the target gmin.
+    trace.gmin_stage();
     let out = solve_point(
         circuit,
         sys,
@@ -120,6 +161,64 @@ fn gmin_ladder(
         (e, _) => Err(e),
     })?;
     Ok((out, stages))
+}
+
+/// Ramps every independent source 0 → 1, warm-starting each stage from the
+/// previous one. On a stage failure the increment is halved (continuation
+/// bisection); the ramp aborts once the increment underflows. The system's
+/// source scale is always restored to 1.0 on exit.
+fn source_stepping(
+    circuit: &Circuit,
+    sys: &mut MnaSystem,
+    zeros: &[f64],
+    opts: &SimOptions,
+    trace: &mut SolverTrace,
+) -> Result<(NewtonOutcome, usize)> {
+    let n_stages = opts.source_step_points.max(2);
+    #[allow(clippy::cast_precision_loss)]
+    let dl0 = 1.0 / n_stages as f64;
+    let mut guess = zeros.to_vec();
+    let mut lambda = 0.0_f64;
+    let mut dl = dl0;
+    let mut stages = 0usize;
+    let mut full: Option<NewtonOutcome> = None;
+    let result = loop {
+        let target = (lambda + dl).min(1.0);
+        sys.set_source_scale(target);
+        trace.source_stage();
+        stages += 1;
+        match solve_point(
+            circuit,
+            sys,
+            0.0,
+            0.0,
+            opts.integrator,
+            zeros,
+            &guess,
+            opts,
+            opts.gmin,
+        ) {
+            Ok(out) => {
+                guess.clone_from(&out.x);
+                lambda = target;
+                if lambda >= 1.0 {
+                    full = Some(out);
+                    break Ok(());
+                }
+                // Recover the pace gently after bisections.
+                dl = (dl * 1.5).min(dl0.max(0.25));
+            }
+            Err(e) => {
+                dl *= 0.5;
+                if dl * 64.0 < dl0 {
+                    break Err(e);
+                }
+            }
+        }
+    };
+    sys.set_source_scale(1.0);
+    result?;
+    Ok((full.expect("full-drive solve present on Ok"), stages))
 }
 
 pub(crate) fn commit_op(circuit: &mut Circuit, x: &[f64], x_prev: &[f64]) {
@@ -172,6 +271,84 @@ mod tests {
         let op = operating_point(&mut ckt, &SimOptions::default()).unwrap();
         // No DC path through C ⇒ b floats to a through R (no current).
         assert!((op.voltage(&ckt, "b").unwrap() - 1.0).abs() < 1e-3);
+    }
+
+    /// Sharp exponential diode (small thermal voltage). From a cold start
+    /// at high drive, damped Newton walks down roughly one `vt` per
+    /// iteration, so a tight iteration budget fails both direct and
+    /// gmin-laddered solves; ramping the source in lets every stage start
+    /// warm and converge in a handful of iterations.
+    #[derive(Debug)]
+    struct SteepDiode {
+        name: String,
+        a: crate::node::NodeId,
+        vt: f64,
+    }
+
+    impl crate::device::Device for SteepDiode {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn nodes(&self) -> Vec<crate::node::NodeId> {
+            vec![self.a]
+        }
+        fn load(&self, ctx: &crate::device::EvalCtx<'_>, stamps: &mut crate::device::Stamps<'_>) {
+            let v = ctx.v(self.a).clamp(-2.0, 2.0);
+            let i_sat = 1e-14;
+            let e = (v / self.vt).exp();
+            let i = i_sat * (e - 1.0);
+            let g = (i_sat / self.vt * e).max(1e-12);
+            stamps.nonlinear_current(self.a, crate::node::NodeId::GROUND, i, g, v);
+        }
+    }
+
+    fn steep_diode_circuit(vt: f64) -> Circuit {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let d = ckt.node("d");
+        let gnd = ckt.gnd();
+        ckt.add(VoltageSource::dc("v1", vdd, gnd, 5.0)).unwrap();
+        ckt.add(Resistor::new("r1", vdd, d, 1e3).unwrap()).unwrap();
+        ckt.add(SteepDiode {
+            name: "d1".into(),
+            a: d,
+            vt,
+        })
+        .unwrap();
+        ckt
+    }
+
+    #[test]
+    fn source_stepping_rescues_steep_diode_op() {
+        let tight = |ladder: bool| SimOptions {
+            max_nr_iters: 10,
+            recovery_ladder: ladder,
+            ..SimOptions::default()
+        };
+        let vt = 0.012;
+
+        let mut ckt = steep_diode_circuit(vt);
+        let err = operating_point(&mut ckt, &tight(false)).unwrap_err();
+        assert!(
+            matches!(err, SpiceError::NonConvergence { .. }),
+            "got {err:?}"
+        );
+
+        let mut ckt = steep_diode_circuit(vt);
+        let mut trace = SolverTrace::new(64);
+        let op = operating_point_traced(&mut ckt, &tight(true), &mut trace).unwrap();
+        assert!(op.source_steps > 0, "{op:?}");
+        assert!(trace.source_step_events > 0);
+        // Physically sane: diode drop vt·ln(i/i_sat) with i ≈ 5 V / 1 kΩ.
+        let vd = op.voltage(&ckt, "d").unwrap();
+        let expected = vt * (5.0_f64 / 1e3 / 1e-14).ln();
+        assert!((vd - expected).abs() < 0.05, "v(d) = {vd}, exp {expected}");
+        // And the source scale was restored: re-solving with generous
+        // iterations from the committed state sees full drive.
+        let relaxed = SimOptions::default();
+        let op2 = operating_point(&mut ckt, &relaxed).unwrap();
+        let vd2 = op2.voltage(&ckt, "d").unwrap();
+        assert!((vd2 - vd).abs() < 1e-3);
     }
 
     #[test]

@@ -12,16 +12,21 @@
 //!    [`crate::device::Device::dt_hint`] (the NEM relay uses this while its
 //!    beam is in flight).
 //!
-//! Newton failures shrink the step by [`SimOptions::dt_shrink`]; underflow
-//! of [`SimOptions::dt_min`] aborts with [`SpiceError::TimestepUnderflow`].
+//! Newton failures engage the convergence-recovery ladder when
+//! [`SimOptions::recovery_ladder`] is set — (1) a gmin ramp at the same
+//! step, (2) a TR→BE integrator fallback for the failing step — before the
+//! pre-existing dt shrink; underflow of [`SimOptions::dt_min`] aborts with
+//! [`SpiceError::TimestepUnderflow`]. Every proposal is recorded in a
+//! [`SolverTrace`] attached to the returned waveform.
 
-use crate::analysis::op::operating_point;
+use crate::analysis::op::operating_point_traced;
 use crate::device::{AnalysisKind, CommitCtx};
 use crate::error::{Result, SpiceError};
 use crate::mna::MnaSystem;
 use crate::netlist::Circuit;
 use crate::newton::solve_point_in_place;
-use crate::options::SimOptions;
+use crate::options::{Integrator, SimOptions};
+use crate::trace::{RejectReason, Rung, SolverTrace};
 use crate::waveform::Waveform;
 use std::mem;
 
@@ -67,8 +72,10 @@ pub fn transient(
         )));
     }
 
-    // 1. Operating point (also commits device initial states).
-    let op = operating_point(circuit, opts)?;
+    // 1. Operating point (also commits device initial states). Recovery
+    //    work done for the OP (gmin/source stepping) lands in the trace.
+    let mut trace = SolverTrace::new(opts.trace_events);
+    let op = operating_point_traced(circuit, opts, &mut trace)?;
 
     // 2. Signal list.
     let index = circuit.unknown_index();
@@ -106,7 +113,12 @@ pub fn transient(
     breakpoints.push(spec.t_stop);
     breakpoints.retain(|&t| t > 0.0 && t <= spec.t_stop);
     breakpoints.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
-    breakpoints.dedup_by(|a, b| (*a - *b).abs() < 1e-18);
+    // Merge breakpoints with a *relative* tolerance: an absolute one either
+    // fails to merge float-noise twins in µs-scale runs (forcing the engine
+    // to land two corners attoseconds apart) or, made large enough to do
+    // so, would swallow genuine sub-ns edges in ns-scale runs.
+    let bp_tol = (opts.bp_reltol * spec.t_stop).max(f64::MIN_POSITIVE);
+    breakpoints.dedup_by(|a, b| (*a - *b).abs() < bp_tol);
 
     // Record t = 0. `row` is a hoisted scratch buffer so each recorded step
     // reuses one allocation.
@@ -154,11 +166,7 @@ pub fn transient(
     while t < spec.t_stop * (1.0 - 1e-15) {
         attempts += 1;
         if attempts > MAX_STEP_ATTEMPTS {
-            return Err(SpiceError::NonConvergence {
-                time: t,
-                iterations: attempts,
-                max_delta: f64::NAN,
-            });
+            return Err(SpiceError::non_convergence(t, attempts, f64::NAN));
         }
 
         // Advance past consumed breakpoints.
@@ -168,9 +176,14 @@ pub fn transient(
 
         // Step-size selection.
         let mut dt_lim = opts.dt_max.min(spec.t_stop - t);
+        let mut hint_lim = f64::INFINITY;
         for dev in circuit.devices() {
-            dt_lim = dt_lim.min(dev.dt_hint(t));
+            hint_lim = hint_lim.min(dev.dt_hint(t));
         }
+        if hint_lim < dt.min(dt_lim) {
+            trace.device_hint();
+        }
+        dt_lim = dt_lim.min(hint_lim);
         let mut step = dt.min(dt_lim).max(opts.dt_min);
         let mut hit_bp = false;
         if bp_cursor < breakpoints.len() {
@@ -182,9 +195,13 @@ pub fn transient(
         }
         let t_new = t + step;
 
-        // Newton solve: guess is the previous accepted state.
+        // Newton solve: guess is the previous accepted state. On failure
+        // the recovery ladder retries at the *same* (t, dt) — gmin ramp,
+        // then TR→BE — before falling back to the dt shrink.
         x_cur.clear();
         x_cur.extend_from_slice(&x_prev);
+        let mut rungs: Vec<Rung> = Vec::new();
+        let mut step_integrator = opts.integrator;
         let iterations = match solve_point_in_place(
             circuit,
             &mut sys,
@@ -198,14 +215,44 @@ pub fn transient(
             opts.gmin,
         ) {
             Ok(iters) => iters,
-            Err(SpiceError::NonConvergence { .. }) => {
+            Err(SpiceError::NonConvergence {
+                iterations,
+                worst_unknown,
+                ..
+            }) => {
+                trace.reject(t_new, step, iterations, RejectReason::Newton, worst_unknown);
                 sys.stats_mut().steps_rejected += 1;
-                dt = step * opts.dt_shrink;
-                if dt < opts.dt_min {
-                    return Err(SpiceError::TimestepUnderflow { time: t, dt });
+                let rescued = if opts.recovery_ladder {
+                    recover_step(
+                        circuit,
+                        &mut sys,
+                        t_new,
+                        step,
+                        &x_prev,
+                        &mut x_cur,
+                        &mut x_scratch,
+                        opts,
+                        &mut trace,
+                        &mut rungs,
+                    )
+                } else {
+                    None
+                };
+                match rescued {
+                    Some((iters, integrator)) => {
+                        step_integrator = integrator;
+                        iters
+                    }
+                    None => {
+                        trace.rung_engaged(Rung::DtShrink);
+                        dt = step * opts.dt_shrink;
+                        if dt < opts.dt_min {
+                            return Err(SpiceError::TimestepUnderflow { time: t, dt });
+                        }
+                        hist_valid = false;
+                        continue;
+                    }
                 }
-                hist_valid = false;
-                continue;
             }
             Err(e) => return Err(e),
         };
@@ -220,18 +267,21 @@ pub fn transient(
                 lte_max = lte_max.max((curvature * step * step * 0.5).abs());
             }
             if lte_max > 4.0 * opts.lte_tol && step > 4.0 * opts.dt_min && !hit_bp {
+                trace.reject(t_new, step, iterations, RejectReason::Lte, None);
                 sys.stats_mut().steps_rejected += 1;
                 dt = step * (0.9 * (opts.lte_tol / lte_max).sqrt()).clamp(0.1, 0.5);
                 continue;
             }
         }
 
-        // Accept: commit devices, record.
+        // Accept: commit devices, record. The commit must see the
+        // integrator that actually produced the solution (a TR→BE fallback
+        // changes the companion-history update).
         let ctx = CommitCtx {
             analysis: AnalysisKind::Transient,
             time: t_new,
             dt: step,
-            integrator: opts.integrator,
+            integrator: step_integrator,
             x: &x_cur,
             x_prev: &x_prev,
             index,
@@ -241,13 +291,18 @@ pub fn transient(
         }
         record(&mut wave, &mut row, t_new, &x_cur, circuit);
         sys.stats_mut().steps_accepted += 1;
+        let recovered = !rungs.is_empty();
+        trace.accept(t_new, step, iterations, rungs);
 
-        // Next step size.
-        let grow = if lte_max > 0.0 {
+        // Next step size; never grow straight out of a rescued point.
+        let mut grow = if lte_max > 0.0 {
             (0.9 * (opts.lte_tol / lte_max).sqrt()).clamp(0.3, opts.dt_grow)
         } else {
             opts.dt_grow
         };
+        if recovered {
+            grow = grow.min(1.0);
+        }
         let iter_factor = if iterations > 20 { 0.5 } else { 1.0 };
         dt = (step * grow * iter_factor).max(opts.dt_min);
 
@@ -267,13 +322,139 @@ pub fn transient(
     }
 
     wave.set_stats(sys.stats());
+    wave.set_solver_trace(trace);
     Ok(wave)
+}
+
+/// The transient recovery ladder, engaged at a fixed `(t_new, step)` after a
+/// plain Newton failure. Returns the converged iteration count and the
+/// integrator that produced the solution (left in `x_cur`), or `None` when
+/// every rung failed and the caller should fall back to the dt shrink.
+#[allow(clippy::too_many_arguments)]
+fn recover_step(
+    circuit: &Circuit,
+    sys: &mut MnaSystem,
+    t_new: f64,
+    step: f64,
+    x_prev: &[f64],
+    x_cur: &mut Vec<f64>,
+    x_scratch: &mut Vec<f64>,
+    opts: &SimOptions,
+    trace: &mut SolverTrace,
+    rungs: &mut Vec<Rung>,
+) -> Option<(usize, Integrator)> {
+    // Rung 1: gmin ramp at the same step and integrator. Extra conductance
+    // to ground tames an exponential device long enough to walk the iterate
+    // into its basin of attraction.
+    rungs.push(Rung::GminRamp);
+    trace.rung_engaged(Rung::GminRamp);
+    if let Some(iters) = gmin_ramp(
+        circuit,
+        sys,
+        t_new,
+        step,
+        opts.integrator,
+        x_prev,
+        x_cur,
+        x_scratch,
+        opts,
+        trace,
+    ) {
+        return Some((iters, opts.integrator));
+    }
+
+    // Rung 3: TR→BE fallback for this one step — trapezoidal ringing around
+    // an abrupt event (relay pull-in) can defeat Newton outright; backward
+    // Euler's L-stability damps it. (Rung 2, source stepping, applies only
+    // to the initial operating point and lives in the OP driver.)
+    if opts.integrator == Integrator::Trapezoidal {
+        rungs.push(Rung::IntegratorFallback);
+        trace.rung_engaged(Rung::IntegratorFallback);
+        x_cur.clear();
+        x_cur.extend_from_slice(x_prev);
+        if let Ok(iters) = solve_point_in_place(
+            circuit,
+            sys,
+            t_new,
+            step,
+            Integrator::BackwardEuler,
+            x_prev,
+            x_cur,
+            x_scratch,
+            opts,
+            opts.gmin,
+        ) {
+            return Some((iters, Integrator::BackwardEuler));
+        }
+        if let Some(iters) = gmin_ramp(
+            circuit,
+            sys,
+            t_new,
+            step,
+            Integrator::BackwardEuler,
+            x_prev,
+            x_cur,
+            x_scratch,
+            opts,
+            trace,
+        ) {
+            return Some((iters, Integrator::BackwardEuler));
+        }
+    }
+    None
+}
+
+/// Transient gmin ramp: solve at [`SimOptions::gmin_step_start`], warm-start
+/// each decade down, finish at the target gmin. Any stage failure abandons
+/// the ramp (`x_cur` is then garbage and the caller must reset it).
+#[allow(clippy::too_many_arguments)]
+fn gmin_ramp(
+    circuit: &Circuit,
+    sys: &mut MnaSystem,
+    t_new: f64,
+    step: f64,
+    integrator: Integrator,
+    x_prev: &[f64],
+    x_cur: &mut Vec<f64>,
+    x_scratch: &mut Vec<f64>,
+    opts: &SimOptions,
+    trace: &mut SolverTrace,
+) -> Option<usize> {
+    x_cur.clear();
+    x_cur.extend_from_slice(x_prev);
+    let mut gmin = opts.gmin_step_start;
+    let mut stages = 0usize;
+    while gmin > opts.gmin && stages <= opts.gmin_step_decades {
+        trace.gmin_stage();
+        solve_point_in_place(
+            circuit, sys, t_new, step, integrator, x_prev, x_cur, x_scratch, opts, gmin,
+        )
+        .ok()?;
+        gmin *= 0.1;
+        stages += 1;
+    }
+    trace.gmin_stage();
+    solve_point_in_place(
+        circuit,
+        sys,
+        t_new,
+        step,
+        integrator,
+        x_prev,
+        x_cur,
+        x_scratch,
+        opts,
+        opts.gmin,
+    )
+    .ok()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::device::AnalysisKind;
     use crate::element::{Capacitor, Inductor, Resistor, VoltageSource};
+    use crate::error::SpiceError;
     use crate::options::{Integrator, SimOptions};
     use crate::source::Waveshape;
 
@@ -462,6 +643,166 @@ mod tests {
             &SimOptions::default()
         )
         .is_err());
+    }
+
+    #[test]
+    fn microsecond_breakpoint_twins_merge() {
+        use tcam_numeric::interp::PiecewiseLinear;
+        // Two PWL corners 10 attoseconds apart at t = 2 µs: the old absolute
+        // 1e-18 dedup tolerance left them distinct, forcing the engine to
+        // land two breakpoints an ulp-scale step apart. The relative
+        // tolerance (bp_reltol · t_stop = 1e-16 s here) merges them.
+        let twin = 2e-6 + 1e-17;
+        assert!(twin > 2e-6, "twin corner must be a distinct float");
+        let mut ckt = rc_circuit(1e3, 1e-9);
+        ckt.device_as_mut::<VoltageSource>("v1")
+            .unwrap()
+            .set_shape(Waveshape::Pwl(
+                PiecewiseLinear::new(
+                    vec![0.0, 2e-6, twin, 50e-6, 100e-6],
+                    vec![0.0, 0.0, 0.0, 1.0, 0.0],
+                )
+                .unwrap(),
+            ));
+        let wave = transient(&mut ckt, TransientSpec::to(100e-6), &SimOptions::default()).unwrap();
+        let near_twin = wave
+            .axis()
+            .iter()
+            .filter(|&&t| (t - 2e-6).abs() < 1e-12)
+            .count();
+        assert_eq!(near_twin, 1, "twin corners must merge to one sample");
+        // A genuinely distinct corner is still landed exactly.
+        assert!(wave.axis().iter().any(|&t| (t - 50e-6).abs() < 1e-15));
+    }
+
+    /// A device that is unsolvable under trapezoidal integration during the
+    /// transient (its injected current flips sign with the iterate, so
+    /// Newton oscillates at any dt) but benign under backward Euler and
+    /// during the OP. Exercises the TR→BE ladder rung in isolation.
+    #[derive(Debug)]
+    struct TrapBreaker {
+        name: String,
+        a: crate::node::NodeId,
+    }
+
+    impl crate::device::Device for TrapBreaker {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn nodes(&self) -> Vec<crate::node::NodeId> {
+            vec![self.a]
+        }
+        fn load(&self, ctx: &crate::device::EvalCtx<'_>, stamps: &mut crate::device::Stamps<'_>) {
+            let v = ctx.v(self.a);
+            let hostile = ctx.analysis == AnalysisKind::Transient
+                && ctx.integrator == Integrator::Trapezoidal;
+            // Identical stamp structure on both branches (device contract).
+            if hostile {
+                let i0 = if v > 0.25 { 1e-3 } else { -1e-3 };
+                stamps.nonlinear_current(self.a, crate::node::NodeId::GROUND, i0, 1e-9, v);
+            } else {
+                stamps.nonlinear_current(self.a, crate::node::NodeId::GROUND, 1e-3 * v, 1e-3, v);
+            }
+        }
+    }
+
+    fn trap_breaker_circuit() -> Circuit {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("vin");
+        let a = ckt.node("a");
+        let gnd = ckt.gnd();
+        ckt.add(VoltageSource::dc("v1", vin, gnd, 1.0)).unwrap();
+        ckt.add(Resistor::new("r1", vin, a, 1e3).unwrap()).unwrap();
+        ckt.add(TrapBreaker {
+            name: "x1".into(),
+            a,
+        })
+        .unwrap();
+        ckt
+    }
+
+    #[test]
+    fn trapezoidal_pathology_underflows_without_ladder() {
+        let mut ckt = trap_breaker_circuit();
+        let opts = SimOptions {
+            integrator: Integrator::Trapezoidal,
+            max_nr_iters: 12,
+            dt_min: 1e-15,
+            ..SimOptions::default()
+        };
+        let err = transient(&mut ckt, TransientSpec::to(1e-9), &opts).unwrap_err();
+        assert!(
+            matches!(err, SpiceError::TimestepUnderflow { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn tr_to_be_rung_rescues_trapezoidal_pathology() {
+        let mut ckt = trap_breaker_circuit();
+        let opts = SimOptions {
+            integrator: Integrator::Trapezoidal,
+            max_nr_iters: 12,
+            dt_min: 1e-15,
+            dt_initial: 1e-10,
+            recovery_ladder: true,
+            ..SimOptions::default()
+        };
+        let wave = transient(&mut ckt, TransientSpec::to(1e-9), &opts).unwrap();
+        // Under BE the device is a 1 mS load: v(a) settles to the divider.
+        let va = wave.last("v(a)").unwrap();
+        assert!((va - 0.5).abs() < 1e-3, "v(a) = {va}");
+        let trace = wave.solver_trace().expect("transient records a trace");
+        assert!(trace.integrator_fallbacks > 0, "{trace:?}");
+        assert!(trace.ladder_recoveries > 0, "{trace:?}");
+        assert!(trace.reject_newton > 0);
+        assert!(trace.gmin_events > 0, "gmin rung tried before TR→BE");
+        assert!(wave.meas_solver("integrator_fallbacks").unwrap() >= 1.0);
+        // The JSON line parses shallowly: single line, balanced braces.
+        let line = trace.to_json_line();
+        assert!(line.starts_with('{') && line.ends_with('}') && !line.contains('\n'));
+    }
+
+    #[test]
+    fn easy_run_trace_is_clean() {
+        let mut ckt = rc_circuit(1e3, 1e-9);
+        let opts = SimOptions {
+            recovery_ladder: true,
+            ..SimOptions::default()
+        };
+        let wave = transient(&mut ckt, TransientSpec::to(5e-6), &opts).unwrap();
+        let trace = wave.solver_trace().unwrap();
+        assert_eq!(usize::try_from(trace.steps_accepted).unwrap() + 1, wave.len());
+        assert_eq!(trace.ladder_recoveries, 0);
+        assert_eq!(trace.integrator_fallbacks, 0);
+        assert_eq!(trace.gmin_events, 0);
+        assert!(trace.min_dt_used > 0.0 && trace.min_dt_used <= trace.max_dt_used);
+    }
+
+    #[test]
+    fn ladder_option_keeps_easy_waveforms_bitwise_identical() {
+        // recovery_ladder must be a pure no-op on circuits that never fail.
+        let run = |ladder: bool| {
+            let mut ckt = rc_circuit(1e3, 1e-9);
+            let opts = SimOptions {
+                recovery_ladder: ladder,
+                ..SimOptions::default()
+            };
+            transient(&mut ckt, TransientSpec::to(5e-6), &opts).unwrap()
+        };
+        let plain = run(false);
+        let laddered = run(true);
+        assert_eq!(plain.len(), laddered.len());
+        for name in plain.signal_names() {
+            for (a, b) in plain
+                .trace(name)
+                .unwrap()
+                .iter()
+                .zip(laddered.trace(name).unwrap())
+            {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -88,6 +88,10 @@ pub struct EvalCtx<'a> {
     pub x_prev: &'a [f64],
     /// Handle resolver.
     pub index: UnknownIndex,
+    /// Scale factor on independent sources, normally 1.0. The recovery
+    /// ladder's source-stepping rung ramps this 0 → 1 to walk a hard
+    /// operating point in from the trivial all-sources-off solution.
+    pub source_scale: f64,
 }
 
 impl EvalCtx<'_> {
@@ -454,6 +458,7 @@ mod tests {
             x: &x,
             x_prev: &xp,
             index,
+            source_scale: 1.0,
         };
         assert_eq!(ctx.v(NodeId::GROUND), 0.0);
         assert_eq!(ctx.v(NodeId(1)), 1.0);

@@ -353,7 +353,9 @@ impl Device for VoltageSource {
     fn load(&self, ctx: &EvalCtx<'_>, stamps: &mut Stamps<'_>) {
         let br = self.branch();
         stamps.branch_incidence(self.pos, self.neg, br);
-        stamps.rhs_branch(br, self.shape.eval(ctx.time));
+        // `source_scale` is 1.0 except inside the recovery ladder's
+        // source-stepping rung, which ramps every independent source 0 → 1.
+        stamps.rhs_branch(br, ctx.source_scale * self.shape.eval(ctx.time));
     }
 
     fn commit(&mut self, ctx: &CommitCtx<'_>) {
@@ -431,7 +433,11 @@ impl Device for CurrentSource {
     }
 
     fn load(&self, ctx: &EvalCtx<'_>, stamps: &mut Stamps<'_>) {
-        stamps.current(self.pos, self.neg, self.shape.eval(ctx.time));
+        stamps.current(
+            self.pos,
+            self.neg,
+            ctx.source_scale * self.shape.eval(ctx.time),
+        );
     }
 
     fn breakpoints(&self, t_stop: f64) -> Vec<f64> {

@@ -9,6 +9,12 @@ pub enum SpiceError {
     /// Forwarded numerical failure (factorization, interpolation, ...).
     Numeric(NumericError),
     /// Newton–Raphson failed to converge.
+    ///
+    /// This is the single error surface for every way a nonlinear solve can
+    /// die: iteration-budget exhaustion, a non-finite iterate, and singular
+    /// matrices (which carry the pivot failure in `cause`). The recovery
+    /// ladder and callers therefore match one variant and read
+    /// `worst_unknown` to learn *which* node or branch was misbehaving.
     NonConvergence {
         /// Simulation time at which convergence failed (NaN for OP).
         time: f64,
@@ -16,6 +22,12 @@ pub enum SpiceError {
         iterations: usize,
         /// Largest unknown update at the final iteration.
         max_delta: f64,
+        /// Signal name of the worst-converging unknown (the largest
+        /// tolerance-relative update, the first non-finite entry, or the
+        /// pivot column of a singular matrix), when known.
+        worst_unknown: Option<String>,
+        /// Underlying numeric failure, when one triggered the abort.
+        cause: Option<NumericError>,
     },
     /// The transient engine could not complete the requested span.
     TimestepUnderflow {
@@ -47,18 +59,27 @@ impl fmt::Display for SpiceError {
                 time,
                 iterations,
                 max_delta,
+                worst_unknown,
+                cause,
             } => {
                 if time.is_nan() {
                     write!(
                         f,
                         "operating point failed to converge after {iterations} iterations (max delta {max_delta:.3e})"
-                    )
+                    )?;
                 } else {
                     write!(
                         f,
                         "no convergence at t={time:.4e}s after {iterations} iterations (max delta {max_delta:.3e})"
-                    )
+                    )?;
                 }
+                if let Some(w) = worst_unknown {
+                    write!(f, "; worst unknown {w}")?;
+                }
+                if let Some(c) = cause {
+                    write!(f, "; cause: {c}")?;
+                }
+                Ok(())
             }
             SpiceError::TimestepUnderflow { time, dt } => {
                 write!(f, "timestep underflow at t={time:.4e}s (dt={dt:.3e}s)")
@@ -71,6 +92,21 @@ impl fmt::Display for SpiceError {
             SpiceError::SignalUnavailable(sig) => {
                 write!(f, "signal not recorded: {sig}")
             }
+        }
+    }
+}
+
+impl SpiceError {
+    /// A bare [`SpiceError::NonConvergence`] with no diagnosed unknown or
+    /// underlying cause.
+    #[must_use]
+    pub fn non_convergence(time: f64, iterations: usize, max_delta: f64) -> Self {
+        SpiceError::NonConvergence {
+            time,
+            iterations,
+            max_delta,
+            worst_unknown: None,
+            cause: None,
         }
     }
 }
@@ -99,18 +135,20 @@ mod tests {
 
     #[test]
     fn display_variants() {
+        let e = SpiceError::non_convergence(1e-9, 50, 0.1);
+        assert!(e.to_string().contains("t=1.0000e-9"));
+        let e = SpiceError::non_convergence(f64::NAN, 50, 0.1);
+        assert!(e.to_string().contains("operating point"));
         let e = SpiceError::NonConvergence {
             time: 1e-9,
-            iterations: 50,
-            max_delta: 0.1,
+            iterations: 3,
+            max_delta: f64::INFINITY,
+            worst_unknown: Some("v(ml)".into()),
+            cause: Some(NumericError::SingularMatrix { column: 2 }),
         };
-        assert!(e.to_string().contains("t=1.0000e-9"));
-        let e = SpiceError::NonConvergence {
-            time: f64::NAN,
-            iterations: 50,
-            max_delta: 0.1,
-        };
-        assert!(e.to_string().contains("operating point"));
+        let s = e.to_string();
+        assert!(s.contains("worst unknown v(ml)"), "{s}");
+        assert!(s.contains("singular matrix"), "{s}");
         let e = SpiceError::Parse {
             line: 7,
             message: "bad value".into(),

@@ -46,6 +46,7 @@ pub mod node;
 pub mod options;
 pub mod parser;
 pub mod source;
+pub mod trace;
 pub mod units;
 pub mod waveform;
 
@@ -67,5 +68,6 @@ pub mod prelude {
     pub use crate::node::NodeId;
     pub use crate::options::{Integrator, SimOptions, SolverKind};
     pub use crate::source::Waveshape;
+    pub use crate::trace::{RejectReason, Rung, SolverTrace, StepEvent, StepOutcome};
     pub use crate::waveform::Waveform;
 }

@@ -32,23 +32,28 @@ pub fn cross_time(
 ) -> Result<f64> {
     let ys = wave.trace(signal)?;
     let xs = wave.axis();
-    let start = xs.partition_point(|&t| t < t_from);
-    if start >= xs.len() {
-        return Err(SpiceError::NotFound(format!(
-            "crossing of {signal} at {level} after {t_from:.3e}s (window empty)"
-        )));
-    }
-    first_crossing(
-        &xs[start..],
-        &ys[start..],
-        level,
-        matches!(edge, Edge::Rising),
-    )
-    .ok_or_else(|| {
+    let rising = matches!(edge, Edge::Rising);
+    let not_found = || {
         SpiceError::NotFound(format!(
             "crossing of {signal} through {level} ({edge:?}) after {t_from:.3e}s"
         ))
-    })
+    };
+    let start = xs.partition_point(|&t| t < t_from);
+    if start >= xs.len() {
+        return Err(not_found());
+    }
+    // Include the sample interval that straddles `t_from`: a crossing
+    // interpolated inside it at t ≥ t_from is still in the window. A linear
+    // segment crosses a level at most once per direction, so if the
+    // straddling segment's crossing lands before `t_from` it cannot recur
+    // there — retry from the first in-window sample.
+    let from = start.saturating_sub(1);
+    if let Some(t) = first_crossing(&xs[from..], &ys[from..], level, rising) {
+        if t >= t_from {
+            return Ok(t);
+        }
+    }
+    first_crossing(&xs[start..], &ys[start..], level, rising).ok_or_else(not_found)
 }
 
 /// Difference of a cumulative signal (such as a source energy meter
@@ -162,6 +167,35 @@ mod tests {
         assert!(cross_time(&w, "v(a)", 0.55, Edge::Rising, 0.7).is_err());
         assert!(cross_time(&w, "v(a)", 0.5, Edge::Falling, 0.0).is_err());
         assert!(cross_time(&w, "v(a)", 0.5, Edge::Rising, 5.0).is_err());
+    }
+
+    #[test]
+    fn cross_time_includes_straddling_interval() {
+        let w = ramp_wave();
+        // t_from = 0.52 falls inside the sample interval [0.5, 0.6]; the
+        // crossing of 0.55 interpolates to t = 0.55 ≥ t_from and must be
+        // found (the old slice-at-partition_point dropped this segment and
+        // wrongly reported NotFound).
+        let t = cross_time(&w, "v(a)", 0.55, Edge::Rising, 0.52).unwrap();
+        assert!((t - 0.55).abs() < 1e-12, "t = {t}");
+        // Same segment, but the crossing (0.55) precedes t_from = 0.58: it
+        // is genuinely outside the window and must stay excluded.
+        assert!(cross_time(&w, "v(a)", 0.55, Edge::Rising, 0.58).is_err());
+        // t_from exactly on a sample: unchanged behaviour.
+        let t = cross_time(&w, "v(a)", 0.65, Edge::Rising, 0.6).unwrap();
+        assert!((t - 0.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_time_straddling_falling_edge() {
+        let mut w = Waveform::new("time", vec!["v(a)".into()]);
+        for i in 0..=10 {
+            let t = f64::from(i) / 10.0;
+            w.push(t, &[1.0 - t]);
+        }
+        // Falling through 0.45 at t = 0.55, window opens mid-segment.
+        let t = cross_time(&w, "v(a)", 0.45, Edge::Falling, 0.52).unwrap();
+        assert!((t - 0.55).abs() < 1e-12, "t = {t}");
     }
 
     #[test]

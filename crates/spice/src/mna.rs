@@ -90,6 +90,9 @@ pub struct MnaSystem {
     /// Cached dense mirror + factorization buffers for the dense path.
     dense_mat: Option<DenseMatrix>,
     dense_lu: Option<DenseLu>,
+    /// Scale applied to independent sources during refill (1.0 outside the
+    /// recovery ladder's source-stepping rung).
+    source_scale: f64,
     stats: SolveStats,
 }
 
@@ -123,6 +126,7 @@ impl MnaSystem {
             x: &zeros,
             x_prev: &zeros,
             index,
+            source_scale: 1.0,
         };
         for dev in circuit.devices() {
             let mut stamps = Stamps::new(&mut sink, index);
@@ -160,6 +164,7 @@ impl MnaSystem {
             lu: None,
             dense_mat: None,
             dense_lu: None,
+            source_scale: 1.0,
             stats: SolveStats::default(),
         })
     }
@@ -208,6 +213,7 @@ impl MnaSystem {
             x,
             x_prev,
             index: self.index,
+            source_scale: self.source_scale,
         };
         let mut sink = ValueSink {
             vals: &mut self.stamp_vals,
@@ -305,6 +311,19 @@ impl MnaSystem {
         self.stats.fresh_factorizations += 1;
         lu.solve_into(&self.rhs, out)?;
         Ok(())
+    }
+
+    /// Sets the independent-source scale applied on every subsequent
+    /// [`MnaSystem::refill`]. The source-stepping rung ramps this 0 → 1;
+    /// it must be restored to 1.0 before normal solves resume.
+    pub fn set_source_scale(&mut self, scale: f64) {
+        self.source_scale = scale;
+    }
+
+    /// The current independent-source scale.
+    #[must_use]
+    pub fn source_scale(&self) -> f64 {
+        self.source_scale
     }
 
     /// Cumulative solver statistics since construction or the last

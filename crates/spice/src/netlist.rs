@@ -178,6 +178,19 @@ impl Circuit {
         &self.branch_names
     }
 
+    /// Signal name of the `i`-th MNA unknown: `v(<node>)` for the node
+    /// block, then the branch-current names. `None` past the end. Used by
+    /// the Newton loop to name the worst-converging unknown in diagnostics.
+    #[must_use]
+    pub fn unknown_name(&self, i: usize) -> Option<String> {
+        let n_nodes = self.nodes.n_unknown_nodes();
+        if i < n_nodes {
+            Some(format!("v({})", self.nodes.name(NodeId(i + 1))))
+        } else {
+            self.branch_names.get(i - n_nodes).cloned()
+        }
+    }
+
     /// The unknown-vector layout for this circuit.
     #[must_use]
     pub fn unknown_index(&self) -> UnknownIndex {
@@ -283,6 +296,15 @@ mod tests {
         assert_eq!(ckt.n_branches(), 1);
         assert_eq!(ckt.branch_names(), &["i(v1)".to_string()]);
         assert_eq!(ckt.unknown_index().n_unknowns(), 3);
+    }
+
+    #[test]
+    fn unknown_names_cover_nodes_then_branches() {
+        let ckt = divider();
+        assert_eq!(ckt.unknown_name(0).as_deref(), Some("v(vdd)"));
+        assert_eq!(ckt.unknown_name(1).as_deref(), Some("v(out)"));
+        assert_eq!(ckt.unknown_name(2).as_deref(), Some("i(v1)"));
+        assert_eq!(ckt.unknown_name(3), None);
     }
 
     #[test]

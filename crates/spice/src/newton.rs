@@ -6,6 +6,16 @@ use crate::netlist::Circuit;
 use crate::options::{Integrator, SimOptions};
 use tcam_numeric::NumericError;
 
+/// Names the unknown a numeric failure points at, when it points at one.
+fn numeric_worst_unknown(circuit: &Circuit, e: &NumericError) -> Option<String> {
+    match e {
+        NumericError::SingularMatrix { column } | NumericError::PivotDegraded { column } => {
+            circuit.unknown_name(*column)
+        }
+        _ => None,
+    }
+}
+
 /// Result of a converged Newton solve.
 #[derive(Debug, Clone)]
 pub struct NewtonOutcome {
@@ -26,8 +36,9 @@ pub struct NewtonOutcome {
 ///
 /// # Errors
 ///
-/// Returns [`SpiceError::NonConvergence`] when the iteration budget is
-/// exhausted, and propagates singular-matrix failures.
+/// Returns [`SpiceError::NonConvergence`] for every failure mode — budget
+/// exhaustion, a non-finite iterate, or a singular matrix (carried in
+/// `cause`) — naming the worst-converging unknown when it can.
 #[allow(clippy::too_many_arguments)]
 pub fn solve_point(
     circuit: &Circuit,
@@ -67,8 +78,9 @@ pub fn solve_point(
 ///
 /// # Errors
 ///
-/// Returns [`SpiceError::NonConvergence`] when the iteration budget is
-/// exhausted, and propagates singular-matrix failures.
+/// Returns [`SpiceError::NonConvergence`] for every failure mode — budget
+/// exhaustion, a non-finite iterate, or a singular matrix (carried in
+/// `cause`) — naming the worst-converging unknown when it can.
 #[allow(clippy::too_many_arguments)]
 pub fn solve_point_in_place(
     circuit: &Circuit,
@@ -84,28 +96,38 @@ pub fn solve_point_in_place(
 ) -> Result<usize> {
     let n_nodes = sys.index().n_node_unknowns();
     let mut max_delta = f64::INFINITY;
+    // Unknown with the largest tolerance-relative update on the last
+    // iteration: named in the NonConvergence diagnostic.
+    let mut worst_idx: Option<usize> = None;
 
     for iter in 1..=opts.max_nr_iters {
         sys.refill(circuit, time, dt, integrator, x, x_prev, gmin);
         sys.stats_mut().nr_iterations += 1;
-        match sys.solve_into(x_new) {
-            Ok(()) => {}
-            Err(SpiceError::Numeric(NumericError::SingularMatrix { .. })) if iter == 1 => {
-                // A cold start can present a structurally singular point for
-                // hysteretic devices; retry is meaningless — report clearly.
-                return Err(SpiceError::NonConvergence {
-                    time,
-                    iterations: iter,
-                    max_delta: f64::INFINITY,
-                });
-            }
-            Err(e) => return Err(e),
-        }
-        if x_new.iter().any(|v| !v.is_finite()) {
+        if let Err(e) = sys.solve_into(x_new) {
+            // A singular (or otherwise failed) linear point is one more way
+            // the nonlinear solve dies: fold it into NonConvergence so the
+            // recovery ladder and callers see a single error surface, and
+            // keep the pivot column (as a signal name) instead of
+            // discarding it.
+            let (worst_unknown, cause) = match &e {
+                SpiceError::Numeric(ne) => (numeric_worst_unknown(circuit, ne), Some(ne.clone())),
+                _ => (None, None),
+            };
             return Err(SpiceError::NonConvergence {
                 time,
                 iterations: iter,
                 max_delta: f64::INFINITY,
+                worst_unknown,
+                cause,
+            });
+        }
+        if let Some(bad) = x_new.iter().position(|v| !v.is_finite()) {
+            return Err(SpiceError::NonConvergence {
+                time,
+                iterations: iter,
+                max_delta: f64::INFINITY,
+                worst_unknown: circuit.unknown_name(bad),
+                cause: None,
             });
         }
 
@@ -121,12 +143,19 @@ pub fn solve_point_in_place(
         };
 
         let mut converged = scale == 1.0;
+        let mut worst_ratio = 0.0_f64;
+        worst_idx = None;
         for (i, (xn, xo)) in x_new.iter().zip(x.iter()).enumerate() {
             let atol = if i < n_nodes { opts.vntol } else { opts.abstol };
             let tol = atol + opts.reltol * xn.abs().max(xo.abs());
-            if (xn - xo).abs() > tol {
+            let ratio = (xn - xo).abs() / tol;
+            if ratio > 1.0 {
                 converged = false;
                 // Keep scanning so partial updates below still apply.
+            }
+            if ratio > worst_ratio {
+                worst_ratio = ratio;
+                worst_idx = Some(i);
             }
         }
 
@@ -146,6 +175,8 @@ pub fn solve_point_in_place(
         time,
         iterations: opts.max_nr_iters,
         max_delta,
+        worst_unknown: worst_idx.and_then(|i| circuit.unknown_name(i)),
+        cause: None,
     })
 }
 
@@ -283,6 +314,57 @@ mod tests {
             &opts,
             opts.gmin,
         );
-        assert!(matches!(err, Err(SpiceError::NonConvergence { .. })));
+        match err {
+            Err(SpiceError::NonConvergence {
+                worst_unknown,
+                cause,
+                ..
+            }) => {
+                assert!(worst_unknown.is_some(), "budget exhaustion names a signal");
+                assert_eq!(cause, None);
+            }
+            other => panic!("expected NonConvergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn singular_matrix_is_unified_into_nonconvergence() {
+        // Two ideal voltage sources in parallel: the two branch rows are
+        // identical, so the MNA matrix is singular at every iteration.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let gnd = ckt.gnd();
+        ckt.add(VoltageSource::dc("v1", a, gnd, 1.0)).unwrap();
+        ckt.add(VoltageSource::dc("v2", a, gnd, 2.0)).unwrap();
+        let opts = SimOptions::default();
+        let mut sys = MnaSystem::build(&ckt, AnalysisKind::Op, &opts).unwrap();
+        let zeros = vec![0.0; sys.index().n_unknowns()];
+        let err = solve_point(
+            &ckt,
+            &mut sys,
+            0.0,
+            0.0,
+            opts.integrator,
+            &zeros,
+            &zeros,
+            &opts,
+            opts.gmin,
+        )
+        .unwrap_err();
+        match err {
+            SpiceError::NonConvergence {
+                worst_unknown,
+                cause,
+                ..
+            } => {
+                assert!(
+                    matches!(cause, Some(NumericError::SingularMatrix { .. })),
+                    "cause = {cause:?}"
+                );
+                let w = worst_unknown.expect("pivot column resolves to a name");
+                assert!(w == "v(a)" || w.starts_with("i(v"), "unexpected name {w}");
+            }
+            other => panic!("expected NonConvergence, got {other:?}"),
+        }
     }
 }

@@ -70,6 +70,20 @@ pub struct SimOptions {
     pub gmin_step_start: f64,
     /// Number of gmin-stepping decades.
     pub gmin_step_decades: usize,
+    /// Enable the convergence-recovery ladder (gmin ramp, source stepping
+    /// for the initial OP, TR→BE integrator fallback) before the plain dt
+    /// shrink. Off by default so existing flows are bit-identical.
+    pub recovery_ladder: bool,
+    /// Source-stepping stages when the ladder ramps independent sources
+    /// 0 → 1 for a hard initial operating point.
+    pub source_step_points: usize,
+    /// Per-step events retained in the [`crate::trace::SolverTrace`] ring
+    /// (aggregate counters are always exact). 0 disables event capture.
+    pub trace_events: usize,
+    /// Relative breakpoint-dedup tolerance: two breakpoints closer than
+    /// `bp_reltol · t_stop` are merged. Kept far below `reltol` so genuine
+    /// sub-ns source corners in µs-scale runs stay distinct.
+    pub bp_reltol: f64,
 }
 
 impl Default for SimOptions {
@@ -94,6 +108,10 @@ impl Default for SimOptions {
             dt_shrink: 0.25,
             gmin_step_start: 1e-3,
             gmin_step_decades: 10,
+            recovery_ladder: false,
+            source_step_points: 10,
+            trace_events: 4096,
+            bp_reltol: 1e-12,
         }
     }
 }
@@ -132,6 +150,11 @@ mod tests {
         assert!(o.dt_shrink < 1.0 && o.dt_grow > 1.0);
         assert_eq!(o.integrator, Integrator::BackwardEuler);
         assert_eq!(o.solver, SolverKind::Auto);
+        // The ladder is opt-in and the breakpoint tolerance must sit far
+        // below the Newton reltol or µs-scale runs merge real source edges.
+        assert!(!o.recovery_ladder);
+        assert!(o.source_step_points >= 2);
+        assert!(o.bp_reltol < o.reltol);
     }
 
     #[test]

@@ -1,0 +1,435 @@
+//! Structured solver telemetry: what the transient/OP drivers actually did.
+//!
+//! A [`SolverTrace`] accumulates exact aggregate counters (accepted and
+//! rejected steps, Newton iterations, recovery-ladder engagements) plus a
+//! bounded ring of per-step [`StepEvent`]s. The transient engine attaches
+//! the finished trace to the [`crate::waveform::Waveform`], where it is
+//! queryable by counter name (the same ergonomics as `.meas`) and can be
+//! dumped as a single-line JSON record by the bench binaries.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// Why a proposed transient step was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Newton failed to converge at the proposed (time, dt).
+    Newton,
+    /// The local truncation error estimate exceeded `lte_tol`.
+    Lte,
+}
+
+impl RejectReason {
+    /// Stable lowercase label used in JSON records.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectReason::Newton => "newton",
+            RejectReason::Lte => "lte",
+        }
+    }
+}
+
+/// A recovery-ladder rung, in escalation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rung {
+    /// Retry with extra conductance to ground, ramped back down in decades.
+    GminRamp,
+    /// Scale all independent sources 0 → 1 (initial operating point only).
+    SourceStepping,
+    /// Fall back from trapezoidal to backward Euler for the failing step.
+    IntegratorFallback,
+    /// The pre-existing remedy: shrink dt and retry.
+    DtShrink,
+}
+
+impl Rung {
+    /// Stable lowercase label used in JSON records.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Rung::GminRamp => "gmin_ramp",
+            Rung::SourceStepping => "source_stepping",
+            Rung::IntegratorFallback => "integrator_fallback",
+            Rung::DtShrink => "dt_shrink",
+        }
+    }
+}
+
+/// Outcome of one proposed step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepOutcome {
+    /// The step was accepted; `rungs` lists any ladder rungs that were
+    /// needed to converge it (empty for a plain Newton success).
+    Accepted {
+        /// Ladder rungs engaged before this acceptance.
+        rungs: Vec<Rung>,
+    },
+    /// The step was rejected and will be retried (or the run aborted).
+    Rejected {
+        /// Why the step was rejected.
+        reason: RejectReason,
+        /// Worst-converging unknown by signal name, when Newton diagnosed
+        /// one.
+        worst_unknown: Option<String>,
+    },
+}
+
+/// One recorded solver step (accepted or rejected).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepEvent {
+    /// Start time of the proposed step.
+    pub time: f64,
+    /// Proposed step size.
+    pub dt: f64,
+    /// Newton iterations spent on this proposal.
+    pub iterations: usize,
+    /// What happened.
+    pub outcome: StepOutcome,
+}
+
+/// Aggregate solver telemetry plus a bounded ring of recent step events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverTrace {
+    /// Accepted transient steps.
+    pub steps_accepted: u64,
+    /// Rejected step proposals (any reason).
+    pub steps_rejected: u64,
+    /// Rejections caused by Newton non-convergence.
+    pub reject_newton: u64,
+    /// Rejections caused by the LTE estimate.
+    pub reject_lte: u64,
+    /// Steps whose size was bounded by a device timestep hint (hints limit
+    /// dt; they never reject a solved step).
+    pub device_hint_limited: u64,
+    /// Total Newton iterations across every proposal.
+    pub nr_iterations: u64,
+    /// Individual gmin-ramp stage solves attempted.
+    pub gmin_events: u64,
+    /// Individual source-stepping stage solves attempted.
+    pub source_step_events: u64,
+    /// TR→BE integrator fallbacks engaged.
+    pub integrator_fallbacks: u64,
+    /// dt-shrink retries (the ladder's last rung, and the only one in the
+    /// plain engine).
+    pub dt_shrinks: u64,
+    /// Failures rescued by a ladder rung above dt shrink.
+    pub ladder_recoveries: u64,
+    /// Smallest accepted dt (infinity if nothing was accepted).
+    pub min_dt_used: f64,
+    /// Largest accepted dt (0 if nothing was accepted).
+    pub max_dt_used: f64,
+    /// Worst-converging unknown reported by the most recent Newton failure.
+    pub last_worst_unknown: Option<String>,
+    events: VecDeque<StepEvent>,
+    capacity: usize,
+}
+
+impl Default for SolverTrace {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl SolverTrace {
+    /// An empty trace retaining at most `capacity` step events (aggregate
+    /// counters are always exact regardless of capacity).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        SolverTrace {
+            steps_accepted: 0,
+            steps_rejected: 0,
+            reject_newton: 0,
+            reject_lte: 0,
+            device_hint_limited: 0,
+            nr_iterations: 0,
+            gmin_events: 0,
+            source_step_events: 0,
+            integrator_fallbacks: 0,
+            dt_shrinks: 0,
+            ladder_recoveries: 0,
+            min_dt_used: f64::INFINITY,
+            max_dt_used: 0.0,
+            last_worst_unknown: None,
+            events: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    fn push_event(&mut self, ev: StepEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(ev);
+    }
+
+    /// Records an accepted step; `rungs` lists ladder rungs that were needed.
+    pub fn accept(&mut self, time: f64, dt: f64, iterations: usize, rungs: Vec<Rung>) {
+        self.steps_accepted += 1;
+        self.nr_iterations += iterations as u64;
+        self.min_dt_used = self.min_dt_used.min(dt);
+        self.max_dt_used = self.max_dt_used.max(dt);
+        if rungs.iter().any(|r| *r != Rung::DtShrink) {
+            self.ladder_recoveries += 1;
+        }
+        self.push_event(StepEvent {
+            time,
+            dt,
+            iterations,
+            outcome: StepOutcome::Accepted { rungs },
+        });
+    }
+
+    /// Records a rejected step proposal.
+    pub fn reject(
+        &mut self,
+        time: f64,
+        dt: f64,
+        iterations: usize,
+        reason: RejectReason,
+        worst_unknown: Option<String>,
+    ) {
+        self.steps_rejected += 1;
+        self.nr_iterations += iterations as u64;
+        match reason {
+            RejectReason::Newton => self.reject_newton += 1,
+            RejectReason::Lte => self.reject_lte += 1,
+        }
+        if worst_unknown.is_some() {
+            self.last_worst_unknown.clone_from(&worst_unknown);
+        }
+        self.push_event(StepEvent {
+            time,
+            dt,
+            iterations,
+            outcome: StepOutcome::Rejected {
+                reason,
+                worst_unknown,
+            },
+        });
+    }
+
+    /// Counts one rung engagement (a retry attempt, successful or not).
+    pub fn rung_engaged(&mut self, rung: Rung) {
+        match rung {
+            Rung::GminRamp => {}
+            Rung::SourceStepping => {}
+            Rung::IntegratorFallback => self.integrator_fallbacks += 1,
+            Rung::DtShrink => self.dt_shrinks += 1,
+        }
+    }
+
+    /// Counts one gmin-ramp stage solve.
+    pub fn gmin_stage(&mut self) {
+        self.gmin_events += 1;
+    }
+
+    /// Counts one source-stepping stage solve.
+    pub fn source_stage(&mut self) {
+        self.source_step_events += 1;
+    }
+
+    /// Counts a step whose size was limited by a device hint.
+    pub fn device_hint(&mut self) {
+        self.device_hint_limited += 1;
+    }
+
+    /// Recorded step events, oldest first (bounded by the capacity).
+    pub fn events(&self) -> impl Iterator<Item = &StepEvent> {
+        self.events.iter()
+    }
+
+    /// Merges another trace's aggregates into this one (used to fold the
+    /// initial-OP ladder work into the transient trace). Events are
+    /// appended subject to capacity.
+    pub fn absorb(&mut self, other: &SolverTrace) {
+        self.steps_accepted += other.steps_accepted;
+        self.steps_rejected += other.steps_rejected;
+        self.reject_newton += other.reject_newton;
+        self.reject_lte += other.reject_lte;
+        self.device_hint_limited += other.device_hint_limited;
+        self.nr_iterations += other.nr_iterations;
+        self.gmin_events += other.gmin_events;
+        self.source_step_events += other.source_step_events;
+        self.integrator_fallbacks += other.integrator_fallbacks;
+        self.dt_shrinks += other.dt_shrinks;
+        self.ladder_recoveries += other.ladder_recoveries;
+        self.min_dt_used = self.min_dt_used.min(other.min_dt_used);
+        self.max_dt_used = self.max_dt_used.max(other.max_dt_used);
+        if other.last_worst_unknown.is_some() {
+            self.last_worst_unknown.clone_from(&other.last_worst_unknown);
+        }
+        for ev in &other.events {
+            self.push_event(ev.clone());
+        }
+    }
+
+    /// All aggregate counters as `(name, value)` pairs — the query surface
+    /// mirrored by [`SolverTrace::counter`].
+    #[must_use]
+    pub fn counters(&self) -> Vec<(&'static str, f64)> {
+        #[allow(clippy::cast_precision_loss)]
+        let c = |v: u64| v as f64;
+        vec![
+            ("steps_accepted", c(self.steps_accepted)),
+            ("steps_rejected", c(self.steps_rejected)),
+            ("reject_newton", c(self.reject_newton)),
+            ("reject_lte", c(self.reject_lte)),
+            ("device_hint_limited", c(self.device_hint_limited)),
+            ("nr_iterations", c(self.nr_iterations)),
+            ("gmin_events", c(self.gmin_events)),
+            ("source_step_events", c(self.source_step_events)),
+            ("integrator_fallbacks", c(self.integrator_fallbacks)),
+            ("dt_shrinks", c(self.dt_shrinks)),
+            ("ladder_recoveries", c(self.ladder_recoveries)),
+            ("min_dt_used", self.min_dt_used),
+            ("max_dt_used", self.max_dt_used),
+        ]
+    }
+
+    /// Looks up one aggregate counter by name, `.meas`-style.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<f64> {
+        self.counters()
+            .into_iter()
+            .find_map(|(n, v)| (n == name).then_some(v))
+    }
+
+    /// The trace as one line of JSON, in the same hand-formatted style as
+    /// the bench records.
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::from("{\"trace\":\"solver\"");
+        for (name, value) in self.counters() {
+            // u64-backed counters print as integers; dt extrema as floats.
+            if name.ends_with("dt_used") {
+                let v = if value.is_finite() { value } else { 0.0 };
+                let _ = write!(s, ",\"{name}\":{v:.3e}");
+            } else {
+                let _ = write!(s, ",\"{name}\":{value:.0}");
+            }
+        }
+        match &self.last_worst_unknown {
+            Some(w) => {
+                let _ = write!(s, ",\"worst_unknown\":\"{}\"", escape_json(w));
+            }
+            None => s.push_str(",\"worst_unknown\":null"),
+        }
+        s.push('}');
+        s
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_track_accepts_and_rejects() {
+        let mut t = SolverTrace::new(8);
+        t.accept(0.0, 1e-12, 3, vec![]);
+        t.reject(1e-12, 2e-12, 100, RejectReason::Newton, Some("v(ml)".into()));
+        t.rung_engaged(Rung::DtShrink);
+        t.accept(1e-12, 5e-13, 4, vec![Rung::GminRamp]);
+        assert_eq!(t.steps_accepted, 2);
+        assert_eq!(t.steps_rejected, 1);
+        assert_eq!(t.reject_newton, 1);
+        assert_eq!(t.dt_shrinks, 1);
+        assert_eq!(t.ladder_recoveries, 1);
+        assert_eq!(t.nr_iterations, 107);
+        assert_eq!(t.last_worst_unknown.as_deref(), Some("v(ml)"));
+        assert_eq!(t.counter("steps_accepted"), Some(2.0));
+        assert_eq!(t.counter("nope"), None);
+        assert_eq!(t.min_dt_used, 5e-13);
+        assert_eq!(t.max_dt_used, 1e-12);
+    }
+
+    #[test]
+    fn event_ring_is_bounded() {
+        let mut t = SolverTrace::new(2);
+        for i in 0..5 {
+            t.accept(f64::from(i), 1e-12, 1, vec![]);
+        }
+        let times: Vec<f64> = t.events().map(|e| e.time).collect();
+        assert_eq!(times, vec![3.0, 4.0]);
+        assert_eq!(t.steps_accepted, 5, "counters stay exact past capacity");
+    }
+
+    #[test]
+    fn zero_capacity_disables_events_not_counters() {
+        let mut t = SolverTrace::new(0);
+        t.accept(0.0, 1e-12, 1, vec![]);
+        assert_eq!(t.events().count(), 0);
+        assert_eq!(t.steps_accepted, 1);
+    }
+
+    #[test]
+    fn absorb_folds_op_work_into_transient_trace() {
+        let mut op = SolverTrace::new(4);
+        op.gmin_stage();
+        op.source_stage();
+        op.reject(f64::NAN, 0.0, 7, RejectReason::Newton, Some("v(a)".into()));
+        let mut tr = SolverTrace::new(4);
+        tr.accept(0.0, 1e-12, 2, vec![]);
+        tr.absorb(&op);
+        assert_eq!(tr.gmin_events, 1);
+        assert_eq!(tr.source_step_events, 1);
+        assert_eq!(tr.steps_rejected, 1);
+        assert_eq!(tr.last_worst_unknown.as_deref(), Some("v(a)"));
+        assert_eq!(tr.events().count(), 2);
+    }
+
+    #[test]
+    fn json_line_is_single_line_and_complete() {
+        let mut t = SolverTrace::new(4);
+        t.accept(0.0, 1e-12, 3, vec![]);
+        t.reject(
+            1e-12,
+            2e-12,
+            50,
+            RejectReason::Lte,
+            Some("v(\"odd\")".into()),
+        );
+        let line = t.to_json_line();
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with("{\"trace\":\"solver\""));
+        assert!(line.contains("\"steps_accepted\":1"));
+        assert!(line.contains("\"reject_lte\":1"));
+        assert!(line.contains("\\\"odd\\\""), "{line}");
+        assert!(line.ends_with('}'));
+    }
+
+    #[test]
+    fn empty_trace_json_has_no_infinities() {
+        let line = SolverTrace::new(0).to_json_line();
+        assert!(!line.contains("inf"), "{line}");
+        assert!(line.contains("\"worst_unknown\":null"));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(RejectReason::Newton.label(), "newton");
+        assert_eq!(Rung::GminRamp.label(), "gmin_ramp");
+        assert_eq!(Rung::SourceStepping.label(), "source_stepping");
+        assert_eq!(Rung::IntegratorFallback.label(), "integrator_fallback");
+        assert_eq!(Rung::DtShrink.label(), "dt_shrink");
+    }
+}

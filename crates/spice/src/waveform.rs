@@ -3,6 +3,7 @@
 
 use crate::error::{Result, SpiceError};
 use crate::mna::SolveStats;
+use crate::trace::SolverTrace;
 use std::collections::HashMap;
 use std::io::Write;
 
@@ -16,6 +17,7 @@ pub struct Waveform {
     data: Vec<Vec<f64>>,
     by_name: HashMap<String, usize>,
     stats: Option<SolveStats>,
+    solver_trace: Option<SolverTrace>,
 }
 
 impl Waveform {
@@ -39,6 +41,7 @@ impl Waveform {
             data: vec![Vec::new(); count],
             by_name,
             stats: None,
+            solver_trace: None,
         }
     }
 
@@ -52,6 +55,32 @@ impl Waveform {
     #[must_use]
     pub fn stats(&self) -> Option<SolveStats> {
         self.stats
+    }
+
+    /// Attaches the structured solver trace from the producing run.
+    pub fn set_solver_trace(&mut self, trace: SolverTrace) {
+        self.solver_trace = Some(trace);
+    }
+
+    /// Structured solver trace from the producing run (transient records
+    /// one; other analyses may not).
+    #[must_use]
+    pub fn solver_trace(&self) -> Option<&SolverTrace> {
+        self.solver_trace.as_ref()
+    }
+
+    /// Looks up one solver-trace counter by name (`.meas`-style access to
+    /// the telemetry, e.g. `"steps_rejected"` or `"gmin_events"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::SignalUnavailable`] when no trace was recorded
+    /// or the counter name is unknown.
+    pub fn meas_solver(&self, counter: &str) -> Result<f64> {
+        self.solver_trace
+            .as_ref()
+            .and_then(|t| t.counter(counter))
+            .ok_or_else(|| SpiceError::SignalUnavailable(format!("solver trace '{counter}'")))
     }
 
     /// Appends one sample row.
@@ -236,5 +265,18 @@ mod tests {
         assert!(w.is_empty());
         assert!(w.last("a").is_err());
         assert!(w.sample("a", 0.0).is_err());
+    }
+
+    #[test]
+    fn solver_trace_queryable_like_meas() {
+        let mut w = wf();
+        assert!(w.solver_trace().is_none());
+        assert!(w.meas_solver("steps_accepted").is_err());
+        let mut t = SolverTrace::new(4);
+        t.accept(0.0, 1e-12, 3, vec![]);
+        w.set_solver_trace(t);
+        assert_eq!(w.meas_solver("steps_accepted").unwrap(), 1.0);
+        assert_eq!(w.meas_solver("nr_iterations").unwrap(), 3.0);
+        assert!(w.meas_solver("not_a_counter").is_err());
     }
 }
