@@ -14,11 +14,17 @@
 //!
 //! This implements exactly [`tcam_core::bit::TernaryBit::matches`]: `X` on
 //! *either* side matches everything. [`PackedTcamArray`] keeps rows in
-//! structure-of-arrays layout and scans them in priority order, returning a
-//! caller-supplied row id — the serving layer stores *global* rule indices
-//! there so sharded lookups report the same winner as a monolithic array.
+//! structure-of-arrays layout; each row carries a caller-supplied id that
+//! **is its match priority** (lower id wins) — the serving layer stores
+//! *global* rule indices there so sharded lookups report the same winner
+//! as a monolithic array. Because priority lives in the id rather than in
+//! storage order, rows can be removed by O(1) swap-remove (via an id→row
+//! index) without disturbing match results; arrays whose ids happen to be
+//! in ascending storage order (every static build path) keep the
+//! early-exit scan.
 
 use crate::array::TcamArray;
+use std::collections::HashMap;
 use tcam_core::bit::TernaryBit;
 
 /// Maximum word width a [`PackedWord`] can hold (two 64-bit limbs).
@@ -77,19 +83,36 @@ impl PackedWord {
     }
 }
 
-/// A priority-ordered, bit-packed TCAM: the serving-path counterpart of
-/// [`TcamArray`].
+/// A bit-packed TCAM with id-encoded priority: the serving-path
+/// counterpart of [`TcamArray`].
 ///
-/// Rows are scanned in insertion order and the first match wins, so callers
-/// control priority by insertion order and attach their own row ids (a
-/// shard stores global rule indices; [`PackedTcamArray::from_array`] stores
-/// the source array's row numbers).
-#[derive(Debug, Clone, Default)]
+/// Each row carries a caller-supplied id, and the **numerically smallest
+/// matching id wins** — ids are priorities (a shard stores global rule
+/// indices; [`PackedTcamArray::from_array`] stores the source array's row
+/// numbers, so "smallest id" is exactly the functional array's priority
+/// encoder). Storage order is an implementation detail: while ids happen
+/// to be appended in ascending order (every static build path) the scan
+/// early-exits at the first match; once a [`PackedTcamArray::remove`]
+/// breaks that order the scan inspects every row and keeps the minimum
+/// matching id, which is what makes O(1) swap-remove safe for the online
+/// update path.
+#[derive(Debug, Clone)]
 pub struct PackedTcamArray {
     width: usize,
     masks: Vec<[u64; 2]>,
     values: Vec<[u64; 2]>,
     ids: Vec<u32>,
+    /// id → storage row, maintained across push/remove/replace.
+    index: HashMap<u32, usize>,
+    /// Whether `ids` is in strictly ascending storage order (enables the
+    /// early-exit scan; cleared by an order-breaking remove).
+    ordered: bool,
+}
+
+impl Default for PackedTcamArray {
+    fn default() -> Self {
+        Self::new(0)
+    }
 }
 
 impl PackedTcamArray {
@@ -109,6 +132,8 @@ impl PackedTcamArray {
             masks: Vec::new(),
             values: Vec::new(),
             ids: Vec::new(),
+            index: HashMap::new(),
+            ordered: true,
         }
     }
 
@@ -130,18 +155,66 @@ impl PackedTcamArray {
         Some(packed)
     }
 
-    /// Appends a stored word with the given id (lowest insertion order =
-    /// highest priority).
+    /// Inserts a stored word with the given id (lowest id = highest
+    /// priority). Storage position is irrelevant to match results.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a width mismatch or a duplicate id.
+    pub fn push(&mut self, word: &[TernaryBit], id: u32) {
+        assert_eq!(word.len(), self.width, "word width mismatch");
+        let p = PackedWord::pack(word);
+        if let Some(&last) = self.ids.last() {
+            self.ordered &= id > last;
+        }
+        let prev = self.index.insert(id, self.ids.len());
+        assert!(prev.is_none(), "duplicate row id {id}");
+        self.masks.push(p.mask);
+        self.values.push(p.value);
+        self.ids.push(id);
+    }
+
+    /// Removes the row with `id` by O(1) swap-remove, returning whether it
+    /// was present. Match results are unaffected for all other ids
+    /// (priority lives in the id, not in storage order).
+    pub fn remove(&mut self, id: u32) -> bool {
+        let Some(row) = self.index.remove(&id) else {
+            return false;
+        };
+        let last = self.ids.len() - 1;
+        self.masks.swap_remove(row);
+        self.values.swap_remove(row);
+        self.ids.swap_remove(row);
+        if row < last {
+            // A row moved into the hole: repoint its index entry, and the
+            // ascending-order invariant is broken in general.
+            self.index.insert(self.ids[row], row);
+            self.ordered = false;
+        }
+        true
+    }
+
+    /// Replaces the stored word of `id` in place, returning whether the id
+    /// was present.
     ///
     /// # Panics
     ///
     /// Panics on a width mismatch.
-    pub fn push(&mut self, word: &[TernaryBit], id: u32) {
+    pub fn replace(&mut self, id: u32, word: &[TernaryBit]) -> bool {
         assert_eq!(word.len(), self.width, "word width mismatch");
+        let Some(&row) = self.index.get(&id) else {
+            return false;
+        };
         let p = PackedWord::pack(word);
-        self.masks.push(p.mask);
-        self.values.push(p.value);
-        self.ids.push(id);
+        self.masks[row] = p.mask;
+        self.values[row] = p.value;
+        true
+    }
+
+    /// Whether a row with `id` is stored.
+    #[must_use]
+    pub fn contains_id(&self, id: u32) -> bool {
+        self.index.contains_key(&id)
     }
 
     /// Word width.
@@ -162,25 +235,34 @@ impl PackedTcamArray {
         self.ids.is_empty()
     }
 
-    /// The id of the highest-priority matching row, or `None`.
+    /// The highest-priority (numerically smallest) matching id, or `None`.
+    ///
+    /// When storage order is still ascending in id the scan early-exits at
+    /// the first match; after an order-breaking [`Self::remove`] it
+    /// inspects every row and keeps the minimum matching id.
     #[inline]
     #[must_use]
     pub fn first_match(&self, key: &PackedWord) -> Option<u32> {
+        let mut best: Option<u32> = None;
         for (i, (mask, value)) in self.masks.iter().zip(&self.values).enumerate() {
             if ((value[0] ^ key.value[0]) & mask[0] & key.mask[0]) == 0
                 && ((value[1] ^ key.value[1]) & mask[1] & key.mask[1]) == 0
             {
-                return Some(self.ids[i]);
+                if self.ordered {
+                    return Some(self.ids[i]);
+                }
+                let id = self.ids[i];
+                best = Some(best.map_or(id, |b| b.min(id)));
             }
         }
-        None
+        best
     }
 
-    /// Ids of all matching rows in priority order.
+    /// Ids of all matching rows in priority (ascending id) order.
     #[must_use]
     pub fn matches(&self, key: &PackedWord) -> Vec<u32> {
         let stored = self.masks.iter().zip(&self.values);
-        stored
+        let mut hits: Vec<u32> = stored
             .enumerate()
             .filter(|(_, (mask, value))| {
                 PackedWord {
@@ -190,7 +272,11 @@ impl PackedTcamArray {
                 .matches(key)
             })
             .map(|(i, _)| self.ids[i])
-            .collect()
+            .collect();
+        if !self.ordered {
+            hits.sort_unstable();
+        }
+        hits
     }
 
     /// The stored row at insertion index `i` as `(id, packed word)`.
@@ -284,16 +370,88 @@ mod tests {
     }
 
     #[test]
-    fn ids_are_caller_controlled() {
+    fn ids_are_priorities_regardless_of_storage_order() {
         let mut packed = PackedTcamArray::new(4);
+        // Pushed out of id order: the smaller id must still win.
         packed.push(&parse_ternary("1XXX").unwrap(), 42);
         packed.push(&parse_ternary("XXXX").unwrap(), 7);
         let key = PackedWord::pack(&parse_ternary("1000").unwrap());
-        assert_eq!(packed.first_match(&key), Some(42));
-        assert_eq!(packed.matches(&key), vec![42, 7]);
+        assert_eq!(packed.first_match(&key), Some(7));
+        assert_eq!(packed.matches(&key), vec![7, 42]);
         let miss_all_care = PackedWord::pack(&parse_ternary("0000").unwrap());
         assert_eq!(packed.first_match(&miss_all_care), Some(7));
         assert_eq!(packed.row(0).unwrap().0, 42);
         assert!(packed.row(5).is_none());
+    }
+
+    #[test]
+    fn remove_and_replace_update_matches() {
+        let mut packed = PackedTcamArray::new(3);
+        packed.push(&parse_ternary("1X0").unwrap(), 0);
+        packed.push(&parse_ternary("1XX").unwrap(), 1);
+        packed.push(&parse_ternary("XXX").unwrap(), 2);
+        let key = PackedWord::pack(&parse_ternary("100").unwrap());
+        assert_eq!(packed.first_match(&key), Some(0));
+        assert!(packed.remove(0));
+        assert!(!packed.remove(0), "double remove reports absence");
+        assert!(!packed.contains_id(0));
+        assert_eq!(packed.len(), 2);
+        assert_eq!(packed.first_match(&key), Some(1));
+        assert!(packed.replace(1, &parse_ternary("0XX").unwrap()));
+        assert_eq!(packed.first_match(&key), Some(2));
+        assert!(!packed.replace(9, &parse_ternary("0XX").unwrap()));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate row id")]
+    fn duplicate_ids_are_rejected() {
+        let mut packed = PackedTcamArray::new(2);
+        packed.push(&parse_ternary("1X").unwrap(), 3);
+        packed.push(&parse_ternary("0X").unwrap(), 3);
+    }
+
+    /// Satellite property: interleaved push/remove/replace/search stays
+    /// bit-identical to the functional `TcamArray` oracle, with packed id
+    /// = oracle row (so min-id = the oracle's priority encoder).
+    #[test]
+    fn interleaved_mutation_agrees_with_functional_oracle() {
+        let mut rng = SplitMix64::new(0x0D17);
+        for trial in 0..30 {
+            let width = 1 + rng.below(100) as usize;
+            let rows = 4 + rng.below(24) as usize;
+            let mut oracle = TcamArray::new(rows, width);
+            let mut packed = PackedTcamArray::new(width);
+            for step in 0..300 {
+                let row = rng.below(rows as u64) as usize;
+                match rng.below(5) {
+                    0 | 1 => {
+                        let word = random_word(&mut rng, width, 0.3);
+                        if oracle.entry(row).is_some() {
+                            packed.replace(row as u32, &word);
+                        } else {
+                            packed.push(&word, row as u32);
+                        }
+                        oracle.write(row, word).unwrap();
+                    }
+                    2 => {
+                        let was = oracle.entry(row).is_some();
+                        oracle.erase(row).unwrap();
+                        assert_eq!(packed.remove(row as u32), was);
+                    }
+                    _ => {
+                        let key = random_word(&mut rng, width, 0.05);
+                        assert_eq!(
+                            packed.first_match(&PackedWord::pack(&key)),
+                            oracle.first_match(&key).map(|r| r as u32),
+                            "trial {trial} step {step}"
+                        );
+                        let all: Vec<u32> =
+                            oracle.matches(&key).iter().map(|&r| r as u32).collect();
+                        assert_eq!(packed.matches(&PackedWord::pack(&key)), all);
+                    }
+                }
+                assert_eq!(packed.len(), oracle.occupancy());
+            }
+        }
     }
 }

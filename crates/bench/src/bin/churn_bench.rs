@@ -1,0 +1,401 @@
+//! Benchmark driver for online rule updates: churn against a live
+//! `tcam-serve` service through the `tcam-update` stack.
+//!
+//! Three kinds of thread run concurrently against one service:
+//!
+//! * an **updater** (main thread) paces batches from a deterministic
+//!   churn generator through `Updater::apply` + `publish`, recording the
+//!   end-to-end publication latency of every epoch;
+//! * a **loader** offers open-loop search traffic, so the reported
+//!   search p99 is *under churn*;
+//! * **checkers** issue closed-loop searches via `search_with_epoch` and
+//!   verify every reply against the recorded reference snapshot of
+//!   exactly the epoch that served it — any disagreement is a **torn
+//!   snapshot observation**, and the whole point of epoch publication is
+//!   that the count stays zero.
+//!
+//! One JSON line goes to stdout:
+//!
+//! ```json
+//! {"bench":"churn_bench","workload":"bgp_churn",...,"updates_per_s":...,
+//!  "publish_p99_ns":...,"search_p99_ns":...,"staleness_max_us":...,"torn":0}
+//! ```
+//!
+//! Flags (all optional):
+//!
+//! * `--seed N` (default 1) — churn + load seed
+//! * `--duration-ms N` (default 300) — churn window
+//! * `--shard-bits N` (default 2) — `2^N` shards/workers
+//! * `--workload bgp|acl` (default bgp)
+//! * `--rules N` (default 512) — initial table size
+//! * `--batch-size N` (default 64) — rule changes per update batch
+//! * `--update-pace-us N` (default 1000) — gap between update batches
+//!   (0 = publish as fast as the mailboxes allow)
+//! * `--rate N` (default 200000) — offered open-loop lookups/second
+//!   (0 = saturation)
+//! * `--checkers N` (default 2) — closed-loop verification threads
+//! * `--policy oneshot|rowbyrow|none` (default oneshot) — refresh policy
+//!   competing with updates on the worker clock
+//! * `--refresh-interval-us N` (default 5000)
+//! * `--min-update-rate N` (default 10000) — `--check` floor on achieved
+//!   rule updates/second
+//! * `--check` — re-parse the record and assert the tier-1 invariants:
+//!   valid flat JSON, nonzero lookups and verified searches, **zero torn
+//!   observations**, zero dropped updates, achieved update rate above the
+//!   floor, ordered latency quantiles. Exits nonzero on violation; needs
+//!   no toolchain beyond cargo.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use tcam_arch::energy_model::OperationCosts;
+use tcam_core::bit::TernaryBit;
+use tcam_serve::loadgen::{open_loop, OpenLoop};
+use tcam_serve::service::{ServiceConfig, TcamService};
+use tcam_serve::shard::ShardedRuleSet;
+use tcam_serve::telemetry::LatencyHistogram;
+use tcam_serve::BankRefresh;
+use tcam_update::churn::{AclRotation, BgpChurn, ChurnWorkload};
+use tcam_update::publish::Updater;
+use tcam_update::store::RuleStore;
+
+struct Args {
+    seed: u64,
+    duration_ms: u64,
+    shard_bits: u32,
+    workload: String,
+    rules: usize,
+    batch_size: usize,
+    update_pace_us: u64,
+    rate: f64,
+    checkers: usize,
+    policy: String,
+    refresh_interval_us: u64,
+    min_update_rate: f64,
+    check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 1,
+        duration_ms: 300,
+        shard_bits: 2,
+        workload: "bgp".into(),
+        rules: 512,
+        batch_size: 64,
+        update_pace_us: 1000,
+        rate: 200_000.0,
+        checkers: 2,
+        policy: "oneshot".into(),
+        refresh_interval_us: 5000,
+        min_update_rate: 10_000.0,
+        check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--seed" => args.seed = value("--seed").parse().expect("--seed"),
+            "--duration-ms" => {
+                args.duration_ms = value("--duration-ms").parse().expect("--duration-ms");
+            }
+            "--shard-bits" => {
+                args.shard_bits = value("--shard-bits").parse().expect("--shard-bits");
+            }
+            "--workload" => args.workload = value("--workload"),
+            "--rules" => args.rules = value("--rules").parse().expect("--rules"),
+            "--batch-size" => {
+                args.batch_size = value("--batch-size").parse().expect("--batch-size");
+            }
+            "--update-pace-us" => {
+                args.update_pace_us = value("--update-pace-us").parse().expect("--update-pace-us");
+            }
+            "--rate" => args.rate = value("--rate").parse().expect("--rate"),
+            "--checkers" => args.checkers = value("--checkers").parse().expect("--checkers"),
+            "--policy" => args.policy = value("--policy"),
+            "--refresh-interval-us" => {
+                args.refresh_interval_us = value("--refresh-interval-us")
+                    .parse()
+                    .expect("--refresh-interval-us");
+            }
+            "--min-update-rate" => {
+                args.min_update_rate = value("--min-update-rate")
+                    .parse()
+                    .expect("--min-update-rate");
+            }
+            "--check" => args.check = true,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn policy_of(name: &str) -> BankRefresh {
+    match name {
+        "oneshot" => BankRefresh::OneShot { op_time: 10e-9 },
+        "rowbyrow" => BankRefresh::RowByRow { op_time: 10e-9 },
+        "none" => BankRefresh::None,
+        other => panic!("unknown policy {other} (oneshot|rowbyrow|none)"),
+    }
+}
+
+fn workload_of(args: &Args) -> Box<dyn ChurnWorkload + Send> {
+    match args.workload.as_str() {
+        "bgp" => Box::new(BgpChurn::new(16, args.rules, args.seed)),
+        "acl" => Box::new(AclRotation::new(24, args.rules, args.seed)),
+        other => panic!("unknown workload {other} (bgp|acl)"),
+    }
+}
+
+/// Everything a checker thread needs to verify replies against epochs.
+struct CheckerCtx {
+    service: Arc<TcamService>,
+    history: Arc<Mutex<Vec<Arc<ShardedRuleSet>>>>,
+    stop: Arc<AtomicBool>,
+    keys: Vec<Vec<TernaryBit>>,
+    checked: Arc<AtomicU64>,
+    torn: Arc<AtomicU64>,
+}
+
+/// Closed-loop verification: every reply must equal a single-threaded
+/// search against the snapshot of exactly the epoch that served it.
+fn run_checker(ctx: &CheckerCtx) {
+    let mut i = 0usize;
+    while !ctx.stop.load(Ordering::Relaxed) {
+        let key = &ctx.keys[i % ctx.keys.len()];
+        i += 1;
+        let Ok((epoch, hit)) = ctx.service.search_with_epoch(key) else {
+            return; // service shut down under us
+        };
+        let reference = {
+            let history = ctx.history.lock().expect("history lock");
+            Arc::clone(&history[usize::try_from(epoch).expect("epoch fits usize")])
+        };
+        ctx.checked.fetch_add(1, Ordering::Relaxed);
+        if hit != reference.search(key).expect("routable key") {
+            ctx.torn.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let args = parse_args();
+    let mut churn = workload_of(&args);
+    let costs = OperationCosts::paper_3t2n();
+    let store = RuleStore::from_rules(&churn.initial()).expect("seed rules");
+    let rules_initial = store.len();
+    let mut updater = Updater::new(store, args.shard_bits, costs).expect("updater");
+
+    let config = ServiceConfig {
+        refresh: policy_of(&args.policy),
+        refresh_interval: Duration::from_micros(args.refresh_interval_us),
+        ..ServiceConfig::default()
+    };
+    let service = Arc::new(updater.start_service(&config).expect("service starts"));
+    let history = Arc::new(Mutex::new(vec![Arc::new(updater.snapshot().clone())]));
+    let stop = Arc::new(AtomicBool::new(false));
+    let checked = Arc::new(AtomicU64::new(0));
+    let torn = Arc::new(AtomicU64::new(0));
+
+    // Deterministic key pools drawn from the churn generator itself, so
+    // probes are biased toward live rules.
+    let key_pool: Vec<Vec<TernaryBit>> = (0..4096).map(|_| churn.random_key()).collect();
+
+    let mut verifiers = Vec::with_capacity(args.checkers);
+    for c in 0..args.checkers {
+        let ctx = CheckerCtx {
+            service: Arc::clone(&service),
+            history: Arc::clone(&history),
+            stop: Arc::clone(&stop),
+            keys: key_pool[c % 8..].to_vec(),
+            checked: Arc::clone(&checked),
+            torn: Arc::clone(&torn),
+        };
+        verifiers.push(
+            std::thread::Builder::new()
+                .name(format!("churn-check-{c}"))
+                .spawn(move || run_checker(&ctx))
+                .expect("spawn checker"),
+        );
+    }
+
+    let loader = {
+        let service = Arc::clone(&service);
+        let keys = key_pool.clone();
+        let cfg = OpenLoop {
+            batch: 256,
+            rate: args.rate,
+            duration: Duration::from_millis(args.duration_ms),
+        };
+        let seed = args.seed ^ 0x10AD;
+        std::thread::Builder::new()
+            .name("churn-load".into())
+            .spawn(move || open_loop(&service, &keys, seed, &cfg).expect("load offered"))
+            .expect("spawn loader")
+    };
+
+    // The updater: pace batches through apply → record history → publish.
+    // History is appended *before* publish so a checker can never see an
+    // epoch it cannot look up.
+    let mut publish_latency = LatencyHistogram::new();
+    let mut rule_changes = 0u64;
+    let mut row_writes = 0u64;
+    let mut row_erases = 0u64;
+    let mut update_energy = 0.0f64;
+    let pace = Duration::from_micros(args.update_pace_us);
+    let started = Instant::now();
+    let deadline = started + Duration::from_millis(args.duration_ms);
+    let mut next_batch_at = started;
+    while Instant::now() < deadline {
+        let batch = churn.next_batch(args.batch_size);
+        let t0 = Instant::now();
+        let staged = updater.apply(&batch).expect("generator batches are valid");
+        {
+            let mut history = history.lock().expect("history lock");
+            debug_assert_eq!(history.len() as u64, staged.epoch);
+            history.push(Arc::new(updater.snapshot().clone()));
+        }
+        updater.publish(&service).expect("service is live");
+        publish_latency.record(
+            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
+        rule_changes += batch.len() as u64;
+        row_writes += staged.realized.writes;
+        row_erases += staged.realized.erases;
+        update_energy += staged.planned.cost.energy;
+        if !pace.is_zero() {
+            next_batch_at += pace;
+            let now = Instant::now();
+            if next_batch_at > now {
+                std::thread::sleep(next_batch_at - now);
+            } else {
+                next_batch_at = now;
+            }
+        }
+    }
+    let churn_wall = started.elapsed();
+
+    let offered = loader.join().expect("loader panicked");
+    stop.store(true, Ordering::Relaxed);
+    for v in verifiers {
+        v.join().expect("checker panicked");
+    }
+    let service = Arc::into_inner(service).expect("all service handles returned");
+    let report = service.shutdown();
+
+    let epochs = updater.epoch();
+    let updates_per_s = rule_changes as f64 / churn_wall.as_secs_f64();
+    let checked = checked.load(Ordering::Relaxed);
+    let torn = torn.load(Ordering::Relaxed);
+    let rules_final = updater.store().len();
+    let lat = &report.latency;
+    let stale = &report.update_latency;
+
+    let record = format!(
+        "{{\"bench\":\"churn_bench\",\"workload\":\"{}\",\
+         \"seed\":{},\"shards\":{},\"policy\":\"{}\",\
+         \"rules_initial\":{rules_initial},\"rules_final\":{rules_final},\
+         \"epochs\":{epochs},\"updates\":{rule_changes},\
+         \"updates_per_s\":{updates_per_s:.0},\
+         \"batch_size\":{},\
+         \"row_writes\":{row_writes},\"row_erases\":{row_erases},\
+         \"update_energy_j\":{update_energy:.6e},\
+         \"publish_p50_ns\":{},\"publish_p99_ns\":{},\"publish_max_ns\":{},\
+         \"staleness_p50_ns\":{},\"staleness_p99_ns\":{},\
+         \"staleness_max_us\":{:.1},\
+         \"updates_applied\":{},\"updates_dropped\":{},\"last_epoch\":{},\
+         \"offered\":{offered},\"lookups\":{},\"throughput_lps\":{:.0},\
+         \"search_p50_ns\":{},\"search_p99_ns\":{},\
+         \"checked\":{checked},\"torn\":{torn},\
+         \"refresh_events\":{},\"refresh_stall_us\":{:.1},\
+         \"delayed_searches\":{},\"energy_j\":{:.6e}}}",
+        churn.name(),
+        args.seed,
+        updater.snapshot().shards(),
+        args.policy,
+        args.batch_size,
+        publish_latency.quantile(50.0),
+        publish_latency.quantile(99.0),
+        publish_latency.max(),
+        stale.quantile(50.0),
+        stale.quantile(99.0),
+        stale.max() as f64 / 1e3,
+        report.updates_applied(),
+        report.updates_dropped,
+        report.last_epoch(),
+        report.searches(),
+        report.throughput(),
+        lat.quantile(50.0),
+        lat.quantile(99.0),
+        report.refresh_events(),
+        report.refresh_stall().as_secs_f64() * 1e6,
+        report.delayed_searches(),
+        report.meter.energy,
+    );
+    println!("{record}");
+    if args.check {
+        check_record(&record, args.min_update_rate);
+        eprintln!(
+            "churn_bench --check: record ok \
+             ({rule_changes} updates over {epochs} epochs, {checked} verified, 0 torn)"
+        );
+    }
+}
+
+/// Re-parses the just-emitted record and asserts the tier-1 invariants.
+/// Exits nonzero with a diagnostic on violation.
+fn check_record(record: &str, min_update_rate: f64) {
+    use tcam_bench::jsonline::{num, parse_flat_object, str_of};
+
+    let bail = |msg: String| -> ! {
+        eprintln!("churn_bench --check FAILED: {msg}");
+        eprintln!("record: {record}");
+        std::process::exit(1);
+    };
+    let obj = match parse_flat_object(record) {
+        Ok(obj) => obj,
+        Err(e) => bail(format!("record is not valid flat JSON: {e}")),
+    };
+    if str_of(&obj, "bench") != Some("churn_bench") {
+        bail("\"bench\" field missing or not \"churn_bench\"".into());
+    }
+    let field = |key: &str| num(&obj, key).unwrap_or_else(|| bail(format!("missing number {key:?}")));
+    if field("torn") != 0.0 {
+        bail(format!(
+            "{} torn-snapshot observations — epoch publication is broken",
+            field("torn")
+        ));
+    }
+    if field("checked") <= 0.0 {
+        bail("no searches were epoch-verified".into());
+    }
+    if field("lookups") <= 0.0 {
+        bail("no lookups were served".into());
+    }
+    if field("epochs") <= 0.0 {
+        bail("no update batches were published".into());
+    }
+    if field("updates_dropped") != 0.0 {
+        bail("published updates were dropped".into());
+    }
+    let achieved = field("updates_per_s");
+    if achieved < min_update_rate {
+        bail(format!(
+            "update rate {achieved:.0}/s below the {min_update_rate:.0}/s floor"
+        ));
+    }
+    for (lo, hi) in [
+        ("publish_p50_ns", "publish_p99_ns"),
+        ("staleness_p50_ns", "staleness_p99_ns"),
+        ("search_p50_ns", "search_p99_ns"),
+    ] {
+        let (p50, p99) = (field(lo), field(hi));
+        if !(p50 > 0.0 && p99 >= p50) {
+            bail(format!("{lo}={p50} / {hi}={p99} unordered"));
+        }
+    }
+}

@@ -37,6 +37,16 @@ pub enum ServeError {
     EmptyRuleSet,
     /// The service has shut down (queue closed).
     ServiceClosed,
+    /// An insert reused a rule id (= priority) that is already present.
+    DuplicateRuleId {
+        /// The colliding id.
+        id: u32,
+    },
+    /// A remove/replace named a rule id that is not present.
+    UnknownRuleId {
+        /// The missing id.
+        id: u32,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -56,6 +66,10 @@ impl fmt::Display for ServeError {
             }
             ServeError::EmptyRuleSet => write!(f, "rule set is empty"),
             ServeError::ServiceClosed => write!(f, "service has shut down"),
+            ServeError::DuplicateRuleId { id } => {
+                write!(f, "rule id {id} is already present")
+            }
+            ServeError::UnknownRuleId { id } => write!(f, "rule id {id} is not present"),
         }
     }
 }

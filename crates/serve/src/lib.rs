@@ -59,8 +59,8 @@ pub mod workload;
 pub use error::{Result, ServeError};
 pub use loadgen::OpenLoop;
 pub use queue::BoundedQueue;
-pub use service::{SearchBatch, ServiceConfig, TcamService};
-pub use shard::ShardedRuleSet;
+pub use service::{BatchReply, SearchBatch, ServiceConfig, TableUpdate, TcamService};
+pub use shard::{RowOps, ShardedRuleSet};
 pub use telemetry::{LatencyHistogram, ServeReport, ShardStats};
 pub use workload::Workload;
 

@@ -24,6 +24,28 @@
 //! shard ~`rows`× longer than a one-shot event — the paper's argument,
 //! measured instead of assumed. Energy is metered per op through
 //! [`WorkloadMeter`] exactly as the trace-replay bank does.
+//!
+//! # Online updates: epoch-snapshot publication
+//!
+//! Rule updates never mutate a table a worker is reading. A publisher
+//! (the `tcam-update` crate's `Updater`) builds a complete replacement
+//! [`PackedTcamArray`] for a shard and [`publishes`](TcamService::publish)
+//! it as a [`TableUpdate`] tagged with a monotonically increasing
+//! **epoch**. Each shard worker holds its table as an `Arc` and swaps to
+//! the newest published snapshot only **between batches** — never
+//! mid-batch — so:
+//!
+//! * a reader can never observe a torn table (every batch is served
+//!   entirely from one immutable snapshot), and
+//! * searches are linearizable against rule versions: every reply reports
+//!   the epoch that served it ([`BatchReply::epoch`]), and the result is
+//!   exactly what a single-threaded search against that epoch's rule set
+//!   would return — the property `churn_bench` checks continuously.
+//!
+//! Update application competes with refresh and traffic on the worker's
+//! wall clock exactly like refresh events do; publication latency
+//! (publish → swap) is recorded per shard as the snapshot's staleness
+//! window.
 
 use crate::error::{Result, ServeError};
 use crate::queue::BoundedQueue;
@@ -58,6 +80,9 @@ pub struct ServiceConfig {
     /// A search counts as *delayed* when its batch waited longer than this
     /// in the queue.
     pub delayed_threshold: Duration,
+    /// Table updates a shard's update mailbox can hold before publishers
+    /// block (update backpressure).
+    pub update_queue_capacity: usize,
     /// Per-operation cost model for energy accounting.
     pub costs: OperationCosts,
 }
@@ -71,6 +96,7 @@ impl Default for ServiceConfig {
             refresh_interval: Duration::from_millis(5),
             refresh_op_work: 512,
             delayed_threshold: Duration::from_micros(300),
+            update_queue_capacity: 16,
             costs: OperationCosts::paper_3t2n(),
         }
     }
@@ -85,7 +111,30 @@ pub struct SearchBatch {
     pub submitted: Instant,
     /// Reply channel for closed-loop callers; `None` discards results
     /// (open-loop load generation counts completions instead).
-    pub reply: Option<SyncSender<Vec<Option<u32>>>>,
+    pub reply: Option<SyncSender<BatchReply>>,
+}
+
+/// A worker's reply to a [`SearchBatch`].
+#[derive(Debug)]
+pub struct BatchReply {
+    /// The epoch of the table snapshot that served every key in the batch
+    /// (0 = the initial table). Exactly one epoch serves a whole batch —
+    /// the no-torn-snapshot guarantee, exposed so callers can verify it.
+    pub epoch: u64,
+    /// Winning rule id per key, in submission order.
+    pub results: Vec<Option<u32>>,
+}
+
+/// A full-table snapshot published to one shard worker.
+#[derive(Debug, Clone)]
+pub struct TableUpdate {
+    /// Monotonically increasing version tag (per shard).
+    pub epoch: u64,
+    /// The complete replacement rule table for the shard.
+    pub table: Arc<PackedTcamArray>,
+    /// When the update was published (publication-latency measurement
+    /// starts here).
+    pub submitted: Instant,
 }
 
 /// Shared per-shard gauges (updated outside the match loop).
@@ -99,8 +148,10 @@ struct ShardGauges {
 pub struct TcamService {
     rules: Arc<ShardedRuleSet>,
     queues: Vec<Arc<BoundedQueue<SearchBatch>>>,
+    updates: Vec<Arc<BoundedQueue<TableUpdate>>>,
     gauges: Vec<Arc<ShardGauges>>,
     completed: Arc<AtomicU64>,
+    updates_dropped: AtomicU64,
     workers: Vec<JoinHandle<ShardStats>>,
     started: Instant,
 }
@@ -116,10 +167,12 @@ impl TcamService {
         let rules = Arc::new(rules);
         let completed = Arc::new(AtomicU64::new(0));
         let mut queues = Vec::with_capacity(rules.shards());
+        let mut updates = Vec::with_capacity(rules.shards());
         let mut gauges = Vec::with_capacity(rules.shards());
         let mut workers = Vec::with_capacity(rules.shards());
         for shard in 0..rules.shards() {
             let queue = Arc::new(BoundedQueue::new(config.queue_capacity.max(1)));
+            let update_queue = Arc::new(BoundedQueue::new(config.update_queue_capacity.max(1)));
             let gauge = Arc::new(ShardGauges {
                 queued_keys: AtomicU64::new(0),
             });
@@ -127,6 +180,7 @@ impl TcamService {
                 shard,
                 rules: Arc::clone(&rules),
                 queue: Arc::clone(&queue),
+                updates: Arc::clone(&update_queue),
                 gauge: Arc::clone(&gauge),
                 completed: Arc::clone(&completed),
                 config: *config,
@@ -138,13 +192,16 @@ impl TcamService {
                     .expect("spawn shard worker"),
             );
             queues.push(queue);
+            updates.push(update_queue);
             gauges.push(gauge);
         }
         Ok(Self {
             rules,
             queues,
+            updates,
             gauges,
             completed,
+            updates_dropped: AtomicU64::new(0),
             workers,
             started: Instant::now(),
         })
@@ -199,6 +256,30 @@ impl TcamService {
         })
     }
 
+    /// Publishes a table snapshot to shard `shard`'s worker, blocking
+    /// while its update mailbox is full (update backpressure). The worker
+    /// swaps to it at the next batch boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ServiceClosed`] after shutdown began (the update is
+    /// counted as dropped in the final report).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` is out of range.
+    pub fn publish(&self, shard: usize, epoch: u64, table: Arc<PackedTcamArray>) -> Result<()> {
+        let update = TableUpdate {
+            epoch,
+            table,
+            submitted: Instant::now(),
+        };
+        self.updates[shard].push(update).map_err(|_| {
+            self.updates_dropped.fetch_add(1, Ordering::Relaxed);
+            ServeError::ServiceClosed
+        })
+    }
+
     /// One closed-loop lookup: routes `key`, waits for the worker's reply,
     /// returns the winning rule's global id.
     ///
@@ -206,6 +287,20 @@ impl TcamService {
     ///
     /// Routing errors, or [`ServeError::ServiceClosed`].
     pub fn search_blocking(&self, key: &[tcam_core::bit::TernaryBit]) -> Result<Option<u32>> {
+        Ok(self.search_with_epoch(key)?.1)
+    }
+
+    /// One closed-loop lookup that also reports the epoch of the table
+    /// snapshot that served it — the hook `churn_bench` uses to verify
+    /// that every result is consistent with exactly one published epoch.
+    ///
+    /// # Errors
+    ///
+    /// Routing errors, or [`ServeError::ServiceClosed`].
+    pub fn search_with_epoch(
+        &self,
+        key: &[tcam_core::bit::TernaryBit],
+    ) -> Result<(u64, Option<u32>)> {
         let shard = self.rules.route(key)?;
         let (tx, rx) = std::sync::mpsc::sync_channel(1);
         self.submit(
@@ -216,12 +311,14 @@ impl TcamService {
                 reply: Some(tx),
             },
         )?;
-        let mut results = rx.recv().map_err(|_| ServeError::ServiceClosed)?;
-        Ok(results.pop().flatten())
+        let mut reply = rx.recv().map_err(|_| ServeError::ServiceClosed)?;
+        Ok((reply.epoch, reply.results.pop().flatten()))
     }
 
-    /// Stops accepting work, drains the queues, joins every worker and
-    /// returns the merged telemetry.
+    /// Stops accepting work, drains the search queues **and any pending
+    /// table updates** (a published epoch is applied, never silently
+    /// discarded), joins every worker and returns the merged telemetry —
+    /// including applied/dropped update counts.
     ///
     /// # Panics
     ///
@@ -231,12 +328,19 @@ impl TcamService {
         for queue in &self.queues {
             queue.close();
         }
+        for updates in &self.updates {
+            updates.close();
+        }
         let stats = self
             .workers
             .into_iter()
             .map(|w| w.join().expect("shard worker panicked"))
             .collect();
-        ServeReport::from_shards(stats, self.started.elapsed())
+        ServeReport::from_shards(
+            stats,
+            self.started.elapsed(),
+            self.updates_dropped.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -244,6 +348,7 @@ struct WorkerCtx {
     shard: usize,
     rules: Arc<ShardedRuleSet>,
     queue: Arc<BoundedQueue<SearchBatch>>,
+    updates: Arc<BoundedQueue<TableUpdate>>,
     gauge: Arc<ShardGauges>,
     completed: Arc<AtomicU64>,
     config: ServiceConfig,
@@ -263,8 +368,40 @@ fn refresh_op(state: u64, work: u32) -> u64 {
     std::hint::black_box(acc)
 }
 
+/// Applies every pending table update (newest last, in publication
+/// order), returning the current snapshot. Called only between batches,
+/// so a batch is always served from exactly one epoch.
+fn drain_updates(
+    updates: &BoundedQueue<TableUpdate>,
+    table: &mut Arc<PackedTcamArray>,
+    epoch: &mut u64,
+    stats: &mut ShardStats,
+) {
+    let (pending, _) = updates.pop_batch(usize::MAX, Duration::ZERO);
+    for update in pending {
+        if update.epoch <= *epoch {
+            // Stale or duplicate publication: the shard already serves a
+            // newer (or this very) epoch, so skip — republication is
+            // idempotent rather than a tear hazard.
+            continue;
+        }
+        *table = update.table;
+        *epoch = update.epoch;
+        stats.updates_applied += 1;
+        stats.epoch = update.epoch;
+        let wait_ns = u64::try_from(
+            Instant::now()
+                .saturating_duration_since(update.submitted)
+                .as_nanos(),
+        )
+        .unwrap_or(u64::MAX);
+        stats.update_latency.record(wait_ns);
+    }
+}
+
 fn run_worker(ctx: &WorkerCtx) -> ShardStats {
-    let table: &PackedTcamArray = ctx.rules.shard(ctx.shard);
+    let mut table: Arc<PackedTcamArray> = Arc::new(ctx.rules.shard(ctx.shard).clone());
+    let mut epoch = 0u64;
     let mut stats = ShardStats::new(ctx.shard, table.len());
     let config = &ctx.config;
     let refresh_on = !matches!(config.refresh, BankRefresh::None);
@@ -272,9 +409,12 @@ fn run_worker(ctx: &WorkerCtx) -> ShardStats {
     let mut next_refresh = Instant::now() + refresh_interval;
     let mut refresh_state = ctx.shard as u64;
     let delayed_ns = config.delayed_threshold.as_nanos() as u64;
-    let rows = table.len();
 
     loop {
+        // Snapshot swap point: batches already drained have completed, the
+        // next batch sees the newest published epoch.
+        drain_updates(&ctx.updates, &mut table, &mut epoch, &mut stats);
+        let rows = table.len();
         let now = Instant::now();
         if refresh_on && now >= next_refresh {
             // A refresh event competes with traffic: the shard serves
@@ -305,6 +445,10 @@ fn run_worker(ctx: &WorkerCtx) -> ShardStats {
         let (batches, closed) = ctx.queue.pop_batch(config.drain_batches.max(1), timeout);
         if batches.is_empty() {
             if closed {
+                // Drain updates published between the last swap point and
+                // shutdown: an accepted epoch is applied, not dropped.
+                drain_updates(&ctx.updates, &mut table, &mut epoch, &mut stats);
+                stats.rows = table.len();
                 return stats;
             }
             continue;
@@ -351,7 +495,10 @@ fn run_worker(ctx: &WorkerCtx) -> ShardStats {
             ctx.completed.fetch_add(n, Ordering::Relaxed);
             if let (Some(reply), Some(out)) = (batch.reply, results) {
                 // A departed closed-loop caller is not an error.
-                let _ = reply.send(out);
+                let _ = reply.send(BatchReply {
+                    epoch,
+                    results: out,
+                });
             }
         }
         stats.busy += t0.elapsed();
@@ -424,6 +571,60 @@ mod tests {
                 assert_eq!(s.refresh_ops, s.refresh_events * s.rows as u64);
             }
         }
+    }
+
+    #[test]
+    fn published_snapshots_swap_atomically_with_epoch() {
+        let (w, service) = tiny_service(BankRefresh::None);
+        // Epoch 0 serves the original rules.
+        let (epoch, _) = service.search_with_epoch(&w.keys[0]).unwrap();
+        assert_eq!(epoch, 0);
+
+        // Publish an empty replacement table to every shard: after the
+        // swap, nothing matches and every reply reports epoch 1.
+        let width = w.words[0].len();
+        for shard in 0..service.shards() {
+            let empty = Arc::new(PackedTcamArray::new(width));
+            service.publish(shard, 1, empty).unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let (epoch, hit) = service.search_with_epoch(&w.keys[0]).unwrap();
+            if epoch == 1 {
+                assert_eq!(hit, None, "epoch 1 table is empty but key matched");
+                break;
+            }
+            assert!(Instant::now() < deadline, "snapshot never swapped in");
+        }
+
+        // A pending update published right before shutdown is drained,
+        // not dropped: the final report sees its epoch.
+        for shard in 0..service.shards() {
+            service
+                .publish(shard, 2, Arc::new(PackedTcamArray::new(width)))
+                .unwrap();
+        }
+        let report = service.shutdown();
+        assert_eq!(report.last_epoch(), 2);
+        assert_eq!(report.updates_applied(), 2 * report.shards.len() as u64);
+        assert_eq!(report.updates_dropped, 0);
+        assert!(report.update_latency.count() >= report.updates_applied());
+    }
+
+    #[test]
+    fn publish_after_shutdown_counts_as_dropped() {
+        let (_, service) = tiny_service(BankRefresh::None);
+        for q in &service.updates {
+            q.close();
+        }
+        let empty = Arc::new(PackedTcamArray::new(8));
+        assert!(matches!(
+            service.publish(0, 1, empty),
+            Err(ServeError::ServiceClosed)
+        ));
+        let report = service.shutdown();
+        assert_eq!(report.updates_dropped, 1);
+        assert_eq!(report.updates_applied(), 0);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! default route) pay replication.
 
 use crate::error::{Result, ServeError};
+use std::collections::BTreeMap;
 use tcam_arch::array::TcamArray;
 use tcam_arch::packed::{PackedTcamArray, PackedWord, MAX_PACKED_WIDTH};
 use tcam_core::bit::TernaryBit;
@@ -26,12 +27,39 @@ use tcam_core::bit::TernaryBit;
 /// times, so selector widths are capped.
 pub const MAX_SHARD_BITS: u32 = 12;
 
+/// Physical row operations one logical mutation performed across shards
+/// (replication included) — the quantity the update layer prices through
+/// `OperationCosts`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RowOps {
+    /// Rows written (inserts and in-place replacements).
+    pub writes: u64,
+    /// Rows erased.
+    pub erases: u64,
+}
+
+impl RowOps {
+    /// Accumulates another count into this one.
+    pub fn add(&mut self, other: RowOps) {
+        self.writes += other.writes;
+        self.erases += other.erases;
+    }
+}
+
 /// A ternary rule set sharded by its top `shard_bits` bits.
+///
+/// The set is **mutable**: [`insert`](Self::insert),
+/// [`remove`](Self::remove) and [`replace`](Self::replace) keep every
+/// shard consistent with the logical rule map (the id → word
+/// `BTreeMap` held here is the source of truth), performing the minimal
+/// per-shard row operations — a replace only rewrites shards whose cover
+/// changed. Rule ids are global priorities (lower wins), matching the
+/// packed arrays' id-priority contract.
 #[derive(Debug, Clone)]
 pub struct ShardedRuleSet {
     shard_bits: u32,
     width: usize,
-    rules: usize,
+    words: BTreeMap<u32, Vec<TernaryBit>>,
     shards: Vec<PackedTcamArray>,
 }
 
@@ -46,6 +74,35 @@ impl ShardedRuleSet {
     /// a word's width differs from the first word's.
     pub fn build(words: &[Vec<TernaryBit>], shard_bits: u32) -> Result<Self> {
         let width = words.first().ok_or(ServeError::EmptyRuleSet)?.len();
+        let mut set = Self::empty(width, shard_bits)?;
+        for (id, word) in words.iter().enumerate() {
+            set.insert(id as u32, word.clone())?;
+        }
+        Ok(set)
+    }
+
+    /// Builds shards from explicitly prioritized rules (`id` = priority,
+    /// lower wins) — the constructor the online-update layer uses, where
+    /// priorities carry gaps for future insertions.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::build`], plus [`ServeError::DuplicateRuleId`].
+    pub fn from_prioritized(rules: &[(u32, Vec<TernaryBit>)], shard_bits: u32) -> Result<Self> {
+        let width = rules.first().ok_or(ServeError::EmptyRuleSet)?.1.len();
+        let mut set = Self::empty(width, shard_bits)?;
+        for (id, word) in rules {
+            set.insert(*id, word.clone())?;
+        }
+        Ok(set)
+    }
+
+    /// An empty rule set for `width`-bit words (online inserts fill it).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::TooWide`] or [`ServeError::BadShardBits`].
+    pub fn empty(width: usize, shard_bits: u32) -> Result<Self> {
         if width > MAX_PACKED_WIDTH {
             return Err(ServeError::TooWide {
                 width,
@@ -59,24 +116,120 @@ impl ShardedRuleSet {
                 max: max_bits,
             });
         }
-        let mut shards = vec![PackedTcamArray::new(width); 1 << shard_bits];
-        for (id, word) in words.iter().enumerate() {
-            if word.len() != width {
-                return Err(ServeError::WidthMismatch {
-                    expected: width,
-                    found: word.len(),
-                });
-            }
-            for shard in covered_shards(&word[..shard_bits as usize]) {
-                shards[shard].push(word, id as u32);
-            }
-        }
         Ok(Self {
             shard_bits,
             width,
-            rules: words.len(),
-            shards,
+            words: BTreeMap::new(),
+            shards: vec![PackedTcamArray::new(width); 1 << shard_bits],
         })
+    }
+
+    /// Inserts a rule at priority `id`, replicating it into every shard
+    /// its selector covers. Returns the physical rows written.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::WidthMismatch`] or [`ServeError::DuplicateRuleId`].
+    pub fn insert(&mut self, id: u32, word: Vec<TernaryBit>) -> Result<RowOps> {
+        if word.len() != self.width {
+            return Err(ServeError::WidthMismatch {
+                expected: self.width,
+                found: word.len(),
+            });
+        }
+        if self.words.contains_key(&id) {
+            return Err(ServeError::DuplicateRuleId { id });
+        }
+        let cover = covered_shards(&word[..self.shard_bits as usize]);
+        for &shard in &cover {
+            self.shards[shard].push(&word, id);
+        }
+        self.words.insert(id, word);
+        Ok(RowOps {
+            writes: cover.len() as u64,
+            erases: 0,
+        })
+    }
+
+    /// Removes the rule at priority `id` from every covered shard,
+    /// returning the physical rows erased — or `None` when no such rule
+    /// exists.
+    pub fn remove(&mut self, id: u32) -> Option<RowOps> {
+        let word = self.words.remove(&id)?;
+        let cover = covered_shards(&word[..self.shard_bits as usize]);
+        for &shard in &cover {
+            let present = self.shards[shard].remove(id);
+            debug_assert!(present, "shard {shard} missing rule {id}");
+        }
+        Some(RowOps {
+            writes: 0,
+            erases: cover.len() as u64,
+        })
+    }
+
+    /// Replaces the word of rule `id` with the minimal physical work:
+    /// shards covered by both old and new selectors get an in-place row
+    /// rewrite, shards only the old selector covered get an erase, newly
+    /// covered shards get a row write.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::WidthMismatch`] or [`ServeError::UnknownRuleId`].
+    pub fn replace(&mut self, id: u32, word: Vec<TernaryBit>) -> Result<RowOps> {
+        if word.len() != self.width {
+            return Err(ServeError::WidthMismatch {
+                expected: self.width,
+                found: word.len(),
+            });
+        }
+        let Some(old) = self.words.get(&id) else {
+            return Err(ServeError::UnknownRuleId { id });
+        };
+        let sel = self.shard_bits as usize;
+        let old_cover = covered_shards(&old[..sel]);
+        let new_cover = covered_shards(&word[..sel]);
+        let mut ops = RowOps::default();
+        // Both covers are ascending (see `covered_shards`): merge-walk.
+        let (mut i, mut j) = (0, 0);
+        while i < old_cover.len() || j < new_cover.len() {
+            match (old_cover.get(i), new_cover.get(j)) {
+                (Some(&o), Some(&n)) if o == n => {
+                    self.shards[o].replace(id, &word);
+                    ops.writes += 1;
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&o), Some(&n)) if o < n => {
+                    self.shards[o].remove(id);
+                    ops.erases += 1;
+                    i += 1;
+                }
+                (Some(&o), None) => {
+                    self.shards[o].remove(id);
+                    ops.erases += 1;
+                    i += 1;
+                }
+                (_, Some(&n)) => {
+                    self.shards[n].push(&word, id);
+                    ops.writes += 1;
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        self.words.insert(id, word);
+        Ok(ops)
+    }
+
+    /// The stored word of rule `id`, if present.
+    #[must_use]
+    pub fn word(&self, id: u32) -> Option<&[TernaryBit]> {
+        self.words.get(&id).map(Vec::as_slice)
+    }
+
+    /// All rule ids in ascending (priority) order.
+    pub fn rule_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.keys().copied()
     }
 
     /// Number of shards (`2^shard_bits`).
@@ -100,7 +253,7 @@ impl ShardedRuleSet {
     /// Number of logical rules (before replication).
     #[must_use]
     pub fn rules(&self) -> usize {
-        self.rules
+        self.words.len()
     }
 
     /// Total stored rows across shards (after replication).
@@ -112,10 +265,10 @@ impl ShardedRuleSet {
     /// Average copies per rule (1.0 = no replication).
     #[must_use]
     pub fn replication_factor(&self) -> f64 {
-        if self.rules == 0 {
+        if self.words.is_empty() {
             1.0
         } else {
-            self.total_rows() as f64 / self.rules as f64
+            self.total_rows() as f64 / self.words.len() as f64
         }
     }
 
@@ -180,8 +333,12 @@ impl ShardedRuleSet {
     }
 }
 
-/// All shard indices a selector (possibly containing `X`) covers.
-fn covered_shards(selector: &[TernaryBit]) -> Vec<usize> {
+/// All shard indices a selector (possibly containing `X`) covers, in
+/// ascending order — each `X` doubles the cover set. Public because the
+/// online-update layer's delta compiler uses the same sharding function to
+/// plan per-shard row operations.
+#[must_use]
+pub fn covered_shards(selector: &[TernaryBit]) -> Vec<usize> {
     let mut cover = vec![0usize];
     for bit in selector {
         match bit {

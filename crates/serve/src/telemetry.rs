@@ -161,6 +161,11 @@ pub struct ShardStats {
     /// Keys observed waiting in the queue at the end of refresh events —
     /// traffic directly stalled behind refresh.
     pub stalled_searches: u64,
+    /// Table updates (epoch snapshots) applied by this shard's worker.
+    pub updates_applied: u64,
+    /// Last published epoch this shard serves from (0 = the initial
+    /// table) — the per-shard epoch gauge.
+    pub epoch: u64,
     /// Refresh events executed (one per deadline).
     pub refresh_events: u64,
     /// Refresh operations executed (1/event one-shot, rows/event
@@ -176,6 +181,9 @@ pub struct ShardStats {
     pub latency: LatencyHistogram,
     /// Batch queue-wait latency (submit → dequeue), nanoseconds.
     pub queue_wait: LatencyHistogram,
+    /// Update publication latency (publish → swap applied), nanoseconds —
+    /// the staleness window of an epoch snapshot.
+    pub update_latency: LatencyHistogram,
     /// Modeled per-operation energy/time accounting.
     pub meter: WorkloadMeter,
 }
@@ -192,6 +200,8 @@ impl ShardStats {
             batches: 0,
             delayed_searches: 0,
             stalled_searches: 0,
+            updates_applied: 0,
+            epoch: 0,
             refresh_events: 0,
             refresh_ops: 0,
             refresh_stall: Duration::ZERO,
@@ -199,6 +209,7 @@ impl ShardStats {
             busy: Duration::ZERO,
             latency: LatencyHistogram::new(),
             queue_wait: LatencyHistogram::new(),
+            update_latency: LatencyHistogram::new(),
             meter: WorkloadMeter::new(),
         }
     }
@@ -215,6 +226,11 @@ pub struct ServeReport {
     pub latency: LatencyHistogram,
     /// All shards' queue waits merged.
     pub queue_wait: LatencyHistogram,
+    /// All shards' update publication latencies merged.
+    pub update_latency: LatencyHistogram,
+    /// Table updates rejected because the service had already begun
+    /// shutdown when they were published.
+    pub updates_dropped: u64,
     /// All shards' meters merged.
     pub meter: WorkloadMeter,
 }
@@ -222,13 +238,15 @@ pub struct ServeReport {
 impl ServeReport {
     /// Builds the aggregate view from per-shard stats.
     #[must_use]
-    pub fn from_shards(shards: Vec<ShardStats>, wall: Duration) -> Self {
+    pub fn from_shards(shards: Vec<ShardStats>, wall: Duration, updates_dropped: u64) -> Self {
         let mut latency = LatencyHistogram::new();
         let mut queue_wait = LatencyHistogram::new();
+        let mut update_latency = LatencyHistogram::new();
         let mut meter = WorkloadMeter::new();
         for s in &shards {
             latency.merge(&s.latency);
             queue_wait.merge(&s.queue_wait);
+            update_latency.merge(&s.update_latency);
             meter.searches += s.meter.searches;
             meter.writes += s.meter.writes;
             meter.refreshes += s.meter.refreshes;
@@ -240,6 +258,8 @@ impl ServeReport {
             wall,
             latency,
             queue_wait,
+            update_latency,
+            updates_dropped,
             meter,
         }
     }
@@ -266,6 +286,19 @@ impl ServeReport {
     #[must_use]
     pub fn stalled_searches(&self) -> u64 {
         self.shards.iter().map(|s| s.stalled_searches).sum()
+    }
+
+    /// Total table updates applied across shards.
+    #[must_use]
+    pub fn updates_applied(&self) -> u64 {
+        self.shards.iter().map(|s| s.updates_applied).sum()
+    }
+
+    /// Highest epoch any shard reached (0 when no update was ever
+    /// published).
+    #[must_use]
+    pub fn last_epoch(&self) -> u64 {
+        self.shards.iter().map(|s| s.epoch).max().unwrap_or(0)
     }
 
     /// Total refresh events across shards.
@@ -428,11 +461,20 @@ mod tests {
         s1.stalled_searches = 4;
         s0.latency.record(100);
         s1.latency.record(300);
-        let report = ServeReport::from_shards(vec![s0, s1], Duration::from_millis(100));
+        s0.updates_applied = 5;
+        s0.epoch = 5;
+        s1.updates_applied = 3;
+        s1.epoch = 7;
+        s0.update_latency.record(2_000);
+        let report = ServeReport::from_shards(vec![s0, s1], Duration::from_millis(100), 2);
         assert_eq!(report.searches(), 150);
         assert_eq!(report.delayed_searches(), 3);
         assert_eq!(report.stalled_searches(), 4);
         assert_eq!(report.latency.count(), 2);
+        assert_eq!(report.updates_applied(), 8);
+        assert_eq!(report.last_epoch(), 7);
+        assert_eq!(report.updates_dropped, 2);
+        assert_eq!(report.update_latency.count(), 1);
         assert!((report.throughput() - 1500.0).abs() < 1e-9);
     }
 }

@@ -121,6 +121,54 @@ fn sharded_search_matches_oracle_on_router_and_acl_workloads() {
 }
 
 #[test]
+fn interleaved_mutation_stays_equivalent_to_monolithic_oracle() {
+    // Satellite invariant: a ShardedRuleSet mutated in place by any
+    // interleaving of insert/remove/replace answers every search exactly
+    // like a monolithic `TcamArray` oracle holding the same rules, where
+    // the oracle's row index IS the rule id (lower id = higher priority).
+    let mut rng = SplitMix64::new(0x0B5E_55ED);
+    const IDS: u64 = 96; // id space == oracle rows
+    for trial in 0..12 {
+        let width = [8usize, 16, 33, 64][trial % 4];
+        let shard_bits = (trial % 3) as u32;
+        let x_percent = [10u64, 35, 70][trial % 3];
+        let mut set = ShardedRuleSet::empty(width, shard_bits).unwrap();
+        let mut oracle = tcam_arch::array::TcamArray::new(IDS as usize, width);
+        for step in 0..400 {
+            let id = rng.below(IDS) as u32;
+            let present = set.word(id).is_some();
+            match rng.below(10) {
+                // Bias toward inserts so the table actually fills up.
+                0..=4 if !present => {
+                    let word = random_word(&mut rng, width, x_percent);
+                    set.insert(id, word.clone()).unwrap();
+                    oracle.write(id as usize, word).unwrap();
+                }
+                5 | 6 if present => {
+                    assert!(set.remove(id).is_some());
+                    oracle.erase(id as usize).unwrap();
+                }
+                7 | 8 if present => {
+                    let word = random_word(&mut rng, width, x_percent);
+                    set.replace(id, word.clone()).unwrap();
+                    oracle.write(id as usize, word).unwrap();
+                }
+                _ => {}
+            }
+            assert_eq!(set.rules(), oracle.occupancy(), "trial {trial} step {step}");
+            for _ in 0..8 {
+                let key = random_key(&mut rng, width);
+                assert_eq!(
+                    set.search(&key).unwrap(),
+                    oracle.first_match(&key).map(|r| r as u32),
+                    "trial {trial} step {step}: width {width}, {shard_bits} shard bits"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn concurrent_service_agrees_with_reference_path_under_refresh() {
     let w = Workload::router_lpm(128, 256, 99);
     let rules = ShardedRuleSet::build(&w.words, 2).unwrap();

@@ -1,0 +1,326 @@
+//! The delta compiler: logical rule changes → minimal per-shard physical
+//! row operations, priced through the paper's cost model.
+//!
+//! A TCAM update is expensive in rows, not rules: a rule whose shard
+//! selector carries don't-cares is **replicated** into every shard it
+//! covers, so one logical change can touch many physical rows. The
+//! compiler plans that work *before* anything mutates:
+//!
+//! * an **insert** writes one row in every covered shard;
+//! * a **remove** erases one row in every covered shard;
+//! * a **modify** is diffed cover-against-cover (both covers come from
+//!   the same ascending [`covered_shards`] the sharding layer uses):
+//!   shards in both covers get an in-place rewrite, shards only the old
+//!   cover held get an erase, newly covered shards get a write.
+//!
+//! The plan is priced through [`OperationCosts`] — a NEM-relay row erase
+//! is physically a row write (the care mask is overwritten), so erases
+//! cost `write_latency`/`write_energy` too — and carries per-shard net
+//! row deltas so callers can check the batch against shard capacity
+//! before committing.
+
+use crate::store::RuleChange;
+use std::collections::BTreeMap;
+use tcam_arch::energy_model::OperationCosts;
+use tcam_core::bit::TernaryBit;
+use tcam_serve::error::{Result, ServeError};
+use tcam_serve::shard::{covered_shards, RowOps, ShardedRuleSet};
+
+/// Time and energy one compiled delta costs the array, assuming the
+/// serial row-update port the paper's 3T2N design has (writes do not
+/// overlap searches on a shard, and a shard has one write port).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DeltaCost {
+    /// Wall time to apply every row op serially, seconds.
+    pub latency: f64,
+    /// Total row-op energy, joules.
+    pub energy: f64,
+}
+
+/// A compiled update batch: the physical work plan for one epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledDelta {
+    /// Row writes/erases per shard (index = shard).
+    pub per_shard: Vec<RowOps>,
+    /// Batch totals across shards.
+    pub total: RowOps,
+    /// Net occupied-row change per shard (writes of *new* rows minus
+    /// erases; in-place rewrites are net zero).
+    pub net_rows: Vec<i64>,
+    /// The plan priced through the cost model.
+    pub cost: DeltaCost,
+}
+
+impl CompiledDelta {
+    /// Shards this delta touches, ascending.
+    #[must_use]
+    pub fn touched(&self) -> Vec<usize> {
+        self.per_shard
+            .iter()
+            .enumerate()
+            .filter(|(_, ops)| ops.writes + ops.erases > 0)
+            .map(|(s, _)| s)
+            .collect()
+    }
+
+    /// Whether every shard stays within `capacity` rows after this delta,
+    /// given current per-shard occupancies.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `occupancy` has fewer entries than there are shards.
+    #[must_use]
+    pub fn fits(&self, occupancy: &[usize], capacity: usize) -> bool {
+        self.net_rows.iter().enumerate().all(|(s, net)| {
+            let after = occupancy[s] as i64 + net;
+            after <= capacity as i64
+        })
+    }
+}
+
+/// Compiles [`RuleChange`] batches against a rule set snapshot without
+/// mutating it.
+#[derive(Debug)]
+pub struct DeltaCompiler<'a> {
+    rules: &'a ShardedRuleSet,
+    costs: OperationCosts,
+}
+
+/// The staged view of one priority while compiling a batch.
+enum Staged {
+    Removed,
+    Word(Vec<TernaryBit>),
+}
+
+impl<'a> DeltaCompiler<'a> {
+    /// A compiler planning against `rules`, pricing through `costs`.
+    #[must_use]
+    pub fn new(rules: &'a ShardedRuleSet, costs: OperationCosts) -> Self {
+        Self { rules, costs }
+    }
+
+    /// Compiles `batch` into per-shard row operations. Changes are
+    /// staged in order (a batch may insert a priority and then modify
+    /// it), exactly mirroring [`RuleStore::apply`](crate::store::RuleStore::apply)
+    /// validation — a batch this function accepts will apply cleanly.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::EmptyRuleSet`] (empty batch),
+    /// [`ServeError::WidthMismatch`], [`ServeError::DuplicateRuleId`], or
+    /// [`ServeError::UnknownRuleId`].
+    pub fn compile(&self, batch: &[RuleChange]) -> Result<CompiledDelta> {
+        if batch.is_empty() {
+            return Err(ServeError::EmptyRuleSet);
+        }
+        let shards = self.rules.shards();
+        let sel = self.rules.shard_bits() as usize;
+        let width = self.rules.width();
+        let mut per_shard = vec![RowOps::default(); shards];
+        let mut net_rows = vec![0i64; shards];
+        let mut staged: BTreeMap<u32, Staged> = BTreeMap::new();
+
+        for change in batch {
+            let priority = change.priority();
+            let current: Option<&[TernaryBit]> = match staged.get(&priority) {
+                Some(Staged::Removed) => None,
+                Some(Staged::Word(w)) => Some(w.as_slice()),
+                None => self.rules.word(priority),
+            };
+            match change {
+                RuleChange::Insert { word, .. } => {
+                    check_width(word, width)?;
+                    if current.is_some() {
+                        return Err(ServeError::DuplicateRuleId { id: priority });
+                    }
+                    for &s in &covered_shards(&word[..sel]) {
+                        per_shard[s].writes += 1;
+                        net_rows[s] += 1;
+                    }
+                    staged.insert(priority, Staged::Word(word.clone()));
+                }
+                RuleChange::Remove { .. } => {
+                    let Some(old) = current else {
+                        return Err(ServeError::UnknownRuleId { id: priority });
+                    };
+                    for &s in &covered_shards(&old[..sel]) {
+                        per_shard[s].erases += 1;
+                        net_rows[s] -= 1;
+                    }
+                    staged.insert(priority, Staged::Removed);
+                }
+                RuleChange::Modify { word, .. } => {
+                    check_width(word, width)?;
+                    let Some(old) = current else {
+                        return Err(ServeError::UnknownRuleId { id: priority });
+                    };
+                    // Merge-walk the ascending covers (same diff the
+                    // sharded set performs when it applies the change).
+                    let old_cover = covered_shards(&old[..sel]);
+                    let new_cover = covered_shards(&word[..sel]);
+                    let (mut i, mut j) = (0, 0);
+                    while i < old_cover.len() || j < new_cover.len() {
+                        match (old_cover.get(i), new_cover.get(j)) {
+                            (Some(&o), Some(&n)) if o == n => {
+                                per_shard[o].writes += 1;
+                                i += 1;
+                                j += 1;
+                            }
+                            (Some(&o), Some(&n)) if o < n => {
+                                per_shard[o].erases += 1;
+                                net_rows[o] -= 1;
+                                i += 1;
+                            }
+                            (Some(&o), None) => {
+                                per_shard[o].erases += 1;
+                                net_rows[o] -= 1;
+                                i += 1;
+                            }
+                            (_, Some(&n)) => {
+                                per_shard[n].writes += 1;
+                                net_rows[n] += 1;
+                                j += 1;
+                            }
+                            (None, None) => unreachable!(),
+                        }
+                    }
+                    staged.insert(priority, Staged::Word(word.clone()));
+                }
+            }
+        }
+
+        let mut total = RowOps::default();
+        for ops in &per_shard {
+            total.add(*ops);
+        }
+        let ops = total.writes + total.erases;
+        let cost = DeltaCost {
+            latency: ops as f64 * self.costs.write_latency,
+            energy: ops as f64 * self.costs.write_energy,
+        };
+        Ok(CompiledDelta {
+            per_shard,
+            total,
+            net_rows,
+            cost,
+        })
+    }
+}
+
+fn check_width(word: &[TernaryBit], width: usize) -> Result<()> {
+    if word.len() == width {
+        Ok(())
+    } else {
+        Err(ServeError::WidthMismatch {
+            expected: width,
+            found: word.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcam_core::bit::parse_ternary;
+
+    fn w(s: &str) -> Vec<TernaryBit> {
+        parse_ternary(s).unwrap()
+    }
+
+    fn base() -> ShardedRuleSet {
+        // 2 shard bits → 4 shards. Rule 10 covers shard 3; rule 20
+        // covers shards 0 and 1; rule 30 covers all four.
+        ShardedRuleSet::from_prioritized(
+            &[(10, w("1100")), (20, w("0X11")), (30, w("XXXX"))],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_and_remove_count_replicated_rows() {
+        let rules = base();
+        let compiler = DeltaCompiler::new(&rules, OperationCosts::paper_3t2n());
+        let delta = compiler
+            .compile(&[
+                RuleChange::Insert {
+                    priority: 15,
+                    word: w("X011"), // covers shards 0b00 and 0b10
+                },
+                RuleChange::Remove { priority: 30 }, // erases 4 rows
+            ])
+            .unwrap();
+        assert_eq!(delta.total, RowOps { writes: 2, erases: 4 });
+        assert_eq!(delta.per_shard[0], RowOps { writes: 1, erases: 1 });
+        assert_eq!(delta.per_shard[2], RowOps { writes: 1, erases: 1 });
+        assert_eq!(delta.per_shard[3], RowOps { writes: 0, erases: 1 });
+        assert_eq!(delta.net_rows, vec![0, -1, 0, -1]);
+        assert_eq!(delta.touched(), vec![0, 1, 2, 3]);
+        let costs = OperationCosts::paper_3t2n();
+        assert!((delta.cost.latency - 6.0 * costs.write_latency).abs() < 1e-18);
+        assert!((delta.cost.energy - 6.0 * costs.write_energy).abs() < 1e-24);
+    }
+
+    #[test]
+    fn modify_diffs_covers_minimally() {
+        let rules = base();
+        let compiler = DeltaCompiler::new(&rules, OperationCosts::paper_3t2n());
+        // 20: cover {0,1} → {1,3}: rewrite 1, erase 0, write 3.
+        let delta = compiler
+            .compile(&[RuleChange::Modify {
+                priority: 20,
+                word: w("X111"),
+            }])
+            .unwrap();
+        assert_eq!(delta.total, RowOps { writes: 2, erases: 1 });
+        assert_eq!(delta.per_shard[0], RowOps { writes: 0, erases: 1 });
+        assert_eq!(delta.per_shard[1], RowOps { writes: 1, erases: 0 });
+        assert_eq!(delta.per_shard[3], RowOps { writes: 1, erases: 0 });
+        assert_eq!(delta.net_rows, vec![-1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn staged_view_sequences_changes_within_a_batch() {
+        let rules = base();
+        let compiler = DeltaCompiler::new(&rules, OperationCosts::paper_3t2n());
+        // Insert at 15 then remove it: the remove must see the staged
+        // word, and the net effect cancels row occupancy.
+        let delta = compiler
+            .compile(&[
+                RuleChange::Insert {
+                    priority: 15,
+                    word: w("11XX"),
+                },
+                RuleChange::Remove { priority: 15 },
+            ])
+            .unwrap();
+        assert_eq!(delta.total, RowOps { writes: 1, erases: 1 });
+        assert_eq!(delta.net_rows, vec![0, 0, 0, 0]);
+        // Removing a priority twice in one batch must fail.
+        assert_eq!(
+            compiler.compile(&[
+                RuleChange::Remove { priority: 10 },
+                RuleChange::Remove { priority: 10 },
+            ]),
+            Err(ServeError::UnknownRuleId { id: 10 })
+        );
+    }
+
+    #[test]
+    fn capacity_check_uses_net_rows() {
+        let rules = base();
+        let compiler = DeltaCompiler::new(&rules, OperationCosts::paper_3t2n());
+        let delta = compiler
+            .compile(&[RuleChange::Insert {
+                priority: 5,
+                word: w("XXXX"),
+            }])
+            .unwrap();
+        // Every shard gains a row: occupancies 2,2,1,2 + 1 each.
+        let occ: Vec<usize> = (0..rules.shards())
+            .map(|s| rules.shard(s).len())
+            .collect();
+        assert!(delta.fits(&occ, 3));
+        assert!(!delta.fits(&occ, 2));
+    }
+}

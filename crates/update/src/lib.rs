@@ -1,0 +1,65 @@
+//! `tcam-update`: online rule updates for the TCAM serving stack —
+//! versioned rule store, delta compiler, epoch-snapshot publication, and
+//! deterministic churn workload generators.
+//!
+//! The serving layer (`tcam-serve`) answers *how fast can a dynamic TCAM
+//! look things up while refreshing*. This crate answers the companion
+//! question every deployed match engine faces: **how do the rules change
+//! while the engine is serving?** Routing tables churn continuously
+//! (BGP announcements and withdrawals), ACLs get rewritten on policy
+//! pushes — and a TCAM update is physical row work whose cost the
+//! paper's numbers let us price exactly.
+//!
+//! The pieces, in pipeline order:
+//!
+//! * [`store::RuleStore`] — the versioned logical source of truth:
+//!   priority → ternary word, mutated in **atomic batches** of
+//!   [`store::RuleChange`]s, plus CIDR-prefix and range-to-prefix
+//!   expansion helpers ([`store::prefix_word`], [`store::range_words`]).
+//! * [`delta::DeltaCompiler`] — compiles a batch into the **minimal
+//!   per-shard row writes/erases** (replication included, covers diffed
+//!   with the sharding layer's own [`covered_shards`]
+//!   (tcam_serve::shard::covered_shards) function), priced through
+//!   [`OperationCosts`](tcam_arch::energy_model::OperationCosts).
+//! * [`publish::Updater`] — applies batches to a shadow
+//!   [`ShardedRuleSet`](tcam_serve::shard::ShardedRuleSet), cross-checks
+//!   realized row work against the compiled plan, and publishes
+//!   **epoch-tagged immutable snapshots** into live
+//!   [`TcamService`](tcam_serve::service::TcamService) workers — which
+//!   swap only at batch boundaries, so no search ever observes a torn
+//!   table.
+//! * [`churn`] — deterministic BGP-like prefix churn and ACL rotation
+//!   generators behind the [`churn::ChurnWorkload`] trait, the fuel for
+//!   the `churn_bench` binary in `tcam-bench`.
+//!
+//! ```
+//! use tcam_arch::energy_model::OperationCosts;
+//! use tcam_update::churn::{BgpChurn, ChurnWorkload};
+//! use tcam_update::publish::Updater;
+//! use tcam_update::store::RuleStore;
+//!
+//! let mut churn = BgpChurn::new(16, 64, 42);
+//! let store = RuleStore::from_rules(&churn.initial()).unwrap();
+//! let mut updater = Updater::new(store, 2, OperationCosts::paper_3t2n()).unwrap();
+//! let staged = updater.apply(&churn.next_batch(8)).unwrap();
+//! assert_eq!(staged.epoch, 1);
+//! assert_eq!(staged.realized, staged.planned.total);
+//! assert!(staged.planned.cost.energy > 0.0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod churn;
+pub mod delta;
+pub mod publish;
+pub mod store;
+
+pub use churn::{AclRotation, BgpChurn, ChurnWorkload};
+pub use delta::{CompiledDelta, DeltaCompiler, DeltaCost};
+pub use publish::{StagedDelta, Updater};
+pub use store::{prefix_word, range_words, RuleChange, RuleStore};
+
+// The update layer speaks the serving layer's error vocabulary: every
+// validation failure maps onto an existing `ServeError` variant.
+pub use tcam_serve::error::{Result, ServeError};

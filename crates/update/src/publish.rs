@@ -1,0 +1,309 @@
+//! Epoch-snapshot publication: applying compiled deltas to a shadow rule
+//! set and swapping the result into live shard workers.
+//!
+//! The [`Updater`] is the single writer of the serving stack. It owns
+//!
+//! * the [`RuleStore`] (logical source of truth, versioned),
+//! * a **shadow** [`ShardedRuleSet`] kept bit-identical to the store, and
+//! * one cached `Arc<PackedTcamArray>` per shard — the immutable
+//!   snapshots workers serve from.
+//!
+//! [`Updater::apply`] stages one batch: it compiles the plan, applies the
+//! batch atomically to the store, mutates the shadow with the minimal row
+//! operations, cross-checks that the realized row work equals the plan,
+//! and bumps the **epoch**. Only the shards the delta touched get a new
+//! snapshot `Arc`; untouched shards keep their cached one, so publishing
+//! to them is a pointer clone, not a table copy.
+//!
+//! [`Updater::publish`] then hands every shard worker the current-epoch
+//! snapshot through [`TcamService::publish`]. Workers swap at batch
+//! boundaries only, so a search is always served from exactly one epoch —
+//! and because every reply reports that epoch, `churn_bench` can verify
+//! the zero-torn-snapshot property continuously against the updater's
+//! recorded history.
+
+use crate::delta::{CompiledDelta, DeltaCompiler};
+use crate::store::{RuleChange, RuleStore};
+use std::sync::Arc;
+use tcam_arch::energy_model::OperationCosts;
+use tcam_arch::packed::PackedTcamArray;
+use tcam_serve::error::Result;
+use tcam_serve::service::TcamService;
+use tcam_serve::shard::{RowOps, ShardedRuleSet};
+
+/// One applied-but-possibly-unpublished update batch: the record the
+/// churn bench keeps per epoch to verify search results against.
+#[derive(Debug, Clone)]
+pub struct StagedDelta {
+    /// The epoch this batch produced (workers report it in replies).
+    pub epoch: u64,
+    /// The store version after the batch (== epoch while one updater is
+    /// the only writer).
+    pub version: u64,
+    /// The physical work plan the compiler produced.
+    pub planned: CompiledDelta,
+    /// Row operations the shadow actually performed — checked equal to
+    /// `planned.total`.
+    pub realized: RowOps,
+}
+
+/// The serving stack's single writer: rule store + shadow shards +
+/// per-shard snapshot cache, advanced one epoch per applied batch.
+#[derive(Debug)]
+pub struct Updater {
+    store: RuleStore,
+    shadow: ShardedRuleSet,
+    tables: Vec<Arc<PackedTcamArray>>,
+    epoch: u64,
+    costs: OperationCosts,
+}
+
+impl Updater {
+    /// Builds the shadow rule set and snapshot cache from `store`,
+    /// starting at epoch 0 (the epoch workers boot with).
+    ///
+    /// # Errors
+    ///
+    /// Shard-construction errors ([`tcam_serve::ServeError::TooWide`],
+    /// [`tcam_serve::ServeError::BadShardBits`]).
+    pub fn new(store: RuleStore, shard_bits: u32, costs: OperationCosts) -> Result<Self> {
+        let mut shadow = ShardedRuleSet::empty(store.width(), shard_bits)?;
+        for (priority, word) in store.iter() {
+            shadow.insert(priority, word.to_vec())?;
+        }
+        let tables = (0..shadow.shards())
+            .map(|s| Arc::new(shadow.shard(s).clone()))
+            .collect();
+        Ok(Self {
+            store,
+            shadow,
+            tables,
+            epoch: 0,
+            costs,
+        })
+    }
+
+    /// The logical rule store (read-only; all writes go through
+    /// [`Self::apply`]).
+    #[must_use]
+    pub fn store(&self) -> &RuleStore {
+        &self.store
+    }
+
+    /// The shadow rule set at the current epoch — the reference a checker
+    /// compares epoch-tagged search results against.
+    #[must_use]
+    pub fn snapshot(&self) -> &ShardedRuleSet {
+        &self.shadow
+    }
+
+    /// The current epoch (0 = the boot snapshot, +1 per applied batch).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Starts a service serving this updater's current snapshot — the
+    /// handshake that makes worker epoch 0 mean "the updater's epoch-0
+    /// tables".
+    ///
+    /// # Errors
+    ///
+    /// As [`TcamService::start`].
+    pub fn start_service(
+        &self,
+        config: &tcam_serve::service::ServiceConfig,
+    ) -> Result<TcamService> {
+        TcamService::start(self.shadow.clone(), config)
+    }
+
+    /// Applies one update batch: compile → store (atomic) → shadow →
+    /// refresh touched snapshots → bump epoch.
+    ///
+    /// The realized row work is cross-checked against the compiled plan;
+    /// a mismatch means the compiler and the sharding layer disagree
+    /// about replication and is a bug, so it panics rather than serving
+    /// rules whose physical cost is misaccounted.
+    ///
+    /// # Errors
+    ///
+    /// Validation errors from the compiler/store; the updater is
+    /// unchanged when an error is returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the realized row operations differ from the plan.
+    pub fn apply(&mut self, batch: &[RuleChange]) -> Result<StagedDelta> {
+        let planned = DeltaCompiler::new(&self.shadow, self.costs).compile(batch)?;
+        let version = self.store.apply(batch)?;
+        let mut realized = RowOps::default();
+        for change in batch {
+            // Infallible now: compile + store.apply validated the batch.
+            let ops = match change {
+                RuleChange::Insert { priority, word } => self
+                    .shadow
+                    .insert(*priority, word.clone())
+                    .expect("validated insert"),
+                RuleChange::Remove { priority } => {
+                    self.shadow.remove(*priority).expect("validated remove")
+                }
+                RuleChange::Modify { priority, word } => self
+                    .shadow
+                    .replace(*priority, word.clone())
+                    .expect("validated modify"),
+            };
+            realized.add(ops);
+        }
+        assert_eq!(
+            realized, planned.total,
+            "delta compiler and sharding layer disagree on row work"
+        );
+        for &s in &planned.touched() {
+            self.tables[s] = Arc::new(self.shadow.shard(s).clone());
+        }
+        self.epoch += 1;
+        Ok(StagedDelta {
+            epoch: self.epoch,
+            version,
+            planned,
+            realized,
+        })
+    }
+
+    /// Publishes the current epoch's snapshot to every shard worker of
+    /// `service`, blocking on each full update mailbox (backpressure).
+    /// Untouched shards receive the cached `Arc` — a pointer, not a copy.
+    /// Publishing the same epoch twice is idempotent (workers skip stale
+    /// epochs).
+    ///
+    /// # Errors
+    ///
+    /// [`tcam_serve::ServeError::ServiceClosed`] once shutdown began.
+    pub fn publish(&self, service: &TcamService) -> Result<()> {
+        for (s, table) in self.tables.iter().enumerate() {
+            service.publish(s, self.epoch, Arc::clone(table))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::prefix_word;
+    use tcam_core::bit::{parse_ternary, TernaryBit};
+
+    fn w(s: &str) -> Vec<TernaryBit> {
+        parse_ternary(s).unwrap()
+    }
+
+    fn seeded_updater() -> Updater {
+        let store = RuleStore::from_rules(&[
+            (10, w("1100")),
+            (20, w("0X11")),
+            (30, w("XXXX")),
+        ])
+        .unwrap();
+        Updater::new(store, 2, OperationCosts::paper_3t2n()).unwrap()
+    }
+
+    #[test]
+    fn apply_advances_epoch_and_matches_plan() {
+        let mut updater = seeded_updater();
+        assert_eq!(updater.epoch(), 0);
+        let staged = updater
+            .apply(&[
+                RuleChange::Insert {
+                    priority: 5,
+                    word: w("110X"),
+                },
+                RuleChange::Remove { priority: 30 },
+            ])
+            .unwrap();
+        assert_eq!(staged.epoch, 1);
+        assert_eq!(staged.version, 1);
+        assert_eq!(staged.realized, staged.planned.total);
+        assert_eq!(staged.realized, RowOps { writes: 1, erases: 4 });
+        // The shadow answers with the new rules.
+        assert_eq!(updater.snapshot().search(&w("1101")).unwrap(), Some(5));
+        assert_eq!(updater.snapshot().search(&w("0000")).unwrap(), None);
+        // A failed batch changes nothing.
+        assert!(updater.apply(&[RuleChange::Remove { priority: 99 }]).is_err());
+        assert_eq!(updater.epoch(), 1);
+        assert_eq!(updater.store().version(), 1);
+    }
+
+    #[test]
+    fn untouched_shards_keep_their_cached_snapshot() {
+        let mut updater = seeded_updater();
+        let before: Vec<_> = updater.tables.iter().map(Arc::as_ptr).collect();
+        // 1100 covers only shard 3.
+        updater
+            .apply(&[RuleChange::Insert {
+                priority: 11,
+                word: w("1101"),
+            }])
+            .unwrap();
+        for (s, &ptr) in before.iter().enumerate() {
+            if s == 3 {
+                assert_ne!(Arc::as_ptr(&updater.tables[s]), ptr, "shard 3 must refresh");
+            } else {
+                assert_eq!(Arc::as_ptr(&updater.tables[s]), ptr, "shard {s} must not copy");
+            }
+        }
+    }
+
+    #[test]
+    fn live_service_serves_each_published_epoch_consistently() {
+        // The zero-torn integration check in miniature: apply + publish a
+        // run of batches while searching, verifying every epoch-tagged
+        // result against that epoch's recorded reference.
+        let width = 8usize;
+        let rules: Vec<(u32, Vec<TernaryBit>)> = (0..16u32)
+            .map(|i| (i * 8, prefix_word(u64::from(i) * 16, 5, width)))
+            .collect();
+        let store = RuleStore::from_rules(&rules).unwrap();
+        let mut updater = Updater::new(store, 2, OperationCosts::paper_3t2n()).unwrap();
+        let config = tcam_serve::service::ServiceConfig {
+            refresh: tcam_serve::BankRefresh::None,
+            ..Default::default()
+        };
+        let service = updater.start_service(&config).unwrap();
+        let mut history = vec![updater.snapshot().clone()]; // epoch 0
+
+        let mut rng = tcam_numeric::rng::SplitMix64::new(7);
+        for round in 0..20u32 {
+            let priority = 128 + round; // fresh priorities, insert/remove churn
+            let addr = rng.below(1 << width);
+            updater
+                .apply(&[RuleChange::Insert {
+                    priority,
+                    word: prefix_word(addr, 6, width),
+                }])
+                .unwrap();
+            history.push(updater.snapshot().clone());
+            updater.publish(&service).unwrap();
+            for _ in 0..16 {
+                let key: Vec<TernaryBit> = (0..width)
+                    .map(|_| {
+                        if rng.below(2) == 0 {
+                            TernaryBit::Zero
+                        } else {
+                            TernaryBit::One
+                        }
+                    })
+                    .collect();
+                let (epoch, hit) = service.search_with_epoch(&key).unwrap();
+                let reference = &history[usize::try_from(epoch).unwrap()];
+                assert_eq!(
+                    hit,
+                    reference.search(&key).unwrap(),
+                    "round {round}: result inconsistent with its epoch {epoch}"
+                );
+            }
+        }
+        let report = service.shutdown();
+        assert_eq!(report.last_epoch(), 20);
+        assert_eq!(report.updates_dropped, 0);
+    }
+}

@@ -1,0 +1,434 @@
+//! The versioned rule store: the logical source of truth for a rule set
+//! that changes while it is being served.
+//!
+//! A [`RuleStore`] maps a **priority** (the global rule id, lower wins —
+//! the same id-priority contract the packed arrays enforce) to a ternary
+//! word. Mutations arrive as *batches* of [`RuleChange`]s and apply
+//! **atomically**: the whole batch is validated against a staged view
+//! first, and a batch that would fail leaves the store (and its version
+//! counter) untouched. Each applied batch bumps the version by exactly
+//! one — the version is what epoch-snapshot publication ties search
+//! results back to.
+//!
+//! The module also carries the prefix/range expansion helpers that turn
+//! routing-table updates (a CIDR prefix, a port range) into ternary
+//! words.
+
+use std::collections::BTreeMap;
+use tcam_core::bit::TernaryBit;
+use tcam_serve::error::{Result, ServeError};
+
+/// One logical rule mutation. `priority` is the global rule id (lower
+/// wins).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuleChange {
+    /// Add a rule at a priority that must not be occupied.
+    Insert {
+        /// The new rule's priority (= id).
+        priority: u32,
+        /// The ternary match word.
+        word: Vec<TernaryBit>,
+    },
+    /// Delete the rule at a priority that must be occupied.
+    Remove {
+        /// The doomed rule's priority.
+        priority: u32,
+    },
+    /// Rewrite the word of an existing rule, keeping its priority.
+    Modify {
+        /// The rule's priority (must be occupied).
+        priority: u32,
+        /// The replacement word.
+        word: Vec<TernaryBit>,
+    },
+}
+
+impl RuleChange {
+    /// The priority this change targets.
+    #[must_use]
+    pub fn priority(&self) -> u32 {
+        match self {
+            RuleChange::Insert { priority, .. }
+            | RuleChange::Remove { priority }
+            | RuleChange::Modify { priority, .. } => *priority,
+        }
+    }
+}
+
+/// The versioned logical rule set (priority → word), mutated in atomic
+/// batches.
+#[derive(Debug, Clone)]
+pub struct RuleStore {
+    width: usize,
+    rules: BTreeMap<u32, Vec<TernaryBit>>,
+    version: u64,
+}
+
+impl RuleStore {
+    /// An empty store for `width`-bit words, at version 0.
+    #[must_use]
+    pub fn new(width: usize) -> Self {
+        Self {
+            width,
+            rules: BTreeMap::new(),
+            version: 0,
+        }
+    }
+
+    /// A store seeded with `rules` (priority, word), still at version 0 —
+    /// the seed is the baseline snapshot, not an update.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::EmptyRuleSet`], [`ServeError::WidthMismatch`], or
+    /// [`ServeError::DuplicateRuleId`].
+    pub fn from_rules(rules: &[(u32, Vec<TernaryBit>)]) -> Result<Self> {
+        let width = rules.first().ok_or(ServeError::EmptyRuleSet)?.1.len();
+        let mut store = Self::new(width);
+        for (priority, word) in rules {
+            if word.len() != width {
+                return Err(ServeError::WidthMismatch {
+                    expected: width,
+                    found: word.len(),
+                });
+            }
+            if store.rules.insert(*priority, word.clone()).is_some() {
+                return Err(ServeError::DuplicateRuleId { id: *priority });
+            }
+        }
+        Ok(store)
+    }
+
+    /// Word width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// How many batches have been applied since the seed.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of rules currently stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the store holds no rules.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The word at `priority`, if present.
+    #[must_use]
+    pub fn word(&self, priority: u32) -> Option<&[TernaryBit]> {
+        self.rules.get(&priority).map(Vec::as_slice)
+    }
+
+    /// All rules in ascending priority order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &[TernaryBit])> + '_ {
+        self.rules.iter().map(|(p, w)| (*p, w.as_slice()))
+    }
+
+    /// Snapshot of the rules as owned (priority, word) pairs, ascending.
+    #[must_use]
+    pub fn rules_vec(&self) -> Vec<(u32, Vec<TernaryBit>)> {
+        self.rules.iter().map(|(p, w)| (*p, w.clone())).collect()
+    }
+
+    /// Applies `batch` atomically and returns the new version.
+    ///
+    /// Changes are validated **in order against a staged view**, so a
+    /// batch may insert a priority and then modify or remove it; a batch
+    /// that fails validation at any step applies nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::WidthMismatch`], [`ServeError::DuplicateRuleId`]
+    /// (insert over an occupied priority), or
+    /// [`ServeError::UnknownRuleId`] (remove/modify of a vacant one). An
+    /// empty batch is rejected as [`ServeError::EmptyRuleSet`] so version
+    /// numbers always certify real mutations.
+    pub fn apply(&mut self, batch: &[RuleChange]) -> Result<u64> {
+        if batch.is_empty() {
+            return Err(ServeError::EmptyRuleSet);
+        }
+        // Stage: only presence/width need validating, so track occupancy
+        // deltas against the live map without cloning any words.
+        let mut staged: BTreeMap<u32, bool> = BTreeMap::new();
+        for change in batch {
+            let priority = change.priority();
+            let present = *staged
+                .entry(priority)
+                .or_insert_with(|| self.rules.contains_key(&priority));
+            match change {
+                RuleChange::Insert { word, .. } => {
+                    self.check_width(word)?;
+                    if present {
+                        return Err(ServeError::DuplicateRuleId { id: priority });
+                    }
+                    staged.insert(priority, true);
+                }
+                RuleChange::Remove { .. } => {
+                    if !present {
+                        return Err(ServeError::UnknownRuleId { id: priority });
+                    }
+                    staged.insert(priority, false);
+                }
+                RuleChange::Modify { word, .. } => {
+                    self.check_width(word)?;
+                    if !present {
+                        return Err(ServeError::UnknownRuleId { id: priority });
+                    }
+                }
+            }
+        }
+        // Commit: infallible after validation.
+        for change in batch {
+            match change {
+                RuleChange::Insert { priority, word } | RuleChange::Modify { priority, word } => {
+                    self.rules.insert(*priority, word.clone());
+                }
+                RuleChange::Remove { priority } => {
+                    self.rules.remove(priority);
+                }
+            }
+        }
+        self.version += 1;
+        Ok(self.version)
+    }
+
+    fn check_width(&self, word: &[TernaryBit]) -> Result<()> {
+        if word.len() == self.width {
+            Ok(())
+        } else {
+            Err(ServeError::WidthMismatch {
+                expected: self.width,
+                found: word.len(),
+            })
+        }
+    }
+}
+
+/// The ternary word matching every `width`-bit value whose top
+/// `prefix_len` bits equal those of `addr`: concrete prefix bits, then
+/// don't-cares — the CIDR-prefix encoding LPM tables use.
+///
+/// # Panics
+///
+/// Panics when `width > 64`, `prefix_len > width`, or `addr` has bits
+/// set outside the width.
+#[must_use]
+pub fn prefix_word(addr: u64, prefix_len: usize, width: usize) -> Vec<TernaryBit> {
+    assert!(width <= 64, "prefix_word supports widths up to 64 bits");
+    assert!(prefix_len <= width, "prefix longer than word");
+    assert!(
+        width == 64 || addr >> width == 0,
+        "addr {addr:#x} wider than {width} bits"
+    );
+    (0..width)
+        .map(|i| {
+            if i < prefix_len {
+                if addr >> (width - 1 - i) & 1 == 1 {
+                    TernaryBit::One
+                } else {
+                    TernaryBit::Zero
+                }
+            } else {
+                TernaryBit::X
+            }
+        })
+        .collect()
+}
+
+/// The minimal set of prefix words covering the inclusive value range
+/// `[lo, hi]` of a `width`-bit field — the classic range-to-prefix
+/// expansion used to load port ranges into a TCAM. Words are emitted in
+/// ascending value order; their match sets are disjoint and union to
+/// exactly the range.
+///
+/// # Panics
+///
+/// Panics when `width > 64`, `lo > hi`, or `hi` has bits set outside the
+/// width.
+#[must_use]
+pub fn range_words(lo: u64, hi: u64, width: usize) -> Vec<Vec<TernaryBit>> {
+    assert!(width <= 64, "range_words supports widths up to 64 bits");
+    assert!(lo <= hi, "empty range [{lo}, {hi}]");
+    assert!(
+        width == 64 || hi >> width == 0,
+        "hi {hi:#x} wider than {width} bits"
+    );
+    if lo == 0 && hi == u64::MAX {
+        // The full 64-bit range would overflow the block arithmetic.
+        return vec![vec![TernaryBit::X; width]];
+    }
+    let mut words = Vec::new();
+    let mut lo = lo;
+    loop {
+        // Largest aligned power-of-two block starting at `lo`…
+        let align = if lo == 0 {
+            u64::MAX // 2^64: capped by the fit test below
+        } else {
+            lo & lo.wrapping_neg()
+        };
+        // …that still fits inside [lo, hi].
+        let mut size = align;
+        while size != 1 && (size == u64::MAX || lo + (size - 1) > hi) {
+            size = if size == u64::MAX { 1 << 63 } else { size >> 1 };
+        }
+        let block_bits = size.trailing_zeros() as usize;
+        words.push(prefix_word(lo, width - block_bits, width));
+        let end = lo + (size - 1);
+        if end >= hi {
+            return words;
+        }
+        lo = end + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcam_core::bit::parse_ternary;
+
+    fn w(s: &str) -> Vec<TernaryBit> {
+        parse_ternary(s).unwrap()
+    }
+
+    #[test]
+    fn batches_apply_atomically_and_bump_version_once() {
+        let mut store = RuleStore::new(4);
+        let v = store
+            .apply(&[
+                RuleChange::Insert {
+                    priority: 10,
+                    word: w("10XX"),
+                },
+                RuleChange::Insert {
+                    priority: 20,
+                    word: w("0XXX"),
+                },
+            ])
+            .unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(store.len(), 2);
+
+        // A failing batch rolls back completely: the first change alone
+        // would be valid, but the second is not.
+        let err = store.apply(&[
+            RuleChange::Remove { priority: 10 },
+            RuleChange::Remove { priority: 99 },
+        ]);
+        assert_eq!(err, Err(ServeError::UnknownRuleId { id: 99 }));
+        assert_eq!(store.version(), 1);
+        assert!(store.word(10).is_some(), "failed batch must not apply");
+
+        // In-batch sequencing: insert then modify then remove the same
+        // priority is valid and nets out to absence.
+        let v = store
+            .apply(&[
+                RuleChange::Insert {
+                    priority: 30,
+                    word: w("1111"),
+                },
+                RuleChange::Modify {
+                    priority: 30,
+                    word: w("0000"),
+                },
+                RuleChange::Remove { priority: 30 },
+            ])
+            .unwrap();
+        assert_eq!(v, 2);
+        assert!(store.word(30).is_none());
+    }
+
+    #[test]
+    fn validation_errors_name_the_offender() {
+        let mut store = RuleStore::new(4);
+        store
+            .apply(&[RuleChange::Insert {
+                priority: 1,
+                word: w("1010"),
+            }])
+            .unwrap();
+        assert_eq!(
+            store.apply(&[RuleChange::Insert {
+                priority: 1,
+                word: w("0101"),
+            }]),
+            Err(ServeError::DuplicateRuleId { id: 1 })
+        );
+        assert_eq!(
+            store.apply(&[RuleChange::Modify {
+                priority: 2,
+                word: w("0101"),
+            }]),
+            Err(ServeError::UnknownRuleId { id: 2 })
+        );
+        assert!(matches!(
+            store.apply(&[RuleChange::Insert {
+                priority: 3,
+                word: w("010"),
+            }]),
+            Err(ServeError::WidthMismatch { .. })
+        ));
+        assert_eq!(store.apply(&[]), Err(ServeError::EmptyRuleSet));
+        assert_eq!(store.version(), 1);
+    }
+
+    #[test]
+    fn seeding_stays_at_version_zero() {
+        let store = RuleStore::from_rules(&[(5, w("10XX")), (9, w("XXXX"))]).unwrap();
+        assert_eq!(store.version(), 0);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.word(5).unwrap(), w("10XX").as_slice());
+        assert!(matches!(
+            RuleStore::from_rules(&[(5, w("10XX")), (5, w("XXXX"))]),
+            Err(ServeError::DuplicateRuleId { id: 5 })
+        ));
+    }
+
+    #[test]
+    fn prefix_word_encodes_cidr_style() {
+        assert_eq!(prefix_word(0b1010_0000, 3, 8), w("101XXXXX"));
+        assert_eq!(prefix_word(0, 0, 4), w("XXXX"));
+        assert_eq!(prefix_word(0b1111, 4, 4), w("1111"));
+    }
+
+    /// `word` matches `value` exactly when every concrete bit agrees.
+    fn matches(word: &[TernaryBit], value: u64) -> bool {
+        let width = word.len();
+        word.iter().enumerate().all(|(i, b)| match b {
+            TernaryBit::X => true,
+            TernaryBit::One => value >> (width - 1 - i) & 1 == 1,
+            TernaryBit::Zero => value >> (width - 1 - i) & 1 == 0,
+        })
+    }
+
+    #[test]
+    fn range_words_cover_exactly_and_minimally() {
+        // Exhaustive over every 6-bit range: exact cover, disjoint
+        // blocks, and the textbook worst case of 2w-2 words.
+        let width = 6usize;
+        for lo in 0..64u64 {
+            for hi in lo..64 {
+                let words = range_words(lo, hi, width);
+                assert!(words.len() <= 2 * width - 2, "[{lo},{hi}]: too many words");
+                for v in 0..64u64 {
+                    let covered = words.iter().filter(|w| matches(w, v)).count();
+                    let expected = usize::from(v >= lo && v <= hi);
+                    assert_eq!(covered, expected, "[{lo},{hi}] value {v}");
+                }
+            }
+        }
+        // The classic worst case really is 2w-2.
+        assert_eq!(range_words(1, 62, 6).len(), 10);
+        // Full range is a single all-X word.
+        assert_eq!(range_words(0, 63, 6), vec![w("XXXXXX")]);
+    }
+}

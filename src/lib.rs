@@ -16,6 +16,7 @@
 //! | [`core`] | `tcam-core` | the TCAM designs + paper experiments |
 //! | [`arch`] | `tcam-arch` | functional arrays, refresh scheduling, apps |
 //! | [`serve`] | `tcam-serve` | sharded, batched lookup service + telemetry |
+//! | [`update`] | `tcam-update` | online rule updates: epoch snapshots, churn |
 //!
 //! # Quickstart
 //!
@@ -44,3 +45,4 @@ pub use tcam_devices as devices;
 pub use tcam_numeric as numeric;
 pub use tcam_serve as serve;
 pub use tcam_spice as spice;
+pub use tcam_update as update;

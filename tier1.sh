@@ -17,3 +17,9 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 # must parse and describe a run that actually integrated (steps accepted,
 # plausible dt extrema).
 ./target/release/solver_trace_bench --check
+
+# Smoke-run the online-update bench: rule churn against a live service
+# must sustain the update-rate floor with ZERO torn-snapshot observations
+# (every epoch-tagged search result verified against that epoch's rules),
+# no dropped updates, and ordered publish/staleness/search quantiles.
+./target/release/churn_bench --seed 1 --duration-ms 100 --check
