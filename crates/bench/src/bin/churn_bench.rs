@@ -18,8 +18,13 @@
 //!
 //! ```json
 //! {"bench":"churn_bench","workload":"bgp_churn",...,"updates_per_s":...,
-//!  "publish_p99_ns":...,"search_p99_ns":...,"staleness_max_us":...,"torn":0}
+//!  "publish_p99_ns":...,"search_p99_ns":...,"staleness_max_ns":...,"torn":0}
 //! ```
+//!
+//! Keys follow the unified `snake_case` scheme (DESIGN.md §10): the
+//! `publish`/`staleness`/`search` histograms each carry the full
+//! `_{p50,p95,p99,p999,max,mean}_ns` + `_count` set via
+//! `tcam_bench::hist_json`, and durations are nanoseconds throughout.
 //!
 //! Flags (all optional):
 //!
@@ -39,6 +44,8 @@
 //! * `--refresh-interval-us N` (default 5000)
 //! * `--min-update-rate N` (default 10000) — `--check` floor on achieved
 //!   rule updates/second
+//! * `--report-interval-ms N` (default 0 = off) — print a `tcam-obs`
+//!   console snapshot to stderr at most every N ms from the updater loop
 //! * `--check` — re-parse the record and assert the tier-1 invariants:
 //!   valid flat JSON, nonzero lookups and verified searches, **zero torn
 //!   observations**, zero dropped updates, achieved update rate above the
@@ -72,6 +79,7 @@ struct Args {
     policy: String,
     refresh_interval_us: u64,
     min_update_rate: f64,
+    report_interval_ms: u64,
     check: bool,
 }
 
@@ -89,6 +97,7 @@ fn parse_args() -> Args {
         policy: "oneshot".into(),
         refresh_interval_us: 5000,
         min_update_rate: 10_000.0,
+        report_interval_ms: 0,
         check: false,
     };
     let mut it = std::env::args().skip(1);
@@ -125,6 +134,11 @@ fn parse_args() -> Args {
                 args.min_update_rate = value("--min-update-rate")
                     .parse()
                     .expect("--min-update-rate");
+            }
+            "--report-interval-ms" => {
+                args.report_interval_ms = value("--report-interval-ms")
+                    .parse()
+                    .expect("--report-interval-ms");
             }
             "--check" => args.check = true,
             other => panic!("unknown flag {other}"),
@@ -247,10 +261,19 @@ fn main() {
     let mut row_erases = 0u64;
     let mut update_energy = 0.0f64;
     let pace = Duration::from_micros(args.update_pace_us);
+    let mut reporter = (args.report_interval_ms > 0).then(|| {
+        tcam_obs::export::ConsoleReporter::new(
+            "churn",
+            Duration::from_millis(args.report_interval_ms),
+        )
+    });
     let started = Instant::now();
     let deadline = started + Duration::from_millis(args.duration_ms);
     let mut next_batch_at = started;
     while Instant::now() < deadline {
+        if let Some(rep) = reporter.as_mut() {
+            rep.tick();
+        }
         let batch = churn.next_batch(args.batch_size);
         let t0 = Instant::now();
         let staged = updater.apply(&batch).expect("generator batches are valid");
@@ -304,35 +327,31 @@ fn main() {
          \"batch_size\":{},\
          \"row_writes\":{row_writes},\"row_erases\":{row_erases},\
          \"update_energy_j\":{update_energy:.6e},\
-         \"publish_p50_ns\":{},\"publish_p99_ns\":{},\"publish_max_ns\":{},\
-         \"staleness_p50_ns\":{},\"staleness_p99_ns\":{},\
-         \"staleness_max_us\":{:.1},\
+         {},{},\
+         \"max_epoch_lag\":{},\"swap_stall_ns\":{},\
          \"updates_applied\":{},\"updates_dropped\":{},\"last_epoch\":{},\
          \"offered\":{offered},\"lookups\":{},\"throughput_lps\":{:.0},\
-         \"search_p50_ns\":{},\"search_p99_ns\":{},\
+         {},\
          \"checked\":{checked},\"torn\":{torn},\
-         \"refresh_events\":{},\"refresh_stall_us\":{:.1},\
+         \"refresh_events\":{},\"refresh_stall_ns\":{},\
          \"delayed_searches\":{},\"energy_j\":{:.6e}}}",
         churn.name(),
         args.seed,
         updater.snapshot().shards(),
         args.policy,
         args.batch_size,
-        publish_latency.quantile(50.0),
-        publish_latency.quantile(99.0),
-        publish_latency.max(),
-        stale.quantile(50.0),
-        stale.quantile(99.0),
-        stale.max() as f64 / 1e3,
+        tcam_bench::hist_json("publish", &publish_latency),
+        tcam_bench::hist_json("staleness", stale),
+        report.max_epoch_lag(),
+        report.swap_stall().as_nanos(),
         report.updates_applied(),
         report.updates_dropped,
         report.last_epoch(),
         report.searches(),
         report.throughput(),
-        lat.quantile(50.0),
-        lat.quantile(99.0),
+        tcam_bench::hist_json("search", lat),
         report.refresh_events(),
-        report.refresh_stall().as_secs_f64() * 1e6,
+        report.refresh_stall().as_nanos(),
         report.delayed_searches(),
         report.meter.energy,
     );

@@ -7,8 +7,14 @@
 //!
 //! ```json
 //! {"bench":"serve_bench","workload":"router_lpm","shards":4,...,
-//!  "throughput_lps":...,"p50_ns":...,"p99_ns":...,"refresh_stall_us":...}
+//!  "throughput_lps":...,"search_p50_ns":...,"search_p99_ns":...,
+//!  "refresh_stall_ns":...}
 //! ```
+//!
+//! Keys follow the unified `snake_case` scheme (DESIGN.md §10): histogram
+//! stats are `<name>_{p50,p95,p99,p999,max,mean}_ns` + `<name>_count`
+//! (emitted through `tcam_bench::hist_json`), and every duration key
+//! carries an explicit `_ns` unit suffix.
 //!
 //! Flags (all optional):
 //!
@@ -155,12 +161,11 @@ fn main() {
          \"replication\":{:.3},\"policy\":\"{}\",\
          \"offered\":{offered},\"lookups\":{searches},\
          \"throughput_lps\":{:.0},\
-         \"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\
-         \"max_ns\":{},\"mean_ns\":{:.0},\
-         \"queue_wait_p99_ns\":{},\"max_queue_depth\":{},\
+         {},{},\
+         \"max_queue_depth\":{},\
          \"delayed_searches\":{},\"stalled_searches\":{},\
          \"refresh_events\":{},\"refresh_ops\":{},\
-         \"refresh_stall_us\":{:.1},\
+         \"refresh_stall_ns\":{},\
          \"energy_j\":{:.6e},\"match_fraction\":{match_fraction:.4}",
         w.name,
         args.seed,
@@ -170,19 +175,14 @@ fn main() {
         rules.replication_factor(),
         args.policy,
         report.throughput(),
-        lat.quantile(50.0),
-        lat.quantile(95.0),
-        lat.quantile(99.0),
-        lat.quantile(99.9),
-        lat.max(),
-        lat.mean(),
-        report.queue_wait.quantile(99.0),
+        tcam_bench::hist_json("search", lat),
+        tcam_bench::hist_json("queue_wait", &report.queue_wait),
         max_queue_depth.unwrap_or(0),
         report.delayed_searches(),
         report.stalled_searches(),
         report.refresh_events(),
         report.refresh_ops(),
-        report.refresh_stall().as_secs_f64() * 1e6,
+        report.refresh_stall().as_nanos(),
         report.meter.energy,
     );
 
@@ -199,15 +199,15 @@ fn main() {
             ",\"compare_rate_lps\":{paced:.0},\
              \"osr_delayed\":{},\"rbr_delayed\":{},\
              \"osr_stalled\":{},\"rbr_stalled\":{},\
-             \"osr_stall_us\":{:.1},\"rbr_stall_us\":{:.1},\
+             \"osr_stall_ns\":{},\"rbr_stall_ns\":{},\
              \"osr_p99_ns\":{},\"rbr_p99_ns\":{},\
              \"osr_fewer_delayed\":{}",
             osr.delayed_searches(),
             rbr.delayed_searches(),
             osr.stalled_searches(),
             rbr.stalled_searches(),
-            osr.refresh_stall().as_secs_f64() * 1e6,
-            rbr.refresh_stall().as_secs_f64() * 1e6,
+            osr.refresh_stall().as_nanos(),
+            rbr.refresh_stall().as_nanos(),
             osr.latency.quantile(99.0),
             rbr.latency.quantile(99.0),
             osr.delayed_searches() + osr.stalled_searches()
@@ -244,8 +244,11 @@ fn check_record(record: &str) {
     if field("lookups") <= 0.0 {
         bail("no lookups were served".into());
     }
-    let (p50, p99) = (field("p50_ns"), field("p99_ns"));
+    let (p50, p99) = (field("search_p50_ns"), field("search_p99_ns"));
     if !(p50 > 0.0 && p99 >= p50) {
         bail(format!("latency quantiles unordered: p50={p50}, p99={p99}"));
+    }
+    if field("search_count") != field("lookups") {
+        bail("histogram count disagrees with the lookup counter".into());
     }
 }

@@ -1,6 +1,13 @@
 //! Runs **every** paper experiment back to back and prints the complete
 //! paper-vs-measured summary recorded in `EXPERIMENTS.md`, including the
 //! architectural refresh-interference study (A1).
+//!
+//! With `--aggregate FILE...` it instead folds the phase-breakdown
+//! fields (`phase_<name>_ns` / `phase_<name>_count`, the unified scheme
+//! of DESIGN.md §10 emitted by `solver_trace_bench` and `obs_bench`)
+//! across every JSON line in the listed files, printing one per-phase
+//! total/share table — the quick way to see where a batch of runs spent
+//! its time without re-running anything.
 
 use tcam_arch::refresh_sched::compare_policies;
 use tcam_bench::{banner, has_flag, spec_from_args};
@@ -16,7 +23,101 @@ use tcam_core::metrics::{
 use tcam_core::osr::V_REFRESH;
 use tcam_spice::units::format_si;
 
+/// Sums `phase_*_ns` / `phase_*_count` pairs across every JSON line of
+/// `paths` and prints a per-phase share table. Exits nonzero when a file
+/// cannot be read or no line carries a phase field.
+fn aggregate(paths: &[String]) -> ! {
+    use tcam_bench::jsonline::parse_flat_object;
+
+    let mut phases: Vec<(String, f64, f64)> = Vec::new(); // (name, ns, count)
+    let mut lines_used = 0u64;
+    for path in paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("summary --aggregate: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let obj = match parse_flat_object(line) {
+                Ok(obj) => obj,
+                Err(e) => {
+                    eprintln!("summary --aggregate: {path}:{}: skipping unparseable line ({e})",
+                        lineno + 1);
+                    continue;
+                }
+            };
+            let mut hit = false;
+            for (key, value) in &obj {
+                let Some(v) = value.as_num() else { continue };
+                let Some(rest) = key.strip_prefix("phase_") else {
+                    continue;
+                };
+                let (name, is_ns) = if let Some(n) = rest.strip_suffix("_ns") {
+                    (n, true)
+                } else if let Some(n) = rest.strip_suffix("_count") {
+                    (n, false)
+                } else {
+                    continue;
+                };
+                hit = true;
+                let slot = match phases.iter().position(|(n, _, _)| n == name) {
+                    Some(i) => &mut phases[i],
+                    None => {
+                        phases.push((name.to_string(), 0.0, 0.0));
+                        phases.last_mut().expect("just pushed")
+                    }
+                };
+                if is_ns {
+                    slot.1 += v;
+                } else {
+                    slot.2 += v;
+                }
+            }
+            lines_used += u64::from(hit);
+        }
+    }
+    if phases.is_empty() {
+        eprintln!("summary --aggregate: no phase_<name>_ns fields found in {paths:?}");
+        std::process::exit(1);
+    }
+    phases.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let total_ns: f64 = phases.iter().map(|(_, ns, _)| ns).sum();
+    println!(
+        "=== phase aggregate: {} phase(s) over {lines_used} record(s) ===",
+        phases.len()
+    );
+    println!(
+        "{:<20} {:>14} {:>10} {:>14} {:>7}",
+        "phase", "total", "count", "mean", "share"
+    );
+    for (name, ns, count) in &phases {
+        let mean = if *count > 0.0 { ns / count } else { 0.0 };
+        println!(
+            "{name:<20} {:>14} {count:>10.0} {:>14} {:>6.1}%",
+            format_si(ns * 1e-9, "s"),
+            format_si(mean * 1e-9, "s"),
+            ns / total_ns.max(1.0) * 100.0
+        );
+    }
+    println!("{:<20} {:>14}", "total", format_si(total_ns * 1e-9, "s"));
+    std::process::exit(0);
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--aggregate") {
+        if args.len() < 2 {
+            eprintln!("usage: summary --aggregate FILE...");
+            std::process::exit(1);
+        }
+        aggregate(&args[1..]);
+    }
     let spec = spec_from_args();
     banner("nem-tcam: full paper reproduction summary", &spec);
 

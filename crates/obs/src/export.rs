@@ -1,0 +1,249 @@
+//! Exporters: Prometheus-style text exposition, a flat-JSON snapshot in
+//! the unified bench key scheme, and a tick-driven console reporter for
+//! long-running serve/churn loops.
+//!
+//! # Key scheme (the one `snake_case` scheme, see DESIGN.md §10)
+//!
+//! Flat-JSON keys are `snake_case`, built as:
+//!
+//! * counters/gauges — the metric name verbatim; a label becomes a
+//!   `_<label>` suffix (`serve_queue_depth_3`),
+//! * histograms — `<name>_{p50,p95,p99,p999,max,mean}_ns` plus
+//!   `<name>_count`,
+//! * phases — `phase_<name>_ns` and `phase_<name>_count`.
+//!
+//! Every value is a plain number, so the whole line parses with
+//! `tcam_bench::jsonline::parse_flat_object` — the same self-check the
+//! bench binaries already run on their own output.
+
+use crate::hist::LatencyHistogram;
+use crate::registry::Snapshot;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+fn label_suffix(label: Option<u32>) -> String {
+    label.map(|l| format!("_{l}")).unwrap_or_default()
+}
+
+/// Renders a snapshot as a single flat JSON object (one line, keys
+/// sorted as stored: counters, gauges, histograms, phases).
+#[must_use]
+pub fn flat_json(snap: &Snapshot) -> String {
+    let mut fields: Vec<(String, f64)> = Vec::new();
+    for (&(name, label), &v) in snap.counters.iter().map(|(k, v)| (k, v)) {
+        fields.push((format!("{name}{}", label_suffix(label)), v as f64));
+    }
+    for (&(name, label), &v) in snap.gauges.iter().map(|(k, v)| (k, v)) {
+        fields.push((format!("{name}{}", label_suffix(label)), v));
+    }
+    for ((name, label), h) in &snap.hists {
+        let base = format!("{name}{}", label_suffix(*label));
+        for (k, v) in hist_fields(h) {
+            fields.push((format!("{base}_{k}"), v));
+        }
+    }
+    for &(name, stat) in &snap.phases {
+        fields.push((format!("phase_{name}_ns"), stat.ns as f64));
+        fields.push((format!("phase_{name}_count"), stat.count as f64));
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{k}\": {}", fmt_num(*v));
+    }
+    out.push('}');
+    out
+}
+
+/// The unified histogram field set: quantile/max/mean in nanoseconds plus
+/// the sample count. Shared by the JSON exporter and the bench binaries
+/// so every histogram in every JSON line carries the same keys.
+#[must_use]
+pub fn hist_fields(h: &LatencyHistogram) -> Vec<(&'static str, f64)> {
+    vec![
+        ("p50_ns", h.quantile(50.0) as f64),
+        ("p95_ns", h.quantile(95.0) as f64),
+        ("p99_ns", h.quantile(99.0) as f64),
+        ("p999_ns", h.quantile(99.9) as f64),
+        ("max_ns", h.max() as f64),
+        ("mean_ns", h.mean()),
+        ("count", h.count() as f64),
+    ]
+}
+
+fn fmt_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9.007_199_254_740_992e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders a snapshot in the Prometheus text exposition format
+/// (`# TYPE` headers; labels as `{label="i"}`; histograms as summaries
+/// with `quantile` labels plus `_sum`/`_count`/`_max`).
+#[must_use]
+pub fn prometheus_text(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for &((name, label), v) in &snap.counters {
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name}{} {v}", prom_label(label));
+    }
+    for &((name, label), v) in &snap.gauges {
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name}{} {v}", prom_label(label));
+    }
+    for ((name, label), h) in &snap.hists {
+        let _ = writeln!(out, "# TYPE {name} summary");
+        for (q, qs) in [(50.0, "0.5"), (95.0, "0.95"), (99.0, "0.99"), (99.9, "0.999")] {
+            let _ = writeln!(
+                out,
+                "{name}{} {}",
+                prom_quantile_label(*label, qs),
+                h.quantile(q)
+            );
+        }
+        let _ = writeln!(out, "{name}_sum{} {}", prom_label(*label), h.sum());
+        let _ = writeln!(out, "{name}_count{} {}", prom_label(*label), h.count());
+        let _ = writeln!(out, "{name}_max{} {}", prom_label(*label), h.max());
+    }
+    for &(name, stat) in &snap.phases {
+        let _ = writeln!(out, "# TYPE phase_{name}_ns counter");
+        let _ = writeln!(out, "phase_{name}_ns {}", stat.ns);
+        let _ = writeln!(out, "# TYPE phase_{name}_count counter");
+        let _ = writeln!(out, "phase_{name}_count {}", stat.count);
+    }
+    out
+}
+
+fn prom_label(label: Option<u32>) -> String {
+    label
+        .map(|l| format!("{{label=\"{l}\"}}"))
+        .unwrap_or_default()
+}
+
+fn prom_quantile_label(label: Option<u32>, q: &str) -> String {
+    match label {
+        Some(l) => format!("{{label=\"{l}\",quantile=\"{q}\"}}"),
+        None => format!("{{quantile=\"{q}\"}}"),
+    }
+}
+
+/// A tick-driven console reporter: call [`ConsoleReporter::tick`] from a
+/// long-running loop and it prints a one-line snapshot summary to stderr
+/// at most once per interval. No background thread — the reporter is as
+/// alive as the loop it instruments.
+#[derive(Debug)]
+pub struct ConsoleReporter {
+    interval: Duration,
+    last: Instant,
+    prefix: &'static str,
+}
+
+impl ConsoleReporter {
+    /// A reporter printing at most every `interval`, each line prefixed
+    /// with `prefix`. The first tick after construction reports.
+    #[must_use]
+    pub fn new(prefix: &'static str, interval: Duration) -> Self {
+        Self {
+            interval,
+            last: Instant::now() - interval,
+            prefix,
+        }
+    }
+
+    /// Prints a summary line if at least one interval elapsed since the
+    /// last report. Returns whether it printed.
+    pub fn tick(&mut self) -> bool {
+        if self.last.elapsed() < self.interval {
+            return false;
+        }
+        self.last = Instant::now();
+        let snap = crate::registry::snapshot();
+        eprintln!("[{}] {}", self.prefix, summary_line(&snap));
+        true
+    }
+}
+
+/// A compact human summary of a snapshot: counters, gauges, histogram
+/// p50/p99, and the top phases by self-time.
+#[must_use]
+pub fn summary_line(snap: &Snapshot) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for &((name, label), v) in &snap.counters {
+        parts.push(format!("{name}{}={v}", label_suffix(label)));
+    }
+    for &((name, label), v) in &snap.gauges {
+        parts.push(format!("{name}{}={v}", label_suffix(label)));
+    }
+    for ((name, label), h) in &snap.hists {
+        parts.push(format!(
+            "{name}{} p50={}ns p99={}ns n={}",
+            label_suffix(*label),
+            h.quantile(50.0),
+            h.quantile(99.0),
+            h.count()
+        ));
+    }
+    let mut phases: Vec<_> = snap.phases.clone();
+    phases.sort_by_key(|&(_, s)| std::cmp::Reverse(s.ns));
+    for &(name, stat) in phases.iter().take(6) {
+        parts.push(format!("{name}={}us", stat.ns / 1_000));
+    }
+    parts.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Built by hand rather than through the global registry, so the
+    // expected values don't depend on what other tests recorded.
+    fn test_snapshot() -> Snapshot {
+        let mut h = LatencyHistogram::new();
+        for v in [100u64, 200, 300] {
+            h.record(v);
+        }
+        Snapshot {
+            counters: vec![(("test_exp_total", None), 42), (("test_exp_shard", Some(1)), 7)],
+            gauges: vec![(("test_exp_depth", None), 3.5)],
+            hists: vec![(("test_exp_lat", None), h)],
+            phases: vec![("test_exp_phase", crate::PhaseStat { ns: 1500, count: 3 })],
+            events: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn flat_json_is_flat_and_carries_unified_keys() {
+        let json = flat_json(&test_snapshot());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"test_exp_total\": 42"), "{json}");
+        assert!(json.contains("\"test_exp_shard_1\": 7"), "{json}");
+        assert!(json.contains("\"test_exp_depth\": 3.5"), "{json}");
+        assert!(json.contains("\"test_exp_lat_p50_ns\":"), "{json}");
+        assert!(json.contains("\"test_exp_lat_count\": 3"), "{json}");
+        // Flat: no nested objects or arrays anywhere.
+        assert!(!json[1..json.len() - 1].contains(['{', '[']), "{json}");
+    }
+
+    #[test]
+    fn prometheus_text_renders_types_and_labels() {
+        let text = prometheus_text(&test_snapshot());
+        assert!(text.contains("# TYPE test_exp_total counter"), "{text}");
+        assert!(text.contains("test_exp_shard{label=\"1\"} 7"), "{text}");
+        assert!(text.contains("# TYPE test_exp_lat summary"), "{text}");
+        assert!(text.contains("test_exp_lat{quantile=\"0.5\"}"), "{text}");
+        assert!(text.contains("test_exp_lat_count 3"), "{text}");
+        assert!(text.contains("test_exp_lat_sum 600"), "{text}");
+    }
+
+    #[test]
+    fn console_reporter_rate_limits() {
+        let _g = crate::test_lock();
+        let mut rep = ConsoleReporter::new("test", Duration::from_secs(3600));
+        assert!(rep.tick(), "first tick reports");
+        assert!(!rep.tick(), "second tick within interval is silent");
+    }
+}

@@ -1,0 +1,528 @@
+//! Global metrics registry: named counters, gauges, and histograms with
+//! thread-local unsynchronized recording buffers.
+//!
+//! # Hot path
+//!
+//! Every recording call (`counter_add`, `gauge_set`, `hist_record`,
+//! `phase_add`) touches only this thread's buffer — no atomics, no locks,
+//! no allocation after the first use of a key. The one shared thing a
+//! recording call reads is the global [`enabled`] flag (a single relaxed
+//! atomic load); when it is off, every entry point returns immediately.
+//! Buffers merge into the global state on [`flush`] — call it at natural
+//! batch boundaries (a worker every N batches and at exit, a bench after
+//! a run) — and [`snapshot`] flushes the calling thread before reading.
+//!
+//! # Keys
+//!
+//! Metric names are `&'static str` in the unified `snake_case` scheme
+//! (see DESIGN.md §10). The `*_at` variants attach a small integer label
+//! (shard index, rung number); exporters render it as `name{label="i"}`
+//! (Prometheus) or `name_i` (flat JSON).
+//!
+//! Gauges are last-write-wins **per label**: two threads setting the same
+//! unlabeled gauge race on flush order, which is why per-shard gauges are
+//! labeled by shard.
+
+use crate::hist::LatencyHistogram;
+use crate::span::{self, SpanEvent};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A metric key: static name plus optional small-integer label.
+pub type Key = (&'static str, Option<u32>);
+
+/// Accumulated self-time of one span name on one or more threads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Total self-time (time inside the span minus time inside child
+    /// spans), in nanoseconds.
+    pub ns: u64,
+    /// Number of times the span closed.
+    pub count: u64,
+}
+
+impl PhaseStat {
+    pub(crate) fn add(&mut self, other: PhaseStat) {
+        self.ns += other.ns;
+        self.count += other.count;
+    }
+}
+
+#[derive(Default)]
+struct Buffers {
+    counters: BTreeMap<Key, u64>,
+    gauges: BTreeMap<Key, f64>,
+    hists: BTreeMap<Key, LatencyHistogram>,
+    /// Small linear table, not a map: [`phase_add`] runs on every span
+    /// close, a handful of distinct names per thread, and the `&'static`
+    /// names let a pointer compare hit before any string compare.
+    phases: Vec<(&'static str, PhaseStat)>,
+}
+
+/// Finds `name` in a phase table, pointer-compare first (static span
+/// names are usually the same literal, so this is one comparison).
+fn phase_slot<'a>(
+    phases: &'a mut Vec<(&'static str, PhaseStat)>,
+    name: &'static str,
+) -> &'a mut PhaseStat {
+    let idx = phases
+        .iter()
+        .position(|(n, _)| std::ptr::eq(*n, name) || *n == name)
+        .unwrap_or_else(|| {
+            phases.push((name, PhaseStat::default()));
+            phases.len() - 1
+        });
+    &mut phases[idx].1
+}
+
+/// Most recent span events kept globally after flushes (a debugging aid,
+/// not an accounting structure — phases carry the totals).
+const GLOBAL_EVENT_CAP: usize = 1024;
+
+#[derive(Default)]
+struct Global {
+    merged: Buffers,
+    events: Vec<SpanEvent>,
+    /// Bumped by [`reset`] so stale thread-local buffers from before the
+    /// reset are discarded at their next flush instead of leaking old
+    /// totals into the new window.
+    generation: u64,
+}
+
+struct Local {
+    buf: Buffers,
+    generation: u64,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+fn global() -> &'static Mutex<Global> {
+    static GLOBAL: OnceLock<Mutex<Global>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Mutex::new(Global::default()))
+}
+
+thread_local! {
+    static LOCAL: RefCell<Local> = RefCell::new(Local {
+        buf: Buffers::default(),
+        generation: global().lock().unwrap().generation,
+    });
+}
+
+/// Whether recording is on. One relaxed load; the hot-path gate.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    #[cfg(feature = "compile-out")]
+    {
+        false
+    }
+    #[cfg(not(feature = "compile-out"))]
+    {
+        ENABLED.load(Ordering::Relaxed)
+    }
+}
+
+/// Turns recording on or off globally. Off makes every recording entry
+/// point (registry and spans) return after one relaxed atomic load.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+#[inline]
+fn with_local<R>(f: impl FnOnce(&mut Buffers) -> R) -> Option<R> {
+    LOCAL
+        .try_with(|local| f(&mut local.borrow_mut().buf))
+        .ok()
+}
+
+/// Adds `delta` to the named counter.
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    counter_add_key(name, None, delta);
+}
+
+/// Adds `delta` to the named counter under label `label`.
+#[inline]
+pub fn counter_add_at(name: &'static str, label: u32, delta: u64) {
+    counter_add_key(name, Some(label), delta);
+}
+
+#[inline]
+fn counter_add_key(name: &'static str, label: Option<u32>, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    with_local(|buf| *buf.counters.entry((name, label)).or_insert(0) += delta);
+}
+
+/// Sets the named gauge (last flush wins across threads).
+#[inline]
+pub fn gauge_set(name: &'static str, value: f64) {
+    gauge_set_key(name, None, value);
+}
+
+/// Sets the named gauge under label `label`.
+#[inline]
+pub fn gauge_set_at(name: &'static str, label: u32, value: f64) {
+    gauge_set_key(name, Some(label), value);
+}
+
+#[inline]
+fn gauge_set_key(name: &'static str, label: Option<u32>, value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_local(|buf| {
+        buf.gauges.insert((name, label), value);
+    });
+}
+
+/// Records `v` (nanoseconds by convention) into the named histogram.
+#[inline]
+pub fn hist_record(name: &'static str, v: u64) {
+    hist_record_key(name, None, v);
+}
+
+/// Records `v` into the named histogram under label `label`.
+#[inline]
+pub fn hist_record_at(name: &'static str, label: u32, v: u64) {
+    hist_record_key(name, Some(label), v);
+}
+
+#[inline]
+fn hist_record_key(name: &'static str, label: Option<u32>, v: u64) {
+    if !enabled() {
+        return;
+    }
+    with_local(|buf| {
+        buf.hists
+            .entry((name, label))
+            .or_default()
+            .record(v);
+    });
+}
+
+/// Merges an already-built histogram into the named slot — the path for
+/// components (e.g. shard workers) that own per-thread histograms and
+/// publish them wholesale rather than per-value.
+pub fn hist_merge(name: &'static str, hist: &LatencyHistogram) {
+    if !enabled() {
+        return;
+    }
+    with_local(|buf| {
+        buf.hists
+            .entry((name, None))
+            .or_default()
+            .merge(hist);
+    });
+}
+
+/// Adds one closed span's self-time to the named phase. Normally called
+/// by the span machinery, not directly.
+#[inline]
+pub(crate) fn phase_add(name: &'static str, self_ns: u64) {
+    with_local(|buf| {
+        let stat = phase_slot(&mut buf.phases, name);
+        stat.ns += self_ns;
+        stat.count += 1;
+    });
+}
+
+/// A point-in-time copy of this thread's phase totals; see
+/// [`phases_since`].
+#[derive(Debug, Clone, Default)]
+pub struct PhaseMark(Vec<(&'static str, PhaseStat)>);
+
+/// Captures this thread's current (unflushed) phase totals.
+#[must_use]
+pub fn phase_mark() -> PhaseMark {
+    with_local(|buf| PhaseMark(buf.phases.clone())).unwrap_or_default()
+}
+
+/// Phase deltas on this thread since `mark` — how a single run (one
+/// transient, one request) attributes its own wall time without touching
+/// the global state. Phases with no new time are omitted.
+#[must_use]
+pub fn phases_since(mark: &PhaseMark) -> Vec<(&'static str, PhaseStat)> {
+    with_local(|buf| {
+        buf.phases
+            .iter()
+            .filter_map(|&(name, stat)| {
+                let prev = mark
+                    .0
+                    .iter()
+                    .find(|(n, _)| *n == name)
+                    .map(|(_, s)| *s)
+                    .unwrap_or_default();
+                let delta = PhaseStat {
+                    ns: stat.ns.saturating_sub(prev.ns),
+                    count: stat.count.saturating_sub(prev.count),
+                };
+                (delta.count > 0 || delta.ns > 0).then_some((name, delta))
+            })
+            .collect()
+    })
+    .unwrap_or_default()
+}
+
+/// Merges this thread's buffers (and drained span events) into the global
+/// state. Buffers recorded before the last [`reset`] are discarded.
+pub fn flush() {
+    let events = span::drain_events();
+    let local = LOCAL.try_with(|local| {
+        let mut local = local.borrow_mut();
+        let generation = local.generation;
+        (std::mem::take(&mut local.buf), generation)
+    });
+    let Ok((buf, generation)) = local else {
+        return;
+    };
+    let mut global = global().lock().unwrap();
+    if generation != global.generation {
+        // This thread's buffer predates a reset: drop it and adopt the
+        // current window.
+        let gen_now = global.generation;
+        drop(global);
+        let _ = LOCAL.try_with(|local| local.borrow_mut().generation = gen_now);
+        return;
+    }
+    for (key, v) in buf.counters {
+        *global.merged.counters.entry(key).or_insert(0) += v;
+    }
+    for (key, v) in buf.gauges {
+        global.merged.gauges.insert(key, v);
+    }
+    for (key, h) in buf.hists {
+        global
+            .merged
+            .hists
+            .entry(key)
+            .or_default()
+            .merge(&h);
+    }
+    for (name, stat) in buf.phases {
+        phase_slot(&mut global.merged.phases, name).add(stat);
+    }
+    global.events.extend(events);
+    let len = global.events.len();
+    if len > GLOBAL_EVENT_CAP {
+        global.events.drain(..len - GLOBAL_EVENT_CAP);
+    }
+}
+
+/// Clears the global state and invalidates every thread's unflushed
+/// buffer (their next flush discards instead of merging). The calling
+/// thread's buffer is cleared immediately. Benches call this between
+/// trials.
+pub fn reset() {
+    {
+        let mut global = global().lock().unwrap();
+        global.merged = Buffers::default();
+        global.events.clear();
+        global.generation += 1;
+    }
+    let _ = LOCAL.try_with(|local| {
+        let mut local = local.borrow_mut();
+        local.buf = Buffers::default();
+        local.generation += 1;
+    });
+    span::clear_thread();
+}
+
+/// A point-in-time copy of the merged global state.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Monotonic counters, sorted by key.
+    pub counters: Vec<(Key, u64)>,
+    /// Last-set gauges, sorted by key.
+    pub gauges: Vec<(Key, f64)>,
+    /// Merged histograms, sorted by key.
+    pub hists: Vec<(Key, LatencyHistogram)>,
+    /// Span self-time totals, sorted by name.
+    pub phases: Vec<(&'static str, PhaseStat)>,
+    /// Most recent span events (bounded; newest last).
+    pub events: Vec<SpanEvent>,
+}
+
+impl Snapshot {
+    /// The named counter's value (0 when absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|((n, _), _)| *n == name)
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// The named unlabeled gauge, if set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|((n, l), _)| *n == name && l.is_none())
+            .map(|(_, v)| *v)
+    }
+
+    /// The named histogram (merged across labels if labeled).
+    #[must_use]
+    pub fn hist(&self, name: &str) -> Option<LatencyHistogram> {
+        let mut out: Option<LatencyHistogram> = None;
+        for ((n, _), h) in &self.hists {
+            if *n == name {
+                out.get_or_insert_with(LatencyHistogram::default).merge(h);
+            }
+        }
+        out
+    }
+
+    /// The named phase's accumulated self-time.
+    #[must_use]
+    pub fn phase(&self, name: &str) -> PhaseStat {
+        self.phases
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| *s)
+            .unwrap_or_default()
+    }
+
+    /// Sum of all phase self-times — the observed, non-overlapping wall
+    /// time attribution.
+    #[must_use]
+    pub fn phase_total_ns(&self) -> u64 {
+        self.phases.iter().map(|(_, s)| s.ns).sum()
+    }
+}
+
+/// Flushes the calling thread, then copies the merged global state.
+/// Other threads' unflushed buffers are not included — flush them first
+/// (workers flush at exit; see `ShardStats`).
+#[must_use]
+pub fn snapshot() -> Snapshot {
+    flush();
+    let global = global().lock().unwrap();
+    Snapshot {
+        counters: global
+            .merged
+            .counters
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect(),
+        gauges: global.merged.gauges.iter().map(|(&k, &v)| (k, v)).collect(),
+        hists: global
+            .merged
+            .hists
+            .iter()
+            .map(|(&k, h)| (k, h.clone()))
+            .collect(),
+        phases: {
+            let mut phases = global.merged.phases.clone();
+            phases.sort_unstable_by_key(|&(n, _)| n);
+            phases
+        },
+        events: global.events.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is global state: tests share it, so each test uses its
+    // own key names and a fresh reset where totals matter. Tests in this
+    // module run under cargo's default parallelism, so cross-test
+    // interference on *different* keys is harmless by construction.
+
+    #[cfg(feature = "compile-out")]
+    #[test]
+    fn compiled_out_recording_is_a_no_op() {
+        let _g = crate::test_lock();
+        reset();
+        set_enabled(true);
+        assert!(!enabled(), "compile-out overrides the runtime switch");
+        counter_add("test_co_counter", 7);
+        flush();
+        assert_eq!(snapshot().counter("test_co_counter"), 0);
+    }
+
+    #[test]
+    #[cfg_attr(feature = "compile-out", ignore = "recording is compiled out")]
+    fn counters_accumulate_across_flushes() {
+        let _g = crate::test_lock();
+        counter_add("test_reg_hits", 2);
+        flush();
+        counter_add("test_reg_hits", 3);
+        counter_add_at("test_reg_hits", 7, 5);
+        let snap = snapshot();
+        assert_eq!(snap.counter("test_reg_hits"), 10);
+    }
+
+    #[test]
+    #[cfg_attr(feature = "compile-out", ignore = "recording is compiled out")]
+    fn gauges_are_last_write_wins() {
+        let _g = crate::test_lock();
+        gauge_set("test_reg_depth", 4.0);
+        flush();
+        gauge_set("test_reg_depth", 9.0);
+        let snap = snapshot();
+        assert_eq!(snap.gauge("test_reg_depth"), Some(9.0));
+    }
+
+    #[test]
+    #[cfg_attr(feature = "compile-out", ignore = "recording is compiled out")]
+    fn histograms_merge_across_threads() {
+        let _g = crate::test_lock();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        hist_record("test_reg_lat", t * 1000 + i);
+                    }
+                    flush();
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = snapshot();
+        let h = snap.hist("test_reg_lat").expect("histogram present");
+        assert_eq!(h.count(), 400);
+        assert_eq!(h.max(), 3099);
+    }
+
+    #[test]
+    fn disabled_recording_is_dropped() {
+        let _g = crate::test_lock();
+        set_enabled(false);
+        counter_add("test_reg_off", 1);
+        hist_record("test_reg_off_h", 5);
+        set_enabled(true);
+        let snap = snapshot();
+        assert_eq!(snap.counter("test_reg_off"), 0);
+        assert!(snap.hist("test_reg_off_h").is_none());
+    }
+
+    #[test]
+    fn phases_since_reports_thread_local_deltas() {
+        let _g = crate::test_lock();
+        let mark = phase_mark();
+        phase_add("test_reg_phase", 100);
+        phase_add("test_reg_phase", 50);
+        let deltas = phases_since(&mark);
+        let stat = deltas
+            .iter()
+            .find(|(n, _)| *n == "test_reg_phase")
+            .map(|(_, s)| *s)
+            .expect("phase delta present");
+        assert_eq!(stat, PhaseStat { ns: 150, count: 2 });
+        // A second mark sees nothing new.
+        let mark2 = phase_mark();
+        assert!(phases_since(&mark2)
+            .iter()
+            .all(|(n, _)| *n != "test_reg_phase"));
+        flush();
+    }
+}

@@ -1,0 +1,273 @@
+//! Span tracing: thread-local span stack, RAII guards, and bounded
+//! per-thread event rings.
+//!
+//! A span measures one phase of work. Opening is a push onto this
+//! thread's stack; closing (guard drop) pops it, computes the duration,
+//! and accounts **self-time** — the span's duration minus the time spent
+//! in child spans — to the span's phase in the registry. Self-times of
+//! live spans therefore partition wall time: summing every phase never
+//! double-counts nesting, which is what lets `obs_bench` check that the
+//! phase breakdown covers ≥ 90 % of measured wall time.
+//!
+//! ```
+//! # use tcam_obs::span;
+//! {
+//!     let _step = span!("step");
+//!     {
+//!         let _lu = span!("lu_factorize");
+//!         // ... factorize ...
+//!     } // accounts its duration to phase "lu_factorize"
+//! } // accounts (step duration - lu duration) to phase "step"
+//! ```
+//!
+//! Each closed span also appends a [`SpanEvent`] to a bounded per-thread
+//! ring (newest kept), drained into the global snapshot at
+//! [`crate::registry::flush`] — a recent-history debugging aid; the phase
+//! totals carry the accounting.
+//!
+//! # Cost
+//!
+//! Enter + drop is two `Instant` reads, a `Vec` push/pop, and one
+//! thread-local map update — tens of nanoseconds, no atomics, no locks.
+//! Disabled ([`crate::registry::set_enabled`]) it is one relaxed atomic
+//! load; the `compile-out` cargo feature removes even that.
+
+use crate::registry::{enabled, phase_add};
+use std::cell::RefCell;
+use std::time::Instant;
+
+/// One closed span, as kept in the event ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// The span's static name (a phase name).
+    pub name: &'static str,
+    /// Total duration, nanoseconds (children included).
+    pub dur_ns: u64,
+    /// Nesting depth at open (0 = top level on its thread).
+    pub depth: u32,
+}
+
+struct Frame {
+    name: &'static str,
+    start: Instant,
+    child_ns: u64,
+}
+
+/// Per-thread event-ring capacity. Oldest events are evicted first.
+const EVENT_CAP: usize = 256;
+
+struct ThreadSpans {
+    stack: Vec<Frame>,
+    /// Circular event buffer: grows to [`EVENT_CAP`], then `next` marks
+    /// the oldest slot and closes overwrite in place — no shifting on the
+    /// hot path.
+    events: Vec<SpanEvent>,
+    next: usize,
+}
+
+thread_local! {
+    static SPANS: RefCell<ThreadSpans> = const {
+        RefCell::new(ThreadSpans {
+            stack: Vec::new(),
+            events: Vec::new(),
+            next: 0,
+        })
+    };
+}
+
+/// RAII guard for one span; created by [`SpanGuard::enter`] (usually via
+/// the [`span!`](crate::span!) macro). Dropping it closes the span.
+#[must_use = "a span guard measures until dropped; binding it to _ closes it immediately"]
+pub struct SpanGuard {
+    active: bool,
+}
+
+impl SpanGuard {
+    /// Opens a span named `name` on this thread. When observability is
+    /// disabled (or compiled out) the guard is inert.
+    #[inline]
+    pub fn enter(name: &'static str) -> Self {
+        if !enabled() {
+            return Self { active: false };
+        }
+        let active = SPANS
+            .try_with(|spans| {
+                spans.borrow_mut().stack.push(Frame {
+                    name,
+                    start: Instant::now(),
+                    child_ns: 0,
+                });
+            })
+            .is_ok();
+        Self { active }
+    }
+}
+
+impl Drop for SpanGuard {
+    #[inline]
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let _ = SPANS.try_with(|spans| {
+            let mut spans = spans.borrow_mut();
+            // Guards are strictly nested by construction (RAII on one
+            // thread), so the top of the stack is this guard's frame —
+            // unless a disable raced in between enter and drop and a
+            // nested enter returned inert; popping is still correct
+            // because inert guards never pushed.
+            let Some(frame) = spans.stack.pop() else {
+                return;
+            };
+            let dur_ns = u64::try_from(frame.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let self_ns = dur_ns.saturating_sub(frame.child_ns);
+            let depth = u32::try_from(spans.stack.len()).unwrap_or(u32::MAX);
+            if let Some(parent) = spans.stack.last_mut() {
+                parent.child_ns += dur_ns;
+            }
+            let event = SpanEvent {
+                name: frame.name,
+                dur_ns,
+                depth,
+            };
+            if spans.events.len() < EVENT_CAP {
+                spans.events.push(event);
+            } else {
+                let slot = spans.next;
+                spans.events[slot] = event;
+                spans.next = (slot + 1) % EVENT_CAP;
+            }
+            drop(spans);
+            phase_add(frame.name, self_ns);
+        });
+    }
+}
+
+/// Opens a span measuring until the returned guard drops:
+/// `let _g = span!("lu_factorize");`. Always bind the guard — the bare
+/// statement form drops it immediately (and trips the `must_use` lint).
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::SpanGuard::enter($name)
+    };
+}
+
+/// Drains this thread's event ring (oldest first).
+pub(crate) fn drain_events() -> Vec<SpanEvent> {
+    SPANS
+        .try_with(|spans| {
+            let mut spans = spans.borrow_mut();
+            let mut events = std::mem::take(&mut spans.events);
+            // When the ring wrapped, `next` is the oldest slot.
+            let oldest = spans.next.min(events.len());
+            events.rotate_left(oldest);
+            spans.next = 0;
+            events
+        })
+        .unwrap_or_default()
+}
+
+/// Clears this thread's ring and any stranded stack frames (used by
+/// [`crate::registry::reset`] between bench trials).
+pub(crate) fn clear_thread() {
+    let _ = SPANS.try_with(|spans| {
+        let mut spans = spans.borrow_mut();
+        spans.events.clear();
+        spans.next = 0;
+        // Live guards keep measuring; only a reset *between* runs (no
+        // spans open) fully clears. Stranded frames would mis-attribute
+        // child time, so drop them.
+        spans.stack.clear();
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{phase_mark, phases_since};
+    use std::time::Duration;
+
+    fn phase_ns(name: &str, deltas: &[(&'static str, crate::registry::PhaseStat)]) -> u64 {
+        deltas
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| s.ns)
+            .unwrap_or(0)
+    }
+
+    #[test]
+    #[cfg_attr(feature = "compile-out", ignore = "recording is compiled out")]
+    fn nested_spans_account_self_time() {
+        let _g = crate::test_lock();
+        let mark = phase_mark();
+        {
+            let _outer = span!("test_span_outer");
+            std::thread::sleep(Duration::from_millis(4));
+            {
+                let _inner = span!("test_span_inner");
+                std::thread::sleep(Duration::from_millis(4));
+            }
+        }
+        let deltas = phases_since(&mark);
+        let outer = phase_ns("test_span_outer", &deltas);
+        let inner = phase_ns("test_span_inner", &deltas);
+        assert!(inner >= 3_000_000, "inner self-time {inner}ns too small");
+        assert!(outer >= 3_000_000, "outer self-time {outer}ns too small");
+        // Self-time excludes the child: outer slept ~4ms itself while the
+        // whole block took ~8ms. Allow generous scheduler slack.
+        assert!(
+            outer < 7_000_000,
+            "outer self-time {outer}ns includes child time"
+        );
+    }
+
+    #[test]
+    #[cfg_attr(feature = "compile-out", ignore = "recording is compiled out")]
+    fn events_record_duration_and_depth() {
+        let _g = crate::test_lock();
+        drain_events();
+        {
+            let _a = span!("test_span_evt_a");
+            let _b = span!("test_span_evt_b");
+        }
+        let events = drain_events();
+        let b = events
+            .iter()
+            .find(|e| e.name == "test_span_evt_b")
+            .expect("inner event");
+        let a = events
+            .iter()
+            .find(|e| e.name == "test_span_evt_a")
+            .expect("outer event");
+        assert_eq!(b.depth, 1);
+        assert_eq!(a.depth, 0);
+        assert!(a.dur_ns >= b.dur_ns, "outer contains inner");
+    }
+
+    #[test]
+    #[cfg_attr(feature = "compile-out", ignore = "recording is compiled out")]
+    fn event_ring_is_bounded() {
+        let _g = crate::test_lock();
+        drain_events();
+        for _ in 0..(EVENT_CAP + 50) {
+            let _s = span!("test_span_ring");
+        }
+        let events = drain_events();
+        assert_eq!(events.len(), EVENT_CAP);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = crate::test_lock();
+        drain_events();
+        let mark = phase_mark();
+        crate::registry::set_enabled(false);
+        {
+            let _s = span!("test_span_off");
+        }
+        crate::registry::set_enabled(true);
+        assert_eq!(phase_ns("test_span_off", &phases_since(&mark)), 0);
+        assert!(drain_events().iter().all(|e| e.name != "test_span_off"));
+    }
+}

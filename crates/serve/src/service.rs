@@ -378,6 +378,12 @@ fn drain_updates(
     stats: &mut ShardStats,
 ) {
     let (pending, _) = updates.pop_batch(usize::MAX, Duration::ZERO);
+    if pending.is_empty() {
+        return;
+    }
+    let _obs = tcam_obs::span!("serve_swap");
+    let t0 = Instant::now();
+    let epoch_before = *epoch;
     for update in pending {
         if update.epoch <= *epoch {
             // Stale or duplicate publication: the shard already serves a
@@ -397,7 +403,33 @@ fn drain_updates(
         .unwrap_or(u64::MAX);
         stats.update_latency.record(wait_ns);
     }
+    if *epoch > epoch_before {
+        // Epoch jump at this swap: 1 = caught the very next publication;
+        // larger = publications piled up between batch boundaries.
+        stats.max_epoch_lag = stats.max_epoch_lag.max(*epoch - epoch_before);
+    }
+    stats.swap_stall += t0.elapsed();
 }
+
+/// Mirrors a shard's coarse state into the global `tcam-obs` registry as
+/// labeled gauges (label = shard index). Called at flush boundaries only —
+/// never per key — so the registry costs nothing on the match path.
+fn publish_gauges(ctx: &WorkerCtx, stats: &ShardStats, shard: u32) {
+    #[allow(clippy::cast_precision_loss)]
+    {
+        tcam_obs::gauge_set_at(
+            "serve_queue_depth",
+            shard,
+            ctx.gauge.queued_keys.load(Ordering::Relaxed) as f64,
+        );
+        tcam_obs::gauge_set_at("serve_epoch", shard, stats.epoch as f64);
+        tcam_obs::gauge_set_at("serve_epoch_lag", shard, stats.max_epoch_lag as f64);
+    }
+}
+
+/// How many processed batches between registry flushes. Flushing takes the
+/// global mutex, so workers amortize it well past the per-batch path.
+const FLUSH_EVERY_BATCHES: u64 = 64;
 
 fn run_worker(ctx: &WorkerCtx) -> ShardStats {
     let mut table: Arc<PackedTcamArray> = Arc::new(ctx.rules.shard(ctx.shard).clone());
@@ -409,6 +441,8 @@ fn run_worker(ctx: &WorkerCtx) -> ShardStats {
     let mut next_refresh = Instant::now() + refresh_interval;
     let mut refresh_state = ctx.shard as u64;
     let delayed_ns = config.delayed_threshold.as_nanos() as u64;
+    let shard_label = u32::try_from(ctx.shard).unwrap_or(u32::MAX);
+    let mut batches_at_last_flush = 0u64;
 
     loop {
         // Snapshot swap point: batches already drained have completed, the
@@ -419,6 +453,7 @@ fn run_worker(ctx: &WorkerCtx) -> ShardStats {
         if refresh_on && now >= next_refresh {
             // A refresh event competes with traffic: the shard serves
             // nothing until its ops complete.
+            let _obs = tcam_obs::span!("serve_refresh");
             let ops = config.refresh.ops_per_event(rows);
             for _ in 0..ops {
                 refresh_state = refresh_op(refresh_state, config.refresh_op_work);
@@ -442,13 +477,32 @@ fn run_worker(ctx: &WorkerCtx) -> ShardStats {
         } else {
             Duration::from_millis(50)
         };
-        let (batches, closed) = ctx.queue.pop_batch(config.drain_batches.max(1), timeout);
+        let (batches, closed) = {
+            // Idle time (blocking on the queue) is a phase of its own so
+            // the span breakdown partitions the worker's whole wall clock.
+            let _obs = tcam_obs::span!("serve_idle");
+            ctx.queue.pop_batch(config.drain_batches.max(1), timeout)
+        };
         if batches.is_empty() {
             if closed {
                 // Drain updates published between the last swap point and
                 // shutdown: an accepted epoch is applied, not dropped.
                 drain_updates(&ctx.updates, &mut table, &mut epoch, &mut stats);
                 stats.rows = table.len();
+                if tcam_obs::enabled() {
+                    // Publish the shard's exact histograms wholesale and
+                    // mirror the counters once — the registry view matches
+                    // the final `ServeReport` without per-key recording.
+                    tcam_obs::hist_merge("serve_latency", &stats.latency);
+                    tcam_obs::hist_merge("serve_queue_wait", &stats.queue_wait);
+                    tcam_obs::hist_merge("serve_update_latency", &stats.update_latency);
+                    tcam_obs::counter_add("serve_searches", stats.searches);
+                    tcam_obs::counter_add("serve_batches", stats.batches);
+                    tcam_obs::counter_add("serve_refresh_events", stats.refresh_events);
+                    tcam_obs::counter_add("serve_updates_applied", stats.updates_applied);
+                    publish_gauges(ctx, &stats, shard_label);
+                    tcam_obs::flush();
+                }
                 return stats;
             }
             continue;
@@ -457,8 +511,11 @@ fn run_worker(ctx: &WorkerCtx) -> ShardStats {
         let depth = ctx.queue.len() + batches.len();
         stats.max_queue_depth = stats.max_queue_depth.max(depth);
         let t0 = Instant::now();
+        let obs_match = tcam_obs::span!("serve_match");
+        let mut group_keys = 0u64;
         for batch in batches {
             let n = batch.keys.len() as u64;
+            group_keys += n;
             ctx.gauge.queued_keys.fetch_sub(n, Ordering::Relaxed);
             let wait_ns = u64::try_from(
                 Instant::now()
@@ -501,7 +558,22 @@ fn run_worker(ctx: &WorkerCtx) -> ShardStats {
                 });
             }
         }
-        stats.busy += t0.elapsed();
+        drop(obs_match);
+        let group_ns = t0.elapsed();
+        stats.busy += group_ns;
+        // Per-lookup cost of this group in picoseconds: the median of
+        // these samples is robust to preemption landing mid-batch.
+        let group_ps = u64::try_from(group_ns.as_nanos().saturating_mul(1000)).unwrap_or(u64::MAX);
+        if let Some(ps) = group_ps.checked_div(group_keys) {
+            stats.batch_cost.record(ps);
+        }
+        if tcam_obs::enabled() && stats.batches - batches_at_last_flush >= FLUSH_EVERY_BATCHES {
+            // Periodic visibility for long-running services: gauges plus
+            // accumulated span phases, amortized far past the batch path.
+            batches_at_last_flush = stats.batches;
+            publish_gauges(ctx, &stats, shard_label);
+            tcam_obs::flush();
+        }
     }
 }
 
@@ -609,6 +681,68 @@ mod tests {
         assert_eq!(report.updates_applied(), 2 * report.shards.len() as u64);
         assert_eq!(report.updates_dropped, 0);
         assert!(report.update_latency.count() >= report.updates_applied());
+    }
+
+    #[test]
+    fn drain_updates_tracks_epoch_lag_and_swap_stall() {
+        let q = BoundedQueue::new(8);
+        let mut table = Arc::new(PackedTcamArray::new(8));
+        let mut epoch = 0u64;
+        let mut stats = ShardStats::new(0, 0);
+        for e in [1u64, 3] {
+            q.push(TableUpdate {
+                epoch: e,
+                table: Arc::new(PackedTcamArray::new(8)),
+                submitted: Instant::now(),
+            })
+            .unwrap();
+        }
+        drain_updates(&q, &mut table, &mut epoch, &mut stats);
+        assert_eq!(epoch, 3);
+        assert_eq!(stats.updates_applied, 2);
+        assert_eq!(stats.max_epoch_lag, 3, "jumped 0 -> 3 in one swap");
+        assert!(stats.swap_stall > Duration::ZERO);
+
+        // Catching the very next epoch keeps the max at the worst case.
+        q.push(TableUpdate {
+            epoch: 4,
+            table: Arc::new(PackedTcamArray::new(8)),
+            submitted: Instant::now(),
+        })
+        .unwrap();
+        drain_updates(&q, &mut table, &mut epoch, &mut stats);
+        assert_eq!(epoch, 4);
+        assert_eq!(stats.max_epoch_lag, 3);
+
+        // An empty drain is free: no stall time, no lag change.
+        let stall_before = stats.swap_stall;
+        drain_updates(&q, &mut table, &mut epoch, &mut stats);
+        assert_eq!(stats.swap_stall, stall_before);
+    }
+
+    #[test]
+    fn workers_mirror_stats_into_obs_registry() {
+        // The registry is process-global; other tests may record into it
+        // concurrently, so assertions are lower bounds on shared names.
+        tcam_obs::set_enabled(true);
+        let (w, service) = tiny_service(BankRefresh::None);
+        for key in w.keys.iter().take(32) {
+            let _ = service.search_blocking(key).unwrap();
+        }
+        let report = service.shutdown();
+        assert_eq!(report.searches(), 32);
+        let snap = tcam_obs::snapshot();
+        assert!(snap.counter("serve_searches") >= 32);
+        let lat = snap.hist("serve_latency").expect("merged at worker exit");
+        assert!(lat.count() >= 32);
+        assert!(snap.phase("serve_match").count > 0, "match span recorded");
+        assert!(snap.phase("serve_idle").ns > 0, "idle span recorded");
+        assert!(
+            snap.gauges
+                .iter()
+                .any(|((n, l), _)| *n == "serve_epoch" && l.is_some()),
+            "per-shard epoch gauge published"
+        );
     }
 
     #[test]

@@ -1,146 +1,21 @@
 //! Latency/throughput telemetry for the lookup service.
 //!
-//! [`LatencyHistogram`] is an HDR-style log-linear histogram: values are
-//! bucketed by magnitude (power of two) with 64 linear sub-buckets per
-//! magnitude, giving ~1.6 % relative resolution over the full `u64`
-//! nanosecond range in a fixed 30 KiB footprint and O(1) recording — cheap
-//! enough to record every lookup at millions per second. Quantiles come
-//! from a cumulative walk, reported as the bucket's lower bound (a
-//! conservative estimate with the same ~1.6 % error bound).
+//! The histogram type is [`tcam_obs::LatencyHistogram`], re-exported here
+//! — this crate no longer defines its own (it moved to `tcam-obs` so the
+//! solver, serving, and bench layers share one implementation and one set
+//! of correctness tests).
 //!
 //! [`ShardStats`] is the per-shard counter block each worker owns (no
 //! sharing, no atomics on the hot path) and [`ServeReport`] is the
-//! shutdown-time merge across shards.
+//! shutdown-time merge across shards. Workers also mirror coarse
+//! aggregates into the global `tcam-obs` registry at batch-boundary
+//! flushes (see `service.rs`), so a long-running serve loop is observable
+//! before shutdown; the report stays the exact, complete record.
 
 use std::time::Duration;
 use tcam_arch::energy_model::WorkloadMeter;
 
-/// Linear sub-buckets per power-of-two magnitude (2⁶ → ~1.6 % resolution).
-const SUB_BITS: u32 = 6;
-const SUBS: u64 = 1 << SUB_BITS;
-/// Bucket count covering every `u64` value: magnitudes `SUB_BITS..=63`
-/// each contribute `SUBS` buckets on top of the exact linear range.
-const BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUBS as usize;
-
-/// A log-linear latency histogram (see module docs). Values are in
-/// nanoseconds by convention, but any `u64` works.
-#[derive(Debug, Clone)]
-pub struct LatencyHistogram {
-    counts: Vec<u64>,
-    count: u64,
-    sum: u128,
-    max: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-fn bucket_of(v: u64) -> usize {
-    if v < SUBS {
-        return v as usize;
-    }
-    let msb = 63 - u64::from(v.leading_zeros());
-    let shift = msb - u64::from(SUB_BITS);
-    let sub = (v >> shift) - SUBS;
-    ((shift + 1) * SUBS + sub) as usize
-}
-
-fn value_of(bucket: usize) -> u64 {
-    let b = bucket as u64;
-    if b < SUBS {
-        return b;
-    }
-    let shift = b / SUBS - 1;
-    let sub = b % SUBS;
-    (SUBS + sub) << shift
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    #[must_use]
-    pub fn new() -> Self {
-        Self {
-            counts: vec![0; BUCKETS],
-            count: 0,
-            sum: 0,
-            max: 0,
-        }
-    }
-
-    /// Records one value.
-    #[inline]
-    pub fn record(&mut self, v: u64) {
-        self.counts[bucket_of(v)] += 1;
-        self.count += 1;
-        self.sum += u128::from(v);
-        self.max = self.max.max(v);
-    }
-
-    /// Number of recorded values.
-    #[must_use]
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Exact mean of recorded values (0 when empty).
-    #[must_use]
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
-        }
-    }
-
-    /// Largest recorded value (exact, not bucketed).
-    #[must_use]
-    pub fn max(&self) -> u64 {
-        self.max
-    }
-
-    /// The `q`-th percentile (0–100) as the containing bucket's lower
-    /// bound; 0 when empty. The top quantile is exact: when the target
-    /// order statistic is the last one (`q` high enough that the rank
-    /// reaches `count`), the tracked maximum is returned instead of its
-    /// bucket's lower bound, so `quantile(100.0) == max()` always.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `q` is outside `[0, 100]`.
-    #[must_use]
-    pub fn quantile(&self, q: f64) -> u64 {
-        assert!((0.0..=100.0).contains(&q), "quantile {q} outside [0, 100]");
-        if self.count == 0 {
-            return 0;
-        }
-        // Rank of the target order statistic, at least 1.
-        let rank = ((q / 100.0) * self.count as f64).ceil().max(1.0) as u64;
-        if rank >= self.count {
-            return self.max;
-        }
-        let mut seen = 0u64;
-        for (bucket, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return value_of(bucket);
-            }
-        }
-        self.max
-    }
-
-    /// Merges another histogram into this one.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.sum += other.sum;
-        self.max = self.max.max(other.max);
-    }
-}
+pub use tcam_obs::hist::{bucket_of, value_of, LatencyHistogram};
 
 /// Counters one shard worker accumulates privately and returns at join.
 #[derive(Debug, Clone)]
@@ -166,6 +41,14 @@ pub struct ShardStats {
     /// Last published epoch this shard serves from (0 = the initial
     /// table) — the per-shard epoch gauge.
     pub epoch: u64,
+    /// Largest epoch jump observed at a snapshot swap: newest pending
+    /// epoch minus the epoch served before the swap. 1 = the shard always
+    /// caught the next epoch promptly; larger = publications piled up
+    /// between batch boundaries; 0 = no update was ever applied.
+    pub max_epoch_lag: u64,
+    /// Wall time spent applying snapshot swaps (draining the update
+    /// mailbox between batches).
+    pub swap_stall: Duration,
     /// Refresh events executed (one per deadline).
     pub refresh_events: u64,
     /// Refresh operations executed (1/event one-shot, rows/event
@@ -184,6 +67,12 @@ pub struct ShardStats {
     /// Update publication latency (publish → swap applied), nanoseconds —
     /// the staleness window of an epoch snapshot.
     pub update_latency: LatencyHistogram,
+    /// Per-lookup match cost, picoseconds per key, one sample per drained
+    /// batch group (the group's processing wall time divided by its key
+    /// count). Unlike `busy`, whose total absorbs any preemption that
+    /// lands mid-batch, the median of this distribution is robust to
+    /// scheduler noise — preempted groups land in the tail.
+    pub batch_cost: LatencyHistogram,
     /// Modeled per-operation energy/time accounting.
     pub meter: WorkloadMeter,
 }
@@ -202,6 +91,8 @@ impl ShardStats {
             stalled_searches: 0,
             updates_applied: 0,
             epoch: 0,
+            max_epoch_lag: 0,
+            swap_stall: Duration::ZERO,
             refresh_events: 0,
             refresh_ops: 0,
             refresh_stall: Duration::ZERO,
@@ -210,6 +101,7 @@ impl ShardStats {
             latency: LatencyHistogram::new(),
             queue_wait: LatencyHistogram::new(),
             update_latency: LatencyHistogram::new(),
+            batch_cost: LatencyHistogram::new(),
             meter: WorkloadMeter::new(),
         }
     }
@@ -228,6 +120,9 @@ pub struct ServeReport {
     pub queue_wait: LatencyHistogram,
     /// All shards' update publication latencies merged.
     pub update_latency: LatencyHistogram,
+    /// All shards' per-batch-group match costs merged (picoseconds per
+    /// key; see [`ShardStats::batch_cost`]).
+    pub batch_cost: LatencyHistogram,
     /// Table updates rejected because the service had already begun
     /// shutdown when they were published.
     pub updates_dropped: u64,
@@ -242,11 +137,13 @@ impl ServeReport {
         let mut latency = LatencyHistogram::new();
         let mut queue_wait = LatencyHistogram::new();
         let mut update_latency = LatencyHistogram::new();
+        let mut batch_cost = LatencyHistogram::new();
         let mut meter = WorkloadMeter::new();
         for s in &shards {
             latency.merge(&s.latency);
             queue_wait.merge(&s.queue_wait);
             update_latency.merge(&s.update_latency);
+            batch_cost.merge(&s.batch_cost);
             meter.searches += s.meter.searches;
             meter.writes += s.meter.writes;
             meter.refreshes += s.meter.refreshes;
@@ -259,6 +156,7 @@ impl ServeReport {
             latency,
             queue_wait,
             update_latency,
+            batch_cost,
             updates_dropped,
             meter,
         }
@@ -301,6 +199,18 @@ impl ServeReport {
         self.shards.iter().map(|s| s.epoch).max().unwrap_or(0)
     }
 
+    /// Largest epoch lag any shard observed at a snapshot swap.
+    #[must_use]
+    pub fn max_epoch_lag(&self) -> u64 {
+        self.shards.iter().map(|s| s.max_epoch_lag).max().unwrap_or(0)
+    }
+
+    /// Total wall time spent applying snapshot swaps across shards.
+    #[must_use]
+    pub fn swap_stall(&self) -> Duration {
+        self.shards.iter().map(|s| s.swap_stall).sum()
+    }
+
     /// Total refresh events across shards.
     #[must_use]
     pub fn refresh_events(&self) -> u64 {
@@ -335,121 +245,8 @@ impl ServeReport {
 mod tests {
     use super::*;
 
-    #[test]
-    fn buckets_are_monotone_and_tight() {
-        let mut last = 0usize;
-        for exp in 0..63u32 {
-            for v in [1u64 << exp, (1u64 << exp) + 1, (1u64 << exp) * 3 / 2] {
-                let b = bucket_of(v);
-                assert!(b >= last || v < SUBS * 2, "bucket order at {v}");
-                last = last.max(b);
-                let lo = value_of(b);
-                assert!(lo <= v, "lower bound {lo} > {v}");
-                // Relative error bounded by one sub-bucket (~1/64).
-                assert!(
-                    (v - lo) as f64 <= v as f64 / SUBS as f64 + 1.0,
-                    "bucket too wide at {v}: lo {lo}"
-                );
-            }
-        }
-        assert!(bucket_of(u64::MAX) < BUCKETS);
-    }
-
-    #[test]
-    fn small_values_are_exact() {
-        for v in 0..SUBS * 2 {
-            assert_eq!(value_of(bucket_of(v)), v);
-        }
-    }
-
-    #[test]
-    fn quantiles_of_known_distribution() {
-        let mut h = LatencyHistogram::new();
-        for v in 1..=1000u64 {
-            h.record(v);
-        }
-        assert_eq!(h.count(), 1000);
-        let p50 = h.quantile(50.0);
-        let p99 = h.quantile(99.0);
-        assert!((490..=500).contains(&p50), "p50 {p50}");
-        assert!((975..=990).contains(&p99), "p99 {p99}");
-        assert!(p99 > p50);
-        // 1000 = 125·2³ sits exactly on its bucket's lower bound.
-        assert_eq!(h.quantile(100.0), 1000);
-        assert_eq!(h.max(), 1000);
-        assert!((h.mean() - 500.5).abs() < 1e-9);
-    }
-
-    #[test]
-    fn empty_histogram_is_zero() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.quantile(50.0), 0);
-        assert_eq!(h.mean(), 0.0);
-        assert_eq!(h.max(), 0);
-    }
-
-    #[test]
-    fn merge_equals_combined_recording() {
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
-        let mut whole = LatencyHistogram::new();
-        for v in 0..500u64 {
-            let x = v * v % 10_000;
-            if v % 2 == 0 {
-                a.record(x);
-            } else {
-                b.record(x);
-            }
-            whole.record(x);
-        }
-        a.merge(&b);
-        assert_eq!(a.count(), whole.count());
-        assert_eq!(a.max(), whole.max());
-        for q in [1.0, 25.0, 50.0, 90.0, 99.0] {
-            assert_eq!(a.quantile(q), whole.quantile(q));
-        }
-    }
-
-    #[test]
-    fn top_quantile_is_exact_max() {
-        // A max that falls strictly inside a wide bucket: the old code
-        // reported the bucket's lower bound (e.g. 1015 buckets with 1000)
-        // and under-read the tail.
-        let mut h = LatencyHistogram::new();
-        h.record(10);
-        h.record(1015);
-        assert_eq!(h.quantile(100.0), 1015);
-        assert_eq!(h.quantile(100.0), h.max());
-    }
-
-    #[test]
-    fn top_quantile_equals_max_property() {
-        use tcam_numeric::rng::SplitMix64;
-        let mut rng = SplitMix64::new(0x5eed_7e1e);
-        for trial in 0..200 {
-            let mut h = LatencyHistogram::new();
-            let n = 1 + (rng.next_u64() % 64) as usize;
-            let mut true_max = 0u64;
-            for _ in 0..n {
-                // Mix magnitudes: spread draws across the full log range so
-                // maxima routinely land mid-bucket.
-                let shift = rng.next_u64() % 50;
-                let v = rng.next_u64() >> (14 + shift);
-                h.record(v);
-                true_max = true_max.max(v);
-            }
-            assert_eq!(h.max(), true_max, "trial {trial}");
-            assert_eq!(
-                h.quantile(100.0),
-                true_max,
-                "trial {trial}: p100 must be the exact max"
-            );
-            // Monotonicity and bounds survive the clamp.
-            let p50 = h.quantile(50.0);
-            let p999 = h.quantile(99.9);
-            assert!(p50 <= p999 && p999 <= true_max, "trial {trial}");
-        }
-    }
+    // Histogram correctness tests live with the type in `tcam-obs`
+    // (`crates/obs/src/hist.rs`); these cover the serve-side aggregation.
 
     #[test]
     fn report_aggregates_shards() {
@@ -465,6 +262,9 @@ mod tests {
         s0.epoch = 5;
         s1.updates_applied = 3;
         s1.epoch = 7;
+        s1.max_epoch_lag = 2;
+        s0.swap_stall = Duration::from_micros(5);
+        s1.swap_stall = Duration::from_micros(7);
         s0.update_latency.record(2_000);
         let report = ServeReport::from_shards(vec![s0, s1], Duration::from_millis(100), 2);
         assert_eq!(report.searches(), 150);
@@ -473,8 +273,23 @@ mod tests {
         assert_eq!(report.latency.count(), 2);
         assert_eq!(report.updates_applied(), 8);
         assert_eq!(report.last_epoch(), 7);
+        assert_eq!(report.max_epoch_lag(), 2);
+        assert_eq!(report.swap_stall(), Duration::from_micros(12));
         assert_eq!(report.updates_dropped, 2);
         assert_eq!(report.update_latency.count(), 1);
         assert!((report.throughput() - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_histogram_is_the_obs_type() {
+        // The re-export is the single histogram type: quantiles come back
+        // midpoint-reported with the exact-max clamp, same as `tcam-obs`.
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(50.0), 502, "midpoint convention");
+        assert_eq!(h.quantile(100.0), 1000, "exact max clamp");
+        assert_eq!(value_of(bucket_of(77)), 77);
     }
 }

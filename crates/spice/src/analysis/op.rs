@@ -116,6 +116,7 @@ fn gmin_ladder(
     opts: &SimOptions,
     trace: &mut SolverTrace,
 ) -> Result<(NewtonOutcome, usize)> {
+    let _obs = tcam_obs::span!("rung_gmin_ramp");
     let mut guess = zeros.to_vec();
     let mut stages = 0usize;
     let mut gmin = opts.gmin_step_start;
@@ -174,6 +175,7 @@ fn source_stepping(
     opts: &SimOptions,
     trace: &mut SolverTrace,
 ) -> Result<(NewtonOutcome, usize)> {
+    let _obs = tcam_obs::span!("rung_source_stepping");
     let n_stages = opts.source_step_points.max(2);
     #[allow(clippy::cast_precision_loss)]
     let dl0 = 1.0 / n_stages as f64;

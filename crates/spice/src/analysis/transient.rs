@@ -72,6 +72,11 @@ pub fn transient(
         )));
     }
 
+    // Wall-time phase attribution for this run: spans opened below (and in
+    // newton/mna) accumulate thread-local self-times; the delta since this
+    // mark is attached to the trace at the end.
+    let obs_mark = tcam_obs::phase_mark();
+
     // 1. Operating point (also commits device initial states). Recovery
     //    work done for the OP (gmin/source stepping) lands in the trace.
     let mut trace = SolverTrace::new(opts.trace_events);
@@ -169,12 +174,11 @@ pub fn transient(
             return Err(SpiceError::non_convergence(t, attempts, f64::NAN));
         }
 
-        // Advance past consumed breakpoints.
+        // Advance past consumed breakpoints, then select the step size.
+        let obs_step_control = tcam_obs::span!("step_control");
         while bp_cursor < breakpoints.len() && breakpoints[bp_cursor] <= t * (1.0 + 1e-15) {
             bp_cursor += 1;
         }
-
-        // Step-size selection.
         let mut dt_lim = opts.dt_max.min(spec.t_stop - t);
         let mut hint_lim = f64::INFINITY;
         for dev in circuit.devices() {
@@ -194,6 +198,7 @@ pub fn transient(
             }
         }
         let t_new = t + step;
+        drop(obs_step_control);
 
         // Newton solve: guess is the previous accepted state. On failure
         // the recovery ladder retries at the *same* (t, dt) — gmin ramp,
@@ -258,6 +263,7 @@ pub fn transient(
         };
 
         // LTE estimate and acceptance.
+        let obs_lte = tcam_obs::span!("lte_estimate");
         let mut lte_max = 0.0_f64;
         if hist_valid {
             for i in 0..n_nodes {
@@ -273,10 +279,12 @@ pub fn transient(
                 continue;
             }
         }
+        drop(obs_lte);
 
         // Accept: commit devices, record. The commit must see the
         // integrator that actually produced the solution (a TR→BE fallback
         // changes the companion-history update).
+        let obs_commit = tcam_obs::span!("commit_record");
         let ctx = CommitCtx {
             analysis: AnalysisKind::Transient,
             time: t_new,
@@ -290,6 +298,7 @@ pub fn transient(
             dev.commit(&ctx);
         }
         record(&mut wave, &mut row, t_new, &x_cur, circuit);
+        drop(obs_commit);
         sys.stats_mut().steps_accepted += 1;
         let recovered = !rungs.is_empty();
         trace.accept(t_new, step, iterations, rungs);
@@ -321,6 +330,20 @@ pub fn transient(
         t = t_new;
     }
 
+    // Attach this run's phase breakdown (unified key scheme) so it is
+    // queryable via `meas_solver("phase_<name>_ns")` and lands in the
+    // trace's JSON line alongside the exact counters.
+    #[allow(clippy::cast_precision_loss)]
+    let phases: Vec<(String, f64)> = tcam_obs::phases_since(&obs_mark)
+        .into_iter()
+        .flat_map(|(name, stat)| {
+            [
+                (format!("phase_{name}_ns"), stat.ns as f64),
+                (format!("phase_{name}_count"), stat.count as f64),
+            ]
+        })
+        .collect();
+    trace.set_phases(phases);
     wave.set_stats(sys.stats());
     wave.set_solver_trace(trace);
     Ok(wave)
@@ -348,6 +371,7 @@ fn recover_step(
     // into its basin of attraction.
     rungs.push(Rung::GminRamp);
     trace.rung_engaged(Rung::GminRamp);
+    let obs_gmin = tcam_obs::span!("rung_gmin_ramp");
     if let Some(iters) = gmin_ramp(
         circuit,
         sys,
@@ -362,6 +386,7 @@ fn recover_step(
     ) {
         return Some((iters, opts.integrator));
     }
+    drop(obs_gmin);
 
     // Rung 3: TR→BE fallback for this one step — trapezoidal ringing around
     // an abrupt event (relay pull-in) can defeat Newton outright; backward
@@ -370,6 +395,7 @@ fn recover_step(
     if opts.integrator == Integrator::Trapezoidal {
         rungs.push(Rung::IntegratorFallback);
         trace.rung_engaged(Rung::IntegratorFallback);
+        let _obs = tcam_obs::span!("rung_integrator_fallback");
         x_cur.clear();
         x_cur.extend_from_slice(x_prev);
         if let Ok(iters) = solve_point_in_place(
@@ -761,6 +787,32 @@ mod tests {
         // The JSON line parses shallowly: single line, balanced braces.
         let line = trace.to_json_line();
         assert!(line.starts_with('{') && line.ends_with('}') && !line.contains('\n'));
+    }
+
+    #[test]
+    fn phase_breakdown_is_attached_and_measurable() {
+        let mut ckt = rc_circuit(1e3, 1e-9);
+        let wave = transient(&mut ckt, TransientSpec::to(5e-6), &SimOptions::default()).unwrap();
+        let trace = wave.solver_trace().unwrap();
+        if !tcam_obs::enabled() {
+            assert!(trace.phases().is_empty());
+            return;
+        }
+        // The run spent real time in every leaf phase of the hot loop, and
+        // the spans fired once per Newton iteration / accepted step.
+        for phase in ["device_eval", "mna_stamp", "back_solve", "nr_update"] {
+            let key = format!("phase_{phase}_ns");
+            let ns = wave.meas_solver(&key).unwrap_or(0.0);
+            assert!(ns > 0.0, "{key} missing from {:?}", trace.phases());
+        }
+        let evals = wave.meas_solver("phase_device_eval_count").unwrap();
+        assert!(
+            evals >= trace.nr_iterations as f64,
+            "one device_eval per NR iteration at minimum"
+        );
+        // Phases ride into the JSON line next to the exact counters.
+        let line = trace.to_json_line();
+        assert!(line.contains("\"phase_device_eval_ns\":"), "{line}");
     }
 
     #[test]

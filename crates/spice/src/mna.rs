@@ -220,14 +220,18 @@ impl MnaSystem {
             cursor: 0,
             rhs: &mut self.rhs,
         };
-        for dev in circuit.devices() {
-            let mut stamps = Stamps::new(&mut sink, self.index);
-            dev.load(&ctx, &mut stamps);
+        {
+            let _obs = tcam_obs::span!("device_eval");
+            for dev in circuit.devices() {
+                let mut stamps = Stamps::new(&mut sink, self.index);
+                dev.load(&ctx, &mut stamps);
+            }
         }
         assert_eq!(
             sink.cursor, self.gmin_first_stamp,
             "a device emitted a different stamp count than its pattern pass"
         );
+        let _obs = tcam_obs::span!("mna_stamp");
         // gmin diagonals.
         for i in 0..self.index.n_node_unknowns() {
             self.stamp_vals[self.gmin_first_stamp + i] = gmin;
@@ -277,22 +281,27 @@ impl MnaSystem {
 
     fn solve_sparse_into(&mut self, out: &mut Vec<f64>) -> Result<()> {
         let need_fresh = match self.lu.as_mut() {
-            Some(lu) if self.reuse_factorization => match lu.refactorize(&self.csc) {
-                Ok(()) => {
-                    self.stats.refactorizations += 1;
-                    false
+            Some(lu) if self.reuse_factorization => {
+                let _obs = tcam_obs::span!("lu_refactorize");
+                match lu.refactorize(&self.csc) {
+                    Ok(()) => {
+                        self.stats.refactorizations += 1;
+                        false
+                    }
+                    // The reused pivot order went bad numerically — fall back
+                    // to a fresh factorization with full partial pivoting.
+                    Err(NumericError::PivotDegraded { .. }) => true,
+                    Err(e) => return Err(e.into()),
                 }
-                // The reused pivot order went bad numerically — fall back
-                // to a fresh factorization with full partial pivoting.
-                Err(NumericError::PivotDegraded { .. }) => true,
-                Err(e) => return Err(e.into()),
-            },
+            }
             _ => true,
         };
         if need_fresh {
+            let _obs = tcam_obs::span!("lu_factorize");
             self.stats.fresh_factorizations += 1;
             self.lu = Some(SparseLu::factorize(&self.csc)?);
         }
+        let _obs = tcam_obs::span!("back_solve");
         out.resize(self.rhs.len(), 0.0);
         out.copy_from_slice(&self.rhs);
         self.lu
@@ -304,11 +313,16 @@ impl MnaSystem {
 
     fn solve_dense_into(&mut self, out: &mut Vec<f64>) -> Result<()> {
         let dense = self.dense_mat.get_or_insert_with(|| DenseMatrix::zeros(0, 0));
-        self.csc.to_dense_into(dense);
-        let lu = self.dense_lu.get_or_insert_with(DenseLu::empty);
-        dense.lu_into(lu)?;
+        {
+            let _obs = tcam_obs::span!("lu_factorize");
+            self.csc.to_dense_into(dense);
+            let lu = self.dense_lu.get_or_insert_with(DenseLu::empty);
+            dense.lu_into(lu)?;
+        }
         // Dense LU always pivots from scratch, so it counts as fresh.
         self.stats.fresh_factorizations += 1;
+        let _obs = tcam_obs::span!("back_solve");
+        let lu = self.dense_lu.as_ref().expect("factorized above");
         lu.solve_into(&self.rhs, out)?;
         Ok(())
     }

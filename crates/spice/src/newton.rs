@@ -121,6 +121,7 @@ pub fn solve_point_in_place(
                 cause,
             });
         }
+        let _obs = tcam_obs::span!("nr_update");
         if let Some(bad) = x_new.iter().position(|v| !v.is_finite()) {
             return Err(SpiceError::NonConvergence {
                 time,

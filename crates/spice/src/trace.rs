@@ -123,6 +123,11 @@ pub struct SolverTrace {
     pub last_worst_unknown: Option<String>,
     events: VecDeque<StepEvent>,
     capacity: usize,
+    /// Wall-time phase attribution for the run that produced this trace
+    /// (`phase_<name>_ns`/`phase_<name>_count` pairs from the span layer),
+    /// queryable through [`SolverTrace::counter`] exactly like the exact
+    /// counters above. Empty when observability was disabled.
+    phases: Vec<(String, f64)>,
 }
 
 impl Default for SolverTrace {
@@ -153,6 +158,7 @@ impl SolverTrace {
             last_worst_unknown: None,
             events: VecDeque::new(),
             capacity,
+            phases: Vec::new(),
         }
     }
 
@@ -242,6 +248,19 @@ impl SolverTrace {
         self.events.iter()
     }
 
+    /// Attaches the run's wall-time phase breakdown: `(key, value)` pairs
+    /// in the unified scheme (`phase_<name>_ns`, `phase_<name>_count`).
+    /// Replaces any previous attachment.
+    pub fn set_phases(&mut self, phases: Vec<(String, f64)>) {
+        self.phases = phases;
+    }
+
+    /// The attached phase breakdown (empty when observability was off).
+    #[must_use]
+    pub fn phases(&self) -> &[(String, f64)] {
+        &self.phases
+    }
+
     /// Merges another trace's aggregates into this one (used to fold the
     /// initial-OP ladder work into the transient trace). Events are
     /// appended subject to capacity.
@@ -264,6 +283,12 @@ impl SolverTrace {
         }
         for ev in &other.events {
             self.push_event(ev.clone());
+        }
+        for (name, value) in &other.phases {
+            match self.phases.iter_mut().find(|(n, _)| n == name) {
+                Some((_, v)) => *v += value,
+                None => self.phases.push((name.clone(), *value)),
+            }
         }
     }
 
@@ -290,12 +315,18 @@ impl SolverTrace {
         ]
     }
 
-    /// Looks up one aggregate counter by name, `.meas`-style.
+    /// Looks up one aggregate counter — or an attached `phase_*` entry —
+    /// by name, `.meas`-style.
     #[must_use]
     pub fn counter(&self, name: &str) -> Option<f64> {
         self.counters()
             .into_iter()
             .find_map(|(n, v)| (n == name).then_some(v))
+            .or_else(|| {
+                self.phases
+                    .iter()
+                    .find_map(|(n, v)| (n == name).then_some(*v))
+            })
     }
 
     /// The trace as one line of JSON, in the same hand-formatted style as
@@ -312,15 +343,80 @@ impl SolverTrace {
                 let _ = write!(s, ",\"{name}\":{value:.0}");
             }
         }
+        for (name, value) in &self.phases {
+            let _ = write!(s, ",\"{name}\":{value:.0}");
+        }
         match &self.last_worst_unknown {
             Some(w) => {
-                let _ = write!(s, ",\"worst_unknown\":\"{}\"", escape_json(w));
+                let _ = write!(s, ",\"worst_unknown\":\"{}\"", safe_node_name(w));
             }
             None => s.push_str(",\"worst_unknown\":null"),
         }
         s.push('}');
         s
     }
+
+    /// The event ring as one flat JSON line per step, oldest first — the
+    /// deep-diagnosis companion to [`SolverTrace::to_json_line`]. Node
+    /// names are escaped and length-bounded (see [`safe_node_name`]), so a
+    /// netlist node named `v("odd")` — or a pathologically long generated
+    /// name — cannot corrupt bench output.
+    #[must_use]
+    pub fn events_json_lines(&self) -> Vec<String> {
+        self.events
+            .iter()
+            .map(|ev| {
+                let mut s = String::from("{\"trace\":\"step\"");
+                let _ = write!(s, ",\"time\":{:.6e},\"dt\":{:.6e}", ev.time, ev.dt);
+                let _ = write!(s, ",\"iterations\":{}", ev.iterations);
+                match &ev.outcome {
+                    StepOutcome::Accepted { rungs } => {
+                        s.push_str(",\"outcome\":\"accepted\",\"rungs\":\"");
+                        for (i, r) in rungs.iter().enumerate() {
+                            if i > 0 {
+                                s.push('+');
+                            }
+                            s.push_str(r.label());
+                        }
+                        s.push('"');
+                    }
+                    StepOutcome::Rejected {
+                        reason,
+                        worst_unknown,
+                    } => {
+                        let _ = write!(s, ",\"outcome\":\"rejected\",\"reason\":\"{}\"", reason.label());
+                        match worst_unknown {
+                            Some(w) => {
+                                let _ = write!(s, ",\"worst_unknown\":\"{}\"", safe_node_name(w));
+                            }
+                            None => s.push_str(",\"worst_unknown\":null"),
+                        }
+                    }
+                }
+                s.push('}');
+                s
+            })
+            .collect()
+    }
+}
+
+/// Longest node name interpolated into a JSON record before truncation.
+const MAX_NODE_NAME_JSON: usize = 96;
+
+/// A node name made safe for direct interpolation between JSON quotes:
+/// escaped (quotes, backslashes, control characters) and bounded to
+/// [`MAX_NODE_NAME_JSON`] characters (a `..` suffix marks truncation) so
+/// hierarchical generated names can't bloat one-line records.
+fn safe_node_name(s: &str) -> String {
+    let mut bounded = String::with_capacity(s.len().min(MAX_NODE_NAME_JSON + 2));
+    for (taken, ch) in s.chars().enumerate() {
+        if taken == MAX_NODE_NAME_JSON {
+            bounded.push_str("..");
+            break;
+        }
+        bounded.push(ch);
+    }
+    escape_json(&bounded)
 }
 
 fn escape_json(s: &str) -> String {
@@ -422,6 +518,71 @@ mod tests {
         let line = SolverTrace::new(0).to_json_line();
         assert!(!line.contains("inf"), "{line}");
         assert!(line.contains("\"worst_unknown\":null"));
+    }
+
+    #[test]
+    fn phases_are_queryable_and_absorbed() {
+        let mut t = SolverTrace::new(0);
+        t.set_phases(vec![
+            ("phase_lu_factorize_ns".into(), 1200.0),
+            ("phase_device_eval_ns".into(), 800.0),
+        ]);
+        assert_eq!(t.counter("phase_lu_factorize_ns"), Some(1200.0));
+        assert_eq!(t.counter("steps_accepted"), Some(0.0), "counters still win");
+        let mut other = SolverTrace::new(0);
+        other.set_phases(vec![
+            ("phase_lu_factorize_ns".into(), 300.0),
+            ("phase_back_solve_ns".into(), 50.0),
+        ]);
+        t.absorb(&other);
+        assert_eq!(t.counter("phase_lu_factorize_ns"), Some(1500.0));
+        assert_eq!(t.counter("phase_back_solve_ns"), Some(50.0));
+        let line = t.to_json_line();
+        assert!(line.contains("\"phase_lu_factorize_ns\":1500"), "{line}");
+    }
+
+    #[test]
+    fn event_lines_escape_and_bound_node_names() {
+        let mut t = SolverTrace::new(4);
+        t.reject(
+            1e-12,
+            2e-12,
+            9,
+            RejectReason::Newton,
+            Some("v(\"quoted\")".into()),
+        );
+        let long_name: String = "x".repeat(300);
+        t.reject(2e-12, 1e-12, 7, RejectReason::Newton, Some(long_name));
+        t.accept(2e-12, 1e-12, 3, vec![Rung::GminRamp, Rung::IntegratorFallback]);
+        let lines = t.events_json_lines();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            assert!(!line.contains('\n'));
+            assert!(line.starts_with("{\"trace\":\"step\""));
+            // Raw interior quotes would break the line: every quote in the
+            // payload must be escaped, so stripping \" leaves none inside.
+            let stripped = line.replace("\\\"", "");
+            let interior = &stripped[1..stripped.len() - 1];
+            assert_eq!(
+                interior.matches('"').count() % 2,
+                0,
+                "unbalanced quotes: {line}"
+            );
+        }
+        assert!(lines[0].contains("\\\"quoted\\\""), "{}", lines[0]);
+        assert!(
+            lines[1].len() < 300,
+            "long node name must be truncated: {}",
+            lines[1]
+        );
+        assert!(lines[1].contains(".."), "truncation marker: {}", lines[1]);
+        assert!(
+            lines[2].contains("\"rungs\":\"gmin_ramp+integrator_fallback\""),
+            "{}",
+            lines[2]
+        );
+        // The summary line bounds the same way.
+        assert!(t.to_json_line().len() < 1500);
     }
 
     #[test]

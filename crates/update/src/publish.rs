@@ -134,6 +134,7 @@ impl Updater {
     ///
     /// Panics when the realized row operations differ from the plan.
     pub fn apply(&mut self, batch: &[RuleChange]) -> Result<StagedDelta> {
+        let _obs = tcam_obs::span!("update_apply");
         let planned = DeltaCompiler::new(&self.shadow, self.costs).compile(batch)?;
         let version = self.store.apply(batch)?;
         let mut realized = RowOps::default();
@@ -162,6 +163,9 @@ impl Updater {
             self.tables[s] = Arc::new(self.shadow.shard(s).clone());
         }
         self.epoch += 1;
+        tcam_obs::counter_add("update_batches_applied", 1);
+        #[allow(clippy::cast_precision_loss)]
+        tcam_obs::gauge_set("update_epoch", self.epoch as f64);
         Ok(StagedDelta {
             epoch: self.epoch,
             version,
@@ -180,9 +184,11 @@ impl Updater {
     ///
     /// [`tcam_serve::ServeError::ServiceClosed`] once shutdown began.
     pub fn publish(&self, service: &TcamService) -> Result<()> {
+        let _obs = tcam_obs::span!("update_publish");
         for (s, table) in self.tables.iter().enumerate() {
             service.publish(s, self.epoch, Arc::clone(table))?;
         }
+        tcam_obs::counter_add("update_epochs_published", 1);
         Ok(())
     }
 }
@@ -231,6 +237,29 @@ mod tests {
         assert!(updater.apply(&[RuleChange::Remove { priority: 99 }]).is_err());
         assert_eq!(updater.epoch(), 1);
         assert_eq!(updater.store().version(), 1);
+    }
+
+    #[test]
+    fn apply_records_update_phase_and_epoch_gauge() {
+        tcam_obs::set_enabled(true);
+        let mark = tcam_obs::phase_mark();
+        let mut updater = seeded_updater();
+        updater
+            .apply(&[RuleChange::Insert {
+                priority: 5,
+                word: w("110X"),
+            }])
+            .unwrap();
+        let phases = tcam_obs::phases_since(&mark);
+        assert!(
+            phases
+                .iter()
+                .any(|(n, s)| *n == "update_apply" && s.count == 1),
+            "apply span recorded on this thread: {phases:?}"
+        );
+        let snap = tcam_obs::snapshot();
+        assert_eq!(snap.gauge("update_epoch"), Some(1.0));
+        assert!(snap.counter("update_batches_applied") >= 1);
     }
 
     #[test]

@@ -3,7 +3,25 @@
 # The workspace has zero external dependencies, so this must pass with no
 # network access to crates.io — and no toolchain beyond cargo (the bench
 # binaries validate their own JSON output via --check).
+#
+# Usage: tier1.sh [--quick]
+#   --quick  skip the transient-heavy bench self-checks (solver trace and
+#            the observability overhead gate); build, tests, clippy, and
+#            the fast serving/churn checks still run. For tight edit
+#            loops — the full gate remains the merge bar.
 set -eux
+
+QUICK=0
+for arg in "$@"; do
+    case "$arg" in
+    --quick) QUICK=1 ;;
+    *)
+        echo "tier1.sh: unknown argument: $arg" >&2
+        exit 2
+        ;;
+    esac
+done
+
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
@@ -13,13 +31,21 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 # (p99 >= p50 > 0). Exits nonzero on any violation.
 ./target/release/serve_bench --seed 1 --duration-ms 50 --check
 
-# The solver-trace record for the reference 16x16 3T2N search transient
-# must parse and describe a run that actually integrated (steps accepted,
-# plausible dt extrema).
-./target/release/solver_trace_bench --check
-
 # Smoke-run the online-update bench: rule churn against a live service
 # must sustain the update-rate floor with ZERO torn-snapshot observations
 # (every epoch-tagged search result verified against that epoch's rules),
 # no dropped updates, and ordered publish/staleness/search quantiles.
 ./target/release/churn_bench --seed 1 --duration-ms 100 --check
+
+if [ "$QUICK" -eq 0 ]; then
+    # The solver-trace record for the reference 16x16 3T2N search
+    # transient must parse and describe a run that actually integrated
+    # (steps accepted, plausible dt extrema).
+    ./target/release/solver_trace_bench --check
+
+    # Observability overhead gate: spans + registry must cost < 5% on
+    # both the solver transient and the serving path when enabled, be
+    # statistically zero when disabled, and the phase breakdown must
+    # attribute >= 90% of measured wall time.
+    ./target/release/obs_bench --check
+fi
