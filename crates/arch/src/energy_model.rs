@@ -116,6 +116,15 @@ impl WorkloadMeter {
         self.busy_time += costs.search_latency;
     }
 
+    /// Records `n` searches in O(1) — the batched serving path meters a
+    /// whole drained batch at once instead of per key.
+    #[allow(clippy::cast_precision_loss)]
+    pub fn search_n(&mut self, costs: &OperationCosts, n: u64) {
+        self.searches += n;
+        self.energy += costs.search_energy * n as f64;
+        self.busy_time += costs.search_latency * n as f64;
+    }
+
     /// Records one row write.
     pub fn write(&mut self, costs: &OperationCosts) {
         self.writes += 1;
@@ -175,6 +184,15 @@ mod tests {
         let expected = 1000.0 * c.search_energy + c.write_energy + c.refresh_energy;
         assert!((m.energy - expected).abs() < 1e-18);
         assert!(m.average_power(1e-3) > 0.0);
+
+        // Bulk accounting: search_n(n) equals n searches to fp tolerance.
+        let mut bulk = WorkloadMeter::new();
+        bulk.search_n(&c, 1000);
+        assert_eq!(bulk.searches, 1000);
+        assert!((bulk.energy - 1000.0 * c.search_energy).abs() < 1e-18);
+        assert!((bulk.busy_time - 1000.0 * c.search_latency).abs() < 1e-15);
+        bulk.search_n(&c, 0);
+        assert_eq!(bulk.searches, 1000);
     }
 
     #[test]

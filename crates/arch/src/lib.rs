@@ -9,6 +9,9 @@
 //!   measurements) and workload accounting.
 //! * [`packed`] — bit-packed ternary words and arrays for the serving path
 //!   (`tcam-serve`), matching millions of keys per second.
+//! * [`kernel`] — the cache-blocked, key-batched SoA match kernel behind
+//!   [`packed::PackedTcamArray::first_match_batch`]: streams 64-row
+//!   blocks against tiles of keys with unrolled `u64`-lane hit masks.
 //! * [`bank`] — a timed TCAM bank replaying operation traces with refresh
 //!   interleaved per policy; exposes its [`bank::RefreshSchedule`] so
 //!   external schedulers reuse the same deadline logic.
@@ -46,6 +49,7 @@ pub mod apps;
 pub mod array;
 pub mod bank;
 pub mod energy_model;
+pub mod kernel;
 pub mod packed;
 pub mod refresh_sched;
 

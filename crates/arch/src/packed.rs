@@ -14,14 +14,19 @@
 //!
 //! This implements exactly [`tcam_core::bit::TernaryBit::matches`]: `X` on
 //! *either* side matches everything. [`PackedTcamArray`] keeps rows in
-//! structure-of-arrays layout; each row carries a caller-supplied id that
-//! **is its match priority** (lower id wins) — the serving layer stores
-//! *global* rule indices there so sharded lookups report the same winner
-//! as a monolithic array. Because priority lives in the id rather than in
+//! full structure-of-arrays layout — four `u64` *planes* (`mask` limb 0,
+//! mask limb 1, value limb 0, value limb 1), one entry per row — so the
+//! block-batched kernel in [`crate::kernel`] can stream a cache-resident
+//! block of one plane with unit stride, and words ≤ 64 bits touch only
+//! the limb-0 planes. Each row carries a caller-supplied id that **is its
+//! match priority** (lower id wins) — the serving layer stores *global*
+//! rule indices there so sharded lookups report the same winner as a
+//! monolithic array. Because priority lives in the id rather than in
 //! storage order, rows can be removed by O(1) swap-remove (via an id→row
 //! index) without disturbing match results; arrays whose ids happen to be
 //! in ascending storage order (every static build path) keep the
-//! early-exit scan.
+//! early-exit scan, and [`PackedTcamArray::normalize`] restores that
+//! order (it is how the update layer re-orders snapshots after churn).
 
 use crate::array::TcamArray;
 use std::collections::HashMap;
@@ -99,14 +104,21 @@ impl PackedWord {
 #[derive(Debug, Clone)]
 pub struct PackedTcamArray {
     width: usize,
-    masks: Vec<[u64; 2]>,
-    values: Vec<[u64; 2]>,
-    ids: Vec<u32>,
+    /// Care-mask limb-0 plane: `m0[i]` is row `i`'s `mask[0]`.
+    pub(crate) m0: Vec<u64>,
+    /// Care-mask limb-1 plane (all zero when `width <= 64`).
+    pub(crate) m1: Vec<u64>,
+    /// Value limb-0 plane.
+    pub(crate) v0: Vec<u64>,
+    /// Value limb-1 plane (all zero when `width <= 64`).
+    pub(crate) v1: Vec<u64>,
+    /// Row ids (= priorities, lower wins).
+    pub(crate) ids: Vec<u32>,
     /// id → storage row, maintained across push/remove/replace.
     index: HashMap<u32, usize>,
     /// Whether `ids` is in strictly ascending storage order (enables the
     /// early-exit scan; cleared by an order-breaking remove).
-    ordered: bool,
+    pub(crate) ordered: bool,
 }
 
 impl Default for PackedTcamArray {
@@ -129,8 +141,10 @@ impl PackedTcamArray {
         );
         Self {
             width,
-            masks: Vec::new(),
-            values: Vec::new(),
+            m0: Vec::new(),
+            m1: Vec::new(),
+            v0: Vec::new(),
+            v1: Vec::new(),
             ids: Vec::new(),
             index: HashMap::new(),
             ordered: true,
@@ -169,8 +183,10 @@ impl PackedTcamArray {
         }
         let prev = self.index.insert(id, self.ids.len());
         assert!(prev.is_none(), "duplicate row id {id}");
-        self.masks.push(p.mask);
-        self.values.push(p.value);
+        self.m0.push(p.mask[0]);
+        self.m1.push(p.mask[1]);
+        self.v0.push(p.value[0]);
+        self.v1.push(p.value[1]);
         self.ids.push(id);
     }
 
@@ -182,8 +198,10 @@ impl PackedTcamArray {
             return false;
         };
         let last = self.ids.len() - 1;
-        self.masks.swap_remove(row);
-        self.values.swap_remove(row);
+        self.m0.swap_remove(row);
+        self.m1.swap_remove(row);
+        self.v0.swap_remove(row);
+        self.v1.swap_remove(row);
         self.ids.swap_remove(row);
         if row < last {
             // A row moved into the hole: repoint its index entry, and the
@@ -206,8 +224,10 @@ impl PackedTcamArray {
             return false;
         };
         let p = PackedWord::pack(word);
-        self.masks[row] = p.mask;
-        self.values[row] = p.value;
+        self.m0[row] = p.mask[0];
+        self.m1[row] = p.mask[1];
+        self.v0[row] = p.value[0];
+        self.v1[row] = p.value[1];
         true
     }
 
@@ -235,19 +255,38 @@ impl PackedTcamArray {
         self.ids.is_empty()
     }
 
+    /// Whether storage order is still ascending in id (the early-exit
+    /// fast path; see [`Self::normalize`] to restore it after removals).
+    #[must_use]
+    pub fn is_ordered(&self) -> bool {
+        self.ordered
+    }
+
+    /// Whether stored row `i` matches `key` — THE row comparison, shared
+    /// by [`Self::first_match`], [`Self::matches`], and (as its scalar
+    /// reference semantics) the block kernel in [`crate::kernel`], so the
+    /// paths cannot drift.
+    #[inline(always)]
+    pub(crate) fn row_hit(&self, i: usize, key: &PackedWord) -> bool {
+        ((self.v0[i] ^ key.value[0]) & self.m0[i] & key.mask[0]) == 0
+            && ((self.v1[i] ^ key.value[1]) & self.m1[i] & key.mask[1]) == 0
+    }
+
     /// The highest-priority (numerically smallest) matching id, or `None`.
     ///
     /// When storage order is still ascending in id the scan early-exits at
     /// the first match; after an order-breaking [`Self::remove`] it
     /// inspects every row and keeps the minimum matching id.
+    ///
+    /// This is the scalar reference path; the serving layer batches keys
+    /// through [`Self::first_match_batch_into`](crate::kernel), which is
+    /// property-tested bit-identical to this.
     #[inline]
     #[must_use]
     pub fn first_match(&self, key: &PackedWord) -> Option<u32> {
         let mut best: Option<u32> = None;
-        for (i, (mask, value)) in self.masks.iter().zip(&self.values).enumerate() {
-            if ((value[0] ^ key.value[0]) & mask[0] & key.mask[0]) == 0
-                && ((value[1] ^ key.value[1]) & mask[1] & key.mask[1]) == 0
-            {
+        for i in 0..self.ids.len() {
+            if self.row_hit(i, key) {
                 if self.ordered {
                     return Some(self.ids[i]);
                 }
@@ -258,25 +297,40 @@ impl PackedTcamArray {
         best
     }
 
-    /// Ids of all matching rows in priority (ascending id) order.
+    /// Ids of all matching rows in priority (ascending id) order. Uses the
+    /// same per-row comparison as [`Self::first_match`].
     #[must_use]
     pub fn matches(&self, key: &PackedWord) -> Vec<u32> {
-        let stored = self.masks.iter().zip(&self.values);
-        let mut hits: Vec<u32> = stored
-            .enumerate()
-            .filter(|(_, (mask, value))| {
-                PackedWord {
-                    mask: **mask,
-                    value: **value,
-                }
-                .matches(key)
-            })
-            .map(|(i, _)| self.ids[i])
+        let mut hits: Vec<u32> = (0..self.ids.len())
+            .filter(|&i| self.row_hit(i, key))
+            .map(|i| self.ids[i])
             .collect();
         if !self.ordered {
             hits.sort_unstable();
         }
         hits
+    }
+
+    /// Restores ascending-id storage order (and with it the early-exit
+    /// scan and the kernel's per-block early exit) after order-breaking
+    /// removals. O(n log n); a no-op when already ordered. The update
+    /// layer calls this when it freezes a shard snapshot for publication,
+    /// so long-lived serving tables always scan in priority order.
+    pub fn normalize(&mut self) {
+        if self.ordered {
+            return;
+        }
+        let mut perm: Vec<usize> = (0..self.ids.len()).collect();
+        perm.sort_unstable_by_key(|&i| self.ids[i]);
+        self.m0 = perm.iter().map(|&i| self.m0[i]).collect();
+        self.m1 = perm.iter().map(|&i| self.m1[i]).collect();
+        self.v0 = perm.iter().map(|&i| self.v0[i]).collect();
+        self.v1 = perm.iter().map(|&i| self.v1[i]).collect();
+        self.ids = perm.iter().map(|&i| self.ids[i]).collect();
+        for (row, &id) in self.ids.iter().enumerate() {
+            self.index.insert(id, row);
+        }
+        self.ordered = true;
     }
 
     /// The stored row at insertion index `i` as `(id, packed word)`.
@@ -285,8 +339,8 @@ impl PackedTcamArray {
         Some((
             *self.ids.get(i)?,
             PackedWord {
-                mask: self.masks[i],
-                value: self.values[i],
+                mask: [self.m0[i], self.m1[i]],
+                value: [self.v0[i], self.v1[i]],
             },
         ))
     }
@@ -400,6 +454,40 @@ mod tests {
         assert!(packed.replace(1, &parse_ternary("0XX").unwrap()));
         assert_eq!(packed.first_match(&key), Some(2));
         assert!(!packed.replace(9, &parse_ternary("0XX").unwrap()));
+    }
+
+    #[test]
+    fn normalize_restores_order_and_results() {
+        let mut rng = SplitMix64::new(0x0B0B);
+        for width in [24usize, 80] {
+            let mut packed = PackedTcamArray::new(width);
+            for id in 0..40u32 {
+                packed.push(&random_word(&mut rng, width, 0.3), id);
+            }
+            // Break storage order with swap-removes.
+            for id in [3u32, 17, 5, 30] {
+                assert!(packed.remove(id));
+            }
+            assert!(!packed.is_ordered());
+            let unordered = packed.clone();
+            packed.normalize();
+            assert!(packed.is_ordered());
+            assert_eq!(packed.len(), unordered.len());
+            // Bit-identical results, ascending storage, live index.
+            for _ in 0..100 {
+                let key = random_word(&mut rng, width, 0.1);
+                let pk = PackedWord::pack(&key);
+                assert_eq!(packed.first_match(&pk), unordered.first_match(&pk));
+                assert_eq!(packed.matches(&pk), unordered.matches(&pk));
+            }
+            for i in 1..packed.len() {
+                assert!(packed.row(i).unwrap().0 > packed.row(i - 1).unwrap().0);
+            }
+            assert!(packed.replace(7, &random_word(&mut rng, width, 0.2)));
+            assert!(packed.remove(7), "index must track normalized rows");
+            packed.normalize(); // idempotent after another remove
+            assert!(packed.is_ordered());
+        }
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! Microbenchmark for the block-batched SoA match kernel.
+//!
+//! Sweeps array size × key-tile width over a deterministic router-LPM
+//! rule set, timing the scalar per-key scan (`first_match`) against the
+//! cache-blocked batch kernel (`first_match_batch_tiled`) on identical
+//! inputs, and emits one flat JSON line:
+//!
+//! ```json
+//! {"bench":"kernel_bench","width":32,"keys":16384,
+//!  "scalar_r1024_mlps":...,"blocked_r1024_t16_mlps":...,
+//!  "best_speedup_r1024":...,...}
+//! ```
+//!
+//! Every (rows, tile) cell is first checked for bit-identical results
+//! against the scalar oracle — a throughput number from a wrong kernel
+//! would be worse than no number.
+//!
+//! Flags (all optional):
+//!
+//! * `--seed N` (default 1) — workload seed
+//! * `--keys N` (default 16384) — keys per timed pass
+//! * `--reps N` (default 5) — timed passes per cell (min is reported)
+//! * `--churn` — swap-remove a fraction of rules first so the arrays are
+//!   *unordered* and the kernel exercises its min-reduction epilogue
+//!   instead of the early-exit path
+//! * `--check` — assert that for every swept row count the best blocked
+//!   tile is at least as fast as the scalar scan (the kernel must never
+//!   be a regression), then exit nonzero on violation
+//!
+//! The `--check` assertion is deliberately *relative* (blocked vs scalar
+//! on the same box, same run) so the gate is load- and
+//! hardware-independent; absolute lookups/s floors live in `serve_bench`.
+
+use std::time::Instant;
+use tcam_arch::kernel::MAX_TILE_KEYS;
+use tcam_arch::packed::{PackedTcamArray, PackedWord};
+use tcam_serve::workload::Workload;
+
+const ROW_SWEEP: [usize; 4] = [64, 256, 1024, 4096];
+const TILE_SWEEP: [usize; 4] = [4, 8, 16, 32];
+
+struct Args {
+    seed: u64,
+    keys: usize,
+    reps: usize,
+    churn: bool,
+    check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 1,
+        keys: 16384,
+        reps: 5,
+        churn: false,
+        check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--seed" => args.seed = value("--seed").parse().expect("--seed"),
+            "--keys" => args.keys = value("--keys").parse().expect("--keys"),
+            "--reps" => args.reps = value("--reps").parse().expect("--reps"),
+            "--churn" => args.churn = true,
+            "--check" => args.check = true,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    assert!(args.keys > 0 && args.reps > 0, "degenerate bench");
+    args
+}
+
+/// Builds a `rows`-rule array (id = priority rank) plus a packed key set
+/// drawn from the same workload generator the serving benches use.
+fn build(rows: usize, keys: usize, seed: u64, churn: bool) -> (PackedTcamArray, Vec<PackedWord>) {
+    let w = Workload::router_lpm(rows, keys, seed);
+    let mut array = PackedTcamArray::new(w.words[0].len());
+    for (id, word) in w.words.iter().enumerate() {
+        array.push(word, u32::try_from(id).expect("small id"));
+    }
+    if churn {
+        // Swap-remove every 7th rule: the array loses id order, so the
+        // kernel must take the min-reduction path, same as post-churn
+        // serving snapshots that skipped normalization.
+        let victims: Vec<u32> = (0..rows as u32).step_by(7).collect();
+        for id in victims {
+            let _ = array.remove(id);
+        }
+        assert!(!array.is_ordered() || rows < 7, "churn left array ordered");
+    }
+    let packed = w.keys.iter().map(|k| PackedWord::pack(k)).collect();
+    (array, packed)
+}
+
+/// Min wall time over `reps` passes of `f` (max-throughput estimator,
+/// robust to scheduler noise on a busy box).
+fn time_min(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn mlps(keys: usize, secs: f64) -> f64 {
+    keys as f64 / secs / 1e6
+}
+
+fn main() {
+    let args = parse_args();
+    let mut record = format!(
+        "{{\"bench\":\"kernel_bench\",\"seed\":{},\"keys\":{},\"reps\":{},\"churn\":{}",
+        args.seed, args.keys, args.reps, args.churn
+    );
+    // (rows, scalar Mlps, best blocked Mlps, best tile) per swept size.
+    let mut summary: Vec<(usize, f64, f64, usize)> = Vec::new();
+
+    for rows in ROW_SWEEP {
+        let (array, keys) = build(rows, args.keys, args.seed, args.churn);
+        let width = array.width();
+
+        // Scalar oracle results + correctness check for every tile before
+        // any timing: a fast wrong kernel must not produce a number.
+        let oracle: Vec<Option<u32>> = keys.iter().map(|k| array.first_match(k)).collect();
+        let mut out = Vec::new();
+        for tile in TILE_SWEEP {
+            assert!(tile <= MAX_TILE_KEYS);
+            array.first_match_batch_tiled(&keys, tile, &mut out);
+            assert_eq!(out, oracle, "kernel diverged at rows={rows}, tile={tile}");
+        }
+
+        let mut sink = 0u64;
+        let scalar_s = time_min(args.reps, || {
+            let mut acc = 0u64;
+            for k in &keys {
+                acc = acc.wrapping_add(u64::from(array.first_match(k).map_or(0, |id| id ^ 1)));
+            }
+            sink = sink.wrapping_add(std::hint::black_box(acc));
+        });
+        let scalar = mlps(args.keys, scalar_s);
+        record.push_str(&format!(",\"scalar_r{rows}_mlps\":{scalar:.2}"));
+        println!("rows {rows:>5} width {width:>2} | scalar          {scalar:>8.2} Mlps");
+
+        let (mut best, mut best_tile) = (0.0f64, 0usize);
+        for tile in TILE_SWEEP {
+            let blocked_s = time_min(args.reps, || {
+                array.first_match_batch_tiled(&keys, tile, &mut out);
+                std::hint::black_box(&out);
+            });
+            let blocked = mlps(args.keys, blocked_s);
+            record.push_str(&format!(",\"blocked_r{rows}_t{tile}_mlps\":{blocked:.2}"));
+            println!(
+                "rows {rows:>5} width {width:>2} | blocked tile {tile:>2} {blocked:>8.2} Mlps  ({:.2}x)",
+                blocked / scalar
+            );
+            if blocked > best {
+                best = blocked;
+                best_tile = tile;
+            }
+        }
+        record.push_str(&format!(
+            ",\"best_speedup_r{rows}\":{:.3},\"best_tile_r{rows}\":{best_tile}",
+            best / scalar
+        ));
+        summary.push((rows, scalar, best, best_tile));
+        std::hint::black_box(sink);
+    }
+
+    record.push('}');
+    println!("{record}");
+
+    if args.check {
+        if let Err(e) = tcam_bench::jsonline::parse_flat_object(&record) {
+            eprintln!("kernel_bench --check FAILED: record is not valid flat JSON: {e}");
+            std::process::exit(1);
+        }
+        for &(rows, scalar, best, best_tile) in &summary {
+            // Relative gate: the blocked kernel at its best tile must not
+            // lose to the scalar scan it replaced.
+            if best < scalar {
+                eprintln!(
+                    "kernel_bench --check FAILED: rows={rows}: best blocked \
+                     {best:.2} Mlps (tile {best_tile}) < scalar {scalar:.2} Mlps"
+                );
+                std::process::exit(1);
+            }
+        }
+        eprintln!(
+            "kernel_bench --check: blocked >= scalar at every swept size \
+             ({} configs ok)",
+            summary.len()
+        );
+    }
+}

@@ -20,7 +20,9 @@
 //!
 //! * `--seed N` (default 1) — workload + load-generator seed
 //! * `--duration-ms N` (default 200) — open-loop offering window
-//! * `--shard-bits N` (default 2) — `2^N` shards/workers
+//! * `--shard-bits N` (default 2) — `2^N` shards
+//! * `--workers N` (default 1) — worker threads per shard; `0` = auto
+//!   (spread available cores across shards)
 //! * `--batch N` (default 256) — keys per submitted batch
 //! * `--rate N` (default 0 = saturation) — offered lookups/second
 //! * `--workload router|acl` (default router)
@@ -31,11 +33,20 @@
 //!   both refresh policies at a paced rate and report delayed-search
 //!   counts side by side (the paper's one-shot-vs-row-by-row claim, as a
 //!   serving experiment)
+//! * `--floor-lps N` — override the saturation-throughput floor `--check`
+//!   enforces. Default 0 = pick by worker count: the multi-core floor
+//!   ([`FLOOR_MULTI_LPS`]) when the resolved `workers_per_shard > 1`, the
+//!   scalar fallback floor ([`FLOOR_SCALAR_LPS`]) when a single worker
+//!   serves each shard. Floors apply only to saturation runs
+//!   (`--rate 0`); paced runs measure latency, not capacity.
+//! * `--record PATH` — append the emitted JSON line to `PATH` (the
+//!   `BENCH_serve.json` perf-trajectory history)
 //! * `--check` — after emitting the record, re-parse it and assert the
 //!   invariants the tier-1 gate cares about (valid flat JSON, nonzero
-//!   lookups, ordered latency quantiles); exits nonzero on violation.
-//!   This replaces the old `| python3 -c "json.loads(...)"` smoke test,
-//!   so the harness needs no toolchain beyond cargo.
+//!   lookups, ordered latency quantiles, throughput at or above the
+//!   floor); exits nonzero on violation. This replaces the old
+//!   `| python3 -c "json.loads(...)"` smoke test, so the harness needs no
+//!   toolchain beyond cargo.
 
 use std::time::Duration;
 use tcam_serve::loadgen::{open_loop, OpenLoop};
@@ -45,10 +56,27 @@ use tcam_serve::telemetry::ServeReport;
 use tcam_serve::workload::Workload;
 use tcam_serve::BankRefresh;
 
+/// Saturation floor when shards scale across cores (`workers_per_shard >
+/// 1`): ~10× the pre-kernel single-worker baseline of ~5M lookups/s.
+const FLOOR_MULTI_LPS: f64 = 50_000_000.0;
+
+/// Scalar fallback floor for single-worker-per-shard runs (the only
+/// configuration a one-core box can honestly exercise): the serving path
+/// must never fall below the pre-kernel seed baseline (~5M lookups/s on
+/// the reference box; the block-batched path measures ~8M there).
+const FLOOR_SCALAR_LPS: f64 = 5_000_000.0;
+
+/// Saturation re-measurements `--check` may take before declaring the
+/// floor violated. Capacity is a *max* estimator: on a shared box a
+/// single 200 ms window regularly loses 30%+ to scheduler noise, so the
+/// gate keeps the best of up to this many windows.
+const CHECK_MEASURE_TRIES: u32 = 3;
+
 struct Args {
     seed: u64,
     duration_ms: u64,
     shard_bits: u32,
+    workers: usize,
     batch: usize,
     rate: f64,
     workload: String,
@@ -56,6 +84,8 @@ struct Args {
     policy: String,
     refresh_interval_us: u64,
     compare_refresh: bool,
+    floor_lps: f64,
+    record: Option<String>,
     check: bool,
 }
 
@@ -64,6 +94,7 @@ fn parse_args() -> Args {
         seed: 1,
         duration_ms: 200,
         shard_bits: 2,
+        workers: 1,
         batch: 256,
         rate: 0.0,
         workload: "router".into(),
@@ -71,6 +102,8 @@ fn parse_args() -> Args {
         policy: "oneshot".into(),
         refresh_interval_us: 5000,
         compare_refresh: false,
+        floor_lps: 0.0,
+        record: None,
         check: false,
     };
     let mut it = std::env::args().skip(1);
@@ -87,6 +120,7 @@ fn parse_args() -> Args {
             "--shard-bits" => {
                 args.shard_bits = value("--shard-bits").parse().expect("--shard-bits");
             }
+            "--workers" => args.workers = value("--workers").parse().expect("--workers"),
             "--batch" => args.batch = value("--batch").parse().expect("--batch"),
             "--rate" => args.rate = value("--rate").parse().expect("--rate"),
             "--workload" => args.workload = value("--workload"),
@@ -98,6 +132,8 @@ fn parse_args() -> Args {
                     .expect("--refresh-interval-us");
             }
             "--compare-refresh" => args.compare_refresh = true,
+            "--floor-lps" => args.floor_lps = value("--floor-lps").parse().expect("--floor-lps"),
+            "--record" => args.record = Some(value("--record")),
             "--check" => args.check = true,
             other => panic!("unknown flag {other}"),
         }
@@ -128,6 +164,7 @@ fn run_once(w: &Workload, args: &Args, policy: BankRefresh, rate: f64) -> (u64, 
     let config = ServiceConfig {
         refresh: policy,
         refresh_interval: Duration::from_micros(args.refresh_interval_us),
+        workers_per_shard: args.workers,
         ..ServiceConfig::default()
     };
     let service = TcamService::start(rules, &config).expect("service starts");
@@ -143,9 +180,36 @@ fn run_once(w: &Workload, args: &Args, policy: BankRefresh, rate: f64) -> (u64, 
 fn main() {
     let args = parse_args();
     let w = workload_of(&args);
-    let (offered, report) = run_once(&w, &args, policy_of(&args.policy), args.rate);
+    let (mut offered, mut report) = run_once(&w, &args, policy_of(&args.policy), args.rate);
 
     let rules = ShardedRuleSet::build(&w.words, args.shard_bits).expect("shardable workload");
+    let workers = ServiceConfig {
+        workers_per_shard: args.workers,
+        ..ServiceConfig::default()
+    }
+    .resolved_workers_per_shard(rules.shards());
+
+    let floor = if args.floor_lps > 0.0 {
+        args.floor_lps
+    } else if workers > 1 {
+        FLOOR_MULTI_LPS
+    } else {
+        FLOOR_SCALAR_LPS
+    };
+    if args.check && args.rate == 0.0 {
+        // Capacity gate: keep the best window, re-measuring only when the
+        // first one lands under the floor (scheduler noise, not capacity).
+        for _ in 1..CHECK_MEASURE_TRIES {
+            if report.throughput() >= floor {
+                break;
+            }
+            let (o, r) = run_once(&w, &args, policy_of(&args.policy), args.rate);
+            if r.throughput() > report.throughput() {
+                offered = o;
+                report = r;
+            }
+        }
+    }
     let lat = &report.latency;
     let searches = report.searches();
     let match_fraction = if searches > 0 {
@@ -157,7 +221,9 @@ fn main() {
 
     let mut record = format!(
         "{{\"bench\":\"serve_bench\",\"workload\":\"{}\",\
-         \"seed\":{},\"shards\":{},\"rules\":{},\"rows\":{},\
+         \"seed\":{},\"shards\":{},\
+         \"workers_per_shard\":{workers},\"workers_total\":{},\
+         \"rules\":{},\"rows\":{},\
          \"replication\":{:.3},\"policy\":\"{}\",\
          \"offered\":{offered},\"lookups\":{searches},\
          \"throughput_lps\":{:.0},\
@@ -170,6 +236,7 @@ fn main() {
         w.name,
         args.seed,
         rules.shards(),
+        rules.shards() * workers,
         rules.rules(),
         rules.total_rows(),
         rules.replication_factor(),
@@ -215,8 +282,24 @@ fn main() {
         ));
     }
 
+    // The throughput floor only binds on saturation runs: a paced run's
+    // throughput is the offered rate, not the service's capacity.
+    if args.rate == 0.0 {
+        record.push_str(&format!(",\"floor_lps\":{floor:.0}"));
+    }
+
     record.push('}');
     println!("{record}");
+    if let Some(path) = &args.record {
+        // Perf trajectory: append one line per run, newest last.
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .unwrap_or_else(|e| panic!("cannot open --record {path}: {e}"));
+        writeln!(f, "{record}").expect("write --record line");
+    }
     if args.check {
         check_record(&record);
         eprintln!("serve_bench --check: record ok ({searches} lookups)");
@@ -250,5 +333,16 @@ fn check_record(record: &str) {
     }
     if field("search_count") != field("lookups") {
         bail("histogram count disagrees with the lookup counter".into());
+    }
+    // Saturation runs carry a floor; enforce it (the tier-1 perf gate).
+    if let Some(floor) = num(&obj, "floor_lps") {
+        let lps = field("throughput_lps");
+        if lps < floor {
+            bail(format!(
+                "throughput {lps:.0} lookups/s below the floor {floor:.0} \
+                 (workers_per_shard={})",
+                field("workers_per_shard")
+            ));
+        }
     }
 }

@@ -54,7 +54,17 @@ impl Default for OpenLoop {
 /// Propagates routing errors (short or ambiguous keys).
 fn prepare(service: &TcamService, keys: &[Vec<TernaryBit>]) -> Result<Vec<(usize, PackedWord)>> {
     keys.iter()
-        .map(|k| Ok((service.rules().route(k)?, PackedWord::pack(k))))
+        .map(|k| {
+            if k.len() != service.rules().width() {
+                return Err(crate::error::ServeError::WidthMismatch {
+                    expected: service.rules().width(),
+                    found: k.len(),
+                });
+            }
+            // Pack once; routing is a shift/mask on the packed limbs.
+            let packed = PackedWord::pack(k);
+            Ok((service.rules().route_packed(&packed)?, packed))
+        })
         .collect()
 }
 

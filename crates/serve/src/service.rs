@@ -1,13 +1,23 @@
-//! The concurrent lookup service: one worker thread per shard, bounded
-//! queues in front, refresh competing with traffic on the worker's clock.
+//! The concurrent lookup service: a pool of worker threads per shard,
+//! bounded queues in front, refresh competing with traffic on the
+//! worker's clock.
 //!
 //! # Execution model
 //!
 //! Searches arrive as [`SearchBatch`]es on a shard's [`BoundedQueue`]
-//! (blocking `push` = backpressure). The shard worker drains batches and
-//! scans its packed rule array; batching amortizes queue synchronization
-//! over hundreds of lookups, which is what lets the service clear a
-//! million lookups per second on modest hardware.
+//! (blocking `push` = backpressure). Each shard owns
+//! [`ServiceConfig::workers_per_shard`] worker threads (the multi-core
+//! scaling knob; `0` = spread the machine's available parallelism across
+//! shards) that drain batches from the shared shard queue and push every
+//! drained batch through the block-batched SoA kernel
+//! ([`PackedTcamArray::first_match_batch_into`]) — the whole batch is
+//! matched in one call, telemetry is recorded per batch
+//! ([`LatencyHistogram::record_n`](crate::telemetry::LatencyHistogram)),
+//! and no per-key clock reads or per-key metric updates survive on the
+//! hot path. Batching amortizes queue synchronization *and* the row-plane
+//! memory stream over hundreds of lookups, which is what lets the
+//! service clear tens of millions of lookups per second on modest
+//! hardware.
 //!
 //! # Refresh under load
 //!
@@ -17,7 +27,12 @@
 //! wall clock* — not an entry in a replayed trace — so interference is
 //! observed under real concurrency: while a worker executes a refresh
 //! event, its queue keeps filling, and the telemetry records both the
-//! stall time and the searches caught waiting. Event sizing comes from the
+//! stall time and the searches caught waiting. A physical shard refreshes
+//! once per interval regardless of how many threads serve it, so worker 0
+//! of each shard owns the refresh schedule; sibling workers keep serving
+//! through the stall (on a multi-core box this shrinks observed
+//! refresh-induced delay, which is the correct physical reading: the
+//! array is busy refreshing, the other match ports are not). Event sizing comes from the
 //! same [`BankRefresh`] policy hooks the timed bank uses (1 op for
 //! one-shot, `rows` ops for row-by-row); each op performs
 //! `refresh_op_work` units of real work, so a row-by-row event stalls the
@@ -58,6 +73,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tcam_arch::bank::BankRefresh;
 use tcam_arch::energy_model::OperationCosts;
+use tcam_arch::kernel::TILE_KEYS;
 use tcam_arch::packed::{PackedTcamArray, PackedWord};
 
 /// Service configuration.
@@ -80,11 +96,30 @@ pub struct ServiceConfig {
     /// A search counts as *delayed* when its batch waited longer than this
     /// in the queue.
     pub delayed_threshold: Duration,
-    /// Table updates a shard's update mailbox can hold before publishers
+    /// Table updates a worker's update mailbox can hold before publishers
     /// block (update backpressure).
     pub update_queue_capacity: usize,
+    /// Worker threads per shard — the multi-core scaling knob. All of a
+    /// shard's workers pop from the same bounded queue and serve from
+    /// their own epoch-snapshot `Arc`, so scaling needs no sharding
+    /// change. `0` = auto: spread [`std::thread::available_parallelism`]
+    /// evenly across shards (at least one worker each).
+    pub workers_per_shard: usize,
     /// Per-operation cost model for energy accounting.
     pub costs: OperationCosts,
+}
+
+impl ServiceConfig {
+    /// The worker count per shard this config resolves to for `shards`
+    /// shards (`0` = auto = available parallelism spread across shards).
+    #[must_use]
+    pub fn resolved_workers_per_shard(&self, shards: usize) -> usize {
+        if self.workers_per_shard > 0 {
+            return self.workers_per_shard;
+        }
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        (cores / shards.max(1)).max(1)
+    }
 }
 
 impl Default for ServiceConfig {
@@ -97,6 +132,7 @@ impl Default for ServiceConfig {
             refresh_op_work: 512,
             delayed_threshold: Duration::from_micros(300),
             update_queue_capacity: 16,
+            workers_per_shard: 1,
             costs: OperationCosts::paper_3t2n(),
         }
     }
@@ -125,7 +161,10 @@ pub struct BatchReply {
     pub results: Vec<Option<u32>>,
 }
 
-/// A full-table snapshot published to one shard worker.
+/// A full-table snapshot published to one shard worker. Publication
+/// clones the `TableUpdate` (an `Arc` bump) into every worker mailbox of
+/// the shard, so sibling workers converge on the same epoch without
+/// sharing mutable state.
 #[derive(Debug, Clone)]
 pub struct TableUpdate {
     /// Monotonically increasing version tag (per shard).
@@ -148,16 +187,20 @@ struct ShardGauges {
 pub struct TcamService {
     rules: Arc<ShardedRuleSet>,
     queues: Vec<Arc<BoundedQueue<SearchBatch>>>,
-    updates: Vec<Arc<BoundedQueue<TableUpdate>>>,
+    /// Update mailboxes, indexed `[shard][worker]` — every worker of a
+    /// shard gets its own copy of each published epoch.
+    updates: Vec<Vec<Arc<BoundedQueue<TableUpdate>>>>,
     gauges: Vec<Arc<ShardGauges>>,
     completed: Arc<AtomicU64>,
     updates_dropped: AtomicU64,
+    workers_per_shard: usize,
     workers: Vec<JoinHandle<ShardStats>>,
     started: Instant,
 }
 
 impl TcamService {
-    /// Starts one worker thread per shard of `rules`.
+    /// Starts `workers_per_shard` worker threads per shard of `rules`
+    /// (see [`ServiceConfig::workers_per_shard`]).
     ///
     /// # Errors
     ///
@@ -166,33 +209,42 @@ impl TcamService {
     pub fn start(rules: ShardedRuleSet, config: &ServiceConfig) -> Result<Self> {
         let rules = Arc::new(rules);
         let completed = Arc::new(AtomicU64::new(0));
+        let per_shard = config.resolved_workers_per_shard(rules.shards());
         let mut queues = Vec::with_capacity(rules.shards());
         let mut updates = Vec::with_capacity(rules.shards());
         let mut gauges = Vec::with_capacity(rules.shards());
-        let mut workers = Vec::with_capacity(rules.shards());
+        let mut workers = Vec::with_capacity(rules.shards() * per_shard);
         for shard in 0..rules.shards() {
             let queue = Arc::new(BoundedQueue::new(config.queue_capacity.max(1)));
-            let update_queue = Arc::new(BoundedQueue::new(config.update_queue_capacity.max(1)));
             let gauge = Arc::new(ShardGauges {
                 queued_keys: AtomicU64::new(0),
             });
-            let ctx = WorkerCtx {
-                shard,
-                rules: Arc::clone(&rules),
-                queue: Arc::clone(&queue),
-                updates: Arc::clone(&update_queue),
-                gauge: Arc::clone(&gauge),
-                completed: Arc::clone(&completed),
-                config: *config,
-            };
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("tcam-shard-{shard}"))
-                    .spawn(move || run_worker(&ctx))
-                    .expect("spawn shard worker"),
-            );
+            let mut mailboxes = Vec::with_capacity(per_shard);
+            for worker in 0..per_shard {
+                let update_queue =
+                    Arc::new(BoundedQueue::new(config.update_queue_capacity.max(1)));
+                let ctx = WorkerCtx {
+                    shard,
+                    worker,
+                    worker_label: u32::try_from(shard * per_shard + worker)
+                        .unwrap_or(u32::MAX),
+                    rules: Arc::clone(&rules),
+                    queue: Arc::clone(&queue),
+                    updates: Arc::clone(&update_queue),
+                    gauge: Arc::clone(&gauge),
+                    completed: Arc::clone(&completed),
+                    config: *config,
+                };
+                workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("tcam-s{shard}w{worker}"))
+                        .spawn(move || run_worker(&ctx))
+                        .expect("spawn shard worker"),
+                );
+                mailboxes.push(update_queue);
+            }
             queues.push(queue);
-            updates.push(update_queue);
+            updates.push(mailboxes);
             gauges.push(gauge);
         }
         Ok(Self {
@@ -202,6 +254,7 @@ impl TcamService {
             gauges,
             completed,
             updates_dropped: AtomicU64::new(0),
+            workers_per_shard: per_shard,
             workers,
             started: Instant::now(),
         })
@@ -213,10 +266,17 @@ impl TcamService {
         &self.rules
     }
 
-    /// Number of shards (= worker threads).
+    /// Number of shards (each served by
+    /// [`Self::workers_per_shard`] worker threads).
     #[must_use]
     pub fn shards(&self) -> usize {
         self.queues.len()
+    }
+
+    /// Resolved worker threads per shard.
+    #[must_use]
+    pub fn workers_per_shard(&self) -> usize {
+        self.workers_per_shard
     }
 
     /// Lookups completed so far (all shards).
@@ -256,14 +316,15 @@ impl TcamService {
         })
     }
 
-    /// Publishes a table snapshot to shard `shard`'s worker, blocking
-    /// while its update mailbox is full (update backpressure). The worker
-    /// swaps to it at the next batch boundary.
+    /// Publishes a table snapshot to every worker of shard `shard`,
+    /// blocking while a worker's update mailbox is full (update
+    /// backpressure). Each worker swaps to it at its next batch boundary,
+    /// so the shard's workers converge on the epoch without coordinating.
     ///
     /// # Errors
     ///
     /// [`ServeError::ServiceClosed`] after shutdown began (the update is
-    /// counted as dropped in the final report).
+    /// counted as dropped once in the final report).
     ///
     /// # Panics
     ///
@@ -274,10 +335,13 @@ impl TcamService {
             table,
             submitted: Instant::now(),
         };
-        self.updates[shard].push(update).map_err(|_| {
-            self.updates_dropped.fetch_add(1, Ordering::Relaxed);
-            ServeError::ServiceClosed
-        })
+        for mailbox in &self.updates[shard] {
+            if mailbox.push(update.clone()).is_err() {
+                self.updates_dropped.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::ServiceClosed);
+            }
+        }
+        Ok(())
     }
 
     /// One closed-loop lookup: routes `key`, waits for the worker's reply,
@@ -301,12 +365,20 @@ impl TcamService {
         &self,
         key: &[tcam_core::bit::TernaryBit],
     ) -> Result<(u64, Option<u32>)> {
-        let shard = self.rules.route(key)?;
+        if key.len() != self.rules.width() {
+            return Err(ServeError::WidthMismatch {
+                expected: self.rules.width(),
+                found: key.len(),
+            });
+        }
+        // Pack once; routing reads the selector off the packed limbs.
+        let packed = PackedWord::pack(key);
+        let shard = self.rules.route_packed(&packed)?;
         let (tx, rx) = std::sync::mpsc::sync_channel(1);
         self.submit(
             shard,
             SearchBatch {
-                keys: vec![PackedWord::pack(key)],
+                keys: vec![packed],
                 submitted: Instant::now(),
                 reply: Some(tx),
             },
@@ -328,8 +400,8 @@ impl TcamService {
         for queue in &self.queues {
             queue.close();
         }
-        for updates in &self.updates {
-            updates.close();
+        for mailbox in self.updates.iter().flatten() {
+            mailbox.close();
         }
         let stats = self
             .workers
@@ -346,6 +418,11 @@ impl TcamService {
 
 struct WorkerCtx {
     shard: usize,
+    /// Worker index within the shard (worker 0 owns the refresh clock).
+    worker: usize,
+    /// Global worker index (`shard * workers_per_shard + worker`), the
+    /// label for per-worker registry gauges.
+    worker_label: u32,
     rules: Arc<ShardedRuleSet>,
     queue: Arc<BoundedQueue<SearchBatch>>,
     updates: Arc<BoundedQueue<TableUpdate>>,
@@ -411,10 +488,12 @@ fn drain_updates(
     stats.swap_stall += t0.elapsed();
 }
 
-/// Mirrors a shard's coarse state into the global `tcam-obs` registry as
-/// labeled gauges (label = shard index). Called at flush boundaries only —
-/// never per key — so the registry costs nothing on the match path.
-fn publish_gauges(ctx: &WorkerCtx, stats: &ShardStats, shard: u32) {
+/// Mirrors a worker's coarse state into the global `tcam-obs` registry as
+/// labeled gauges (shard-scoped gauges labeled by shard index, the
+/// utilization gauge by global worker index). Called at flush boundaries
+/// only — never per key — so the registry costs nothing on the match
+/// path.
+fn publish_gauges(ctx: &WorkerCtx, stats: &ShardStats, shard: u32, worker_start: Instant) {
     #[allow(clippy::cast_precision_loss)]
     {
         tcam_obs::gauge_set_at(
@@ -424,6 +503,16 @@ fn publish_gauges(ctx: &WorkerCtx, stats: &ShardStats, shard: u32) {
         );
         tcam_obs::gauge_set_at("serve_epoch", shard, stats.epoch as f64);
         tcam_obs::gauge_set_at("serve_epoch_lag", shard, stats.max_epoch_lag as f64);
+        // Utilization: fraction of this worker's wall clock spent matching
+        // batches (refresh/swap/idle excluded).
+        let elapsed = worker_start.elapsed().as_secs_f64();
+        if elapsed > 0.0 {
+            tcam_obs::gauge_set_at(
+                "serve_worker_busy_pct",
+                ctx.worker_label,
+                100.0 * stats.busy.as_secs_f64() / elapsed,
+            );
+        }
     }
 }
 
@@ -432,17 +521,25 @@ fn publish_gauges(ctx: &WorkerCtx, stats: &ShardStats, shard: u32) {
 const FLUSH_EVERY_BATCHES: u64 = 64;
 
 fn run_worker(ctx: &WorkerCtx) -> ShardStats {
+    let worker_start = Instant::now();
     let mut table: Arc<PackedTcamArray> = Arc::new(ctx.rules.shard(ctx.shard).clone());
     let mut epoch = 0u64;
     let mut stats = ShardStats::new(ctx.shard, table.len());
+    stats.worker = ctx.worker;
     let config = &ctx.config;
-    let refresh_on = !matches!(config.refresh, BankRefresh::None);
+    // A physical shard refreshes once per interval no matter how many
+    // threads serve it: worker 0 owns the shard's refresh clock, siblings
+    // keep draining the queue through the stall.
+    let refresh_on = ctx.worker == 0 && !matches!(config.refresh, BankRefresh::None);
     let refresh_interval = config.refresh_interval.max(Duration::from_micros(10));
     let mut next_refresh = Instant::now() + refresh_interval;
     let mut refresh_state = ctx.shard as u64;
     let delayed_ns = config.delayed_threshold.as_nanos() as u64;
     let shard_label = u32::try_from(ctx.shard).unwrap_or(u32::MAX);
     let mut batches_at_last_flush = 0u64;
+    // Reused kernel output buffer: the no-reply (open-loop) path never
+    // allocates; the reply path takes the buffer and leaves a fresh one.
+    let mut kernel_out: Vec<Option<u32>> = Vec::new();
 
     loop {
         // Snapshot swap point: batches already drained have completed, the
@@ -500,7 +597,7 @@ fn run_worker(ctx: &WorkerCtx) -> ShardStats {
                     tcam_obs::counter_add("serve_batches", stats.batches);
                     tcam_obs::counter_add("serve_refresh_events", stats.refresh_events);
                     tcam_obs::counter_add("serve_updates_applied", stats.updates_applied);
-                    publish_gauges(ctx, &stats, shard_label);
+                    publish_gauges(ctx, &stats, shard_label, worker_start);
                     tcam_obs::flush();
                 }
                 return stats;
@@ -513,12 +610,16 @@ fn run_worker(ctx: &WorkerCtx) -> ShardStats {
         let t0 = Instant::now();
         let obs_match = tcam_obs::span!("serve_match");
         let mut group_keys = 0u64;
+        let mut group_tile_slots = 0u64;
         for batch in batches {
-            let n = batch.keys.len() as u64;
+            let keys = batch.keys.len();
+            let n = keys as u64;
             group_keys += n;
+            group_tile_slots += (keys.div_ceil(TILE_KEYS) * TILE_KEYS) as u64;
             ctx.gauge.queued_keys.fetch_sub(n, Ordering::Relaxed);
+            let dequeued = Instant::now();
             let wait_ns = u64::try_from(
-                Instant::now()
+                dequeued
                     .saturating_duration_since(batch.submitted)
                     .as_nanos(),
             )
@@ -529,32 +630,26 @@ fn run_worker(ctx: &WorkerCtx) -> ShardStats {
             }
             stats.batches += 1;
 
-            let mut results = batch
-                .reply
-                .is_some()
-                .then(|| Vec::with_capacity(batch.keys.len()));
-            for key in &batch.keys {
-                let hit = table.first_match(key);
-                stats.searches += 1;
-                stats.matched += u64::from(hit.is_some());
-                stats.meter.search(&config.costs);
-                let latency = u64::try_from(
-                    Instant::now()
-                        .saturating_duration_since(batch.submitted)
-                        .as_nanos(),
-                )
-                .unwrap_or(u64::MAX);
-                stats.latency.record(latency);
-                if let Some(out) = results.as_mut() {
-                    out.push(hit);
-                }
-            }
+            // The whole batch goes through the block-batched kernel in one
+            // call; telemetry is settled per batch (one clock read, O(1)
+            // histogram/meter updates), never per key.
+            table.first_match_batch_into(&batch.keys, &mut kernel_out);
+            stats.searches += n;
+            stats.matched += kernel_out.iter().flatten().count() as u64;
+            stats.meter.search_n(&config.costs, n);
+            let latency = u64::try_from(
+                Instant::now()
+                    .saturating_duration_since(batch.submitted)
+                    .as_nanos(),
+            )
+            .unwrap_or(u64::MAX);
+            stats.latency.record_n(latency, n);
             ctx.completed.fetch_add(n, Ordering::Relaxed);
-            if let (Some(reply), Some(out)) = (batch.reply, results) {
+            if let Some(reply) = batch.reply {
                 // A departed closed-loop caller is not an error.
                 let _ = reply.send(BatchReply {
                     epoch,
-                    results: out,
+                    results: std::mem::take(&mut kernel_out),
                 });
             }
         }
@@ -567,12 +662,23 @@ fn run_worker(ctx: &WorkerCtx) -> ShardStats {
         if let Some(ps) = group_ps.checked_div(group_keys) {
             stats.batch_cost.record(ps);
         }
-        if tcam_obs::enabled() && stats.batches - batches_at_last_flush >= FLUSH_EVERY_BATCHES {
-            // Periodic visibility for long-running services: gauges plus
-            // accumulated span phases, amortized far past the batch path.
-            batches_at_last_flush = stats.batches;
-            publish_gauges(ctx, &stats, shard_label);
-            tcam_obs::flush();
+        if tcam_obs::enabled() {
+            // Tile occupancy of this batch group: offered keys over the
+            // kernel tile slots they consumed — 100% means every tile ran
+            // full; low values flag fragmented (tiny-batch) traffic.
+            // Recorded once per drained group, never per key.
+            if group_tile_slots > 0 {
+                let pct = (100 * group_keys).div_euclid(group_tile_slots);
+                tcam_obs::hist_record("serve_tile_occupancy_pct", pct);
+            }
+            if stats.batches - batches_at_last_flush >= FLUSH_EVERY_BATCHES {
+                // Periodic visibility for long-running services: gauges
+                // plus accumulated span phases, amortized far past the
+                // batch path.
+                batches_at_last_flush = stats.batches;
+                publish_gauges(ctx, &stats, shard_label, worker_start);
+                tcam_obs::flush();
+            }
         }
     }
 }
@@ -746,9 +852,72 @@ mod tests {
     }
 
     #[test]
+    fn worker_pool_serves_correctly_and_converges_on_epochs() {
+        let w = Workload::router_lpm(64, 128, 33);
+        let rules = ShardedRuleSet::build(&w.words, 2).unwrap();
+        let config = ServiceConfig {
+            refresh: BankRefresh::None,
+            workers_per_shard: 3,
+            ..ServiceConfig::default()
+        };
+        let service = TcamService::start(rules, &config).unwrap();
+        assert_eq!(service.workers_per_shard(), 3);
+
+        // Results stay bit-identical to the single-threaded reference no
+        // matter which of a shard's workers serves the batch.
+        let reference = ShardedRuleSet::build(&w.words, 2).unwrap();
+        for key in w.keys.iter().take(64) {
+            assert_eq!(
+                service.search_blocking(key).unwrap(),
+                reference.search(key).unwrap()
+            );
+        }
+
+        // A published epoch reaches every worker of the shard: after the
+        // swap no worker can ever serve the old table.
+        let width = w.words[0].len();
+        for shard in 0..service.shards() {
+            service
+                .publish(shard, 1, Arc::new(PackedTcamArray::new(width)))
+                .unwrap();
+        }
+        let shards = service.shards();
+        let report = service.shutdown();
+        assert_eq!(report.searches(), 64);
+        // One ShardStats entry per worker, shard-major, each tagged.
+        assert_eq!(report.shards.len(), shards * 3);
+        for (i, s) in report.shards.iter().enumerate() {
+            assert_eq!(s.shard, i / 3);
+            assert_eq!(s.worker, i % 3);
+        }
+        // Shutdown drains mailboxes: every worker applied epoch 1.
+        assert_eq!(report.updates_applied(), (shards * 3) as u64);
+        assert_eq!(report.last_epoch(), 1);
+        // Refresh clock is owned by worker 0 of each shard only.
+        for s in &report.shards {
+            assert_eq!(s.refresh_events, 0);
+        }
+    }
+
+    #[test]
+    fn auto_workers_resolve_to_at_least_one() {
+        let config = ServiceConfig {
+            workers_per_shard: 0,
+            ..ServiceConfig::default()
+        };
+        assert!(config.resolved_workers_per_shard(4) >= 1);
+        // Explicit counts pass through untouched.
+        let fixed = ServiceConfig {
+            workers_per_shard: 5,
+            ..ServiceConfig::default()
+        };
+        assert_eq!(fixed.resolved_workers_per_shard(4), 5);
+    }
+
+    #[test]
     fn publish_after_shutdown_counts_as_dropped() {
         let (_, service) = tiny_service(BankRefresh::None);
-        for q in &service.updates {
+        for q in service.updates.iter().flatten() {
             q.close();
         }
         let empty = Arc::new(PackedTcamArray::new(8));

@@ -295,16 +295,36 @@ impl ShardedRuleSet {
                 found: key.len(),
             });
         }
-        let mut shard = 0usize;
-        for (bit, b) in key[..self.shard_bits as usize].iter().enumerate() {
-            shard <<= 1;
-            match b {
-                TernaryBit::One => shard |= 1,
-                TernaryBit::Zero => {}
-                TernaryBit::X => return Err(ServeError::AmbiguousKey { bit }),
-            }
+        // Pack only the selector bits; the extraction itself is one
+        // shift/mask on the packed limbs.
+        self.route_packed(&PackedWord::pack(&key[..self.shard_bits as usize]))
+    }
+
+    /// Routes an already-packed key: the selector is the top `shard_bits`
+    /// bits of limb 0, so routing is one shift of the value limb, guarded
+    /// by a leading-ones test on the care mask (an `X` in the selector is
+    /// a care-mask hole). This is the hot-path form — callers that pack a
+    /// key for matching route it with no second pass over the bits.
+    ///
+    /// The key is **not** width-checked (a `PackedWord` carries no
+    /// width); [`Self::route`] and [`Self::search`] validate width first.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::AmbiguousKey`] when a selector bit is `X`.
+    #[inline]
+    pub fn route_packed(&self, key: &PackedWord) -> Result<usize> {
+        let bits = self.shard_bits;
+        if bits == 0 {
+            return Ok(0);
         }
-        Ok(shard)
+        // Selector bits live at the top of limb 0 (MAX_SHARD_BITS <= 12 <
+        // 64, and shard_bits <= width). All of them must be cared for.
+        let lead = key.mask[0].leading_ones();
+        if lead < bits {
+            return Err(ServeError::AmbiguousKey { bit: lead as usize });
+        }
+        Ok((key.value[0] >> (64 - bits)) as usize)
     }
 
     /// Single-threaded sharded lookup: route, then shard-local first match.
@@ -315,8 +335,15 @@ impl ShardedRuleSet {
     ///
     /// Same as [`Self::route`].
     pub fn search(&self, key: &[TernaryBit]) -> Result<Option<u32>> {
-        let shard = self.route(key)?;
-        Ok(self.shards[shard].first_match(&PackedWord::pack(key)))
+        if key.len() != self.width {
+            return Err(ServeError::WidthMismatch {
+                expected: self.width,
+                found: key.len(),
+            });
+        }
+        let packed = PackedWord::pack(key);
+        let shard = self.route_packed(&packed)?;
+        Ok(self.shards[shard].first_match(&packed))
     }
 
     /// The monolithic oracle: every rule in one functional array, priority
@@ -427,6 +454,30 @@ mod tests {
             set.route(&parse_ternary("101").unwrap()),
             Err(ServeError::WidthMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn route_packed_agrees_with_bitwise_route() {
+        use tcam_numeric::rng::SplitMix64;
+        let mut rng = SplitMix64::new(0x0F0F);
+        for shard_bits in [0u32, 1, 2, 4, 7] {
+            let rules = vec![vec![TernaryBit::X; 16]];
+            let set = ShardedRuleSet::build(&rules, shard_bits).unwrap();
+            for _ in 0..200 {
+                let key: Vec<TernaryBit> = (0..16)
+                    .map(|_| match rng.below(8) {
+                        0 => TernaryBit::X, // X anywhere, incl. selector
+                        n => TernaryBit::from_bool(n & 1 == 1),
+                    })
+                    .collect();
+                let packed = PackedWord::pack(&key);
+                assert_eq!(
+                    set.route(&key),
+                    set.route_packed(&packed),
+                    "bits {shard_bits} key {key:?}"
+                );
+            }
+        }
     }
 
     #[test]

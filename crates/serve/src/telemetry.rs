@@ -22,6 +22,10 @@ pub use tcam_obs::hist::{bucket_of, value_of, LatencyHistogram};
 pub struct ShardStats {
     /// Shard index.
     pub shard: usize,
+    /// Worker index within the shard (0 when the shard runs a single
+    /// worker; the report carries one entry per worker, not per shard,
+    /// when `workers_per_shard > 1`).
+    pub worker: usize,
     /// Rules stored in this shard (after replication).
     pub rows: usize,
     /// Searches completed.
@@ -83,6 +87,7 @@ impl ShardStats {
     pub fn new(shard: usize, rows: usize) -> Self {
         Self {
             shard,
+            worker: 0,
             rows,
             searches: 0,
             matched: 0,
@@ -110,7 +115,9 @@ impl ShardStats {
 /// Shutdown-time service report: per-shard stats plus aggregates.
 #[derive(Debug, Clone)]
 pub struct ServeReport {
-    /// Per-shard counters, indexed by shard.
+    /// Per-worker counters, one entry per worker thread in spawn order
+    /// (shard-major). With one worker per shard — the default — this is
+    /// exactly one entry per shard.
     pub shards: Vec<ShardStats>,
     /// Service wall-clock uptime.
     pub wall: Duration,

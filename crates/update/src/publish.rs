@@ -72,7 +72,11 @@ impl Updater {
             shadow.insert(priority, word.to_vec())?;
         }
         let tables = (0..shadow.shards())
-            .map(|s| Arc::new(shadow.shard(s).clone()))
+            .map(|s| {
+                let mut table = shadow.shard(s).clone();
+                table.normalize();
+                Arc::new(table)
+            })
             .collect();
         Ok(Self {
             store,
@@ -160,7 +164,13 @@ impl Updater {
             "delta compiler and sharding layer disagree on row work"
         );
         for &s in &planned.touched() {
-            self.tables[s] = Arc::new(self.shadow.shard(s).clone());
+            // The shadow mutates in place (removals swap rows out of id
+            // order), but the snapshot handed to workers is a fresh clone
+            // — normalize it so the serving kernels keep their early-exit
+            // scan instead of falling back to the min-reduction epilogue.
+            let mut table = self.shadow.shard(s).clone();
+            table.normalize();
+            self.tables[s] = Arc::new(table);
         }
         self.epoch += 1;
         tcam_obs::counter_add("update_batches_applied", 1);
@@ -279,6 +289,37 @@ mod tests {
             } else {
                 assert_eq!(Arc::as_ptr(&updater.tables[s]), ptr, "shard {s} must not copy");
             }
+        }
+    }
+
+    #[test]
+    fn published_snapshots_are_normalized_after_churn() {
+        let mut updater = seeded_updater();
+        // Removing priority 10 swap-removes inside the touched shadow
+        // shards, but every published snapshot must come out id-ordered so
+        // serving kernels keep the early-exit scan.
+        updater
+            .apply(&[
+                RuleChange::Remove { priority: 10 },
+                RuleChange::Insert {
+                    priority: 40,
+                    word: w("11XX"),
+                },
+            ])
+            .unwrap();
+        for (s, table) in updater.tables.iter().enumerate() {
+            assert!(table.is_ordered(), "published shard {s} not id-ordered");
+        }
+        // Normalization is presentation-only: snapshot results agree with
+        // the (possibly unordered) shadow reference.
+        for key in ["1100", "1111", "0011", "0000"] {
+            let key = w(key);
+            let reference = updater.snapshot().search(&key).unwrap();
+            let routed = updater.snapshot().route(&key).unwrap();
+            let via_snapshot = updater.tables[routed].first_match(
+                &tcam_arch::packed::PackedWord::pack(&key),
+            );
+            assert_eq!(via_snapshot, reference);
         }
     }
 

@@ -26,10 +26,19 @@ cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# The block-batched SoA match kernel must never lose to the scalar scan
+# it replaced: kernel_bench sweeps rows x tile and asserts blocked >=
+# scalar at every swept size (a relative, box-independent gate), after
+# verifying the kernel bit-identical to the scalar oracle per cell.
+./target/release/kernel_bench --check
+
 # Smoke-run the serving bench in self-check mode: the JSON record must
-# parse, report real lookups, and show ordered latency quantiles
-# (p99 >= p50 > 0). Exits nonzero on any violation.
-./target/release/serve_bench --seed 1 --duration-ms 50 --check
+# parse, report real lookups, show ordered latency quantiles
+# (p99 >= p50 > 0), and clear the saturation-throughput floor for the
+# resolved worker count (scalar fallback floor at the default
+# workers-per-shard of 1; the 10x multi-core floor when scaled out).
+# Exits nonzero on any violation.
+./target/release/serve_bench --seed 1 --duration-ms 100 --check
 
 # Smoke-run the online-update bench: rule churn against a live service
 # must sustain the update-rate floor with ZERO torn-snapshot observations
