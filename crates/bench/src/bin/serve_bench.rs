@@ -210,6 +210,11 @@ fn main() {
             }
         }
     }
+    // Kernel/worker configuration stamp: a BENCH_serve.json line must be
+    // interpretable on its own, so the record carries the exact kernel
+    // shape (block/tile geometry, ordered fast path or min-reduce) and
+    // worker layout that produced the numbers.
+    let kernel_ordered = (0..rules.shards()).all(|s| rules.shard(s).is_ordered());
     let lat = &report.latency;
     let searches = report.searches();
     let match_fraction = if searches > 0 {
@@ -223,6 +228,8 @@ fn main() {
         "{{\"bench\":\"serve_bench\",\"workload\":\"{}\",\
          \"seed\":{},\"shards\":{},\
          \"workers_per_shard\":{workers},\"workers_total\":{},\
+         \"kernel_block_rows\":{},\"kernel_tile_keys\":{},\
+         \"kernel_ordered\":{kernel_ordered},\
          \"rules\":{},\"rows\":{},\
          \"replication\":{:.3},\"policy\":\"{}\",\
          \"offered\":{offered},\"lookups\":{searches},\
@@ -237,6 +244,8 @@ fn main() {
         args.seed,
         rules.shards(),
         rules.shards() * workers,
+        tcam_arch::kernel::BLOCK_ROWS,
+        tcam_arch::kernel::TILE_KEYS,
         rules.rules(),
         rules.total_rows(),
         rules.replication_factor(),
@@ -309,7 +318,7 @@ fn main() {
 /// Re-parses the just-emitted record and asserts the invariants the
 /// tier-1 gate relies on. Exits nonzero with a diagnostic on violation.
 fn check_record(record: &str) {
-    use tcam_bench::jsonline::{num, parse_flat_object, str_of};
+    use tcam_bench::jsonline::{num, parse_flat_object, str_of, JsonValue};
 
     let bail = |msg: String| -> ! {
         eprintln!("serve_bench --check FAILED: {msg}");
@@ -326,6 +335,16 @@ fn check_record(record: &str) {
     let field = |key: &str| num(&obj, key).unwrap_or_else(|| bail(format!("missing number {key:?}")));
     if field("lookups") <= 0.0 {
         bail("no lookups were served".into());
+    }
+    // The configuration stamp must always be present: a record without
+    // the kernel/worker shape cannot be compared across history lines.
+    for key in ["workers_per_shard", "kernel_block_rows", "kernel_tile_keys"] {
+        if field(key) <= 0.0 {
+            bail(format!("config stamp {key:?} missing or zero"));
+        }
+    }
+    if !obj.iter().any(|(k, v)| k == "kernel_ordered" && matches!(v, JsonValue::Bool(_))) {
+        bail("config stamp \"kernel_ordered\" missing or not a bool".into());
     }
     let (p50, p99) = (field("search_p50_ns"), field("search_p99_ns"));
     if !(p50 > 0.0 && p99 >= p50) {

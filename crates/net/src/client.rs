@@ -1,0 +1,149 @@
+//! The blocking/pipelined wire-protocol client.
+//!
+//! [`NetClient::lookup`] is the simple request/response call. For
+//! throughput, pipeline: issue several [`NetClient::send_lookup`]s, then
+//! collect with [`NetClient::recv_response`] — responses arrive in
+//! request order (the server's per-connection writer preserves it), each
+//! carrying the request id for pairing. `net_bench` drives exactly this
+//! loop.
+
+use crate::error::{NetError, Result};
+use crate::wire::{
+    self, needs_wide_limbs, LookupResponse, Status, OP_PING, WIRE_VERSION,
+};
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::time::Duration;
+use tcam_arch::packed::PackedWord;
+use tcam_core::bit::TernaryBit;
+
+/// A connection to a [`NetServer`](crate::server::NetServer).
+pub struct NetClient {
+    stream: TcpStream,
+    frame: Vec<u8>,
+    next_id: u32,
+}
+
+impl NetClient {
+    /// Connects to `addr` (e.g. `"127.0.0.1:7700"`).
+    ///
+    /// # Errors
+    ///
+    /// Connect I/O errors.
+    pub fn connect(addr: &str) -> Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            frame: Vec::new(),
+            next_id: 1,
+        })
+    }
+
+    /// Sets (or clears) the receive timeout for responses.
+    ///
+    /// # Errors
+    ///
+    /// Socket option I/O errors.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Sends one lookup request without waiting; returns its request id.
+    /// Collect responses in order with [`Self::recv_response`].
+    ///
+    /// # Errors
+    ///
+    /// Send I/O errors.
+    pub fn send_lookup(&mut self, namespace: u16, keys: &[PackedWord]) -> Result<u32> {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        wire::encode_lookup_request(
+            &mut self.frame,
+            namespace,
+            id,
+            keys,
+            needs_wide_limbs(keys),
+        );
+        self.stream.write_all(&self.frame)?;
+        Ok(id)
+    }
+
+    /// Receives the next response (they arrive in request order).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or [`NetError::Wire`] on a malformed frame / closed
+    /// stream mid-frame.
+    pub fn recv_response(&mut self) -> Result<LookupResponse> {
+        let payload = wire::read_frame(&mut self.stream)?
+            .ok_or_else(|| NetError::Wire("server closed the connection".into()))?;
+        wire::decode_lookup_response(&payload)
+    }
+
+    /// One blocking lookup of packed keys: send, receive, and surface a
+    /// non-OK status as [`NetError::Status`]. Returns `(epoch, results)`.
+    ///
+    /// # Errors
+    ///
+    /// I/O or wire errors, or the server's status (`Overloaded`,
+    /// `UnknownNamespace`, …).
+    pub fn lookup(
+        &mut self,
+        namespace: u16,
+        keys: &[PackedWord],
+    ) -> Result<(u64, Vec<Option<u32>>)> {
+        let id = self.send_lookup(namespace, keys)?;
+        let resp = self.recv_response()?;
+        if resp.request_id != id {
+            return Err(NetError::Wire(format!(
+                "response id {} does not match request id {id}",
+                resp.request_id
+            )));
+        }
+        if resp.status != Status::Ok {
+            return Err(NetError::Status(resp.status));
+        }
+        Ok((resp.epoch, resp.results))
+    }
+
+    /// Convenience: packs ternary keys and looks them up.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::lookup`].
+    pub fn lookup_ternary(
+        &mut self,
+        namespace: u16,
+        keys: &[Vec<TernaryBit>],
+    ) -> Result<(u64, Vec<Option<u32>>)> {
+        let packed: Vec<PackedWord> = keys.iter().map(|k| PackedWord::pack(k)).collect();
+        self.lookup(namespace, &packed)
+    }
+
+    /// Liveness probe: round-trips a ping frame.
+    ///
+    /// # Errors
+    ///
+    /// I/O or wire errors, or a non-OK status.
+    pub fn ping(&mut self) -> Result<()> {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        // A ping is the 12-byte request header with a zero key count.
+        self.frame.clear();
+        self.frame.extend_from_slice(&12u32.to_le_bytes());
+        self.frame.push(WIRE_VERSION);
+        self.frame.push(OP_PING);
+        self.frame.extend_from_slice(&0u16.to_le_bytes());
+        self.frame.extend_from_slice(&id.to_le_bytes());
+        self.frame.extend_from_slice(&[2, 0]); // limbs, reserved
+        self.frame.extend_from_slice(&0u16.to_le_bytes());
+        self.stream.write_all(&self.frame)?;
+        let resp = self.recv_response()?;
+        if resp.status != Status::Ok {
+            return Err(NetError::Status(resp.status));
+        }
+        Ok(())
+    }
+}

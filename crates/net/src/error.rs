@@ -1,0 +1,59 @@
+//! Error type for the network/durability layer.
+
+use std::fmt;
+use tcam_serve::error::ServeError;
+
+/// Errors from the wire protocol, the durable store, or the layers they
+/// wrap.
+#[derive(Debug)]
+pub enum NetError {
+    /// An OS-level I/O failure (socket, file, fsync).
+    Io(std::io::Error),
+    /// A frame violated the wire protocol (bad magic/version/length);
+    /// the connection should be closed.
+    Wire(String),
+    /// A durable file is corrupt beyond the protocol's self-healing
+    /// (e.g. a snapshot body failing its checksum) — recovery cannot
+    /// proceed silently.
+    Corrupt {
+        /// The offending file.
+        path: std::path::PathBuf,
+        /// What failed.
+        detail: String,
+    },
+    /// The serving/update layer rejected the operation.
+    Serve(ServeError),
+    /// The peer reported a non-OK status for a request.
+    Status(crate::wire::Status),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::Wire(detail) => write!(f, "wire protocol violation: {detail}"),
+            NetError::Corrupt { path, detail } => {
+                write!(f, "corrupt durable file {}: {detail}", path.display())
+            }
+            NetError::Serve(e) => write!(f, "serving layer: {e}"),
+            NetError::Status(s) => write!(f, "peer reported status {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<ServeError> for NetError {
+    fn from(e: ServeError) -> Self {
+        NetError::Serve(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, NetError>;

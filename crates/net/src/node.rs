@@ -1,0 +1,613 @@
+//! The node: one process serving many tenant namespaces, each backed by
+//! its own shard group, all sharing one durable store.
+//!
+//! A [`TcamNode`] owns
+//!
+//! * the [`DurableStore`] — WAL + snapshots, one [`RuleStore`] per
+//!   namespace (the logical source of truth that survives restarts), and
+//! * one [`NamespaceGroup`] per provisioned namespace — a live
+//!   [`TcamService`] (its own shard workers) plus the single-writer
+//!   [`Updater`] that publishes epoch snapshots into it.
+//!
+//! Namespaces are the multi-tenancy boundary: each maps to its own shard
+//! group, so one tenant's rule churn or traffic burst contends with
+//! another's only for CPU, never for queues or tables.
+//!
+//! **Write path** (admin plane): [`TcamNode::apply`] holds the store lock
+//! across *durable apply → updater apply → publish*, so the WAL, the
+//! in-memory store, and the published epoch move in lockstep — the
+//! epoch a lookup reply carries always equals a WAL-durable version.
+//!
+//! **Read path** (wire plane): [`TcamNode::lookup`] routes each packed
+//! key to its shard, submits with the non-blocking admission-control
+//! path ([`TcamService::try_submit`]), and gathers replies; the response
+//! epoch is the newest epoch that served any key (all keys of a batch
+//! are served at-or-after the epoch current at submission).
+//!
+//! **Recovery**: [`TcamNode::open`] replays the store (snapshot + WAL),
+//! then rebuilds every namespace's group with [`Updater::resume`],
+//! booting the workers at the recovered version
+//! ([`ServiceConfig::initial_epoch`]) so the first reply after a restart
+//! already carries the exact pre-crash epoch.
+
+use crate::error::{NetError, Result};
+use crate::wal::DurableStore;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+use tcam_arch::packed::PackedWord;
+use tcam_serve::error::ServeError;
+use tcam_serve::service::{BatchReply, SearchBatch, ServiceConfig, TcamService};
+use tcam_serve::telemetry::ServeReport;
+use tcam_update::publish::Updater;
+use tcam_update::store::RuleChange;
+
+/// Node-level configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeConfig {
+    /// Shard-selector bits for every namespace's shard group.
+    pub shard_bits: u32,
+    /// Per-namespace service configuration (queues, workers, refresh;
+    /// its `costs` also price the updater's row work).
+    pub service: ServiceConfig,
+    /// Write a snapshot and compact the WAL every this many applied
+    /// batches (node-wide); `0` disables automatic snapshots (explicit
+    /// [`TcamNode::snapshot`] still works).
+    pub snapshot_every_batches: u64,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        Self {
+            shard_bits: 0,
+            service: ServiceConfig::default(),
+            snapshot_every_batches: 1024,
+        }
+    }
+}
+
+/// One namespace's serving stack: a live service and its single writer.
+pub struct NamespaceGroup {
+    /// The shard workers answering this namespace's lookups.
+    service: TcamService,
+    /// The namespace's single writer (guards the shadow + epoch).
+    updater: Mutex<Updater>,
+}
+
+impl NamespaceGroup {
+    /// Builds the group from a recovered (or just-written) rule store,
+    /// booting the workers at the store's version so even the very first
+    /// reply after a restart carries the exact pre-crash epoch.
+    fn start(store: tcam_update::store::RuleStore, config: &NodeConfig) -> Result<Self> {
+        let updater = Updater::resume(store, config.shard_bits, config.service.costs)?;
+        let mut service_config = config.service;
+        service_config.initial_epoch = updater.epoch();
+        let service = updater.start_service(&service_config)?;
+        Ok(Self {
+            service,
+            updater: Mutex::new(updater),
+        })
+    }
+
+    /// The namespace's live service.
+    #[must_use]
+    pub fn service(&self) -> &TcamService {
+        &self.service
+    }
+
+    /// The namespace's current epoch (== its durable store version).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the updater mutex is poisoned (a writer panicked).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.updater.lock().expect("updater lock").epoch()
+    }
+
+    /// Scatters one batch of packed keys across the namespace's shards
+    /// using the **non-blocking** submit path, returning a
+    /// [`PendingLookup`] to gather later — the split that lets a
+    /// connection reader keep decoding (pipelining) while earlier
+    /// requests are still matching.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when any shard queue is full — the
+    /// whole request is shed (already-submitted sub-batches still
+    /// execute; their replies are discarded). [`ServeError::AmbiguousKey`]
+    /// for keys with a don't-care in the selector bits,
+    /// [`ServeError::ServiceClosed`] during shutdown.
+    pub fn submit(&self, keys: &[PackedWord]) -> Result<PendingLookup> {
+        let rules = self.service.rules();
+        let shards = rules.shards();
+        // Fast path: a single-shard namespace needs no scatter.
+        if shards == 1 {
+            let (tx, rx) = std::sync::mpsc::sync_channel(1);
+            self.service.try_submit(
+                0,
+                SearchBatch {
+                    keys: keys.to_vec(),
+                    submitted: Instant::now(),
+                    reply: Some(tx),
+                },
+            )?;
+            return Ok(PendingLookup {
+                count: keys.len(),
+                parts: vec![(rx, None)],
+            });
+        }
+        // Scatter: route every key, preserving its position for gather.
+        let mut per_shard: Vec<(Vec<PackedWord>, Vec<usize>)> =
+            vec![(Vec::new(), Vec::new()); shards];
+        for (i, key) in keys.iter().enumerate() {
+            let s = rules.route_packed(key).map_err(NetError::Serve)?;
+            per_shard[s].0.push(*key);
+            per_shard[s].1.push(i);
+        }
+        let mut parts = Vec::new();
+        for (s, (shard_keys, positions)) in per_shard.into_iter().enumerate() {
+            if shard_keys.is_empty() {
+                continue;
+            }
+            let (tx, rx) = std::sync::mpsc::sync_channel(1);
+            self.service.try_submit(
+                s,
+                SearchBatch {
+                    keys: shard_keys,
+                    submitted: Instant::now(),
+                    reply: Some(tx),
+                },
+            )?;
+            parts.push((rx, Some(positions)));
+        }
+        Ok(PendingLookup {
+            count: keys.len(),
+            parts,
+        })
+    }
+
+    /// [`Self::submit`] + [`PendingLookup::wait`] in one call: returns
+    /// `(epoch, results)` with results in key order and the epoch being
+    /// the newest snapshot that served any key.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::submit`].
+    pub fn lookup(&self, keys: &[PackedWord]) -> Result<(u64, Vec<Option<u32>>)> {
+        self.submit(keys)?.wait()
+    }
+}
+
+/// An in-flight scatter/gather lookup: one reply receiver per touched
+/// shard, with the original key position of every scattered key.
+pub struct PendingLookup {
+    count: usize,
+    /// `(receiver, positions)`; `None` positions = the whole batch went
+    /// to one shard in key order.
+    parts: Vec<(std::sync::mpsc::Receiver<BatchReply>, Option<Vec<usize>>)>,
+}
+
+impl PendingLookup {
+    /// Blocks until every touched shard replied; returns `(epoch,
+    /// results)` in original key order, the epoch being the newest
+    /// snapshot that served any key.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ServiceClosed`] when a worker exited before
+    /// replying (shutdown).
+    pub fn wait(self) -> Result<(u64, Vec<Option<u32>>)> {
+        let mut epoch = 0u64;
+        let mut results = vec![None; self.count];
+        for (rx, positions) in self.parts {
+            let reply: BatchReply = rx.recv().map_err(|_| ServeError::ServiceClosed)?;
+            epoch = epoch.max(reply.epoch);
+            match positions {
+                None => results = reply.results,
+                Some(positions) => {
+                    for (slot, result) in positions.into_iter().zip(reply.results) {
+                        results[slot] = result;
+                    }
+                }
+            }
+        }
+        Ok((epoch, results))
+    }
+}
+
+/// The multi-tenant, durable, network-servable TCAM node.
+pub struct TcamNode {
+    store: Mutex<DurableStore>,
+    groups: RwLock<BTreeMap<u16, Arc<NamespaceGroup>>>,
+    config: NodeConfig,
+    /// Batches applied since the last snapshot (auto-compaction trigger);
+    /// guarded by the store mutex's critical section.
+    batches_since_snapshot: Mutex<u64>,
+}
+
+impl TcamNode {
+    /// Opens (or creates) the node's durable store in `dir`, recovering
+    /// every namespace to its exact pre-crash version and starting a
+    /// serving group for each.
+    ///
+    /// # Errors
+    ///
+    /// Recovery errors from [`DurableStore::open`], or shard-group
+    /// construction errors.
+    pub fn open(dir: &Path, config: NodeConfig) -> Result<Self> {
+        let store = DurableStore::open(dir)?;
+        let mut groups = BTreeMap::new();
+        for ns in store.namespaces() {
+            let rules = store.store(ns).expect("listed namespace").clone();
+            groups.insert(ns, Arc::new(NamespaceGroup::start(rules, &config)?));
+        }
+        #[allow(clippy::cast_precision_loss)]
+        tcam_obs::gauge_set("node_namespaces", groups.len() as f64);
+        Ok(Self {
+            store: Mutex::new(store),
+            groups: RwLock::new(groups),
+            config,
+            batches_since_snapshot: Mutex::new(0),
+        })
+    }
+
+    /// The node configuration.
+    #[must_use]
+    pub fn config(&self) -> &NodeConfig {
+        &self.config
+    }
+
+    /// The provisioned namespaces, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group map lock is poisoned.
+    #[must_use]
+    pub fn namespaces(&self) -> Vec<u16> {
+        self.groups.read().expect("groups lock").keys().copied().collect()
+    }
+
+    /// The serving group for `namespace`, if provisioned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group map lock is poisoned.
+    #[must_use]
+    pub fn group(&self, namespace: u16) -> Option<Arc<NamespaceGroup>> {
+        self.groups.read().expect("groups lock").get(&namespace).cloned()
+    }
+
+    /// Per-namespace `(namespace, width, version, rules)` summary for the
+    /// admin plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store lock is poisoned.
+    #[must_use]
+    pub fn namespace_summaries(&self) -> Vec<(u16, usize, u64, usize)> {
+        let store = self.store.lock().expect("store lock");
+        store
+            .namespaces()
+            .into_iter()
+            .map(|ns| {
+                let s = store.store(ns).expect("listed namespace");
+                (ns, s.width(), s.version(), s.len())
+            })
+            .collect()
+    }
+
+    /// Applies one rule batch to `namespace` **durably and visibly**:
+    /// WAL append + fsync, in-memory store apply, updater apply, epoch
+    /// publication to the namespace's workers — all under the store lock,
+    /// so versions and epochs stay in lockstep. A new namespace is
+    /// provisioned (with word width `width`) by its first batch.
+    ///
+    /// Returns the namespace's new version (== the epoch lookups will
+    /// report once the snapshot swaps in).
+    ///
+    /// # Errors
+    ///
+    /// Validation, I/O, or shard-construction errors; on any error the
+    /// store, WAL, and live tables are all unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a lock is poisoned, or if the durable store and the
+    /// updater disagree on the resulting version (a lockstep bug).
+    pub fn apply(&self, namespace: u16, width: usize, batch: &[RuleChange]) -> Result<u64> {
+        let mut store = self.store.lock().expect("store lock");
+        let existing = self.group(namespace);
+        let version = store.apply(namespace, width, batch)?;
+        if let Some(group) = existing {
+            let mut updater = group.updater.lock().expect("updater lock");
+            let staged = updater.apply(batch)?;
+            assert_eq!(
+                staged.version, version,
+                "durable store and updater fell out of lockstep"
+            );
+            updater.publish(&group.service)?;
+        } else {
+            // First batch of a new namespace: build its group from the
+            // just-applied store state (epoch resumes at `version`).
+            let rules = store.store(namespace).expect("just applied").clone();
+            let group = Arc::new(NamespaceGroup::start(rules, &self.config)?);
+            let mut groups = self.groups.write().expect("groups lock");
+            groups.insert(namespace, group);
+            #[allow(clippy::cast_precision_loss)]
+            tcam_obs::gauge_set("node_namespaces", groups.len() as f64);
+        }
+        tcam_obs::counter_add("node_batches_applied", 1);
+        let mut since = self.batches_since_snapshot.lock().expect("snapshot counter");
+        *since += 1;
+        if self.config.snapshot_every_batches > 0 && *since >= self.config.snapshot_every_batches
+        {
+            store.snapshot()?;
+            *since = 0;
+        }
+        Ok(version)
+    }
+
+    /// One wire lookup batch against `namespace` (see
+    /// [`NamespaceGroup::lookup`]).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Status`] with
+    /// [`UnknownNamespace`](crate::wire::Status::UnknownNamespace) for an
+    /// unprovisioned namespace; otherwise as [`NamespaceGroup::lookup`].
+    pub fn lookup(&self, namespace: u16, keys: &[PackedWord]) -> Result<(u64, Vec<Option<u32>>)> {
+        let group = self
+            .group(namespace)
+            .ok_or(NetError::Status(crate::wire::Status::UnknownNamespace))?;
+        group.lookup(keys)
+    }
+
+    /// Forces a snapshot + WAL compaction now.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the snapshot write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store lock is poisoned.
+    pub fn snapshot(&self) -> Result<()> {
+        self.store.lock().expect("store lock").snapshot()?;
+        *self.batches_since_snapshot.lock().expect("snapshot counter") = 0;
+        Ok(())
+    }
+
+    /// Current WAL size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store lock is poisoned.
+    #[must_use]
+    pub fn wal_bytes(&self) -> u64 {
+        self.store.lock().expect("store lock").wal_bytes()
+    }
+
+    /// Shuts every namespace group down and returns per-namespace serving
+    /// reports. Idempotent: a second call returns an empty list. A group
+    /// still referenced elsewhere (e.g. a connection handler mid-batch)
+    /// reports `None` — its service closes when the last reference drops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group map lock is poisoned.
+    pub fn shutdown(&self) -> Vec<(u16, Option<ServeReport>)> {
+        let groups = std::mem::take(&mut *self.groups.write().expect("groups lock"));
+        groups
+            .into_iter()
+            .map(|(ns, group)| match Arc::try_unwrap(group) {
+                Ok(g) => (ns, Some(g.service.shutdown())),
+                Err(_still_shared) => (ns, None),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcam_arch::bank::BankRefresh;
+    use tcam_core::bit::{parse_ternary, TernaryBit};
+
+    fn w(s: &str) -> Vec<TernaryBit> {
+        parse_ternary(s).unwrap()
+    }
+
+    fn key(s: &str) -> PackedWord {
+        PackedWord::pack(&w(s))
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("tcam-node-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn quiet_config(shard_bits: u32) -> NodeConfig {
+        NodeConfig {
+            shard_bits,
+            service: ServiceConfig {
+                refresh: BankRefresh::None,
+                ..ServiceConfig::default()
+            },
+            snapshot_every_batches: 0,
+        }
+    }
+
+    #[test]
+    fn apply_then_lookup_reports_the_durable_version_as_epoch() {
+        let dir = tmpdir("epoch");
+        let node = TcamNode::open(&dir, quiet_config(0)).unwrap();
+        node.apply(
+            0,
+            4,
+            &[
+                RuleChange::Insert {
+                    priority: 1,
+                    word: w("10XX"),
+                },
+                RuleChange::Insert {
+                    priority: 2,
+                    word: w("XXXX"),
+                },
+            ],
+        )
+        .unwrap();
+        // The published snapshot swaps in at a batch boundary; poll until
+        // the epoch tag arrives (bounded).
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let (epoch, results) = node.lookup(0, &[key("1011"), key("0100")]).unwrap();
+            if epoch == 1 {
+                assert_eq!(results, vec![Some(1), Some(2)]);
+                break;
+            }
+            assert!(Instant::now() < deadline, "epoch 1 never published");
+        }
+        // Unknown namespace is an explicit status, not a panic.
+        assert!(matches!(
+            node.lookup(9, &[key("0000")]),
+            Err(NetError::Status(crate::wire::Status::UnknownNamespace))
+        ));
+        node.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn restart_resumes_exact_epochs_per_namespace() {
+        let dir = tmpdir("restart");
+        {
+            let node = TcamNode::open(&dir, quiet_config(0)).unwrap();
+            for p in 0..3u32 {
+                node.apply(
+                    0,
+                    4,
+                    &[RuleChange::Insert {
+                        priority: p,
+                        word: w("1XX0"),
+                    }],
+                )
+                .unwrap();
+            }
+            node.apply(
+                5,
+                8,
+                &[RuleChange::Insert {
+                    priority: 9,
+                    word: w("1010XXXX"),
+                }],
+            )
+            .unwrap();
+            node.shutdown();
+        }
+        let node = TcamNode::open(&dir, quiet_config(0)).unwrap();
+        assert_eq!(node.namespaces(), vec![0, 5]);
+        // Replies carry the pre-crash epoch from the very first lookup:
+        // recovery republished before serving.
+        let (epoch, results) = node.lookup(0, &[key("1010")]).unwrap();
+        assert_eq!(epoch, 3);
+        assert_eq!(results, vec![Some(0)]);
+        let (epoch, results) = node.lookup(5, &[key("10101111")]).unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(results, vec![Some(9)]);
+        // And the next batch continues the sequence.
+        assert_eq!(
+            node.apply(0, 4, &[RuleChange::Remove { priority: 2 }]).unwrap(),
+            4
+        );
+        node.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sharded_namespace_scatter_gathers_in_key_order() {
+        let dir = tmpdir("scatter");
+        let node = TcamNode::open(&dir, quiet_config(2)).unwrap();
+        // Rules pinned to different shards (top-2 selector bits concrete).
+        node.apply(
+            0,
+            6,
+            &[
+                RuleChange::Insert {
+                    priority: 1,
+                    word: w("00XXXX"),
+                },
+                RuleChange::Insert {
+                    priority: 2,
+                    word: w("01XXXX"),
+                },
+                RuleChange::Insert {
+                    priority: 3,
+                    word: w("11XXXX"),
+                },
+            ],
+        )
+        .unwrap();
+        let keys = [key("110000"), key("000000"), key("011111"), key("100000")];
+        let (_, results) = node.lookup(0, &keys).unwrap();
+        assert_eq!(results, vec![Some(3), Some(1), Some(2), None]);
+        // An ambiguous key (don't-care in the selector) is a BadRequest
+        // class error, not a panic.
+        assert!(node.lookup(0, &[key("X00000")]).is_err());
+        node.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn auto_snapshot_compacts_the_wal() {
+        let dir = tmpdir("autosnap");
+        let mut config = quiet_config(0);
+        config.snapshot_every_batches = 4;
+        let node = TcamNode::open(&dir, config).unwrap();
+        for p in 0..4u32 {
+            node.apply(
+                0,
+                4,
+                &[RuleChange::Insert {
+                    priority: p,
+                    word: w("10XX"),
+                }],
+            )
+            .unwrap();
+        }
+        assert_eq!(node.wal_bytes(), 0, "4th batch triggered compaction");
+        node.apply(0, 4, &[RuleChange::Remove { priority: 0 }]).unwrap();
+        assert!(node.wal_bytes() > 0);
+        node.shutdown();
+        // Recovery = snapshot + the one post-compaction record.
+        let node = TcamNode::open(&dir, quiet_config(0)).unwrap();
+        let (epoch, results) = node.lookup(0, &[key("1000")]).unwrap();
+        assert_eq!(epoch, 5);
+        assert_eq!(results, vec![Some(1)]);
+        node.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let dir = tmpdir("shutdown");
+        let node = TcamNode::open(&dir, quiet_config(0)).unwrap();
+        node.apply(
+            0,
+            4,
+            &[RuleChange::Insert {
+                priority: 1,
+                word: w("10XX"),
+            }],
+        )
+        .unwrap();
+        let reports = node.shutdown();
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].1.is_some());
+        assert!(node.shutdown().is_empty(), "second shutdown is a no-op");
+        // Lookups after shutdown are UnknownNamespace (groups are gone).
+        assert!(node.lookup(0, &[key("1000")]).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,491 @@
+//! The TCP lookup front-end: connection-per-core serving with admission
+//! control at every layer.
+//!
+//! # Thread anatomy
+//!
+//! One **accept loop** polls the listener and pushes accepted sockets
+//! into a *bounded admission queue* (depth exported as the
+//! `net_accept_depth` gauge) — when the queue is full the socket is
+//! closed immediately (`net_shed_connections`), so a connection storm
+//! cannot grow an unbounded backlog. A **dispatcher** pops parked
+//! sockets and starts a connection whenever the live-connection count is
+//! under [`ServerConfig::max_connections`].
+//!
+//! Each connection runs a **reader/writer thread pair** bridged by a
+//! bounded channel of [`ServerConfig::inflight_per_connection`] entries —
+//! the per-connection pipelining cap. The reader decodes a request,
+//! *scatters* it to the shard mailboxes with the non-blocking
+//! [`submit`](crate::node::NamespaceGroup::submit) path, and hands the
+//! pending gather to the writer; the writer *gathers* replies and
+//! encodes responses in request order. A full shard queue becomes an
+//! explicit [`Status::Overloaded`] reply (`net_shed_requests`) — never
+//! silent queueing, never a blocked accept loop.
+//!
+//! # Graceful shutdown
+//!
+//! [`NetServer::shutdown`] flips a flag: the accept loop closes the
+//! listener, parked sockets are dropped, readers (which poll with a read
+//! timeout) stop decoding and hang up their channel, writers drain every
+//! in-flight request — each accepted request is answered — and the
+//! server joins all threads before returning.
+
+use crate::error::{NetError, Result};
+use crate::node::{PendingLookup, TcamNode};
+use crate::wire::{
+    self, Status, MAX_KEYS_PER_REQUEST, OP_LOOKUP, OP_PING, WIRE_VERSION,
+};
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use tcam_arch::packed::PackedWord;
+use tcam_serve::error::ServeError;
+use tcam_serve::BoundedQueue;
+
+/// Front-end configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Maximum simultaneously live connections; further accepted sockets
+    /// park in the admission queue.
+    pub max_connections: usize,
+    /// Parked sockets the admission queue holds before the accept loop
+    /// sheds new connections outright.
+    pub accept_backlog: usize,
+    /// Pipelined requests in flight per connection (the reader blocks —
+    /// i.e. TCP backpressure — once this many requests await replies).
+    pub inflight_per_connection: usize,
+    /// Read-poll granularity: how quickly an idle connection notices
+    /// shutdown.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_connections: 64,
+            accept_backlog: 64,
+            inflight_per_connection: 8,
+            read_timeout: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Shared server state.
+struct Shared {
+    node: Arc<TcamNode>,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    live_connections: AtomicU64,
+    /// Handles of running/finished connection threads, reaped by the
+    /// dispatcher and drained at shutdown.
+    connection_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// The running front-end. Use [`NetServer::shutdown`] for a graceful
+/// stop; plain drop aborts without draining.
+pub struct NetServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    dispatcher_thread: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the accept loop and dispatcher.
+    ///
+    /// # Errors
+    ///
+    /// Bind/listen I/O errors.
+    pub fn start(node: Arc<TcamNode>, addr: &str, config: ServerConfig) -> Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            node,
+            config,
+            shutdown: AtomicBool::new(false),
+            live_connections: AtomicU64::new(0),
+            connection_threads: Mutex::new(Vec::new()),
+        });
+        let admission: Arc<BoundedQueue<TcpStream>> =
+            Arc::new(BoundedQueue::new(config.accept_backlog.max(1)));
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_queue = Arc::clone(&admission);
+        let accept_thread = std::thread::Builder::new()
+            .name("tcam-net-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_queue, &accept_shared))
+            .expect("spawn accept loop");
+
+        let dispatch_shared = Arc::clone(&shared);
+        let dispatcher_thread = std::thread::Builder::new()
+            .name("tcam-net-dispatch".into())
+            .spawn(move || dispatch_loop(&admission, &dispatch_shared))
+            .expect("spawn dispatcher");
+
+        Ok(Self {
+            shared,
+            local_addr,
+            accept_thread: Some(accept_thread),
+            dispatcher_thread: Some(dispatcher_thread),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Live connection count right now.
+    #[must_use]
+    pub fn live_connections(&self) -> u64 {
+        self.shared.live_connections.load(Ordering::Relaxed)
+    }
+
+    /// Graceful stop: close the listener, drop parked sockets, let every
+    /// connection answer its in-flight requests, join all threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an internal server thread panicked.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            t.join().expect("accept loop panicked");
+        }
+        if let Some(t) = self.dispatcher_thread.take() {
+            t.join().expect("dispatcher panicked");
+        }
+        let handles = std::mem::take(
+            &mut *self
+                .shared
+                .connection_threads
+                .lock()
+                .expect("connection thread list"),
+        );
+        for h in handles {
+            h.join().expect("connection thread panicked");
+        }
+        tcam_obs::gauge_set("net_live_connections", 0.0);
+        tcam_obs::gauge_set("net_accept_depth", 0.0);
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// Accepts sockets into the bounded admission queue; sheds (closes) when
+/// the queue is full. Exits — closing the listener — on shutdown.
+fn accept_loop(listener: &TcpListener, queue: &BoundedQueue<TcpStream>, shared: &Shared) {
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            queue.close();
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                #[allow(clippy::cast_precision_loss)]
+                if queue.try_push(stream).is_err() {
+                    // Admission control layer 1: a full backlog closes the
+                    // socket now instead of queueing without bound.
+                    tcam_obs::counter_add("net_shed_connections", 1);
+                } else {
+                    tcam_obs::gauge_set("net_accept_depth", queue.len() as f64);
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                // Listener died; nothing to accept anymore.
+                queue.close();
+                return;
+            }
+        }
+    }
+}
+
+/// Pops parked sockets and starts connections while under the live cap.
+fn dispatch_loop(queue: &BoundedQueue<TcpStream>, shared: &Arc<Shared>) {
+    loop {
+        let (mut popped, closed) = queue.pop_batch(1, Duration::from_millis(25));
+        #[allow(clippy::cast_precision_loss)]
+        tcam_obs::gauge_set("net_accept_depth", queue.len() as f64);
+        let Some(stream) = popped.pop() else {
+            if closed {
+                return;
+            }
+            // Idle moment: reap finished connection threads so the handle
+            // list stays proportional to live connections.
+            reap_finished(shared);
+            continue;
+        };
+        if shared.shutdown.load(Ordering::Relaxed) {
+            // Parked after shutdown began: drop, it was never served.
+            tcam_obs::counter_add("net_shed_connections", 1);
+            continue;
+        }
+        // Admission control layer 2: the live-connection cap. Parked
+        // sockets wait here (bounded by the queue) until a slot frees.
+        while shared.live_connections.load(Ordering::Relaxed)
+            >= shared.config.max_connections as u64
+        {
+            if shared.shutdown.load(Ordering::Relaxed) {
+                tcam_obs::counter_add("net_shed_connections", 1);
+                break;
+            }
+            reap_finished(shared);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        if shared.shutdown.load(Ordering::Relaxed) {
+            continue;
+        }
+        start_connection(stream, shared);
+    }
+}
+
+fn reap_finished(shared: &Shared) {
+    let mut handles = shared
+        .connection_threads
+        .lock()
+        .expect("connection thread list");
+    let mut i = 0;
+    while i < handles.len() {
+        if handles[i].is_finished() {
+            let h = handles.swap_remove(i);
+            let _ = h.join();
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// One writer-queue entry: either a pending scatter/gather or an
+/// immediately-known error reply.
+enum Outcome {
+    Pending(PendingLookup),
+    Immediate(Status),
+    /// A ping: answered with an empty OK response carrying the opcode.
+    Pong,
+}
+
+struct QueuedReply {
+    request_id: u32,
+    opcode: u8,
+    outcome: Outcome,
+}
+
+fn start_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let writer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return, // peer already gone
+    };
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let _ = writer_stream.set_nodelay(true);
+    shared.live_connections.fetch_add(1, Ordering::Relaxed);
+    #[allow(clippy::cast_precision_loss)]
+    tcam_obs::gauge_set(
+        "net_live_connections",
+        shared.live_connections.load(Ordering::Relaxed) as f64,
+    );
+    tcam_obs::counter_add("net_connections_accepted", 1);
+    // The bounded reply channel IS the per-connection inflight cap
+    // (admission control layer 3): the reader blocks here once the writer
+    // has this many unanswered requests, which the peer observes as TCP
+    // backpressure.
+    let (tx, rx) = std::sync::mpsc::sync_channel::<QueuedReply>(
+        shared.config.inflight_per_connection.max(1),
+    );
+    let reader_shared = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name("tcam-net-conn".into())
+        .spawn(move || {
+            let writer = std::thread::Builder::new()
+                .name("tcam-net-conn-w".into())
+                .spawn(move || write_loop(writer_stream, &rx))
+                .expect("spawn connection writer");
+            read_loop(stream, &tx, &reader_shared);
+            // Hang up: the writer drains whatever is still in flight,
+            // answers it, and exits.
+            drop(tx);
+            let _ = writer.join();
+            reader_shared.live_connections.fetch_sub(1, Ordering::Relaxed);
+            #[allow(clippy::cast_precision_loss)]
+            tcam_obs::gauge_set(
+                "net_live_connections",
+                reader_shared.live_connections.load(Ordering::Relaxed) as f64,
+            );
+        })
+        .expect("spawn connection reader");
+    shared
+        .connection_threads
+        .lock()
+        .expect("connection thread list")
+        .push(handle);
+}
+
+/// Decodes frames and scatters lookups until EOF, a protocol violation,
+/// or shutdown. Returns when the connection should close.
+fn read_loop(mut stream: TcpStream, tx: &SyncSender<QueuedReply>, shared: &Shared) {
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return; // graceful: stop reading, let the writer drain
+        }
+        let payload = match wire::read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) => return, // clean EOF between frames
+            Err(NetError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue; // idle poll tick; re-check the shutdown flag
+            }
+            Err(_) => return, // violation or hard I/O error: close
+        };
+        if payload.len() < 8 {
+            return; // too short to even carry a request id: close
+        }
+        let opcode = payload[1];
+        let request_id = u32::from_le_bytes([payload[4], payload[5], payload[6], payload[7]]);
+        if payload[0] != WIRE_VERSION {
+            // Answer so the peer can diagnose, then close: nothing else
+            // in this stream will parse.
+            let _ = tx.send(QueuedReply {
+                request_id,
+                opcode: OP_LOOKUP,
+                outcome: Outcome::Immediate(Status::UnsupportedVersion),
+            });
+            return;
+        }
+        let reply = match opcode {
+            OP_PING => QueuedReply {
+                request_id,
+                opcode,
+                outcome: Outcome::Pong,
+            },
+            OP_LOOKUP => match wire::decode_lookup_request(&payload) {
+                Ok(req) => QueuedReply {
+                    request_id,
+                    opcode,
+                    outcome: submit_lookup(shared, req.namespace, &req.keys),
+                },
+                Err(_) => {
+                    // Framing is intact (length-prefixed), so a malformed
+                    // body is answerable without desyncing the stream.
+                    QueuedReply {
+                        request_id,
+                        opcode,
+                        outcome: Outcome::Immediate(Status::BadRequest),
+                    }
+                }
+            },
+            _ => QueuedReply {
+                request_id,
+                opcode: OP_LOOKUP,
+                outcome: Outcome::Immediate(Status::BadRequest),
+            },
+        };
+        tcam_obs::counter_add("net_requests", 1);
+        if tx.send(reply).is_err() {
+            return; // writer died (peer hung up mid-write)
+        }
+    }
+}
+
+/// Scatters one decoded lookup, mapping every failure to its wire status.
+fn submit_lookup(shared: &Shared, namespace: u16, keys: &[PackedWord]) -> Outcome {
+    if keys.is_empty() || keys.len() > MAX_KEYS_PER_REQUEST {
+        return Outcome::Immediate(Status::BadRequest);
+    }
+    let Some(group) = shared.node.group(namespace) else {
+        return Outcome::Immediate(Status::UnknownNamespace);
+    };
+    match group.submit(keys) {
+        Ok(pending) => Outcome::Pending(pending),
+        Err(NetError::Serve(ServeError::Overloaded { .. })) => {
+            tcam_obs::counter_add("net_shed_requests", 1);
+            Outcome::Immediate(Status::Overloaded)
+        }
+        Err(NetError::Serve(ServeError::ServiceClosed)) => {
+            Outcome::Immediate(Status::ShuttingDown)
+        }
+        Err(NetError::Serve(ServeError::WidthMismatch { .. })) => {
+            Outcome::Immediate(Status::WidthMismatch)
+        }
+        Err(_) => Outcome::Immediate(Status::BadRequest),
+    }
+}
+
+/// Gathers replies in request order and writes response frames; drains
+/// the channel fully (every accepted request is answered) before exiting.
+fn write_loop(mut stream: TcpStream, rx: &Receiver<QueuedReply>) {
+    let mut frame = Vec::new();
+    while let Ok(reply) = rx.recv() {
+        let t0 = std::time::Instant::now();
+        match reply.outcome {
+            Outcome::Pending(pending) => match pending.wait() {
+                Ok((epoch, results)) => {
+                    tcam_obs::counter_add("net_lookups", results.len() as u64);
+                    wire::encode_lookup_response(
+                        &mut frame,
+                        Status::Ok,
+                        reply.request_id,
+                        epoch,
+                        &results,
+                    );
+                }
+                Err(_) => {
+                    wire::encode_lookup_response(
+                        &mut frame,
+                        Status::ShuttingDown,
+                        reply.request_id,
+                        0,
+                        &[],
+                    );
+                }
+            },
+            Outcome::Immediate(status) => {
+                wire::encode_response(&mut frame, reply.opcode, status, reply.request_id, 0, &[]);
+            }
+            Outcome::Pong => {
+                wire::encode_response(&mut frame, OP_PING, Status::Ok, reply.request_id, 0, &[]);
+            }
+        }
+        if stream.write_all(&frame).is_err() {
+            // Peer gone: keep draining so pending gathers complete and
+            // shard replies aren't left dangling, but stop writing.
+            for remaining in rx.iter() {
+                if let Outcome::Pending(p) = remaining.outcome {
+                    let _ = p.wait();
+                }
+            }
+            return;
+        }
+        tcam_obs::hist_record(
+            "net_request_ns",
+            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
+    }
+    let _ = stream.flush();
+}

@@ -1,0 +1,440 @@
+//! End-to-end tests of the wire front-end: correctness over loopback,
+//! epoch tags, admission control under saturation, recovery over a
+//! restart, and the HTTP admin plane.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tcam_arch::bank::BankRefresh;
+use tcam_arch::packed::PackedWord;
+use tcam_core::bit::{parse_ternary, TernaryBit};
+use tcam_net::client::NetClient;
+use tcam_net::node::{NodeConfig, TcamNode};
+use tcam_net::server::{NetServer, ServerConfig};
+use tcam_net::wire::Status;
+use tcam_net::NetError;
+use tcam_serve::service::ServiceConfig;
+use tcam_update::store::{prefix_word, RuleChange};
+
+fn w(s: &str) -> Vec<TernaryBit> {
+    parse_ternary(s).unwrap()
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tcam-net-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn quiet_node(dir: &Path, shard_bits: u32) -> Arc<TcamNode> {
+    let config = NodeConfig {
+        shard_bits,
+        service: ServiceConfig {
+            refresh: BankRefresh::None,
+            ..ServiceConfig::default()
+        },
+        snapshot_every_batches: 0,
+    };
+    Arc::new(TcamNode::open(dir, config).unwrap())
+}
+
+/// Seeds namespace 0 with a deterministic 8-bit LPM table and returns
+/// the (priority, word) pairs for reference checking.
+fn seed_lpm(node: &TcamNode) -> Vec<(u32, Vec<TernaryBit>)> {
+    let rules: Vec<(u32, Vec<TernaryBit>)> = (0..16u32)
+        .map(|i| (i, prefix_word(u64::from(i) * 16, 4, 8)))
+        .collect();
+    let batch: Vec<RuleChange> = rules
+        .iter()
+        .map(|(p, word)| RuleChange::Insert {
+            priority: *p,
+            word: word.clone(),
+        })
+        .collect();
+    node.apply(0, 8, &batch).unwrap();
+    rules
+}
+
+#[test]
+fn lookups_over_loopback_match_the_reference() {
+    let dir = tmpdir("correct");
+    let node = quiet_node(&dir, 0);
+    let rules = seed_lpm(&node);
+    let reference = tcam_serve::shard::ShardedRuleSet::build(
+        &rules.iter().map(|(_, w)| w.clone()).collect::<Vec<_>>(),
+        0,
+    )
+    .unwrap();
+    let server =
+        NetServer::start(Arc::clone(&node), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = NetClient::connect(&server.local_addr().to_string()).unwrap();
+    client.ping().unwrap();
+
+    // Every concrete 8-bit key, in wire batches of 32.
+    let keys: Vec<Vec<TernaryBit>> = (0..=255u64).map(|v| prefix_word(v, 8, 8)).collect();
+    for chunk in keys.chunks(32) {
+        let (epoch, results) = client.lookup_ternary(0, chunk).unwrap();
+        assert_eq!(epoch, 1, "the seed batch is version/epoch 1");
+        for (key, hit) in chunk.iter().zip(results) {
+            assert_eq!(hit, reference.search(key).unwrap(), "key {key:?}");
+        }
+    }
+
+    // Pipelined: several requests in flight, responses in order.
+    let packed: Vec<PackedWord> = keys.iter().take(8).map(|k| PackedWord::pack(k)).collect();
+    let ids: Vec<u32> = (0..5)
+        .map(|_| client.send_lookup(0, &packed).unwrap())
+        .collect();
+    for id in ids {
+        let resp = client.recv_response().unwrap();
+        assert_eq!(resp.request_id, id, "responses must arrive in order");
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.results.len(), 8);
+    }
+
+    // Unknown namespace: explicit status, connection stays usable.
+    let err = client.lookup(42, &packed).unwrap_err();
+    assert!(matches!(err, NetError::Status(Status::UnknownNamespace)));
+    client.ping().unwrap();
+
+    server.shutdown();
+    node.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn updates_are_visible_with_their_epoch_tag() {
+    let dir = tmpdir("epochs");
+    let node = quiet_node(&dir, 0);
+    seed_lpm(&node);
+    let server =
+        NetServer::start(Arc::clone(&node), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = NetClient::connect(&server.local_addr().to_string()).unwrap();
+
+    // A high-priority override for one /8: once epoch 2 serves the reply,
+    // the new rule MUST be visible (linearizability of the epoch tag).
+    node.apply(
+        0,
+        8,
+        &[RuleChange::Insert {
+            priority: 0xFFFF,
+            word: w("00000000"),
+        }],
+    )
+    .unwrap();
+    let key = [PackedWord::pack(&w("00000000"))];
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let (epoch, results) = client.lookup(0, &key).unwrap();
+        if epoch >= 2 {
+            assert_eq!(results, vec![Some(0)], "priority 0 still wins (lower id)");
+            break;
+        }
+        assert!(Instant::now() < deadline, "epoch 2 never became visible");
+    }
+    // Remove the only rule matching 0x10-prefixed keys; once epoch 3
+    // replies, the miss must be real.
+    node.apply(0, 8, &[RuleChange::Remove { priority: 1 }]).unwrap();
+    let key = [PackedWord::pack(&w("00010000"))];
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let (epoch, results) = client.lookup(0, &key).unwrap();
+        if epoch >= 3 {
+            assert_eq!(results, vec![None]);
+            break;
+        }
+        assert!(Instant::now() < deadline, "epoch 3 never became visible");
+    }
+    server.shutdown();
+    node.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn restart_serves_the_exact_pre_kill_epoch_over_the_wire() {
+    let dir = tmpdir("recover");
+    {
+        let node = quiet_node(&dir, 0);
+        seed_lpm(&node);
+        node.apply(
+            0,
+            8,
+            &[RuleChange::Insert {
+                priority: 100,
+                word: w("1111111X"),
+            }],
+        )
+        .unwrap();
+        node.apply(0, 8, &[RuleChange::Remove { priority: 15 }]).unwrap();
+        // Simulated kill: no snapshot, no clean close — the WAL alone
+        // must carry all three batches.
+        node.shutdown();
+    }
+    let node = quiet_node(&dir, 0);
+    let server =
+        NetServer::start(Arc::clone(&node), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = NetClient::connect(&server.local_addr().to_string()).unwrap();
+    let (epoch, results) = client
+        .lookup(0, &[PackedWord::pack(&w("11111110")), PackedWord::pack(&w("11110000"))])
+        .unwrap();
+    assert_eq!(epoch, 3, "the very first reply carries the pre-kill epoch");
+    assert_eq!(
+        results,
+        vec![Some(100), None],
+        "recovered rules: insert replayed, remove replayed"
+    );
+    server.shutdown();
+    node.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn saturation_sheds_with_an_explicit_overloaded_status() {
+    let dir = tmpdir("overload");
+    // A deliberately chokeable node: single shard, 1-slot queue, and a
+    // worker that spends almost all its time in (heavy, frequent)
+    // refresh events.
+    let config = NodeConfig {
+        shard_bits: 0,
+        service: ServiceConfig {
+            refresh: BankRefresh::OneShot { op_time: 10e-9 },
+            refresh_interval: Duration::from_micros(100),
+            refresh_op_work: 2_000_000,
+            queue_capacity: 1,
+            ..ServiceConfig::default()
+        },
+        snapshot_every_batches: 0,
+    };
+    let node = Arc::new(TcamNode::open(&dir, config).unwrap());
+    seed_lpm(&node);
+    let server = NetServer::start(
+        Arc::clone(&node),
+        "127.0.0.1:0",
+        ServerConfig {
+            inflight_per_connection: 16,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = NetClient::connect(&server.local_addr().to_string()).unwrap();
+    let keys: Vec<PackedWord> = (0..512u64)
+        .map(|v| PackedWord::pack(&prefix_word(v % 256, 8, 8)))
+        .collect();
+    // Pipeline hard: with the worker stalled in refresh and a 1-slot
+    // queue, some requests MUST come back Overloaded — and every request
+    // gets exactly one answer, in order.
+    let total = 64u32;
+    let mut sent = std::collections::VecDeque::new();
+    let mut ok = 0u32;
+    let mut shed = 0u32;
+    for i in 0..total {
+        sent.push_back(client.send_lookup(0, &keys).unwrap());
+        // Keep at most 8 in flight from the client side.
+        while sent.len() > 8 || (i == total - 1 && !sent.is_empty()) {
+            let resp = client.recv_response().unwrap();
+            assert_eq!(resp.request_id, sent.pop_front().unwrap());
+            match resp.status {
+                Status::Ok => {
+                    assert_eq!(resp.results.len(), keys.len());
+                    ok += 1;
+                }
+                Status::Overloaded => {
+                    assert!(resp.results.is_empty());
+                    shed += 1;
+                }
+                other => panic!("unexpected status {other:?}"),
+            }
+        }
+    }
+    assert_eq!(ok + shed, total);
+    assert!(shed > 0, "a choked shard never shed — admission control dead");
+    assert!(ok > 0, "everything shed — the service never served at all");
+    server.shutdown();
+    node.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn protocol_violations_get_explicit_statuses() {
+    let dir = tmpdir("violations");
+    let node = quiet_node(&dir, 0);
+    seed_lpm(&node);
+    let server =
+        NetServer::start(Arc::clone(&node), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+
+    // Wrong wire version: answered with UnsupportedVersion, then closed.
+    {
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        let mut frame = vec![];
+        frame.extend_from_slice(&12u32.to_le_bytes());
+        frame.extend_from_slice(&[9, 1]); // version 9, OP_LOOKUP
+        frame.extend_from_slice(&0u16.to_le_bytes());
+        frame.extend_from_slice(&77u32.to_le_bytes());
+        frame.extend_from_slice(&[2, 0]);
+        frame.extend_from_slice(&0u16.to_le_bytes());
+        stream.write_all(&frame).unwrap();
+        let mut resp = Vec::new();
+        stream.read_to_end(&mut resp).unwrap(); // server closes after answering
+        assert!(resp.len() >= 22);
+        assert_eq!(resp[6], Status::UnsupportedVersion as u8);
+        assert_eq!(&resp[8..12], &77u32.to_le_bytes());
+    }
+
+    // Unknown opcode: BadRequest, connection survives.
+    {
+        let mut client = NetClient::connect(&addr).unwrap();
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        let mut frame = vec![];
+        frame.extend_from_slice(&12u32.to_le_bytes());
+        frame.extend_from_slice(&[1, 0x7E]); // good version, bogus opcode
+        frame.extend_from_slice(&0u16.to_le_bytes());
+        frame.extend_from_slice(&5u32.to_le_bytes());
+        frame.extend_from_slice(&[2, 0]);
+        frame.extend_from_slice(&0u16.to_le_bytes());
+        stream.write_all(&frame).unwrap();
+        let mut head = [0u8; 22];
+        stream.read_exact(&mut head).unwrap();
+        assert_eq!(head[6], Status::BadRequest as u8);
+        // The healthy client on the same server is unaffected.
+        client.ping().unwrap();
+    }
+    server.shutdown();
+    node.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Minimal HTTP/1.1 round-trip helper for the admin plane.
+fn http(addr: &str, request: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn admin_plane_applies_rules_and_exposes_state() {
+    let dir = tmpdir("admin");
+    let node = quiet_node(&dir, 0);
+    let admin = tcam_net::AdminServer::start(Arc::clone(&node), "127.0.0.1:0").unwrap();
+    let server =
+        NetServer::start(Arc::clone(&node), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = admin.local_addr().to_string();
+
+    let (status, body) = http(&addr, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    // Provision namespace 3 through the admin plane.
+    let rules_body = r#"{"width": 4, "changes": [
+        {"op": "insert", "priority": 1, "word": "10XX"},
+        {"op": "insert", "priority": 2, "word": "XXXX"}
+    ]}"#;
+    let request = format!(
+        "POST /rules?ns=3 HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{rules_body}",
+        rules_body.len()
+    );
+    let (status, body) = http(&addr, &request);
+    assert_eq!(status, 200, "body: {body}");
+    assert_eq!(body, "{\"version\": 1}");
+
+    // It is immediately servable over the wire plane.
+    let mut client = NetClient::connect(&server.local_addr().to_string()).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let (epoch, results) = client.lookup(3, &[PackedWord::pack(&w("1011"))]).unwrap();
+        if epoch == 1 {
+            assert_eq!(results, vec![Some(1)]);
+            break;
+        }
+        assert!(Instant::now() < deadline);
+    }
+
+    let (status, body) = http(&addr, "GET /namespaces HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("\"ns\": 3") && body.contains("\"rules\": 2"),
+        "namespaces body: {body}"
+    );
+
+    // A bad batch is a 400 with a reason, not a panic or a 200.
+    let bad = r#"{"width": 4, "changes": [{"op": "insert", "priority": 1, "word": "10XX"}]}"#;
+    let request = format!(
+        "POST /rules?ns=3 HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{bad}",
+        bad.len()
+    );
+    let (status, body) = http(&addr, &request);
+    assert_eq!(status, 400);
+    assert!(body.contains("already present"), "body: {body}");
+
+    // Snapshot trigger compacts the WAL.
+    assert!(node.wal_bytes() > 0);
+    let (status, _) = http(&addr, "POST /snapshot HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n");
+    assert_eq!(status, 200);
+    assert_eq!(node.wal_bytes(), 0);
+
+    // Metrics and stats exporters answer with real content.
+    tcam_obs::set_enabled(true);
+    let _ = client.lookup(3, &[PackedWord::pack(&w("0000"))]).unwrap();
+    let (status, body) = http(&addr, "GET /stats HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(body.starts_with('{') && body.contains("admin_requests"), "stats: {body}");
+    let (status, body) = http(&addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(body.contains("# TYPE"), "metrics: {body}");
+
+    let (status, _) = http(&addr, "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!(status, 404);
+
+    server.shutdown();
+    admin.shutdown();
+    node.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn graceful_shutdown_answers_in_flight_and_terminates() {
+    let dir = tmpdir("drain");
+    let node = quiet_node(&dir, 0);
+    seed_lpm(&node);
+    let server =
+        NetServer::start(Arc::clone(&node), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+    let mut client = NetClient::connect(&addr).unwrap();
+    client.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    // One request in flight when shutdown begins.
+    let keys: Vec<PackedWord> = (0..64u64)
+        .map(|v| PackedWord::pack(&prefix_word(v, 8, 8)))
+        .collect();
+    let id = client.send_lookup(0, &keys).unwrap();
+    let start = Instant::now();
+    server.shutdown();
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "shutdown hung on a live connection"
+    );
+    // The in-flight request was either answered before the reader saw the
+    // flag (Ok) or the connection closed cleanly — never a hang or a torn
+    // frame.
+    match client.recv_response() {
+        Ok(resp) => {
+            assert_eq!(resp.request_id, id);
+            assert!(matches!(resp.status, Status::Ok | Status::ShuttingDown));
+        }
+        Err(NetError::Wire(_) | NetError::Io(_)) => {} // clean close
+        Err(other) => panic!("unexpected: {other}"),
+    }
+    node.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

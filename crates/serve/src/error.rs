@@ -37,6 +37,13 @@ pub enum ServeError {
     EmptyRuleSet,
     /// The service has shut down (queue closed).
     ServiceClosed,
+    /// A shard queue was full when a non-blocking submit arrived — the
+    /// admission-control signal a front-end turns into an explicit
+    /// wire-level "overloaded" reply instead of queueing without bound.
+    Overloaded {
+        /// The saturated shard.
+        shard: usize,
+    },
     /// An insert reused a rule id (= priority) that is already present.
     DuplicateRuleId {
         /// The colliding id.
@@ -66,6 +73,9 @@ impl fmt::Display for ServeError {
             }
             ServeError::EmptyRuleSet => write!(f, "rule set is empty"),
             ServeError::ServiceClosed => write!(f, "service has shut down"),
+            ServeError::Overloaded { shard } => {
+                write!(f, "shard {shard} queue is full (load shed)")
+            }
             ServeError::DuplicateRuleId { id } => {
                 write!(f, "rule id {id} is already present")
             }

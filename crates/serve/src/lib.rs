@@ -58,7 +58,7 @@ pub mod workload;
 
 pub use error::{Result, ServeError};
 pub use loadgen::OpenLoop;
-pub use queue::BoundedQueue;
+pub use queue::{BoundedQueue, TryPushError};
 pub use service::{BatchReply, SearchBatch, ServiceConfig, TableUpdate, TcamService};
 pub use shard::{RowOps, ShardedRuleSet};
 pub use telemetry::{LatencyHistogram, ServeReport, ShardStats};

@@ -16,6 +16,16 @@ use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+/// Why a [`BoundedQueue::try_push`] was refused, carrying the item back.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryPushError<T> {
+    /// The queue is at capacity right now — the caller should shed the
+    /// work (admission control) rather than wait.
+    Full(T),
+    /// The queue has been closed (service shutdown).
+    Closed(T),
+}
+
 struct State<T> {
     items: VecDeque<T>,
     closed: bool,
@@ -69,6 +79,34 @@ impl<T> BoundedQueue<T> {
             }
             state = self.not_full.wait(state).expect("queue lock");
         }
+    }
+
+    /// Enqueues `item` only if a slot is free **right now** — the
+    /// admission-control variant of [`Self::push`]. A full queue returns
+    /// [`TryPushError::Full`] immediately instead of blocking, so a
+    /// front-end can shed load with an explicit error while the queue
+    /// keeps its bound.
+    ///
+    /// # Errors
+    ///
+    /// [`TryPushError::Full`] when at capacity, [`TryPushError::Closed`]
+    /// after [`Self::close`]; both return the item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue mutex was poisoned (a worker panicked).
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(TryPushError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
     }
 
     /// Dequeues up to `max` items, waiting up to `timeout` for the first
@@ -195,6 +233,19 @@ mod tests {
         assert!(producer.join().unwrap());
         let (batch, _) = q.pop_batch(1, Duration::from_millis(100));
         assert_eq!(batch, vec![1]);
+    }
+
+    #[test]
+    fn try_push_sheds_on_full_and_closed() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(()));
+        assert_eq!(q.try_push(2), Ok(()));
+        assert_eq!(q.try_push(3), Err(TryPushError::Full(3)));
+        let (batch, _) = q.pop_batch(1, Duration::from_millis(1));
+        assert_eq!(batch, vec![1]);
+        assert_eq!(q.try_push(4), Ok(()), "freed slot admits again");
+        q.close();
+        assert_eq!(q.try_push(5), Err(TryPushError::Closed(5)));
     }
 
     #[test]

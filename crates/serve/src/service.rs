@@ -63,7 +63,7 @@
 //! window.
 
 use crate::error::{Result, ServeError};
-use crate::queue::BoundedQueue;
+use crate::queue::{BoundedQueue, TryPushError};
 use crate::shard::ShardedRuleSet;
 use crate::telemetry::{ServeReport, ShardStats};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -105,6 +105,11 @@ pub struct ServiceConfig {
     /// change. `0` = auto: spread [`std::thread::available_parallelism`]
     /// evenly across shards (at least one worker each).
     pub workers_per_shard: usize,
+    /// Epoch workers boot tagged with. A fresh service starts at `0`; a
+    /// service recovered from a durable store starts at the store's
+    /// version, so the very first reply after a restart already carries
+    /// the exact pre-crash epoch (no race against a boot republication).
+    pub initial_epoch: u64,
     /// Per-operation cost model for energy accounting.
     pub costs: OperationCosts,
 }
@@ -133,6 +138,7 @@ impl Default for ServiceConfig {
             delayed_threshold: Duration::from_micros(300),
             update_queue_capacity: 16,
             workers_per_shard: 1,
+            initial_epoch: 0,
             costs: OperationCosts::paper_3t2n(),
         }
     }
@@ -182,8 +188,9 @@ struct ShardGauges {
     queued_keys: AtomicU64,
 }
 
-/// The running service. Dropping without [`TcamService::shutdown`] aborts
-/// workers by closing their queues.
+/// The running service. Dropping without [`TcamService::shutdown`] closes
+/// the queues and joins the workers (discarding their telemetry);
+/// shutdown and drop are both idempotent, in any order.
 pub struct TcamService {
     rules: Arc<ShardedRuleSet>,
     queues: Vec<Arc<BoundedQueue<SearchBatch>>>,
@@ -316,6 +323,35 @@ impl TcamService {
         })
     }
 
+    /// Submits a batch to shard `shard` **only if its queue has room right
+    /// now** — the admission-control path a network front-end uses so that
+    /// overload becomes an explicit error on the wire instead of unbounded
+    /// queueing (or a blocked accept loop).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when the shard queue is at capacity,
+    /// [`ServeError::ServiceClosed`] after shutdown began.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` is out of range.
+    pub fn try_submit(&self, shard: usize, batch: SearchBatch) -> Result<()> {
+        self.gauges[shard]
+            .queued_keys
+            .fetch_add(batch.keys.len() as u64, Ordering::Relaxed);
+        self.queues[shard].try_push(batch).map_err(|rejected| {
+            let (keys, err) = match rejected {
+                TryPushError::Full(b) => (b.keys.len(), ServeError::Overloaded { shard }),
+                TryPushError::Closed(b) => (b.keys.len(), ServeError::ServiceClosed),
+            };
+            self.gauges[shard]
+                .queued_keys
+                .fetch_sub(keys as u64, Ordering::Relaxed);
+            err
+        })
+    }
+
     /// Publishes a table snapshot to every worker of shard `shard`,
     /// blocking while a worker's update mailbox is full (update
     /// backpressure). Each worker swaps to it at its next batch boundary,
@@ -392,27 +428,56 @@ impl TcamService {
     /// discarded), joins every worker and returns the merged telemetry —
     /// including applied/dropped update counts.
     ///
-    /// # Panics
-    ///
-    /// Panics if a worker thread panicked.
+    /// Shutdown is **idempotent and panic-free**: closing the queues twice
+    /// is a no-op, and a worker that panicked (or already exited) is
+    /// counted in [`ServeReport::workers_panicked`] instead of poisoning
+    /// the caller — the lifecycle contract the network front-end's accept
+    /// loops rely on, where `Drop` may race an explicit shutdown.
     #[must_use]
-    pub fn shutdown(self) -> ServeReport {
+    pub fn shutdown(mut self) -> ServeReport {
+        self.shutdown_in_place()
+    }
+
+    /// The idempotent core of [`Self::shutdown`], shared with `Drop`:
+    /// closes every queue (a second close is a no-op), joins whatever
+    /// workers are still owned, and merges their stats. After the first
+    /// call the worker list is empty, so later calls return an empty
+    /// report instead of blocking or panicking.
+    fn shutdown_in_place(&mut self) -> ServeReport {
         for queue in &self.queues {
             queue.close();
         }
         for mailbox in self.updates.iter().flatten() {
             mailbox.close();
         }
+        let mut panicked = 0u64;
         let stats = self
             .workers
-            .into_iter()
-            .map(|w| w.join().expect("shard worker panicked"))
+            .drain(..)
+            .filter_map(|w| match w.join() {
+                Ok(stats) => Some(stats),
+                Err(_) => {
+                    panicked += 1;
+                    None
+                }
+            })
             .collect();
-        ServeReport::from_shards(
+        let mut report = ServeReport::from_shards(
             stats,
             self.started.elapsed(),
             self.updates_dropped.load(Ordering::Relaxed),
-        )
+        );
+        report.workers_panicked = panicked;
+        report
+    }
+}
+
+impl Drop for TcamService {
+    /// Dropping without [`TcamService::shutdown`] still closes the queues
+    /// and joins the workers (so no thread outlives the service), it just
+    /// discards the telemetry. After an explicit shutdown this is a no-op.
+    fn drop(&mut self) {
+        let _ = self.shutdown_in_place();
     }
 }
 
@@ -523,8 +588,9 @@ const FLUSH_EVERY_BATCHES: u64 = 64;
 fn run_worker(ctx: &WorkerCtx) -> ShardStats {
     let worker_start = Instant::now();
     let mut table: Arc<PackedTcamArray> = Arc::new(ctx.rules.shard(ctx.shard).clone());
-    let mut epoch = 0u64;
+    let mut epoch = ctx.config.initial_epoch;
     let mut stats = ShardStats::new(ctx.shard, table.len());
+    stats.epoch = epoch;
     stats.worker = ctx.worker;
     let config = &ctx.config;
     // A physical shard refreshes once per interval no matter how many
@@ -928,6 +994,66 @@ mod tests {
         let report = service.shutdown();
         assert_eq!(report.updates_dropped, 1);
         assert_eq!(report.updates_applied(), 0);
+    }
+
+    #[test]
+    fn try_submit_sheds_when_the_queue_is_full() {
+        let w = Workload::router_lpm(64, 128, 5);
+        let rules = ShardedRuleSet::build(&w.words, 0).unwrap(); // one shard
+        let config = ServiceConfig {
+            refresh: BankRefresh::None,
+            queue_capacity: 1,
+            ..ServiceConfig::default()
+        };
+        let service = TcamService::start(rules, &config).unwrap();
+        // Fill the single-slot queue faster than the worker can drain it:
+        // at least one try_submit must shed with Overloaded, and shedding
+        // must leave the queued-keys gauge consistent (drains back to 0).
+        let key = tcam_arch::packed::PackedWord::pack(&w.keys[0]);
+        let mut shed = 0u32;
+        let mut accepted = 0u64;
+        for _ in 0..10_000 {
+            let batch = SearchBatch {
+                keys: vec![key; 64],
+                submitted: Instant::now(),
+                reply: None,
+            };
+            match service.try_submit(0, batch) {
+                Ok(()) => accepted += 64,
+                Err(ServeError::Overloaded { shard }) => {
+                    assert_eq!(shard, 0);
+                    shed += 1;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(shed > 0, "a 1-slot queue never shed under a tight loop");
+        let report = service.shutdown();
+        assert_eq!(report.searches(), accepted, "shed batches must not serve");
+        assert_eq!(report.workers_panicked, 0);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_safe() {
+        // Plain drop without shutdown: must close queues, join workers,
+        // and not hang or panic.
+        let (_, service) = tiny_service(BankRefresh::None);
+        drop(service);
+
+        // Workers already exited (queues closed underneath them):
+        // shutdown must still join cleanly and report zero panics.
+        let (w, service) = tiny_service(BankRefresh::None);
+        let _ = service.search_blocking(&w.keys[0]).unwrap();
+        for q in &service.queues {
+            q.close();
+        }
+        for q in service.updates.iter().flatten() {
+            q.close();
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        let report = service.shutdown();
+        assert_eq!(report.workers_panicked, 0);
+        assert_eq!(report.searches(), 1);
     }
 
     #[test]

@@ -133,6 +133,11 @@ pub struct ServeReport {
     /// Table updates rejected because the service had already begun
     /// shutdown when they were published.
     pub updates_dropped: u64,
+    /// Worker threads that panicked (or were otherwise unjoinable) at
+    /// shutdown — their stats are missing from [`Self::shards`]. Always 0
+    /// in a healthy run; shutdown reports it instead of panicking so the
+    /// service lifecycle stays drop-safe.
+    pub workers_panicked: u64,
     /// All shards' meters merged.
     pub meter: WorkloadMeter,
 }
@@ -165,6 +170,7 @@ impl ServeReport {
             update_latency,
             batch_cost,
             updates_dropped,
+            workers_panicked: 0,
             meter,
         }
     }

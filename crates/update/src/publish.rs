@@ -67,6 +67,29 @@ impl Updater {
     /// Shard-construction errors ([`tcam_serve::ServeError::TooWide`],
     /// [`tcam_serve::ServeError::BadShardBits`]).
     pub fn new(store: RuleStore, shard_bits: u32, costs: OperationCosts) -> Result<Self> {
+        Self::at_epoch(store, shard_bits, costs, 0)
+    }
+
+    /// Like [`Self::new`], but resumes at `store.version()` as the boot
+    /// epoch — the constructor recovery uses after a write-ahead-log
+    /// replay, so published epochs continue exactly where the crashed
+    /// process stopped instead of restarting from 0 (a restarted epoch
+    /// counter would make pre-crash linearizability tags ambiguous).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::new`].
+    pub fn resume(store: RuleStore, shard_bits: u32, costs: OperationCosts) -> Result<Self> {
+        let epoch = store.version();
+        Self::at_epoch(store, shard_bits, costs, epoch)
+    }
+
+    fn at_epoch(
+        store: RuleStore,
+        shard_bits: u32,
+        costs: OperationCosts,
+        epoch: u64,
+    ) -> Result<Self> {
         let mut shadow = ShardedRuleSet::empty(store.width(), shard_bits)?;
         for (priority, word) in store.iter() {
             shadow.insert(priority, word.to_vec())?;
@@ -82,7 +105,7 @@ impl Updater {
             store,
             shadow,
             tables,
-            epoch: 0,
+            epoch,
             costs,
         })
     }
@@ -270,6 +293,33 @@ mod tests {
         let snap = tcam_obs::snapshot();
         assert_eq!(snap.gauge("update_epoch"), Some(1.0));
         assert!(snap.counter("update_batches_applied") >= 1);
+    }
+
+    #[test]
+    fn resume_continues_epochs_from_the_store_version() {
+        // Simulate a recovery: a store that has already applied batches.
+        let mut pre = seeded_updater();
+        pre.apply(&[RuleChange::Insert {
+            priority: 5,
+            word: w("110X"),
+        }])
+        .unwrap();
+        pre.apply(&[RuleChange::Remove { priority: 5 }]).unwrap();
+        let recovered =
+            RuleStore::restore(4, &pre.store().rules_vec(), pre.store().version()).unwrap();
+        let mut resumed = Updater::resume(recovered, 2, OperationCosts::paper_3t2n()).unwrap();
+        assert_eq!(resumed.epoch(), 2, "epoch resumes at the WAL'd version");
+        // The next applied batch continues the sequence.
+        let staged = resumed
+            .apply(&[RuleChange::Insert {
+                priority: 6,
+                word: w("0110"),
+            }])
+            .unwrap();
+        assert_eq!(staged.epoch, 3);
+        assert_eq!(staged.version, 3);
+        // And the shadow agrees with the pre-crash reference.
+        assert_eq!(resumed.snapshot().search(&w("0110")).unwrap(), Some(6));
     }
 
     #[test]

@@ -99,6 +99,37 @@ impl RuleStore {
         Ok(store)
     }
 
+    /// Rebuilds a store from recovered state: `rules` as they stood at
+    /// `version` applied batches. This is the **recovery constructor** —
+    /// unlike [`Self::from_rules`] it takes the width explicitly (a
+    /// recovered store may legitimately be empty) and restores the version
+    /// counter, so epochs continue exactly where the crashed process
+    /// stopped.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::WidthMismatch`] or [`ServeError::DuplicateRuleId`].
+    pub fn restore(
+        width: usize,
+        rules: &[(u32, Vec<TernaryBit>)],
+        version: u64,
+    ) -> Result<Self> {
+        let mut store = Self::new(width);
+        for (priority, word) in rules {
+            if word.len() != width {
+                return Err(ServeError::WidthMismatch {
+                    expected: width,
+                    found: word.len(),
+                });
+            }
+            if store.rules.insert(*priority, word.clone()).is_some() {
+                return Err(ServeError::DuplicateRuleId { id: *priority });
+            }
+        }
+        store.version = version;
+        Ok(store)
+    }
+
     /// Word width in bits.
     #[must_use]
     pub fn width(&self) -> usize {
@@ -140,20 +171,16 @@ impl RuleStore {
         self.rules.iter().map(|(p, w)| (*p, w.clone())).collect()
     }
 
-    /// Applies `batch` atomically and returns the new version.
-    ///
-    /// Changes are validated **in order against a staged view**, so a
-    /// batch may insert a priority and then modify or remove it; a batch
-    /// that fails validation at any step applies nothing.
+    /// Validates `batch` against the current state **without applying
+    /// it** — exactly the checks [`Self::apply`] performs before its
+    /// commit phase. A durability layer calls this first, so a batch is
+    /// only written to the write-ahead log once it is certain to apply
+    /// (the WAL must never contain a record its own replay would reject).
     ///
     /// # Errors
     ///
-    /// [`ServeError::WidthMismatch`], [`ServeError::DuplicateRuleId`]
-    /// (insert over an occupied priority), or
-    /// [`ServeError::UnknownRuleId`] (remove/modify of a vacant one). An
-    /// empty batch is rejected as [`ServeError::EmptyRuleSet`] so version
-    /// numbers always certify real mutations.
-    pub fn apply(&mut self, batch: &[RuleChange]) -> Result<u64> {
+    /// As [`Self::apply`].
+    pub fn validate(&self, batch: &[RuleChange]) -> Result<()> {
         if batch.is_empty() {
             return Err(ServeError::EmptyRuleSet);
         }
@@ -187,6 +214,25 @@ impl RuleStore {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Applies `batch` atomically and returns the new version.
+    ///
+    /// Changes are validated **in order against a staged view** (see
+    /// [`Self::validate`]), so a batch may insert a priority and then
+    /// modify or remove it; a batch that fails validation at any step
+    /// applies nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::WidthMismatch`], [`ServeError::DuplicateRuleId`]
+    /// (insert over an occupied priority), or
+    /// [`ServeError::UnknownRuleId`] (remove/modify of a vacant one). An
+    /// empty batch is rejected as [`ServeError::EmptyRuleSet`] so version
+    /// numbers always certify real mutations.
+    pub fn apply(&mut self, batch: &[RuleChange]) -> Result<u64> {
+        self.validate(batch)?;
         // Commit: infallible after validation.
         for change in batch {
             match change {
@@ -391,6 +437,51 @@ mod tests {
             RuleStore::from_rules(&[(5, w("10XX")), (5, w("XXXX"))]),
             Err(ServeError::DuplicateRuleId { id: 5 })
         ));
+    }
+
+    #[test]
+    fn validate_is_apply_without_the_commit() {
+        let mut store = RuleStore::new(4);
+        let batch = vec![RuleChange::Insert {
+            priority: 1,
+            word: w("10XX"),
+        }];
+        store.validate(&batch).unwrap();
+        assert_eq!(store.len(), 0, "validate must not mutate");
+        assert_eq!(store.version(), 0);
+        store.apply(&batch).unwrap();
+        // Now the same batch fails validation the same way apply would.
+        assert_eq!(
+            store.validate(&batch),
+            Err(ServeError::DuplicateRuleId { id: 1 })
+        );
+        assert_eq!(store.validate(&[]), Err(ServeError::EmptyRuleSet));
+    }
+
+    #[test]
+    fn restore_rebuilds_state_and_version() {
+        let mut store = RuleStore::new(4);
+        store
+            .apply(&[RuleChange::Insert {
+                priority: 7,
+                word: w("1X0X"),
+            }])
+            .unwrap();
+        store
+            .apply(&[RuleChange::Insert {
+                priority: 9,
+                word: w("0000"),
+            }])
+            .unwrap();
+        let recovered = RuleStore::restore(4, &store.rules_vec(), store.version()).unwrap();
+        assert_eq!(recovered.version(), 2);
+        assert_eq!(recovered.rules_vec(), store.rules_vec());
+        // A recovered store may be empty — that is the point of the
+        // explicit width.
+        let empty = RuleStore::restore(8, &[], 5).unwrap();
+        assert_eq!(empty.width(), 8);
+        assert_eq!(empty.version(), 5);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -12,6 +12,17 @@
 //! ```sh
 //! cargo run --release --example ip_route_lookup -- --serve
 //! ```
+//!
+//! With `--serve --listen [ADDR]`, the table is instead installed into a
+//! full `tcam-net` node — WAL-durable rule store, TCP wire protocol,
+//! HTTP admin plane — and the same lookups run through a real network
+//! client. `ADDR` defaults to `127.0.0.1:0` (an ephemeral port); the
+//! demo prints the bound addresses, checks the wire answers against the
+//! direct array, and exits. Add `--stay` to keep serving until Ctrl-C:
+//!
+//! ```sh
+//! cargo run --release --example ip_route_lookup -- --serve --listen 127.0.0.1:7700 --stay
+//! ```
 
 use nem_tcam::arch::apps::router::{Ipv4Prefix, Route, RouterTable};
 use nem_tcam::arch::array::prefix_to_word;
@@ -22,7 +33,15 @@ use nem_tcam::spice::units::format_si;
 use std::net::Ipv4Addr;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let serve_mode = std::env::args().any(|a| a == "--serve");
+    let argv: Vec<String> = std::env::args().collect();
+    let serve_mode = argv.iter().any(|a| a == "--serve");
+    let listen = argv.iter().position(|a| a == "--listen").map(|i| {
+        argv.get(i + 1)
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:0".into())
+    });
+    let stay = argv.iter().any(|a| a == "--stay");
     // A small ISP-flavoured forwarding table.
     let routes = vec![
         Route {
@@ -89,7 +108,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         format_si(meter.energy, "J")
     );
 
-    if serve_mode {
+    if let Some(addr) = listen {
+        listen_demo(&table, routes, &lookups, &addr, stay)?;
+    } else if serve_mode {
         serve_demo(&table, routes, &lookups)?;
     }
     Ok(())
@@ -136,6 +157,78 @@ fn serve_demo(
         report.latency.quantile(99.0),
         report.refresh_events()
     );
+    Ok(())
+}
+
+/// Runs the table as an actual network service: a `tcam-net` node (WAL
+/// under a temp directory, wire plane on `addr`, admin plane on an
+/// ephemeral port), with the same lookups driven through `NetClient`
+/// and checked against the direct array path.
+fn listen_demo(
+    table: &RouterTable,
+    mut routes: Vec<Route>,
+    lookups: &[Ipv4Addr],
+    addr: &str,
+    stay: bool,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use nem_tcam::net::client::NetClient;
+    use nem_tcam::net::node::{NodeConfig, TcamNode};
+    use nem_tcam::net::server::{NetServer, ServerConfig};
+    use nem_tcam::net::AdminServer;
+    use nem_tcam::update::store::RuleChange;
+    use std::sync::Arc;
+
+    routes.sort_by_key(|r| std::cmp::Reverse(r.prefix.len()));
+    let data = std::env::temp_dir().join(format!("ip-route-node-{}", std::process::id()));
+    let node = Arc::new(TcamNode::open(&data, NodeConfig::default())?);
+
+    // Install the forwarding table as one durable batch in namespace 0
+    // (priority == rule id == index into the sorted route list).
+    let batch: Vec<RuleChange> = routes
+        .iter()
+        .enumerate()
+        .map(|(i, r)| RuleChange::Insert {
+            priority: i as u32,
+            word: prefix_to_word(
+                u64::from(u32::from(r.prefix.network())),
+                r.prefix.len() as usize,
+                32,
+            ),
+        })
+        .collect();
+    let version = node.apply(0, 32, &batch)?;
+
+    let server = NetServer::start(Arc::clone(&node), addr, ServerConfig::default())?;
+    let admin = AdminServer::start(Arc::clone(&node), "127.0.0.1:0")?;
+    println!("\n--listen: wire plane on {}", server.local_addr());
+    println!("          admin plane on http://{}/stats", admin.local_addr());
+    println!("          WAL + snapshots under {}", data.display());
+    println!("          {} routes durable at version {version}", routes.len());
+
+    // The client side: the same lookups, now over TCP.
+    let mut client = NetClient::connect(&server.local_addr().to_string())?;
+    let keys: Vec<Vec<nem_tcam::core::bit::TernaryBit>> = lookups
+        .iter()
+        .map(|&ip| nem_tcam::arch::array::value_to_word(u64::from(u32::from(ip)), 32))
+        .collect();
+    let (epoch, results) = client.lookup_ternary(0, &keys)?;
+    println!("wire lookups (served at epoch {epoch}):");
+    for (&ip, hit) in lookups.iter().zip(results) {
+        let hop = hit.map(|id| routes[id as usize].next_hop);
+        assert_eq!(hop, table.lookup(ip), "wire path disagrees with array");
+        println!("  {ip:<16} -> next hop {hop:?}  (wire == direct array)");
+    }
+
+    if stay {
+        println!("serving until Ctrl-C …");
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+    server.shutdown();
+    admin.shutdown();
+    node.shutdown();
+    let _ = std::fs::remove_dir_all(&data);
     Ok(())
 }
 

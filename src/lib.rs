@@ -42,6 +42,7 @@
 pub use tcam_arch as arch;
 pub use tcam_core as core;
 pub use tcam_devices as devices;
+pub use tcam_net as net;
 pub use tcam_numeric as numeric;
 pub use tcam_serve as serve;
 pub use tcam_spice as spice;

@@ -46,6 +46,13 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 # no dropped updates, and ordered publish/staleness/search quantiles.
 ./target/release/churn_bench --seed 1 --duration-ms 100 --check
 
+# Smoke-run the wire front-end bench: pipelined loopback lookups through
+# the full node (TCP framing + WAL-durable store + shard workers) must
+# clear the per-connection-core throughput floor (1M lookups/s) with
+# ordered request quantiles, and the kill-and-recover pass must replay
+# the WAL to the EXACT pre-kill epoch with zero lost or torn updates.
+./target/release/net_bench --seed 1 --duration-ms 100 --check
+
 if [ "$QUICK" -eq 0 ]; then
     # The solver-trace record for the reference 16x16 3T2N search
     # transient must parse and describe a run that actually integrated
