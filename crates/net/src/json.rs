@@ -9,6 +9,12 @@
 
 use std::collections::BTreeMap;
 
+/// Deepest container nesting [`Json::parse`] accepts. The parser is
+/// recursive-descent and the admin plane accepts multi-megabyte bodies,
+/// so without a bound a body of `[[[[…` would recurse once per byte and
+/// overflow the thread stack, aborting the whole process.
+const MAX_DEPTH: usize = 128;
+
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
@@ -32,11 +38,12 @@ impl Json {
     ///
     /// # Errors
     ///
-    /// A human-readable description of the first syntax error.
+    /// A human-readable description of the first syntax error, including
+    /// documents nested deeper than `MAX_DEPTH` containers.
     pub fn parse(text: &str) -> Result<Json, String> {
         let bytes = text.as_bytes();
         let mut at = 0usize;
-        let value = parse_value(bytes, &mut at)?;
+        let value = parse_value(bytes, &mut at, 0)?;
         skip_ws(bytes, &mut at);
         if at != bytes.len() {
             return Err(format!("trailing garbage at byte {at}"));
@@ -90,12 +97,15 @@ fn skip_ws(bytes: &[u8], at: &mut usize) {
     }
 }
 
-fn parse_value(bytes: &[u8], at: &mut usize) -> Result<Json, String> {
+fn parse_value(bytes: &[u8], at: &mut usize, depth: usize) -> Result<Json, String> {
     skip_ws(bytes, at);
     match bytes.get(*at) {
         None => Err("unexpected end of input".into()),
-        Some(b'{') => parse_object(bytes, at),
-        Some(b'[') => parse_array(bytes, at),
+        Some(b'{' | b'[') if depth >= MAX_DEPTH => {
+            Err(format!("nesting deeper than {MAX_DEPTH} at byte {at}", at = *at))
+        }
+        Some(b'{') => parse_object(bytes, at, depth),
+        Some(b'[') => parse_array(bytes, at, depth),
         Some(b'"') => Ok(Json::String(parse_string(bytes, at)?)),
         Some(b't') => parse_literal(bytes, at, "true", Json::Bool(true)),
         Some(b'f') => parse_literal(bytes, at, "false", Json::Bool(false)),
@@ -180,7 +190,7 @@ fn parse_string(bytes: &[u8], at: &mut usize) -> Result<String, String> {
     }
 }
 
-fn parse_array(bytes: &[u8], at: &mut usize) -> Result<Json, String> {
+fn parse_array(bytes: &[u8], at: &mut usize, depth: usize) -> Result<Json, String> {
     *at += 1; // '['
     let mut items = Vec::new();
     skip_ws(bytes, at);
@@ -189,7 +199,7 @@ fn parse_array(bytes: &[u8], at: &mut usize) -> Result<Json, String> {
         return Ok(Json::Array(items));
     }
     loop {
-        items.push(parse_value(bytes, at)?);
+        items.push(parse_value(bytes, at, depth + 1)?);
         skip_ws(bytes, at);
         match bytes.get(*at) {
             Some(b',') => *at += 1,
@@ -202,7 +212,7 @@ fn parse_array(bytes: &[u8], at: &mut usize) -> Result<Json, String> {
     }
 }
 
-fn parse_object(bytes: &[u8], at: &mut usize) -> Result<Json, String> {
+fn parse_object(bytes: &[u8], at: &mut usize, depth: usize) -> Result<Json, String> {
     *at += 1; // '{'
     let mut map = BTreeMap::new();
     skip_ws(bytes, at);
@@ -221,7 +231,7 @@ fn parse_object(bytes: &[u8], at: &mut usize) -> Result<Json, String> {
             return Err(format!("expected ':' at byte {at}", at = *at));
         }
         *at += 1;
-        map.insert(key, parse_value(bytes, at)?);
+        map.insert(key, parse_value(bytes, at, depth + 1)?);
         skip_ws(bytes, at);
         match bytes.get(*at) {
             Some(b',') => *at += 1,
@@ -309,6 +319,21 @@ mod tests {
             "\"\u{1}\"",
         ] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn nesting_bound_rejects_instead_of_overflowing_the_stack() {
+        // Just inside the bound parses fine…
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&ok).is_ok());
+        // …one deeper is a syntax error…
+        let deep = format!("{}1{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        assert!(Json::parse(&deep).is_err());
+        // …and a hostile megabyte of open brackets (the admin plane's
+        // attack shape: never balanced) errors instead of aborting.
+        for doc in ["[".repeat(1 << 20), "{\"k\":".repeat(1 << 17)] {
+            assert!(Json::parse(&doc).is_err());
         }
     }
 

@@ -39,6 +39,7 @@ use std::time::Instant;
 use tcam_arch::packed::PackedWord;
 use tcam_serve::error::ServeError;
 use tcam_serve::service::{BatchReply, SearchBatch, ServiceConfig, TcamService};
+use tcam_serve::shard::ShardedRuleSet;
 use tcam_serve::telemetry::ServeReport;
 use tcam_update::publish::Updater;
 use tcam_update::store::RuleChange;
@@ -319,6 +320,13 @@ impl TcamNode {
     pub fn apply(&self, namespace: u16, width: usize, batch: &[RuleChange]) -> Result<u64> {
         let mut store = self.store.lock().expect("store lock");
         let existing = self.group(namespace);
+        if existing.is_none() {
+            // A new namespace must be servable BEFORE its first batch
+            // becomes durable: the rule store accepts any width, but the
+            // shard layer caps it (and shard_bits), and a WAL record the
+            // group construction rejects would fail every later `open`.
+            ShardedRuleSet::empty(width, self.config.shard_bits)?;
+        }
         let version = store.apply(namespace, width, batch)?;
         if let Some(group) = existing {
             let mut updater = group.updater.lock().expect("updater lock");
@@ -585,6 +593,45 @@ mod tests {
         let (epoch, results) = node.lookup(0, &[key("1000")]).unwrap();
         assert_eq!(epoch, 5);
         assert_eq!(results, vec![Some(1)]);
+        node.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unservable_namespace_is_rejected_before_it_becomes_durable() {
+        let dir = tmpdir("unservable");
+        let node = TcamNode::open(&dir, quiet_config(0)).unwrap();
+        // 200-bit words fit the rule store and the WAL's u16 width field,
+        // but not the packed serving path — the batch must be rejected
+        // with the WAL untouched, not logged and then fail group start.
+        let wide = vec![TernaryBit::X; 200];
+        assert!(matches!(
+            node.apply(
+                3,
+                200,
+                &[RuleChange::Insert {
+                    priority: 1,
+                    word: wide,
+                }],
+            ),
+            Err(NetError::Serve(ServeError::TooWide { .. }))
+        ));
+        assert_eq!(node.wal_bytes(), 0, "rejected batch left a WAL record");
+        assert!(node.namespaces().is_empty());
+        // A valid namespace still works, and — critically — the node can
+        // restart (a durable unservable record would fail every open).
+        node.apply(
+            0,
+            4,
+            &[RuleChange::Insert {
+                priority: 1,
+                word: w("10XX"),
+            }],
+        )
+        .unwrap();
+        node.shutdown();
+        let node = TcamNode::open(&dir, quiet_config(0)).unwrap();
+        assert_eq!(node.namespaces(), vec![0]);
         node.shutdown();
         std::fs::remove_dir_all(&dir).unwrap();
     }

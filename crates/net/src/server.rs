@@ -60,6 +60,12 @@ pub struct ServerConfig {
     /// Read-poll granularity: how quickly an idle connection notices
     /// shutdown.
     pub read_timeout: Duration,
+    /// Upper bound on one blocking response write: a peer that stops
+    /// reading (zero TCP window) errors the writer — which then drains
+    /// and exits — instead of pinning it forever. Together with
+    /// [`wire::MAX_MID_FRAME_STALLS`] on the read side this keeps
+    /// shutdown's thread joins finite no matter what peers do.
+    pub write_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +75,7 @@ impl Default for ServerConfig {
             accept_backlog: 64,
             inflight_per_connection: 8,
             read_timeout: Duration::from_millis(25),
+            write_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -301,6 +308,7 @@ fn start_connection(stream: TcpStream, shared: &Arc<Shared>) {
     let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
     let _ = stream.set_nodelay(true);
     let _ = writer_stream.set_nodelay(true);
+    let _ = writer_stream.set_write_timeout(Some(shared.config.write_timeout));
     shared.live_connections.fetch_add(1, Ordering::Relaxed);
     #[allow(clippy::cast_precision_loss)]
     tcam_obs::gauge_set(

@@ -220,6 +220,12 @@ pub struct DurableStore {
     wal: File,
     wal_bytes: u64,
     stores: BTreeMap<u16, RuleStore>,
+    /// Set when a failed append could not be rolled back: the WAL tail
+    /// state is unknowable, so further applies are refused (a later
+    /// successful append after a stranded partial frame would make
+    /// recovery silently truncate every batch behind it). A successful
+    /// [`Self::snapshot`] rewrites the log from memory and clears this.
+    poisoned: bool,
 }
 
 impl DurableStore {
@@ -240,6 +246,14 @@ impl DurableStore {
             .append(true)
             .create(true)
             .open(&wal_path)?;
+        // Make the WAL's directory entry itself durable: without this, a
+        // crash shortly after the first acknowledged apply can lose the
+        // whole file on some filesystems (the data was fsynced, the name
+        // was not). Best-effort, like snapshot(): directories are not
+        // syncable on every platform.
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
         let wal_bytes = replay_wal(&mut wal, &wal_path, &mut stores)?;
         #[allow(clippy::cast_precision_loss)]
         tcam_obs::gauge_set("wal_size_bytes", wal_bytes as f64);
@@ -248,6 +262,7 @@ impl DurableStore {
             wal,
             wal_bytes,
             stores,
+            poisoned: false,
         })
     }
 
@@ -285,10 +300,21 @@ impl DurableStore {
     /// Validation errors (the WAL is untouched — it never holds a record
     /// replay would reject), a width disagreement
     /// ([`ServeError::WidthMismatch`]), [`NetError::Wire`] for a batch
-    /// exceeding [`MAX_RECORD_BYTES`], or I/O errors from the append
-    /// (after which the in-memory store is also untouched, so memory and
-    /// log stay consistent).
+    /// exceeding [`MAX_RECORD_BYTES`], or I/O errors from the append —
+    /// after which the partial frame is truncated away and the in-memory
+    /// store is untouched, so memory and log stay consistent. If even
+    /// that truncation fails the store is poisoned: every further apply
+    /// returns [`NetError::Corrupt`] until a [`Self::snapshot`] or reopen
+    /// re-establishes a known-good log.
     pub fn apply(&mut self, namespace: u16, width: usize, batch: &[RuleChange]) -> Result<u64> {
+        if self.poisoned {
+            return Err(NetError::Corrupt {
+                path: self.dir.join(WAL_FILE),
+                detail: "WAL tail unknown after a failed append rollback; \
+                         snapshot or reopen to recover"
+                    .to_string(),
+            });
+        }
         let store = self
             .stores
             .entry(namespace)
@@ -322,9 +348,22 @@ impl DurableStore {
         frame.extend_from_slice(&len.to_le_bytes());
         frame.extend_from_slice(&crc32c(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
-        self.wal.write_all(&frame)?;
+        if let Err(e) = self.wal.write_all(&frame) {
+            // A prefix of the frame may already be in the file; leaving it
+            // there would let a later successful append strand garbage
+            // mid-log, which recovery's torn-tail rule reads as "truncate
+            // here" — silently discarding every batch after it.
+            self.rollback_append();
+            return Err(NetError::Io(e));
+        }
         let t0 = Instant::now();
-        self.wal.sync_data()?;
+        if let Err(e) = self.wal.sync_data() {
+            // After a failed fsync the frame's durability is unknown;
+            // truncating back to the last acknowledged boundary keeps the
+            // log exactly equal to the acknowledged state.
+            self.rollback_append();
+            return Err(NetError::Io(e));
+        }
         let fsync_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.wal_bytes += frame.len() as u64;
         tcam_obs::hist_record("wal_fsync_ns", fsync_ns);
@@ -335,6 +374,23 @@ impl DurableStore {
         let applied = store.apply(batch).expect("batch was validated");
         debug_assert_eq!(applied, version);
         Ok(version)
+    }
+
+    /// Truncates the WAL back to the last acknowledged record boundary
+    /// (`wal_bytes`) after a failed append or fsync. If the truncation
+    /// (or its fsync) fails too, the tail state is unknowable and the
+    /// store poisons itself — see the `poisoned` field. The file is in
+    /// append mode, so no seek is needed: the next write lands at the
+    /// truncated end.
+    fn rollback_append(&mut self) {
+        let rolled_back = self
+            .wal
+            .set_len(self.wal_bytes)
+            .and_then(|()| self.wal.sync_data());
+        if rolled_back.is_err() {
+            self.poisoned = true;
+            tcam_obs::counter_add("wal_poisoned", 1);
+        }
     }
 
     /// Writes a full snapshot (temp + fsync + atomic rename) and
@@ -363,6 +419,10 @@ impl DurableStore {
         self.wal.seek(SeekFrom::Start(0))?;
         self.wal.sync_data()?;
         self.wal_bytes = 0;
+        // The log was rewritten from the (always-consistent) in-memory
+        // state, so any poison from an earlier failed-append rollback is
+        // healed: the tail is a known boundary again.
+        self.poisoned = false;
         tcam_obs::counter_add("wal_snapshots", 1);
         tcam_obs::gauge_set("wal_size_bytes", 0.0);
         Ok(())
@@ -731,6 +791,54 @@ mod tests {
         }
         let recovered = DurableStore::open(&dir).unwrap();
         assert_eq!(recovered.store(0).unwrap().version(), 9, "stale record skipped");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_append_poisons_until_snapshot_heals() {
+        let dir = tmpdir("poison");
+        let mut store = DurableStore::open(&dir).unwrap();
+        store
+            .apply(
+                0,
+                4,
+                &[RuleChange::Insert {
+                    priority: 1,
+                    word: w("10XX"),
+                }],
+            )
+            .unwrap();
+        let good_bytes = store.wal_bytes();
+        // Swap the WAL handle for a read-only one: the append's write
+        // fails, and so does the rollback truncate — the store must
+        // poison rather than risk a stranded partial frame.
+        store.wal = File::open(dir.join(WAL_FILE)).unwrap();
+        let batch = [RuleChange::Insert {
+            priority: 2,
+            word: w("0000"),
+        }];
+        assert!(matches!(store.apply(0, 4, &batch), Err(NetError::Io(_))));
+        assert!(store.poisoned);
+        assert_eq!(store.wal_bytes(), good_bytes);
+        assert_eq!(store.store(0).unwrap().version(), 1, "memory untouched");
+        // Poisoned: even a well-formed batch is refused, explicitly.
+        assert!(matches!(
+            store.apply(0, 4, &batch),
+            Err(NetError::Corrupt { .. })
+        ));
+        // A snapshot rewrites the log from memory and heals the store.
+        store.wal = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .open(dir.join(WAL_FILE))
+            .unwrap();
+        store.snapshot().unwrap();
+        assert!(!store.poisoned);
+        assert_eq!(store.apply(0, 4, &batch).unwrap(), 2);
+        drop(store);
+        let recovered = DurableStore::open(&dir).unwrap();
+        assert_eq!(recovered.store(0).unwrap().version(), 2);
+        assert_eq!(recovered.store(0).unwrap().len(), 2);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

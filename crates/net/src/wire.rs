@@ -61,6 +61,16 @@ pub const OP_RESPONSE: u8 = 0x80;
 /// Sentinel rule id meaning "no rule matched".
 pub const NO_MATCH: u32 = u32::MAX;
 
+/// Consecutive timeout retries [`read_frame`] tolerates once a frame has
+/// started (any prefix or payload byte pending) before giving up with a
+/// wire error. On a stream with a read timeout of `T` this disconnects a
+/// peer that stalls mid-frame after roughly `200·T` (~5 s at the server's
+/// default 25 ms poll) instead of pinning the reader thread forever —
+/// which would also pin [`NetServer`](crate::server::NetServer) shutdown,
+/// since it joins every connection thread. Streams without a read
+/// timeout never surface `WouldBlock`, so they are unaffected.
+pub const MAX_MID_FRAME_STALLS: u32 = 200;
+
 /// Response status codes. `Overloaded` is the admission-control signal:
 /// the request was *not* queued, and the client should back off — the
 /// explicit alternative to unbounded queueing.
@@ -364,11 +374,13 @@ pub fn write_frame<W: Write>(w: &mut W, frame: &[u8]) -> std::io::Result<()> {
 ///
 /// I/O errors (including read timeouts, surfaced as `WouldBlock` /
 /// `TimedOut`), or [`NetError::Wire`] when the length prefix exceeds
-/// [`MAX_FRAME_BYTES`].
+/// [`MAX_FRAME_BYTES`] or a started frame stalls for more than
+/// [`MAX_MID_FRAME_STALLS`] consecutive timeout ticks.
 pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>> {
     let mut len = [0u8; 4];
     // A clean close before any prefix byte is a normal end-of-stream.
     let mut got = 0;
+    let mut stalls = 0u32;
     while got < 4 {
         match r.read(&mut len[got..]) {
             Ok(0) => {
@@ -377,17 +389,28 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>> {
                 }
                 return Err(NetError::Wire("eof inside frame length".into()));
             }
-            Ok(n) => got += n,
+            Ok(n) => {
+                got += n;
+                stalls = 0;
+            }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             // A timeout with some prefix bytes already consumed must keep
-            // reading (the frame is mid-flight); with none, surface it so
-            // pollers can check shutdown flags.
+            // reading (the frame is mid-flight) — but only boundedly, so
+            // a peer stalled mid-frame cannot pin this thread forever;
+            // with none consumed, surface it so pollers can check
+            // shutdown flags.
             Err(e)
                 if got > 0
                     && matches!(
                         e.kind(),
                         std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) => {}
+                    ) =>
+            {
+                stalls += 1;
+                if stalls > MAX_MID_FRAME_STALLS {
+                    return Err(NetError::Wire("peer stalled inside frame length".into()));
+                }
+            }
             Err(e) => return Err(NetError::Io(e)),
         }
     }
@@ -399,17 +422,26 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>> {
     }
     let mut payload = vec![0u8; len as usize];
     let mut got = 0;
+    let mut stalls = 0u32;
     while got < payload.len() {
         match r.read(&mut payload[got..]) {
             Ok(0) => return Err(NetError::Wire("eof inside frame payload".into())),
-            Ok(n) => got += n,
+            Ok(n) => {
+                got += n;
+                stalls = 0;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(e)
                 if matches!(
                     e.kind(),
-                    std::io::ErrorKind::Interrupted
-                        | std::io::ErrorKind::WouldBlock
-                        | std::io::ErrorKind::TimedOut
-                ) => {}
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                stalls += 1;
+                if stalls > MAX_MID_FRAME_STALLS {
+                    return Err(NetError::Wire("peer stalled inside frame payload".into()));
+                }
+            }
             Err(e) => return Err(NetError::Io(e)),
         }
     }
@@ -506,6 +538,45 @@ mod tests {
         // EOF inside a frame is a wire error, not a clean close.
         let mut torn = std::io::Cursor::new(frame[..frame.len() - 1].to_vec());
         assert!(read_frame(&mut torn).is_err());
+    }
+
+    #[test]
+    fn mid_frame_stall_is_bounded() {
+        /// Yields a few real bytes, then times out forever — a peer that
+        /// stalled mid-frame (or a read-timeout stream gone idle).
+        struct Staller {
+            bytes: Vec<u8>,
+            at: usize,
+        }
+        impl Read for Staller {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.at < self.bytes.len() {
+                    buf[0] = self.bytes[self.at];
+                    self.at += 1;
+                    Ok(1)
+                } else {
+                    Err(std::io::ErrorKind::WouldBlock.into())
+                }
+            }
+        }
+        // Stalled inside the length prefix: bounded error, not a hang.
+        let mut r = Staller {
+            bytes: vec![8, 0],
+            at: 0,
+        };
+        assert!(matches!(read_frame(&mut r), Err(NetError::Wire(_))));
+        // Stalled inside the payload likewise.
+        let mut r = Staller {
+            bytes: vec![8, 0, 0, 0, 1, 2, 3],
+            at: 0,
+        };
+        assert!(matches!(read_frame(&mut r), Err(NetError::Wire(_))));
+        // Before any byte, the timeout still surfaces as Io (poll tick).
+        let mut r = Staller {
+            bytes: vec![],
+            at: 0,
+        };
+        assert!(matches!(read_frame(&mut r), Err(NetError::Io(_))));
     }
 
     #[test]

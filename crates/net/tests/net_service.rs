@@ -257,6 +257,45 @@ fn saturation_sheds_with_an_explicit_overloaded_status() {
 }
 
 #[test]
+fn shutdown_completes_with_a_peer_stalled_mid_frame() {
+    let dir = tmpdir("stalled-peer");
+    let node = quiet_node(&dir, 0);
+    seed_lpm(&node);
+    // A short read poll so the mid-frame stall bound (a fixed retry
+    // count) trips in ~hundreds of ms instead of the production ~5 s.
+    let server = NetServer::start(
+        Arc::clone(&node),
+        "127.0.0.1:0",
+        ServerConfig {
+            read_timeout: Duration::from_millis(1),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    // A peer that starts a frame and then stalls forever: two bytes of
+    // length prefix, socket held open. Pre-fix, the connection reader
+    // retried the mid-frame timeout without bound and shutdown's join
+    // hung on it.
+    let mut staller = TcpStream::connect(server.local_addr().to_string()).unwrap();
+    staller.write_all(&[8, 0]).unwrap();
+    // Give the server a moment to accept and enter the mid-frame read.
+    std::thread::sleep(Duration::from_millis(50));
+    let shutdown = std::thread::spawn(move || server.shutdown());
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !shutdown.is_finished() {
+        assert!(
+            Instant::now() < deadline,
+            "shutdown pinned by a peer stalled mid-frame"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    shutdown.join().unwrap();
+    drop(staller);
+    node.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn protocol_violations_get_explicit_statuses() {
     let dir = tmpdir("violations");
     let node = quiet_node(&dir, 0);
