@@ -57,6 +57,7 @@ fn main() {
         sigma: 0.05,
         trials: 10,
         seed: 7,
+        sabotage_every: 0,
     };
     let t1 = Instant::now();
     let sweep = search_margin_study(&spec, &cfg).expect("sweep converges");

@@ -35,6 +35,7 @@ fn main() {
                 sigma,
                 trials,
                 seed: 99,
+                sabotage_every: 0,
             };
             match search_margin_study(&spec, &cfg) {
                 Ok(s) => println!(

@@ -17,7 +17,7 @@
 use crate::bit::TernaryBit;
 use crate::designs::{add_driver, add_line_cap, ArraySpec, Fefet2f, TcamDesign};
 use tcam_devices::fefet::Fefet;
-use tcam_spice::analysis::{transient, TransientSpec};
+use tcam_spice::analysis::{batched_transient, transient, TransientSpec};
 use tcam_spice::error::Result;
 use tcam_spice::netlist::Circuit;
 use tcam_spice::options::SimOptions;
@@ -61,6 +61,17 @@ pub fn run_fefet_write_disturb(
     spec: &ArraySpec,
     cycles: usize,
 ) -> Result<DisturbResult> {
+    let mut ckt = build_disturb_slice(design, spec, cycles)?;
+    let t_stop = cycles as f64 * CYCLE;
+    let wave = transient(&mut ckt, TransientSpec::to(t_stop), &SimOptions::default())?;
+    measure_disturb(design, wave)
+}
+
+/// Builds the two-row half-select disturb slice. The write voltage enters
+/// only as source amplitudes (gate pulses, plate PWL), so slices built at
+/// different `v_write` share one topology — the property
+/// [`fefet_disturb_vwrite_sweep`] exploits to batch the whole sweep.
+fn build_disturb_slice(design: &Fefet2f, spec: &ArraySpec, cycles: usize) -> Result<Circuit> {
     let cols = spec.cols;
     let half = design.v_write / 2.0;
     let mut ckt = Circuit::new();
@@ -171,9 +182,12 @@ pub fn run_fefet_write_disturb(
         }
     }
 
-    let t_stop = cycles as f64 * CYCLE;
-    let wave = transient(&mut ckt, TransientSpec::to(t_stop), &SimOptions::default())?;
+    Ok(ckt)
+}
 
+/// Extracts the disturb metrics from a completed slice transient (scalar
+/// run or one batched lane).
+fn measure_disturb(design: &Fefet2f, wave: Waveform) -> Result<DisturbResult> {
     // Victim f2 (stores the '1', p = +1) is pushed by the −V/2 phases on
     // its shared SLB; track its drift. The aggressor must have flipped to
     // stored Zero (f1 → low-V_T i.e. p > 0, f2 → high-V_T i.e. p < 0).
@@ -201,6 +215,14 @@ pub fn run_fefet_write_disturb(
 /// `cycle_counts` on a scoped-thread work pool. Each point simulates an
 /// independent two-row slice, so the sweep is share-nothing; results come
 /// back in input order and are identical to running the points serially.
+///
+/// Failures are contained per point: an `Err` entry (e.g. a degenerate
+/// cycle count or a non-convergent corner) never disturbs the other
+/// points, and consumers must report it as a counted failure rather than
+/// aborting the sweep. The cycle axis cannot ride the lockstep batched
+/// engine — each point's `t_stop` scales with its cycle count — which is
+/// why this sweep stays on the thread pool while
+/// [`fefet_disturb_vwrite_sweep`] batches.
 #[must_use]
 pub fn fefet_disturb_cycle_sweep(
     design: &Fefet2f,
@@ -210,6 +232,57 @@ pub fn fefet_disturb_cycle_sweep(
     tcam_numeric::parallel::parallel_map(cycle_counts.to_vec(), |cycles| {
         (cycles, run_fefet_write_disturb(design, spec, cycles))
     })
+}
+
+/// Sweeps the aggressor write voltage at a fixed cycle count with **one**
+/// batched lockstep transient: `V_W` only changes source amplitudes, so
+/// every level's slice shares one topology, one pattern pass, and one
+/// symbolic analysis. This is the disturb-vs-drive design curve — the
+/// half-select envelope `tanh((V_W/2 − V_c)/σ)` — resolved at batched
+/// cost. A level whose lane is quarantined comes back as an `Err` entry;
+/// the other levels complete.
+///
+/// # Errors
+///
+/// Returns a top-level error only for circuit-construction or batch-level
+/// failures (including a zero `cycles`, which makes `t_stop` degenerate).
+pub fn fefet_disturb_vwrite_sweep(
+    design: &Fefet2f,
+    spec: &ArraySpec,
+    cycles: usize,
+    v_writes: &[f64],
+) -> Result<Vec<(f64, Result<DisturbResult>)>> {
+    if v_writes.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut variants = Vec::with_capacity(v_writes.len());
+    let mut circuits = Vec::with_capacity(v_writes.len());
+    for &vw in v_writes {
+        let variant = Fefet2f {
+            v_write: vw,
+            ..design.clone()
+        };
+        circuits.push(build_disturb_slice(&variant, spec, cycles)?);
+        variants.push(variant);
+    }
+    let t_stop = cycles as f64 * CYCLE;
+    let run = batched_transient(
+        &mut circuits,
+        TransientSpec::to(t_stop),
+        &SimOptions::default(),
+    )?;
+    Ok(run
+        .into_lanes()
+        .into_iter()
+        .zip(v_writes)
+        .zip(variants)
+        .map(|((outcome, &vw), variant)| {
+            let res = outcome
+                .into_result()
+                .and_then(|wave| measure_disturb(&variant, wave));
+            (vw, res)
+        })
+        .collect())
 }
 
 /// The 3T2N counterpart: the victim cell's relays see only the sub-window
@@ -298,6 +371,47 @@ mod tests {
             "p_end {} vs envelope {}",
             many.victim_p_end,
             floor
+        );
+    }
+
+    #[test]
+    fn cycle_sweep_contains_per_point_failures() {
+        // A degenerate point (0 cycles → t_stop = 0) must come back as an
+        // Err entry while the valid points still complete.
+        let d = Fefet2f::default();
+        let sweep = fefet_disturb_cycle_sweep(&d, &spec(), &[0, 2]);
+        assert_eq!(sweep.len(), 2);
+        assert!(sweep[0].1.is_err(), "0 cycles is a per-point failure");
+        let ok = sweep[1].1.as_ref().expect("2 cycles completes");
+        assert!(ok.victim_bit_ok);
+    }
+
+    #[test]
+    fn batched_vwrite_sweep_matches_scalar_and_orders_by_stress() {
+        let d = Fefet2f::default();
+        let levels = [3.0, 4.0, 5.0];
+        let sweep = fefet_disturb_vwrite_sweep(&d, &spec(), 2, &levels).unwrap();
+        assert_eq!(sweep.len(), 3);
+        let mut drifts = Vec::new();
+        for (vw, res) in sweep {
+            let batched = res.expect("lane completes");
+            let variant = Fefet2f {
+                v_write: vw,
+                ..d.clone()
+            };
+            let scalar = run_fefet_write_disturb(&variant, &spec(), 2).unwrap();
+            assert!(
+                (batched.victim_p_end - scalar.victim_p_end).abs() < 2e-2,
+                "V_W = {vw}: batched p_end {} vs scalar {}",
+                batched.victim_p_end,
+                scalar.victim_p_end
+            );
+            drifts.push(batched.victim_p_start - batched.victim_p_end);
+        }
+        // Higher write voltage → deeper half-select stress → more drift.
+        assert!(
+            drifts[0] <= drifts[1] + 1e-6 && drifts[1] <= drifts[2] + 1e-6,
+            "drifts {drifts:?}"
         );
     }
 

@@ -15,6 +15,8 @@
 //! * [`disturb`] — the 2FeFET half-select write-disturb study (§II's
 //!   "vulnerable to read and write disturbances"), with the 3T2N
 //!   disturb-free counterpart.
+//! * [`fault`] — deterministic fault injection (the chaos probe) for
+//!   sweep-robustness tests and benches.
 //! * [`retention`] — dynamic-cell hold time under subthreshold leakage.
 //! * [`experiments`] — orchestration of every table/figure in the paper.
 //! * [`metrics`] — ratio computation and report formatting.
@@ -47,6 +49,7 @@ pub mod bit;
 pub mod disturb;
 pub mod designs;
 pub mod experiments;
+pub mod fault;
 pub mod metrics;
 pub mod ops;
 pub mod osr;

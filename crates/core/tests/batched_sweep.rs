@@ -1,0 +1,82 @@
+//! Property tests pinning the batched sweep engine to the scalar solver:
+//! with a single lane the lockstep engine must replay the per-trial
+//! `transient` **bit for bit** — on the real X-laden TCAM experiment
+//! circuits of both Monte-Carlo-varied designs, not just toy netlists.
+//! (The N-lane ≈ N-serial tolerance property is covered by
+//! `tcam_core::variation` unit tests on both engines.)
+
+use tcam_core::designs::{ArraySpec, Nem3t2n, Rram2t2r, TcamDesign};
+use tcam_core::experiments::{mismatch_key, pattern_word};
+use tcam_spice::analysis::{batched_transient, transient, TransientSpec};
+use tcam_spice::options::SolverKind;
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn n1_batch_is_bit_identical_on_both_varied_designs() {
+    let spec = ArraySpec {
+        rows: 8,
+        cols: 4,
+        vdd: 1.0,
+    };
+    // The canonical stored word is X-laden (1 0 X 1): the don't-care path
+    // must round-trip the batched engine too.
+    let stored = pattern_word(spec.cols);
+    let key_miss = mismatch_key(spec.cols);
+
+    let designs: [(&str, Box<dyn TcamDesign>); 2] = [
+        ("3T2N", Box::new(Nem3t2n::default())),
+        ("2T2R", Box::new(Rram2t2r::default())),
+    ];
+    for (name, design) in designs {
+        for (kind, key) in [("miss", &key_miss), ("hit", &stored)] {
+            // Bit-identity is promised against the sparse scalar path (the
+            // batched engine has no dense lane mode).
+            let mut scalar_exp = design.build_search(&spec, &stored, key).unwrap();
+            scalar_exp.options.solver = SolverKind::Sparse;
+            let scalar = transient(
+                &mut scalar_exp.circuit,
+                TransientSpec::to(scalar_exp.t_stop),
+                &scalar_exp.options,
+            )
+            .unwrap();
+
+            let mut batch_exp = design.build_search(&spec, &stored, key).unwrap();
+            batch_exp.options.solver = SolverKind::Sparse;
+            let mut lanes = [batch_exp.circuit];
+            let run = batched_transient(
+                &mut lanes,
+                TransientSpec::to(batch_exp.t_stop),
+                &batch_exp.options,
+            )
+            .unwrap();
+            assert_eq!(run.n_completed(), 1, "{name}/{kind}");
+            let batched = run
+                .into_lanes()
+                .pop()
+                .unwrap()
+                .into_result()
+                .unwrap_or_else(|e| panic!("{name}/{kind} lane failed: {e}"));
+
+            assert_eq!(
+                bits(scalar.axis()),
+                bits(batched.axis()),
+                "{name}/{kind}: time axis diverged"
+            );
+            assert_eq!(
+                scalar.signal_names(),
+                batched.signal_names(),
+                "{name}/{kind}"
+            );
+            for sig in scalar.signal_names() {
+                assert_eq!(
+                    bits(scalar.trace(sig).unwrap()),
+                    bits(batched.trace(sig).unwrap()),
+                    "{name}/{kind}: signal {sig} diverged"
+                );
+            }
+        }
+    }
+}

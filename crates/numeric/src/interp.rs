@@ -99,6 +99,14 @@ impl PiecewiseLinear {
 /// interpolation between samples. `rising` selects the crossing direction.
 /// Returns `None` when no such crossing exists.
 ///
+/// A trace whose *first* sample sits exactly at `level` counts as a crossing
+/// at `xs[0]` only when it is consistent with the requested direction: the
+/// trace must depart `level` upward (rising) or downward (falling), or never
+/// depart at all — a flat trace pinned to `level` (including a single-sample
+/// trace) touches the level in both directions. A trace that starts at
+/// `level` but departs against the requested direction is *not* an edge hit;
+/// the scan continues looking for a genuine crossing later in the trace.
+///
 /// The trace is given as parallel slices; unequal lengths are treated as a
 /// caller bug and panic.
 ///
@@ -108,6 +116,15 @@ impl PiecewiseLinear {
 #[must_use]
 pub fn first_crossing(xs: &[f64], ys: &[f64], level: f64, rising: bool) -> Option<f64> {
     assert_eq!(xs.len(), ys.len(), "trace slices must be parallel");
+    // Exact hit at the first sample: direction is decided by where the
+    // trace first departs from `level`, not assumed.
+    if ys.first() == Some(&level) {
+        match ys.iter().find(|&&y| y != level) {
+            None => return Some(xs[0]),
+            Some(&y) if (y > level) == rising => return Some(xs[0]),
+            Some(_) => {}
+        }
+    }
     for w in 0..xs.len().saturating_sub(1) {
         let (y0, y1) = (ys[w], ys[w + 1]);
         let crossed = if rising {
@@ -121,10 +138,6 @@ pub fn first_crossing(xs: &[f64], ys: &[f64], level: f64, rising: bool) -> Optio
             }
             let f = (level - y0) / (y1 - y0);
             return Some(xs[w] + f * (xs[w + 1] - xs[w]));
-        }
-        // Exact hit at the first sample.
-        if w == 0 && y0 == level {
-            return Some(xs[0]);
         }
     }
     None
@@ -190,5 +203,56 @@ mod tests {
         let ys = [0.0, 0.2];
         assert_eq!(first_crossing(&xs, &ys, 0.5, true), None);
         assert_eq!(first_crossing(&xs, &ys, -0.5, false), None);
+    }
+
+    #[test]
+    fn single_sample_exactly_at_level_hits_both_directions() {
+        let xs = [2.5];
+        let ys = [0.5];
+        assert_eq!(first_crossing(&xs, &ys, 0.5, true), Some(2.5));
+        assert_eq!(first_crossing(&xs, &ys, 0.5, false), Some(2.5));
+        assert_eq!(first_crossing(&xs, &ys, 0.4, true), None);
+        assert_eq!(first_crossing(&xs, &ys, 0.6, false), None);
+    }
+
+    #[test]
+    fn start_at_level_edge_hit_is_direction_sensitive() {
+        // Departs upward: rising edge hit at x=0, no falling crossing.
+        let xs = [0.0, 1.0, 2.0];
+        let up = [0.5, 0.5, 0.9];
+        assert_eq!(first_crossing(&xs, &up, 0.5, true), Some(0.0));
+        assert_eq!(first_crossing(&xs, &up, 0.5, false), None);
+        // Departs downward: falling edge hit at x=0, no rising crossing.
+        let down = [0.5, 0.2, 0.1];
+        assert_eq!(first_crossing(&xs, &down, 0.5, false), Some(0.0));
+        assert_eq!(first_crossing(&xs, &down, 0.5, true), None);
+    }
+
+    #[test]
+    fn start_at_level_against_direction_finds_later_crossing() {
+        // Starts at level, dips below, then genuinely rises through it: the
+        // rising crossing is the later interpolated one, not x=0.
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [0.5, 0.1, 0.9];
+        let t = first_crossing(&xs, &ys, 0.5, true).unwrap();
+        assert!((t - 1.5).abs() < 1e-12, "t = {t}");
+        // Symmetric falling case.
+        let ys = [0.5, 0.9, 0.1];
+        let t = first_crossing(&xs, &ys, 0.5, false).unwrap();
+        assert!((t - 1.5).abs() < 1e-12, "t = {t}");
+    }
+
+    #[test]
+    fn flat_trace_pinned_to_level_touches_in_both_directions() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [0.5, 0.5, 0.5];
+        assert_eq!(first_crossing(&xs, &ys, 0.5, true), Some(0.0));
+        assert_eq!(first_crossing(&xs, &ys, 0.5, false), Some(0.0));
+    }
+
+    #[test]
+    fn empty_trace_has_no_crossing() {
+        assert_eq!(first_crossing(&[], &[], 0.5, true), None);
+        assert_eq!(first_crossing(&[], &[], 0.5, false), None);
     }
 }

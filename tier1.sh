@@ -64,4 +64,12 @@ if [ "$QUICK" -eq 0 ]; then
     # statistically zero when disabled, and the phase breakdown must
     # attribute >= 90% of measured wall time.
     ./target/release/obs_bench --check
+
+    # Batched-sweep gate: the structure-shared lockstep engine must agree
+    # with the per-trial path on a 32-trial reference study (verdicts
+    # identical, margins within the documented lockstep tolerance), beat
+    # per-trial wall time at N=32 single-threaded, and complete a
+    # 1000-trial study with every forced solver failure contained to its
+    # own trial (cause retained, zero aborts).
+    ./target/release/sweep_bench --check
 fi
