@@ -1,0 +1,570 @@
+//! Analog / range-CAM abstractions: interval-per-cell words and
+//! similarity-search queries.
+//!
+//! A ternary CAM cell answers "does this bit equal mine (or am I X)?".
+//! An **analog CAM** cell (memristor aCAM, arXiv:1907.08177) stores an
+//! acceptance *interval* `[lo, hi]` over a quantized analog level and
+//! answers "does the searched level fall inside my range?" — the analog
+//! don't-care is simply the full-domain interval. On top of that cell,
+//! three query modes cover the similarity-search workload family:
+//!
+//! * **exact threshold-match** — every cell in range (the aCAM analogue
+//!   of a ternary match), lowest id (= highest priority) wins;
+//! * **distance-threshold match** — at most `d` cells out of range,
+//!   lowest id wins;
+//! * **best match** — the row minimizing a distance (Hamming: number of
+//!   out-of-range cells; interval: total level-distance to the
+//!   acceptance intervals), ties broken by lowest id.
+//!
+//! This module is the *functional* layer: [`AcamArray`] is the scalar
+//! reference every other representation is tested against. The serving
+//! path uses [`kernel::PackedAcamArray`], a cell-major SoA layout with a
+//! block-batched match kernel in the style of [`crate::kernel`]. The
+//! quantized-level semantics here are calibrated against a circuit-level
+//! 6T2M cell in `tcam-core` (see `tcam_core::acam`), which maps interval
+//! distance to matchline discharge.
+
+pub mod kernel;
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Maximum quantization resolution of an analog level (12 bits). Bounds
+/// the per-cell interval distance so a full-width sum stays well inside
+/// `u32` (see [`MAX_ACAM_WIDTH`]).
+pub const MAX_LEVELS: u16 = 4096;
+
+/// Maximum cells per acam word: `MAX_ACAM_WIDTH * (MAX_LEVELS - 1)`
+/// must not overflow the `u32` distance accumulators of the kernel.
+pub const MAX_ACAM_WIDTH: usize = 256;
+
+/// Errors from building or querying an analog-CAM array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcamError {
+    /// An interval's lower bound exceeds its upper bound.
+    InvertedBounds {
+        /// The offending lower bound.
+        lo: u16,
+        /// The offending upper bound.
+        hi: u16,
+    },
+    /// A bound or key level is outside the array's quantization range.
+    LevelOutOfRange {
+        /// The offending level.
+        level: u16,
+        /// The array's level count (valid levels are `0..levels`).
+        levels: u16,
+    },
+    /// A word or key width differs from the array's.
+    WidthMismatch {
+        /// The array's width.
+        expected: usize,
+        /// The offered word's width.
+        found: usize,
+    },
+    /// The quantization resolution is degenerate or above [`MAX_LEVELS`].
+    BadLevels {
+        /// The offered level count.
+        levels: u16,
+    },
+    /// The word width is zero or above [`MAX_ACAM_WIDTH`].
+    BadWidth {
+        /// The offered width.
+        width: usize,
+    },
+    /// A row id (= priority) is already present.
+    DuplicateId {
+        /// The colliding id.
+        id: u32,
+    },
+    /// A removal named an id that is not present.
+    UnknownId {
+        /// The missing id.
+        id: u32,
+    },
+}
+
+impl fmt::Display for AcamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvertedBounds { lo, hi } => {
+                write!(f, "inverted interval bounds [{lo}, {hi}]")
+            }
+            Self::LevelOutOfRange { level, levels } => {
+                write!(f, "level {level} outside quantization range 0..{levels}")
+            }
+            Self::WidthMismatch { expected, found } => {
+                write!(f, "word width {found} != array width {expected}")
+            }
+            Self::BadLevels { levels } => {
+                write!(f, "bad quantization resolution {levels} (want 2..={MAX_LEVELS})")
+            }
+            Self::BadWidth { width } => {
+                write!(f, "bad acam width {width} (want 1..={MAX_ACAM_WIDTH})")
+            }
+            Self::DuplicateId { id } => write!(f, "duplicate row id {id}"),
+            Self::UnknownId { id } => write!(f, "unknown row id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for AcamError {}
+
+/// Result alias for acam operations.
+pub type Result<T> = std::result::Result<T, AcamError>;
+
+/// One analog-CAM cell: the inclusive acceptance interval `[lo, hi]`
+/// over quantized levels. Constructed via [`AcamCell::new`] (which
+/// rejects inverted bounds with a typed error), [`AcamCell::exact`]
+/// (degenerate `[x, x]`), or [`AcamCell::any`] (full-domain analog
+/// don't-care).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AcamCell {
+    lo: u16,
+    hi: u16,
+}
+
+impl AcamCell {
+    /// An acceptance interval `[lo, hi]` (inclusive).
+    ///
+    /// # Errors
+    ///
+    /// [`AcamError::InvertedBounds`] when `lo > hi`.
+    pub fn new(lo: u16, hi: u16) -> Result<Self> {
+        if lo > hi {
+            return Err(AcamError::InvertedBounds { lo, hi });
+        }
+        Ok(Self { lo, hi })
+    }
+
+    /// The degenerate interval `[level, level]`: exact-level match.
+    #[must_use]
+    pub fn exact(level: u16) -> Self {
+        Self {
+            lo: level,
+            hi: level,
+        }
+    }
+
+    /// The full-domain interval `[0, levels - 1]`: the analog
+    /// don't-care, accepting every level of a `levels`-deep array.
+    #[must_use]
+    pub fn any(levels: u16) -> Self {
+        Self {
+            lo: 0,
+            hi: levels.saturating_sub(1),
+        }
+    }
+
+    /// Lower acceptance bound.
+    #[must_use]
+    pub fn lo(&self) -> u16 {
+        self.lo
+    }
+
+    /// Upper acceptance bound.
+    #[must_use]
+    pub fn hi(&self) -> u16 {
+        self.hi
+    }
+
+    /// Whether `level` falls inside the acceptance interval.
+    #[must_use]
+    pub fn contains(&self, level: u16) -> bool {
+        self.lo <= level && level <= self.hi
+    }
+
+    /// Hamming contribution: 1 if `level` is out of range, else 0.
+    #[must_use]
+    pub fn hamming_miss(&self, level: u16) -> u32 {
+        u32::from(!self.contains(level))
+    }
+
+    /// Interval distance: how many levels `level` lies outside the
+    /// acceptance interval (0 when inside).
+    #[must_use]
+    pub fn interval_miss(&self, level: u16) -> u32 {
+        u32::from(self.lo.saturating_sub(level)) + u32::from(level.saturating_sub(self.hi))
+    }
+}
+
+/// The distance a similarity query minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcamMetric {
+    /// Number of cells whose level falls out of range.
+    Hamming,
+    /// Total level-distance to the acceptance intervals (sum of per-cell
+    /// [`AcamCell::interval_miss`]).
+    Interval,
+}
+
+/// A best-match winner: the row id and its distance under the queried
+/// metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AcamMatch {
+    /// Winning row id (numerically smallest among distance ties).
+    pub id: u32,
+    /// The winner's distance from the key.
+    pub distance: u32,
+}
+
+/// The functional analog-CAM array: the scalar oracle for every other
+/// representation ([`kernel::PackedAcamArray`], the sharded serving
+/// path). Rows carry an explicit `id` doubling as match priority — the
+/// numerically smallest id wins every tie, independent of storage order
+/// (removals swap-remove, so storage order is not insertion order).
+#[derive(Debug, Clone)]
+pub struct AcamArray {
+    width: usize,
+    levels: u16,
+    ids: Vec<u32>,
+    rows: Vec<Vec<AcamCell>>,
+    index: HashMap<u32, usize>,
+}
+
+impl AcamArray {
+    /// An empty array of `width` cells per word quantized to `levels`
+    /// analog levels.
+    ///
+    /// # Errors
+    ///
+    /// [`AcamError::BadLevels`] / [`AcamError::BadWidth`] on degenerate
+    /// or oversized parameters.
+    pub fn new(width: usize, levels: u16) -> Result<Self> {
+        if !(2..=MAX_LEVELS).contains(&levels) {
+            return Err(AcamError::BadLevels { levels });
+        }
+        if width == 0 || width > MAX_ACAM_WIDTH {
+            return Err(AcamError::BadWidth { width });
+        }
+        Ok(Self {
+            width,
+            levels,
+            ids: Vec::new(),
+            rows: Vec::new(),
+            index: HashMap::new(),
+        })
+    }
+
+    /// Cells per word.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Quantization levels per cell (valid levels are `0..levels`).
+    #[must_use]
+    pub fn levels(&self) -> u16 {
+        self.levels
+    }
+
+    /// Stored row count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the array is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The row at storage position `i` (arbitrary order after removals).
+    #[must_use]
+    pub fn row(&self, i: usize) -> Option<(u32, &[AcamCell])> {
+        Some((*self.ids.get(i)?, &self.rows[i]))
+    }
+
+    /// Validates `word` against the array's width and level range.
+    fn check_word(&self, word: &[AcamCell]) -> Result<()> {
+        if word.len() != self.width {
+            return Err(AcamError::WidthMismatch {
+                expected: self.width,
+                found: word.len(),
+            });
+        }
+        for cell in word {
+            if cell.hi >= self.levels {
+                return Err(AcamError::LevelOutOfRange {
+                    level: cell.hi,
+                    levels: self.levels,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates a search key against the array's width and level range.
+    pub(crate) fn check_key(&self, key: &[u16]) -> Result<()> {
+        if key.len() != self.width {
+            return Err(AcamError::WidthMismatch {
+                expected: self.width,
+                found: key.len(),
+            });
+        }
+        for &level in key {
+            if level >= self.levels {
+                return Err(AcamError::LevelOutOfRange {
+                    level,
+                    levels: self.levels,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Stores `word` under `id` (the match priority: smaller wins).
+    ///
+    /// # Errors
+    ///
+    /// [`AcamError::WidthMismatch`], [`AcamError::LevelOutOfRange`], or
+    /// [`AcamError::DuplicateId`].
+    pub fn push(&mut self, word: &[AcamCell], id: u32) -> Result<()> {
+        self.check_word(word)?;
+        if self.index.contains_key(&id) {
+            return Err(AcamError::DuplicateId { id });
+        }
+        self.index.insert(id, self.ids.len());
+        self.ids.push(id);
+        self.rows.push(word.to_vec());
+        Ok(())
+    }
+
+    /// Removes the row stored under `id` (swap-remove: storage order is
+    /// not preserved; query results are order-independent).
+    ///
+    /// # Errors
+    ///
+    /// [`AcamError::UnknownId`] when `id` is not present.
+    pub fn remove(&mut self, id: u32) -> Result<()> {
+        let pos = self.index.remove(&id).ok_or(AcamError::UnknownId { id })?;
+        self.ids.swap_remove(pos);
+        self.rows.swap_remove(pos);
+        if pos < self.ids.len() {
+            self.index.insert(self.ids[pos], pos);
+        }
+        Ok(())
+    }
+
+    /// The distance between stored row `i` and `key` under `metric`.
+    fn row_distance(&self, i: usize, key: &[u16], metric: AcamMetric) -> u32 {
+        let row = &self.rows[i];
+        match metric {
+            AcamMetric::Hamming => row
+                .iter()
+                .zip(key)
+                .map(|(cell, &k)| cell.hamming_miss(k))
+                .sum(),
+            AcamMetric::Interval => row
+                .iter()
+                .zip(key)
+                .map(|(cell, &k)| cell.interval_miss(k))
+                .sum(),
+        }
+    }
+
+    /// **Exact threshold-match**: the smallest id whose row accepts the
+    /// key in *every* cell, or `None`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed keys ([`AcamError::WidthMismatch`],
+    /// [`AcamError::LevelOutOfRange`]).
+    pub fn exact_match(&self, key: &[u16]) -> Result<Option<u32>> {
+        self.threshold_match(key, 0)
+    }
+
+    /// **Distance-threshold match**: the smallest id among rows with at
+    /// most `d` cells out of range, or `None`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed keys (see [`Self::exact_match`]).
+    pub fn threshold_match(&self, key: &[u16], d: u32) -> Result<Option<u32>> {
+        self.check_key(key)?;
+        let mut best: Option<u32> = None;
+        for i in 0..self.ids.len() {
+            if self.row_distance(i, key, AcamMetric::Hamming) <= d {
+                let id = self.ids[i];
+                best = Some(best.map_or(id, |b| b.min(id)));
+            }
+        }
+        Ok(best)
+    }
+
+    /// **Best match**: the row minimizing the `metric` distance, ties
+    /// broken by the smallest id. `None` only for an empty array (every
+    /// row has a distance).
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed keys (see [`Self::exact_match`]).
+    pub fn best_match(&self, key: &[u16], metric: AcamMetric) -> Result<Option<AcamMatch>> {
+        self.check_key(key)?;
+        let mut best: Option<AcamMatch> = None;
+        for i in 0..self.ids.len() {
+            let distance = self.row_distance(i, key, metric);
+            let id = self.ids[i];
+            let better = match &best {
+                None => true,
+                Some(b) => (distance, id) < (b.distance, b.id),
+            };
+            if better {
+                best = Some(AcamMatch { id, distance });
+            }
+        }
+        Ok(best)
+    }
+}
+
+/// Quantizes a unit-interval feature `x` onto `levels` analog levels
+/// (clamping out-of-range inputs): level `⌊x · levels⌋`, capped at
+/// `levels - 1` so `x = 1.0` lands on the top level.
+#[must_use]
+pub fn quantize(x: f64, levels: u16) -> u16 {
+    let l = (x.clamp(0.0, 1.0) * f64::from(levels)) as u16;
+    l.min(levels - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(lo: u16, hi: u16) -> AcamCell {
+        AcamCell::new(lo, hi).unwrap()
+    }
+
+    #[test]
+    fn inverted_bounds_rejected_with_typed_error() {
+        assert_eq!(
+            AcamCell::new(9, 3),
+            Err(AcamError::InvertedBounds { lo: 9, hi: 3 })
+        );
+        // Degenerate [x, x] is legal and matches exactly one level.
+        let c = AcamCell::new(5, 5).unwrap();
+        assert_eq!(c, AcamCell::exact(5));
+        assert!(c.contains(5));
+        assert!(!c.contains(4) && !c.contains(6));
+        assert_eq!(c.interval_miss(7), 2);
+        // Full-domain analog don't-care accepts everything in range.
+        let any = AcamCell::any(16);
+        assert_eq!((any.lo(), any.hi()), (0, 15));
+        assert!(any.contains(0) && any.contains(15));
+    }
+
+    #[test]
+    fn array_constructor_validation() {
+        assert_eq!(
+            AcamArray::new(4, 1).unwrap_err(),
+            AcamError::BadLevels { levels: 1 }
+        );
+        assert_eq!(
+            AcamArray::new(4, MAX_LEVELS + 1).unwrap_err(),
+            AcamError::BadLevels {
+                levels: MAX_LEVELS + 1
+            }
+        );
+        assert_eq!(
+            AcamArray::new(0, 16).unwrap_err(),
+            AcamError::BadWidth { width: 0 }
+        );
+        assert!(AcamArray::new(MAX_ACAM_WIDTH, MAX_LEVELS).is_ok());
+    }
+
+    #[test]
+    fn push_validates_width_levels_and_ids() {
+        let mut a = AcamArray::new(2, 16).unwrap();
+        assert_eq!(
+            a.push(&[cell(0, 3)], 1),
+            Err(AcamError::WidthMismatch {
+                expected: 2,
+                found: 1
+            })
+        );
+        assert_eq!(
+            a.push(&[cell(0, 3), cell(0, 16)], 1),
+            Err(AcamError::LevelOutOfRange {
+                level: 16,
+                levels: 16
+            })
+        );
+        a.push(&[cell(0, 3), cell(4, 9)], 1).unwrap();
+        assert_eq!(
+            a.push(&[cell(0, 3), cell(4, 9)], 1),
+            Err(AcamError::DuplicateId { id: 1 })
+        );
+        assert_eq!(a.remove(99), Err(AcamError::UnknownId { id: 99 }));
+    }
+
+    #[test]
+    fn query_modes_on_a_small_array() {
+        let mut a = AcamArray::new(3, 16).unwrap();
+        // id 5: [2,4] [6,9] [0,15]    id 2: [3,3] [7,7] [1,2]
+        a.push(&[cell(2, 4), cell(6, 9), AcamCell::any(16)], 5)
+            .unwrap();
+        a.push(&[cell(3, 3), cell(7, 7), cell(1, 2)], 2).unwrap();
+
+        // Key inside both rows: exact match exists, smallest id wins.
+        assert_eq!(a.exact_match(&[3, 7, 1]).unwrap(), Some(2));
+        // Key inside row 5 only.
+        assert_eq!(a.exact_match(&[4, 8, 12]).unwrap(), Some(5));
+        // Key inside neither: no exact match; threshold d=1 admits row 5
+        // (one cell out), and best-match agrees.
+        assert_eq!(a.exact_match(&[5, 8, 12]).unwrap(), None);
+        assert_eq!(a.threshold_match(&[5, 8, 12], 1).unwrap(), Some(5));
+        let b = a.best_match(&[5, 8, 12], AcamMetric::Hamming).unwrap().unwrap();
+        assert_eq!((b.id, b.distance), (5, 1));
+        // Interval metric weights by how far out of range.
+        let b = a.best_match(&[15, 15, 15], AcamMetric::Interval).unwrap().unwrap();
+        // row 5: (15-4) + (15-9) + 0 = 17; row 2: 12 + 8 + 13 = 33.
+        assert_eq!((b.id, b.distance), (5, 17));
+    }
+
+    #[test]
+    fn ties_break_to_smallest_id_regardless_of_storage_order() {
+        let mut a = AcamArray::new(1, 8).unwrap();
+        a.push(&[cell(0, 7)], 9).unwrap();
+        a.push(&[cell(0, 7)], 4).unwrap();
+        a.push(&[cell(0, 7)], 7).unwrap();
+        a.remove(9).unwrap(); // swap-remove scrambles storage order
+        assert_eq!(a.exact_match(&[3]).unwrap(), Some(4));
+        let b = a.best_match(&[3], AcamMetric::Interval).unwrap().unwrap();
+        assert_eq!((b.id, b.distance), (4, 0));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn key_validation() {
+        let mut a = AcamArray::new(2, 16).unwrap();
+        a.push(&[cell(0, 3), cell(4, 9)], 1).unwrap();
+        assert!(matches!(
+            a.exact_match(&[1]),
+            Err(AcamError::WidthMismatch { .. })
+        ));
+        assert!(matches!(
+            a.best_match(&[1, 16], AcamMetric::Hamming),
+            Err(AcamError::LevelOutOfRange { .. })
+        ));
+        // Empty array: best_match is None, not an error.
+        let empty = AcamArray::new(2, 16).unwrap();
+        assert_eq!(empty.best_match(&[0, 0], AcamMetric::Hamming).unwrap(), None);
+    }
+
+    #[test]
+    fn quantize_clamps_and_caps() {
+        assert_eq!(quantize(0.0, 16), 0);
+        assert_eq!(quantize(1.0, 16), 15);
+        assert_eq!(quantize(-3.0, 16), 0);
+        assert_eq!(quantize(7.0, 16), 15);
+        assert_eq!(quantize(0.5, 16), 8);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = AcamError::InvertedBounds { lo: 9, hi: 3 };
+        assert!(e.to_string().contains("inverted"));
+        let e = AcamError::LevelOutOfRange { level: 9, levels: 8 };
+        assert!(e.to_string().contains("quantization"));
+    }
+}

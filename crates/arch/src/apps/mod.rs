@@ -1,5 +1,7 @@
-//! TCAM application workloads: route lookup, packet classification, TLB.
+//! TCAM application workloads: route lookup, packet classification, TLB,
+//! and nearest-neighbor classification over the analog-CAM layer.
 
 pub mod classifier;
+pub mod knn;
 pub mod router;
 pub mod tlb;

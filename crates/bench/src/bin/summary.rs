@@ -8,6 +8,11 @@
 //! across every JSON line in the listed files, printing one per-phase
 //! total/share table — the quick way to see where a batch of runs spent
 //! its time without re-running anything.
+//!
+//! With `--stats` it additionally prints per-design solver statistics
+//! and, when `BENCH_acam.json` is present, a digest of the recorded
+//! `acam_bench` runs (kernel speedup spread, classifier accuracy, and
+//! the latest behavioral accuracy-vs-σ curve).
 
 use tcam_arch::refresh_sched::compare_policies;
 use tcam_bench::{banner, has_flag, spec_from_args};
@@ -107,6 +112,69 @@ fn aggregate(paths: &[String]) -> ! {
     }
     println!("{:<20} {:>14}", "total", format_si(total_ns * 1e-9, "s"));
     std::process::exit(0);
+}
+
+/// Folds the `acam_bench` records in `BENCH_acam.json` (if present next
+/// to the working directory) into a compact accuracy/throughput digest:
+/// record count, kernel-speedup spread, and the latest behavioral
+/// accuracy-vs-σ curve.
+fn acam_stats() {
+    use tcam_bench::jsonline::{num, parse_flat_object};
+
+    let path = "BENCH_acam.json";
+    let Ok(text) = std::fs::read_to_string(path) else {
+        println!("\n[--stats] acam: no {path} (seed it with `acam_bench --record {path}`)");
+        return;
+    };
+    let records: Vec<_> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| parse_flat_object(l.trim()).ok())
+        .filter(|o| o.iter().any(|(k, _)| k == "clf_accuracy"))
+        .collect();
+    let Some(last) = records.last() else {
+        println!("\n[--stats] acam: {path} holds no acam_bench records");
+        return;
+    };
+    println!("\n[--stats] acam bench digest ({} record(s) in {path})", records.len());
+    let speedups: Vec<f64> = records
+        .iter()
+        .filter_map(|o| num(o, "kernel_speedup"))
+        .collect();
+    if !speedups.is_empty() {
+        let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
+        let min = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+        println!(
+            "  kernel speedup vs scalar: mean {mean:.2}x, min {min:.2}x over {} timed record(s)",
+            speedups.len()
+        );
+    }
+    if let Some(acc) = num(last, "clf_accuracy") {
+        println!("  latest classifier accuracy: {acc:.4}");
+    }
+    let mut curve = String::new();
+    for i in 0.. {
+        let (Some(s), Some(a)) = (
+            num(last, &format!("behav_sigma_s{i}")),
+            num(last, &format!("behav_acc_s{i}")),
+        ) else {
+            break;
+        };
+        if !curve.is_empty() {
+            curve.push_str("  ");
+        }
+        curve.push_str(&format!("σ={s}: {a:.3}"));
+    }
+    if !curve.is_empty() {
+        println!("  latest behavioral accuracy vs σ: {curve}");
+    }
+    if let (Some(mono), Some(agree)) = (num(last, "cal_monotone"), num(last, "cal_agree")) {
+        println!(
+            "  latest circuit calibration: monotone {}, behavioral/circuit verdicts {}",
+            if mono > 0.0 { "yes" } else { "NO" },
+            if agree > 0.0 { "agree" } else { "DIVERGE" }
+        );
+    }
 }
 
 fn main() {
@@ -252,6 +320,7 @@ fn main() {
                 Err(e) => println!("{:<12} failed: {e}", design.name()),
             }
         }
+        acam_stats();
     }
 
     println!("\ndone.");

@@ -1,0 +1,839 @@
+//! Circuit spine of the analog/range-CAM layer: a 6T2M-style cell
+//! netlist, a matchline-discharge vs interval-distance calibration, and
+//! a batched conductance-variation study.
+//!
+//! The behavioral acam layer (`tcam-arch`) stores an acceptance interval
+//! `[lo, hi]` per cell and counts out-of-range cells. The canonical
+//! hardware realization (the 6T2M aCAM of the in-memory-computing
+//! literature) encodes each bound as a programmable **memristor divider**
+//! and compares the analog data-line voltage against the two divider
+//! taps, discharging the matchline when the key falls outside the
+//! stored window. This module builds exactly that cell from the
+//! workspace device library:
+//!
+//! ```text
+//!   vdd ── M_lo ── ref_lo ── R_REF ── gnd     (divider: V = vdd·R/(R+R_mem))
+//!   vdd ── M_hi ── ref_hi ── R_REF ── gnd
+//!   ML  ── S_lo(on: ref_lo − DL > v_on) ── gnd   ("key below lo" pull-down)
+//!   ML  ── S_hi(on: DL − ref_hi > v_on) ── gnd   ("key above hi" pull-down)
+//! ```
+//!
+//! `M_lo`/`M_hi` are [`Rram`] cells whose filament state programs the
+//! bound; the two comparator+pull-down branches (three transistors each
+//! in the reference cell, abstracted here as threshold [`VSwitch`]es
+//! with the pull-down on-resistance) complete the 6T2M budget. Bounds
+//! are programmed **half a quantization step outside** the stored
+//! interval so an exact-bound key sits a clean half-step away from the
+//! comparator threshold instead of inside its hysteresis window; this is
+//! also why the circuit reference design caps its level count
+//! ([`MAX_CIRCUIT_LEVELS`]) — beyond it the half-step margin dips under
+//! the comparator threshold. An analog don't-care is simply the full
+//! window (`[0, levels−1]`), which programs the dividers to the window
+//! edges and can never fire either branch.
+//!
+//! Search timing mirrors the TCAM designs, with one twist: the data
+//! lines carry *analog levels*, not differential rails, and a key level
+//! below a stored `lo` bound closes `S_lo` while the lines are still
+//! settling. The experiment therefore drives the data lines from `t = 0`
+//! and releases the matchline precharge only after they have settled —
+//! the release instant is the search/latency reference. Each out-of-range
+//! cell adds one pull-down path, so the ML discharge rate is monotone in
+//! the **interval-violation count**: [`calibrate_distance`] measures
+//! `ML(t_sense)` per distance and fits the sense threshold the
+//! behavioral match/mismatch verdict maps onto.
+//!
+//! [`acam_noise_study`] is the variation companion (same engine shape as
+//! [`crate::variation`]): conductance noise on every bound memristor,
+//! trials sharded through kind-homogeneous structure-shared
+//! [`run_search_batched`] calls, per-trial failures contained with
+//! causes retained, deterministic for a seed regardless of worker
+//! count. [`AcamCellDesign::perturbed_bound`] exposes the calibrated
+//! noise→bound transfer so `acam_bench` can turn the same σ grid into a
+//! classification accuracy-vs-noise curve without transients.
+//!
+//! [`Rram`]: tcam_devices::rram::Rram
+//! [`VSwitch`]: tcam_spice::element::VSwitch
+
+use std::result::Result as StdResult;
+
+use crate::designs::{
+    add_line_cap, add_ml_precharge, add_step_driver, experiment_options, SearchExperiment,
+};
+use crate::fault::ChaosProbe;
+use crate::ops::{run_search_batched, SearchResult};
+use tcam_devices::params::RramParams;
+use tcam_devices::rram::Rram;
+use tcam_numeric::parallel::parallel_map;
+use tcam_numeric::rng::SplitMix64;
+use tcam_numeric::stats::Running;
+use tcam_spice::element::VSwitch;
+use tcam_spice::error::{Result, SpiceError};
+use tcam_spice::netlist::Circuit;
+
+/// Most levels the circuit reference design resolves: the half-step
+/// programming margin `vdd·(V_WINDOW_HI − V_WINDOW_LO)/(2·(levels−1))`
+/// must stay above the comparator threshold, which caps a 1 V design
+/// near 19 levels; 16 keeps a clean margin. (The behavioral layer in
+/// `tcam-arch` goes to 4096 levels; a hardware mapping at that depth
+/// needs a wider window or a sharper comparator.)
+pub const MAX_CIRCUIT_LEVELS: u16 = 16;
+
+/// Analog-CAM row shape for a circuit experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcamSpec {
+    /// Cells per word (one matchline).
+    pub cols: usize,
+    /// Quantization levels per cell (`2..=`[`MAX_CIRCUIT_LEVELS`]).
+    pub levels: u16,
+    /// Supply voltage, volts.
+    pub vdd: f64,
+}
+
+impl AcamSpec {
+    /// The reference design the calibration and bench gates run on:
+    /// 8 cells × 16 levels at 1 V.
+    #[must_use]
+    pub fn reference() -> Self {
+        Self {
+            cols: 8,
+            levels: 16,
+            vdd: 1.0,
+        }
+    }
+
+    /// A reduced row for fast unit tests.
+    #[must_use]
+    pub fn small() -> Self {
+        Self {
+            cols: 4,
+            levels: 16,
+            vdd: 1.0,
+        }
+    }
+}
+
+/// Precharge release = search reference: the data lines settle first
+/// (they are driven from `t = 0`), then the ML floats.
+const T_PC_RELEASE: f64 = 0.8e-9;
+/// Sense window after the release: one violating cell must cross
+/// `V_DD/2` inside it (`τ_1 = R_PD·C_ML = 0.6 ns` crosses at ≈ 0.4 ns).
+const SENSE_WINDOW: f64 = 0.45e-9;
+
+/// Fraction of V_DD at the bottom of the level→voltage window. The
+/// window floor keeps the bound memristor resistance inside
+/// `[r_on, r_off]` at both extremes (with the half-step overshoot).
+const V_WINDOW_LO: f64 = 0.15;
+/// Fraction of V_DD at the top of the level→voltage window.
+const V_WINDOW_HI: f64 = 0.88;
+
+/// The 6T2M analog-CAM cell design: memristor parameters plus the fixed
+/// divider/comparator/pull-down component values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcamCellDesign {
+    /// Bound-memristor parameters (defaults shared with the 2T2R TCAM).
+    pub rram: RramParams,
+    /// Divider reference resistance to ground, ohms.
+    pub r_ref: f64,
+    /// Pull-down on-resistance of one comparator branch, ohms. With
+    /// [`Self::c_ml`] this sets the per-violation discharge time
+    /// constant the distance calibration resolves.
+    pub r_pd: f64,
+    /// Lumped matchline capacitance of the row, farads.
+    pub c_ml: f64,
+    /// Comparator switching threshold (and hysteresis half-width),
+    /// volts: a branch closes above `+v_comp_on` overdrive and reopens
+    /// below `−v_comp_on`.
+    pub v_comp_on: f64,
+}
+
+impl Default for AcamCellDesign {
+    fn default() -> Self {
+        Self {
+            rram: RramParams::default(),
+            r_ref: 240e3,
+            r_pd: 120e3,
+            c_ml: 5e-15,
+            v_comp_on: 0.02,
+        }
+    }
+}
+
+/// Data-line wire capacitance per cell, farads.
+const C_DL: f64 = 2e-15;
+
+impl AcamCellDesign {
+    /// Quantization step of the level→voltage map, volts.
+    #[must_use]
+    pub fn level_step(&self, spec: &AcamSpec) -> f64 {
+        spec.vdd * (V_WINDOW_HI - V_WINDOW_LO) / f64::from(spec.levels - 1)
+    }
+
+    /// Linear level→voltage map over the design window (continuous:
+    /// fractional levels are meaningful for noise-shifted bounds).
+    #[must_use]
+    pub fn level_voltage(&self, level: f64, spec: &AcamSpec) -> f64 {
+        spec.vdd * V_WINDOW_LO + level * self.level_step(spec)
+    }
+
+    /// Inverse of [`Self::level_voltage`], clamped to the level domain.
+    #[must_use]
+    pub fn voltage_level(&self, volts: f64, spec: &AcamSpec) -> f64 {
+        ((volts - spec.vdd * V_WINDOW_LO) / self.level_step(spec))
+            .clamp(0.0, f64::from(spec.levels - 1))
+    }
+
+    /// Memristor resistance that programs a divider tap of `volts`:
+    /// `V = vdd·R_ref/(R_ref + R)` solved for `R`, clamped to the
+    /// device's `[r_on, r_off]` range.
+    #[must_use]
+    pub fn bound_resistance(&self, volts: f64, spec: &AcamSpec) -> f64 {
+        (self.r_ref * (spec.vdd / volts - 1.0)).clamp(self.rram.r_on, self.rram.r_off)
+    }
+
+    /// Filament state programming resistance `r` (inverse of the RRAM
+    /// model's exponential interpolation), clamped to `[0, 1]`.
+    #[must_use]
+    pub fn resistance_state(&self, r: f64) -> f64 {
+        ((self.rram.r_off / r).ln() / (self.rram.r_off / self.rram.r_on).ln()).clamp(0.0, 1.0)
+    }
+
+    /// The noise→bound transfer function of the calibrated cell: a
+    /// stored bound at (continuous) `level` whose memristor conductance
+    /// is perturbed by the lognormal factor `exp(sigma·z)` lands at the
+    /// returned effective level. Pure behavioral arithmetic (no
+    /// transient) — this is what turns a σ grid into an accuracy curve.
+    #[must_use]
+    pub fn perturbed_bound(&self, level: f64, sigma: f64, z: f64, spec: &AcamSpec) -> f64 {
+        let r = self.bound_resistance(self.level_voltage(level, spec), spec);
+        let noisy = (r * (sigma * z).exp()).clamp(self.rram.r_on, self.rram.r_off);
+        self.voltage_level(spec.vdd * self.r_ref / (self.r_ref + noisy), spec)
+    }
+
+    /// Filament states `(s_lo, s_hi)` programming one cell's interval,
+    /// with the half-step overshoot that keeps exact-bound keys out of
+    /// the comparator hysteresis window.
+    fn interval_states(&self, lo: u16, hi: u16, spec: &AcamSpec) -> (f64, f64) {
+        let half = 0.5 * self.level_step(spec);
+        let v_lo = self.level_voltage(f64::from(lo), spec) - half;
+        let v_hi = self.level_voltage(f64::from(hi), spec) + half;
+        (
+            self.resistance_state(self.bound_resistance(v_lo, spec)),
+            self.resistance_state(self.bound_resistance(v_hi, spec)),
+        )
+    }
+
+    /// Builds the search experiment for one analog row storing the
+    /// intervals `stored` (inclusive `[lo, hi]` levels) and searched
+    /// with the quantized `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::InvalidCircuit`] for degenerate specs, mismatched
+    /// widths, inverted or out-of-domain bounds, or out-of-domain keys.
+    pub fn build_search(
+        &self,
+        spec: &AcamSpec,
+        stored: &[(u16, u16)],
+        key: &[u16],
+    ) -> Result<SearchExperiment> {
+        check_acam(spec, stored, key)?;
+        let states: Vec<(f64, f64)> = stored
+            .iter()
+            .map(|&(lo, hi)| self.interval_states(lo, hi, spec))
+            .collect();
+        let expect_match = stored
+            .iter()
+            .zip(key)
+            .all(|(&(lo, hi), &k)| lo <= k && k <= hi);
+        self.build_row(spec, &states, key, expect_match)
+    }
+
+    /// Netlist construction shared by the public builder (nominal
+    /// states) and the noise study (perturbed states).
+    fn build_row(
+        &self,
+        spec: &AcamSpec,
+        states: &[(f64, f64)],
+        key: &[u16],
+        expect_match: bool,
+    ) -> Result<SearchExperiment> {
+        let mut ckt = Circuit::new();
+        let gnd = ckt.gnd();
+        let ml = ckt.node("ml");
+        let rail = ckt.node("acam_rail");
+        ckt.add(tcam_spice::element::VoltageSource::dc(
+            "vrail", rail, gnd, spec.vdd,
+        ))?;
+
+        for (j, (&(s_lo, s_hi), &k)) in states.iter().zip(key).enumerate() {
+            let dl = ckt.node(&format!("dl{j}"));
+            let ref_lo = ckt.node(&format!("ref_lo{j}"));
+            let ref_hi = ckt.node(&format!("ref_hi{j}"));
+            for (suffix, tap, state) in [("lo", ref_lo, s_lo), ("hi", ref_hi, s_hi)] {
+                ckt.add(Rram::new(format!("m_{suffix}{j}"), rail, tap, self.rram).with_state(state))?;
+                ckt.add(tcam_spice::element::Resistor::new(
+                    format!("rref_{suffix}{j}"),
+                    tap,
+                    gnd,
+                    self.r_ref,
+                )?)?;
+            }
+            // Analog key level, driven from t = 0 so the comparators
+            // settle before the precharge release.
+            add_line_cap(&mut ckt, &format!("cdl{j}"), dl, C_DL)?;
+            add_step_driver(
+                &mut ckt,
+                &format!("vdl{j}"),
+                dl,
+                0.0,
+                self.level_voltage(f64::from(k), spec),
+                0.0,
+            )?;
+            // Comparator pull-downs; every node idles at 0 V, so both
+            // branches start open consistently.
+            ckt.add(
+                VSwitch::new(
+                    format!("s_lo{j}"),
+                    ml,
+                    gnd,
+                    ref_lo,
+                    dl,
+                    self.r_pd,
+                    1e13,
+                    self.v_comp_on,
+                    -self.v_comp_on,
+                )?
+                .with_state(false),
+            )?;
+            ckt.add(
+                VSwitch::new(
+                    format!("s_hi{j}"),
+                    ml,
+                    gnd,
+                    dl,
+                    ref_hi,
+                    self.r_pd,
+                    1e13,
+                    self.v_comp_on,
+                    -self.v_comp_on,
+                )?
+                .with_state(false),
+            )?;
+        }
+
+        add_ml_precharge(&mut ckt, ml, spec.vdd, self.c_ml, T_PC_RELEASE)?;
+
+        Ok(SearchExperiment {
+            circuit: ckt,
+            ml_signal: "v(ml)".into(),
+            t_search: T_PC_RELEASE,
+            t_stop: T_PC_RELEASE + SENSE_WINDOW + 0.5e-9,
+            expect_match,
+            t_sense: T_PC_RELEASE + SENSE_WINDOW,
+            // A matching ML has no discharge path at all; 0.8·V_DD
+            // tolerates only the precharge-contention dip.
+            v_match_min: 0.8 * spec.vdd,
+            vdd: spec.vdd,
+            options: experiment_options(),
+        })
+    }
+}
+
+/// Validates an acam experiment's inputs.
+fn check_acam(spec: &AcamSpec, stored: &[(u16, u16)], key: &[u16]) -> Result<()> {
+    if spec.cols == 0 || !(2..=MAX_CIRCUIT_LEVELS).contains(&spec.levels) {
+        return Err(SpiceError::InvalidCircuit(format!(
+            "degenerate acam spec: {} cols x {} levels (circuit design resolves 2..={})",
+            spec.cols, spec.levels, MAX_CIRCUIT_LEVELS
+        )));
+    }
+    if !(spec.vdd.is_finite() && spec.vdd > 0.0) {
+        return Err(SpiceError::InvalidCircuit(format!(
+            "bad supply voltage {}",
+            spec.vdd
+        )));
+    }
+    if stored.len() != spec.cols || key.len() != spec.cols {
+        return Err(SpiceError::InvalidCircuit(format!(
+            "word width {} / key width {} != {} cols",
+            stored.len(),
+            key.len(),
+            spec.cols
+        )));
+    }
+    for &(lo, hi) in stored {
+        if lo > hi || hi >= spec.levels {
+            return Err(SpiceError::InvalidCircuit(format!(
+                "bad interval [{lo}, {hi}] for {} levels",
+                spec.levels
+            )));
+        }
+    }
+    if let Some(&k) = key.iter().find(|&&k| k >= spec.levels) {
+        return Err(SpiceError::InvalidCircuit(format!(
+            "key level {k} out of domain ({} levels)",
+            spec.levels
+        )));
+    }
+    Ok(())
+}
+
+/// Result of [`calibrate_distance`]: the measured discharge-vs-distance
+/// curve and the sense threshold fitted to it.
+#[derive(Debug, Clone)]
+pub struct DistanceCalibration {
+    /// `ml_at_sense[d]` — matchline voltage at the sense instant with
+    /// exactly `d` out-of-range cells.
+    pub ml_at_sense: Vec<f64>,
+    /// Fitted sense threshold: midpoint of the match (`d = 0`) and
+    /// single-violation (`d = 1`) levels.
+    pub v_threshold: f64,
+    /// Whether `ml_at_sense` decreases strictly with distance (each
+    /// extra violation adds a parallel pull-down path).
+    pub monotone: bool,
+    /// Whether every circuit verdict (ML above/below the design's sense
+    /// criteria) agreed with the behavioral model's `d == 0` verdict.
+    pub verdicts_agree: bool,
+}
+
+impl DistanceCalibration {
+    /// The verdict the calibrated threshold assigns to a measured sense
+    /// voltage (`true` = match).
+    #[must_use]
+    pub fn verdict(&self, ml_at_sense: f64) -> bool {
+        ml_at_sense >= self.v_threshold
+    }
+}
+
+/// Measures the matchline level at the sense instant for interval
+/// distances `0..=max_d` through **one** structure-shared batched
+/// transient, checks the monotone distance→discharge ordering, and fits
+/// the behavioral sense threshold. The stored word is a mid-window
+/// exact interval per cell; distance `d` drives the first `d` data
+/// lines above their window.
+///
+/// # Errors
+///
+/// Propagates build/simulation failures (the calibration runs on the
+/// clean reference design, so a lane quarantine is a real defect) and
+/// rejects `max_d > spec.cols`.
+pub fn calibrate_distance(
+    design: &AcamCellDesign,
+    spec: &AcamSpec,
+    max_d: usize,
+) -> Result<DistanceCalibration> {
+    if max_d > spec.cols {
+        return Err(SpiceError::InvalidCircuit(format!(
+            "max_d {max_d} exceeds {} cols",
+            spec.cols
+        )));
+    }
+    let mid = spec.levels / 2;
+    let stored: Vec<(u16, u16)> = vec![(mid, mid); spec.cols];
+    let exps: Vec<SearchExperiment> = (0..=max_d)
+        .map(|d| {
+            let key: Vec<u16> = (0..spec.cols)
+                .map(|j| if j < d { spec.levels - 2 } else { mid })
+                .collect();
+            design.build_search(spec, &stored, &key)
+        })
+        .collect::<Result<_>>()?;
+
+    let mut ml_at_sense = Vec::with_capacity(max_d + 1);
+    let mut verdicts_agree = true;
+    for lane in run_search_batched(exps)? {
+        let res = lane?;
+        ml_at_sense.push(res.ml_at_sense);
+        // The circuit's own sense criteria (hold vs timely discharge)
+        // must reproduce the behavioral d == 0 verdict; `expect_match`
+        // was set behaviorally, so agreement == functional_ok.
+        if !res.functional_ok {
+            verdicts_agree = false;
+        }
+    }
+    let monotone = ml_at_sense.windows(2).all(|w| w[1] < w[0]);
+    let v_threshold = 0.5 * (ml_at_sense[0] + ml_at_sense.get(1).copied().unwrap_or(0.0));
+    Ok(DistanceCalibration {
+        ml_at_sense,
+        v_threshold,
+        monotone,
+        verdicts_agree,
+    })
+}
+
+/// Configuration of an acam conductance-variation study.
+#[derive(Debug, Clone, Copy)]
+pub struct AcamNoiseSpec {
+    /// Relative 1-sigma of every bound memristor's resistance
+    /// (lognormal, e.g. `0.1` = 10 %).
+    pub sigma: f64,
+    /// Monte-Carlo trials.
+    pub trials: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Fault injection: force every k-th trial's transients to be
+    /// non-convergent (`0` disables); when non-zero every trial carries
+    /// the inert chaos probe so topologies stay batch-shareable.
+    pub sabotage_every: usize,
+}
+
+/// Outcome of [`acam_noise_study`].
+#[derive(Debug, Clone)]
+pub struct AcamNoiseStudy {
+    /// Sense margin `ML_match − ML_mismatch` of every completed trial,
+    /// volts.
+    pub margins: Vec<f64>,
+    /// Mean margin over completed trials.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Worst (smallest) margin observed.
+    pub min: f64,
+    /// Trials whose hit or miss verdict flipped under noise, plus
+    /// simulation failures.
+    pub failures: usize,
+    /// Trials whose *simulation* errored (subset of [`Self::failures`]);
+    /// excluded from the margins, never fatal to the study.
+    pub sim_failures: usize,
+    /// Retained cause of every simulation failure, as
+    /// `(trial index, error description)`.
+    pub failure_causes: Vec<(usize, String)>,
+}
+
+/// One shard's trials: perturbed filament states per trial, plus the
+/// hostile flag.
+type NoiseTrial = (Vec<(f64, f64)>, bool);
+
+/// Runs the conductance-variation study on the acam cell: every trial
+/// perturbs each bound memristor's resistance lognormally, then runs an
+/// in-window search and a worst-case one-cell-violation search. Trials
+/// are sharded into kind-homogeneous structure-shared batches (one
+/// mismatch batch, one match batch per shard — the engine and rationale
+/// of [`crate::variation::search_margin_study`]); per-trial failures of
+/// any kind are counted with simulation causes retained.
+///
+/// Sampling happens up front from the seeded generator, so the study is
+/// deterministic for a seed at any worker count.
+///
+/// # Errors
+///
+/// Returns an error only for invalid inputs (degenerate spec); every
+/// per-trial failure is contained in the returned study.
+pub fn acam_noise_study(
+    design: &AcamCellDesign,
+    spec: &AcamSpec,
+    cfg: &AcamNoiseSpec,
+) -> Result<AcamNoiseStudy> {
+    let q = spec.levels / 4;
+    // Stored word: the mid-half window per cell; hit key dead-center,
+    // miss key one cell far above its upper bound (worst case: a single
+    // pull-down path, the smallest discharge signal).
+    let stored: Vec<(u16, u16)> = vec![(q, 3 * q - 1); spec.cols];
+    let hit_key: Vec<u16> = vec![2 * q; spec.cols];
+    let mut miss_key = hit_key.clone();
+    miss_key[0] = spec.levels - 1;
+    check_acam(spec, &stored, &miss_key)?;
+
+    // Phase 1 (serial): sample every trial's perturbed states.
+    let mut rng = SplitMix64::new(cfg.seed);
+    let trials: Vec<NoiseTrial> = (0..cfg.trials)
+        .map(|t| {
+            let states = stored
+                .iter()
+                .map(|&(lo, hi)| {
+                    let lo_lvl = design.perturbed_bound(
+                        f64::from(lo) - 0.5,
+                        cfg.sigma,
+                        rng.normal(),
+                        spec,
+                    );
+                    let hi_lvl = design.perturbed_bound(
+                        f64::from(hi) + 0.5,
+                        cfg.sigma,
+                        rng.normal(),
+                        spec,
+                    );
+                    let v_lo = design.level_voltage(lo_lvl, spec);
+                    let v_hi = design.level_voltage(hi_lvl, spec);
+                    (
+                        design.resistance_state(design.bound_resistance(v_lo, spec)),
+                        design.resistance_state(design.bound_resistance(v_hi, spec)),
+                    )
+                })
+                .collect();
+            let hostile = cfg.sabotage_every != 0 && (t + 1).is_multiple_of(cfg.sabotage_every);
+            (states, hostile)
+        })
+        .collect();
+
+    // Phase 2 (parallel): kind-homogeneous batched shards.
+    let shards: Vec<Vec<NoiseTrial>> = trials
+        .chunks(crate::variation::TRIALS_PER_SHARD)
+        .map(<[NoiseTrial]>::to_vec)
+        .collect();
+    let sabotage = cfg.sabotage_every != 0;
+    let outcomes: Vec<StdResult<(f64, bool), String>> = parallel_map(shards, |shard| {
+        run_noise_shard(design, spec, &shard, &hit_key, &miss_key, sabotage)
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+
+    // Phase 3 (serial): fold in trial order.
+    let mut stats = Running::new();
+    let mut margins = Vec::with_capacity(outcomes.len());
+    let mut failures = 0;
+    let mut sim_failures = 0;
+    let mut failure_causes = Vec::new();
+    for (trial, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            Ok((margin, ok)) => {
+                if !ok {
+                    failures += 1;
+                }
+                margins.push(margin);
+                stats.push(margin);
+            }
+            Err(cause) => {
+                failures += 1;
+                sim_failures += 1;
+                failure_causes.push((trial, cause));
+            }
+        }
+    }
+    Ok(AcamNoiseStudy {
+        mean: stats.mean(),
+        std_dev: stats.sample_std_dev(),
+        min: if margins.is_empty() { 0.0 } else { stats.min() },
+        failures,
+        sim_failures,
+        failure_causes,
+        margins,
+    })
+}
+
+/// Runs one shard: a batch of one-violation mismatch searches and a
+/// batch of in-window match searches, both structure-shared. Build
+/// failures and lane quarantines come back as `Err` entries; a
+/// batch-level failure is charged to every pending trial of the shard.
+fn run_noise_shard(
+    design: &AcamCellDesign,
+    spec: &AcamSpec,
+    shard: &[NoiseTrial],
+    hit_key: &[u16],
+    miss_key: &[u16],
+    sabotage: bool,
+) -> Vec<StdResult<(f64, bool), String>> {
+    let mut miss_exps = Vec::with_capacity(shard.len());
+    let mut hit_exps = Vec::with_capacity(shard.len());
+    let mut out: Vec<Option<StdResult<(f64, bool), String>>> = Vec::with_capacity(shard.len());
+    for (states, hostile) in shard {
+        let built = design
+            .build_row(spec, states, miss_key, false)
+            .and_then(|miss| Ok((miss, design.build_row(spec, states, hit_key, true)?)))
+            .and_then(|(mut miss, mut hit)| {
+                if sabotage {
+                    ChaosProbe::plant(&mut miss.circuit, "chaos", *hostile)?;
+                    ChaosProbe::plant(&mut hit.circuit, "chaos", *hostile)?;
+                }
+                Ok((miss, hit))
+            });
+        match built {
+            Ok((miss, hit)) => {
+                miss_exps.push(miss);
+                hit_exps.push(hit);
+                out.push(None);
+            }
+            Err(e) => out.push(Some(Err(e.to_string()))),
+        }
+    }
+
+    let lanes = match (run_search_batched(miss_exps), run_search_batched(hit_exps)) {
+        (Ok(miss), Ok(hit)) => miss.into_iter().zip(hit),
+        (Err(e), _) | (_, Err(e)) => {
+            let cause = e.to_string();
+            return out
+                .into_iter()
+                .map(|slot| slot.unwrap_or_else(|| Err(cause.clone())))
+                .collect();
+        }
+    };
+
+    let mut lane_iter = lanes;
+    out.into_iter()
+        .map(|slot| {
+            if let Some(done) = slot {
+                return done;
+            }
+            let (miss, hit): (Result<SearchResult>, Result<SearchResult>) =
+                lane_iter.next().expect("one lane pair per built trial");
+            match (miss, hit) {
+                (Ok(m), Ok(h)) => Ok((
+                    h.ml_at_sense - m.ml_at_sense,
+                    m.functional_ok && h.functional_ok,
+                )),
+                (Err(e), _) | (_, Err(e)) => Err(e.to_string()),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::run_search;
+
+    #[test]
+    fn input_validation() {
+        let d = AcamCellDesign::default();
+        let spec = AcamSpec::small();
+        let ok_word = vec![(2u16, 9u16); spec.cols];
+        let ok_key = vec![5u16; spec.cols];
+        assert!(d.build_search(&spec, &ok_word, &ok_key).is_ok());
+        // Inverted interval, out-of-domain bound and key, bad widths.
+        let mut bad = ok_word.clone();
+        bad[1] = (9, 2);
+        assert!(d.build_search(&spec, &bad, &ok_key).is_err());
+        bad[1] = (2, 16);
+        assert!(d.build_search(&spec, &bad, &ok_key).is_err());
+        let mut bad_key = ok_key.clone();
+        bad_key[0] = 16;
+        assert!(d.build_search(&spec, &ok_word, &bad_key).is_err());
+        assert!(d.build_search(&spec, &ok_word[..3], &ok_key).is_err());
+        let deep = AcamSpec {
+            levels: 64,
+            ..spec
+        };
+        assert!(
+            d.build_search(&deep, &ok_word, &ok_key).is_err(),
+            "circuit design must reject levels beyond its comparator margin"
+        );
+    }
+
+    #[test]
+    fn level_maps_round_trip_and_programmed_resistance_in_range() {
+        let d = AcamCellDesign::default();
+        let spec = AcamSpec::reference();
+        for lvl in [0u16, 7, 15] {
+            let v = d.level_voltage(f64::from(lvl), &spec);
+            assert!((d.voltage_level(v, &spec) - f64::from(lvl)).abs() < 1e-9);
+        }
+        // Half-step overshoot beyond both window edges stays programmable.
+        let half = 0.5 * d.level_step(&spec);
+        for v in [
+            d.level_voltage(0.0, &spec) - half,
+            d.level_voltage(15.0, &spec) + half,
+        ] {
+            let r = d.bound_resistance(v, &spec);
+            assert!(r > d.rram.r_on && r < d.rram.r_off, "R = {r:.3e}");
+            let s = d.resistance_state(r);
+            assert!((0.0..=1.0).contains(&s));
+        }
+        // Exact-bound margin: the half step clears the comparator window.
+        assert!(half > d.v_comp_on, "half-step {half} vs v_on {}", d.v_comp_on);
+    }
+
+    #[test]
+    fn perturbed_bound_is_identity_at_zero_noise_and_monotone() {
+        let d = AcamCellDesign::default();
+        let spec = AcamSpec::reference();
+        let lvl = 7.5;
+        assert!((d.perturbed_bound(lvl, 0.0, 1.7, &spec) - lvl).abs() < 1e-9);
+        assert!((d.perturbed_bound(lvl, 0.3, 0.0, &spec) - lvl).abs() < 1e-9);
+        // More resistance → lower divider tap → lower effective level.
+        let up = d.perturbed_bound(lvl, 0.2, 1.0, &spec);
+        let down = d.perturbed_bound(lvl, 0.2, -1.0, &spec);
+        assert!(up < lvl && lvl < down, "{up} < {lvl} < {down}");
+    }
+
+    #[test]
+    fn in_window_key_holds_ml_and_violation_discharges() {
+        let d = AcamCellDesign::default();
+        let spec = AcamSpec::small();
+        let stored = vec![(4u16, 11u16); spec.cols];
+        let hit = run_search(d.build_search(&spec, &stored, &[8, 4, 11, 6]).unwrap()).unwrap();
+        assert!(hit.functional_ok, "ml at sense = {}", hit.ml_at_sense);
+        assert!(hit.latency.is_none());
+
+        let miss_exp = d.build_search(&spec, &stored, &[14, 4, 11, 6]).unwrap();
+        assert!(!miss_exp.expect_match);
+        let miss = run_search(miss_exp).unwrap();
+        assert!(miss.functional_ok, "ml at sense = {}", miss.ml_at_sense);
+        let lat = miss.latency.expect("violation must discharge");
+        assert!(lat > 0.0 && lat < SENSE_WINDOW, "latency {lat:.3e}");
+
+        // Below-window violation fires the other comparator branch.
+        let low = run_search(d.build_search(&spec, &stored, &[8, 1, 11, 6]).unwrap()).unwrap();
+        assert!(low.functional_ok && low.latency.is_some());
+    }
+
+    #[test]
+    fn full_window_cell_is_analog_dont_care() {
+        let d = AcamCellDesign::default();
+        let spec = AcamSpec::small();
+        let mut stored = vec![(4u16, 11u16); spec.cols];
+        stored[0] = (0, spec.levels - 1);
+        for k in [0u16, 15] {
+            let exp = d.build_search(&spec, &stored, &[k, 8, 8, 8]).unwrap();
+            assert!(exp.expect_match);
+            let res = run_search(exp).unwrap();
+            assert!(res.functional_ok, "key {k}: ml = {}", res.ml_at_sense);
+        }
+    }
+
+    #[test]
+    fn calibration_is_monotone_and_verdicts_agree() {
+        let d = AcamCellDesign::default();
+        let spec = AcamSpec::small();
+        let cal = calibrate_distance(&d, &spec, 3).unwrap();
+        assert_eq!(cal.ml_at_sense.len(), 4);
+        assert!(cal.monotone, "ml curve {:?}", cal.ml_at_sense);
+        assert!(cal.verdicts_agree);
+        assert!(cal.verdict(cal.ml_at_sense[0]));
+        for &ml in &cal.ml_at_sense[1..] {
+            assert!(!cal.verdict(ml), "threshold {} vs {ml}", cal.v_threshold);
+        }
+        assert!(calibrate_distance(&d, &spec, spec.cols + 1).is_err());
+    }
+
+    #[test]
+    fn noise_study_is_deterministic_and_clean_at_low_sigma() {
+        let d = AcamCellDesign::default();
+        let spec = AcamSpec::small();
+        let cfg = AcamNoiseSpec {
+            sigma: 0.05,
+            trials: 4,
+            seed: 9,
+            sabotage_every: 0,
+        };
+        let a = acam_noise_study(&d, &spec, &cfg).unwrap();
+        let b = acam_noise_study(&d, &spec, &cfg).unwrap();
+        assert_eq!(a.margins, b.margins);
+        assert_eq!(a.failures, 0, "5% conductance spread must not flip verdicts");
+        assert_eq!(a.margins.len(), 4);
+        assert!(a.min > 0.4, "worst margin {:.3}", a.min);
+    }
+
+    #[test]
+    fn sabotaged_noise_trial_is_counted_not_fatal() {
+        let d = AcamCellDesign::default();
+        let spec = AcamSpec::small();
+        let study = acam_noise_study(
+            &d,
+            &spec,
+            &AcamNoiseSpec {
+                sigma: 0.02,
+                trials: 3,
+                seed: 5,
+                sabotage_every: 2,
+            },
+        )
+        .unwrap();
+        assert_eq!(study.sim_failures, 1, "exactly trial #2 dies");
+        assert_eq!(study.failures, 1);
+        assert_eq!(study.margins.len(), 2, "survivors keep margins");
+        let (trial, cause) = &study.failure_causes[0];
+        assert_eq!(*trial, 1);
+        assert!(!cause.is_empty());
+    }
+}

@@ -22,6 +22,10 @@
 //! * [`metrics`] — ratio computation and report formatting.
 //! * [`variation`] — Monte-Carlo device-variation study of the sensing
 //!   margin (the paper's Fig. 7c caveat, quantified).
+//! * [`acam`] — the analog/range-CAM circuit spine: a 6T2M-style
+//!   interval cell from the device library, matchline-discharge vs
+//!   interval-distance calibration, and a batched conductance-noise
+//!   study feeding the accuracy-vs-σ curves in `acam_bench`.
 //!
 //! # Example — search a word on the 3T2N matchline
 //!
@@ -44,6 +48,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod acam;
 pub mod array_search;
 pub mod bit;
 pub mod disturb;

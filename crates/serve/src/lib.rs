@@ -24,6 +24,10 @@
 //! * [`loadgen`] — deterministic open-loop and closed-loop generators
 //!   driven by [`SplitMix64`](tcam_numeric::rng::SplitMix64) forks.
 //! * [`workload`] — router-LPM and ACL-classifier rule/key generators.
+//! * [`acam`] — the opt-in similarity-search path: distance queries
+//!   cannot be prefix-routed, so [`acam::AcamService`] scatters each
+//!   batch to every row-partitioned shard and min-reduces the per-shard
+//!   winners at gather, bit-identical to a monolithic scan.
 //!
 //! The `serve_bench` binary in `tcam-bench` wires these together and
 //! emits single-line JSON records alongside `perf_baseline`'s.
@@ -48,6 +52,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod acam;
 pub mod error;
 pub mod loadgen;
 pub mod queue;
@@ -56,6 +61,7 @@ pub mod shard;
 pub mod telemetry;
 pub mod workload;
 
+pub use acam::{AcamQuery, AcamServeReport, AcamService, AcamShards};
 pub use error::{Result, ServeError};
 pub use loadgen::OpenLoop;
 pub use queue::{BoundedQueue, TryPushError};

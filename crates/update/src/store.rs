@@ -267,16 +267,32 @@ impl RuleStore {
 /// # Panics
 ///
 /// Panics when `width > 64`, `prefix_len > width`, or `addr` has bits
-/// set outside the width.
+/// set outside the width. Use [`try_prefix_word`] when the inputs come
+/// from an untrusted caller.
 #[must_use]
 pub fn prefix_word(addr: u64, prefix_len: usize, width: usize) -> Vec<TernaryBit> {
-    assert!(width <= 64, "prefix_word supports widths up to 64 bits");
-    assert!(prefix_len <= width, "prefix longer than word");
-    assert!(
-        width == 64 || addr >> width == 0,
-        "addr {addr:#x} wider than {width} bits"
-    );
-    (0..width)
+    try_prefix_word(addr, prefix_len, width).expect("invalid prefix word")
+}
+
+/// Fallible [`prefix_word`]: validates the inputs instead of panicking.
+///
+/// # Errors
+///
+/// * [`ServeError::TooWide`] when `width > 64`.
+/// * [`ServeError::PrefixTooLong`] when `prefix_len > width`.
+/// * [`ServeError::OutOfDomain`] when `addr` has bits set outside the
+///   width.
+pub fn try_prefix_word(addr: u64, prefix_len: usize, width: usize) -> Result<Vec<TernaryBit>> {
+    if width > 64 {
+        return Err(ServeError::TooWide { width, max: 64 });
+    }
+    if prefix_len > width {
+        return Err(ServeError::PrefixTooLong { prefix_len, width });
+    }
+    if width < 64 && addr >> width != 0 {
+        return Err(ServeError::OutOfDomain { value: addr, width });
+    }
+    Ok((0..width)
         .map(|i| {
             if i < prefix_len {
                 if addr >> (width - 1 - i) & 1 == 1 {
@@ -288,7 +304,7 @@ pub fn prefix_word(addr: u64, prefix_len: usize, width: usize) -> Vec<TernaryBit
                 TernaryBit::X
             }
         })
-        .collect()
+        .collect())
 }
 
 /// The minimal set of prefix words covering the inclusive value range
@@ -300,18 +316,38 @@ pub fn prefix_word(addr: u64, prefix_len: usize, width: usize) -> Vec<TernaryBit
 /// # Panics
 ///
 /// Panics when `width > 64`, `lo > hi`, or `hi` has bits set outside the
-/// width.
+/// width. Use [`try_range_words`] when the bounds come from an untrusted
+/// caller.
 #[must_use]
 pub fn range_words(lo: u64, hi: u64, width: usize) -> Vec<Vec<TernaryBit>> {
-    assert!(width <= 64, "range_words supports widths up to 64 bits");
-    assert!(lo <= hi, "empty range [{lo}, {hi}]");
-    assert!(
-        width == 64 || hi >> width == 0,
-        "hi {hi:#x} wider than {width} bits"
-    );
+    try_range_words(lo, hi, width).expect("invalid range")
+}
+
+/// Fallible [`range_words`]: validates the bounds instead of panicking.
+///
+/// A degenerate range `[x, x]` yields the single fully-concrete word for
+/// `x`; the full domain `[0, 2^width - 1]` yields the single all-`X`
+/// word.
+///
+/// # Errors
+///
+/// * [`ServeError::TooWide`] when `width > 64`.
+/// * [`ServeError::InvertedRange`] when `lo > hi`.
+/// * [`ServeError::OutOfDomain`] when `hi` has bits set outside the
+///   width.
+pub fn try_range_words(lo: u64, hi: u64, width: usize) -> Result<Vec<Vec<TernaryBit>>> {
+    if width > 64 {
+        return Err(ServeError::TooWide { width, max: 64 });
+    }
+    if lo > hi {
+        return Err(ServeError::InvertedRange { lo, hi });
+    }
+    if width < 64 && hi >> width != 0 {
+        return Err(ServeError::OutOfDomain { value: hi, width });
+    }
     if lo == 0 && hi == u64::MAX {
         // The full 64-bit range would overflow the block arithmetic.
-        return vec![vec![TernaryBit::X; width]];
+        return Ok(vec![vec![TernaryBit::X; width]]);
     }
     let mut words = Vec::new();
     let mut lo = lo;
@@ -328,10 +364,10 @@ pub fn range_words(lo: u64, hi: u64, width: usize) -> Vec<Vec<TernaryBit>> {
             size = if size == u64::MAX { 1 << 63 } else { size >> 1 };
         }
         let block_bits = size.trailing_zeros() as usize;
-        words.push(prefix_word(lo, width - block_bits, width));
+        words.push(try_prefix_word(lo, width - block_bits, width)?);
         let end = lo + (size - 1);
         if end >= hi {
-            return words;
+            return Ok(words);
         }
         lo = end + 1;
     }
@@ -521,5 +557,59 @@ mod tests {
         assert_eq!(range_words(1, 62, 6).len(), 10);
         // Full range is a single all-X word.
         assert_eq!(range_words(0, 63, 6), vec![w("XXXXXX")]);
+    }
+
+    #[test]
+    fn range_word_interval_edge_cases() {
+        // Degenerate [x, x]: one fully-concrete word, no don't-cares —
+        // the same boundary the acam interval cell hits at lo == hi.
+        assert_eq!(try_range_words(0b1011, 0b1011, 4).unwrap(), vec![w("1011")]);
+        assert_eq!(try_range_words(0, 0, 3).unwrap(), vec![w("000")]);
+
+        // Full domain collapses to the single all-X word (the analog
+        // don't-care analogue), at sub-64 widths and at the 64-bit
+        // overflow edge alike.
+        assert_eq!(try_range_words(0, 255, 8).unwrap(), vec![w("XXXXXXXX")]);
+        assert_eq!(
+            try_range_words(0, u64::MAX, 64).unwrap(),
+            vec![vec![TernaryBit::X; 64]]
+        );
+
+        // Inverted bounds are a typed error, not a panic.
+        assert_eq!(
+            try_range_words(7, 3, 4).unwrap_err(),
+            ServeError::InvertedRange { lo: 7, hi: 3 }
+        );
+
+        // Out-of-domain and over-wide inputs are typed too.
+        assert_eq!(
+            try_range_words(0, 16, 4).unwrap_err(),
+            ServeError::OutOfDomain { value: 16, width: 4 }
+        );
+        assert_eq!(
+            try_range_words(0, 1, 65).unwrap_err(),
+            ServeError::TooWide { width: 65, max: 64 }
+        );
+    }
+
+    #[test]
+    fn prefix_word_rejects_bad_inputs_typed() {
+        assert_eq!(
+            try_prefix_word(0, 5, 4).unwrap_err(),
+            ServeError::PrefixTooLong { prefix_len: 5, width: 4 }
+        );
+        assert_eq!(
+            try_prefix_word(0b10000, 2, 4).unwrap_err(),
+            ServeError::OutOfDomain { value: 16, width: 4 }
+        );
+        assert_eq!(
+            try_prefix_word(0, 0, 70).unwrap_err(),
+            ServeError::TooWide { width: 70, max: 64 }
+        );
+        // The fallible and panicking paths agree on valid input.
+        assert_eq!(
+            try_prefix_word(0b1010_0000, 3, 8).unwrap(),
+            prefix_word(0b1010_0000, 3, 8)
+        );
     }
 }

@@ -53,6 +53,21 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 # the WAL to the EXACT pre-kill epoch with zero lost or torn updates.
 ./target/release/net_bench --seed 1 --duration-ms 100 --check
 
+# Analog/range-CAM gate: the batched interval kernel must be
+# bit-identical to the scalar oracle (both metrics + threshold mode),
+# sharded distance serving must equal the monolithic scan, the
+# nearest-neighbor classifier must clear the seeded accuracy floor, and
+# the behavioral accuracy-vs-sigma curve must be monotone. Full mode
+# additionally gates kernel >= scalar throughput, the circuit
+# discharge-vs-distance calibration (monotone, verdicts agree with the
+# behavioral model), the circuit noise sweep, and per-trial fault
+# containment; --quick runs the oracle-agreement subset only.
+if [ "$QUICK" -eq 0 ]; then
+    ./target/release/acam_bench --check
+else
+    ./target/release/acam_bench --check --quick
+fi
+
 if [ "$QUICK" -eq 0 ]; then
     # The solver-trace record for the reference 16x16 3T2N search
     # transient must parse and describe a run that actually integrated
