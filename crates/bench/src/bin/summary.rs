@@ -2,12 +2,17 @@
 //! paper-vs-measured summary recorded in `EXPERIMENTS.md`, including the
 //! architectural refresh-interference study (A1).
 //!
-//! With `--aggregate FILE...` it instead folds the phase-breakdown
-//! fields (`phase_<name>_ns` / `phase_<name>_count`, the unified scheme
-//! of DESIGN.md §10 emitted by `solver_trace_bench` and `obs_bench`)
-//! across every JSON line in the listed files, printing one per-phase
-//! total/share table — the quick way to see where a batch of runs spent
-//! its time without re-running anything.
+//! With `--aggregate FILE...` it instead merges the JSON lines of the
+//! listed bench record files (`BENCH_obs.json`, `BENCH_trace.json`, …):
+//! exact duplicate lines are counted **once** no matter how many files
+//! repeat them, records are grouped by their `"bench"` field (file stem
+//! when absent), and the phase-breakdown fields (`phase_<name>_ns` /
+//! `phase_<name>_count`, the unified scheme of DESIGN.md §10 emitted by
+//! `solver_trace_bench` and `obs_bench`) are folded into one cross-bench
+//! per-phase total/share table with per-bench subtotals — the quick way
+//! to see where a batch of runs spent its time without re-running
+//! anything. `trace_bench` records additionally get an SLO/tracing
+//! digest of the latest record.
 //!
 //! With `--stats` it additionally prints per-design solver statistics
 //! and, when `BENCH_acam.json` is present, a digest of the recorded
@@ -28,14 +33,23 @@ use tcam_core::metrics::{
 use tcam_core::osr::V_REFRESH;
 use tcam_spice::units::format_si;
 
-/// Sums `phase_*_ns` / `phase_*_count` pairs across every JSON line of
-/// `paths` and prints a per-phase share table. Exits nonzero when a file
-/// cannot be read or no line carries a phase field.
+/// Merges bench record files: dedupes identical lines, groups by the
+/// `"bench"` field (file stem when absent), folds `phase_*_ns` /
+/// `phase_*_count` pairs into cross-bench totals with per-bench
+/// subtotals, and digests the latest `trace_bench` record. Exits nonzero
+/// when a file cannot be read or no line parses.
+#[allow(clippy::too_many_lines)]
 fn aggregate(paths: &[String]) -> ! {
-    use tcam_bench::jsonline::parse_flat_object;
+    use tcam_bench::jsonline::{num, parse_flat_object, str_of, FlatObject};
 
     let mut phases: Vec<(String, f64, f64)> = Vec::new(); // (name, ns, count)
-    let mut lines_used = 0u64;
+    // Per-bench rollup: (bench, records, phase ns subtotal).
+    let mut benches: Vec<(String, u64, f64)> = Vec::new();
+    let mut latest_trace: Option<FlatObject> = None;
+    // A record appended to two files (or twice to one) is one run, not
+    // two: count every distinct line exactly once.
+    let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut duplicates = 0u64;
     for path in paths {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
@@ -44,9 +58,16 @@ fn aggregate(paths: &[String]) -> ! {
                 std::process::exit(1);
             }
         };
+        let stem = std::path::Path::new(path)
+            .file_stem()
+            .map_or_else(|| path.clone(), |s| s.to_string_lossy().into_owned());
         for (lineno, line) in text.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() {
+                continue;
+            }
+            if !seen.insert(line.to_string()) {
+                duplicates += 1;
                 continue;
             }
             let obj = match parse_flat_object(line) {
@@ -57,7 +78,8 @@ fn aggregate(paths: &[String]) -> ! {
                     continue;
                 }
             };
-            let mut hit = false;
+            let bench = str_of(&obj, "bench").unwrap_or(&stem).to_string();
+            let mut line_phase_ns = 0.0;
             for (key, value) in &obj {
                 let Some(v) = value.as_num() else { continue };
                 let Some(rest) = key.strip_prefix("phase_") else {
@@ -70,7 +92,6 @@ fn aggregate(paths: &[String]) -> ! {
                 } else {
                     continue;
                 };
-                hit = true;
                 let slot = match phases.iter().position(|(n, _, _)| n == name) {
                     Some(i) => &mut phases[i],
                     None => {
@@ -80,37 +101,89 @@ fn aggregate(paths: &[String]) -> ! {
                 };
                 if is_ns {
                     slot.1 += v;
+                    line_phase_ns += v;
                 } else {
                     slot.2 += v;
                 }
             }
-            lines_used += u64::from(hit);
+            let slot = match benches.iter().position(|(n, _, _)| *n == bench) {
+                Some(i) => &mut benches[i],
+                None => {
+                    benches.push((bench.clone(), 0, 0.0));
+                    benches.last_mut().expect("just pushed")
+                }
+            };
+            slot.1 += 1;
+            slot.2 += line_phase_ns;
+            if bench == "trace_bench" {
+                latest_trace = Some(obj);
+            }
         }
     }
-    if phases.is_empty() {
-        eprintln!("summary --aggregate: no phase_<name>_ns fields found in {paths:?}");
+    if benches.is_empty() {
+        eprintln!("summary --aggregate: no records found in {paths:?}");
         std::process::exit(1);
     }
-    phases.sort_by(|a, b| b.1.total_cmp(&a.1));
-    let total_ns: f64 = phases.iter().map(|(_, ns, _)| ns).sum();
+    let records: u64 = benches.iter().map(|(_, n, _)| n).sum();
     println!(
-        "=== phase aggregate: {} phase(s) over {lines_used} record(s) ===",
-        phases.len()
+        "=== bench aggregate: {} bench(es), {records} record(s), {duplicates} duplicate line(s) skipped ===",
+        benches.len()
     );
-    println!(
-        "{:<20} {:>14} {:>10} {:>14} {:>7}",
-        "phase", "total", "count", "mean", "share"
-    );
-    for (name, ns, count) in &phases {
-        let mean = if *count > 0.0 { ns / count } else { 0.0 };
-        println!(
-            "{name:<20} {:>14} {count:>10.0} {:>14} {:>6.1}%",
-            format_si(ns * 1e-9, "s"),
-            format_si(mean * 1e-9, "s"),
-            ns / total_ns.max(1.0) * 100.0
-        );
+    println!("{:<20} {:>10} {:>14}", "bench", "records", "phase total");
+    for (bench, n, ns) in &benches {
+        let total = if *ns > 0.0 {
+            format_si(ns * 1e-9, "s")
+        } else {
+            "-".to_string()
+        };
+        println!("{bench:<20} {n:>10} {total:>14}");
     }
-    println!("{:<20} {:>14}", "total", format_si(total_ns * 1e-9, "s"));
+    if !phases.is_empty() {
+        phases.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let total_ns: f64 = phases.iter().map(|(_, ns, _)| ns).sum();
+        println!("\n=== cross-bench phase totals: {} phase(s) ===", phases.len());
+        println!(
+            "{:<20} {:>14} {:>10} {:>14} {:>7}",
+            "phase", "total", "count", "mean", "share"
+        );
+        for (name, ns, count) in &phases {
+            let mean = if *count > 0.0 { ns / count } else { 0.0 };
+            println!(
+                "{name:<20} {:>14} {count:>10.0} {:>14} {:>6.1}%",
+                format_si(ns * 1e-9, "s"),
+                format_si(mean * 1e-9, "s"),
+                ns / total_ns.max(1.0) * 100.0
+            );
+        }
+        println!("{:<20} {:>14}", "total", format_si(total_ns * 1e-9, "s"));
+    }
+    if let Some(obj) = &latest_trace {
+        println!("\n=== trace_bench digest (latest record) ===");
+        if num(obj, "quick").unwrap_or(0.0) > 0.0 {
+            println!("  quick record: overhead windows skipped");
+        } else if let (Some(over), Some(aa)) =
+            (num(obj, "trace_overhead_pct"), num(obj, "trace_aa_pct"))
+        {
+            println!("  tracing overhead {over:+.2}% (A/A null {aa:+.2}%)");
+        }
+        if let (Some(cover), Some(n)) =
+            (num(obj, "span_cover_pct_median"), num(obj, "sampled_traces"))
+        {
+            println!("  span cover median {cover:.1}% over {n:.0} sampled trace(s)");
+        }
+        if let (Some(total), Some(good), Some(burn)) = (
+            num(obj, "slo_net_request_60s_total"),
+            num(obj, "slo_net_request_60s_good"),
+            num(obj, "slo_net_request_60s_burn_rate"),
+        ) {
+            println!(
+                "  slo net_request 60s window: {total:.0} request(s), {good:.0} in objective, burn rate {burn:.2}"
+            );
+        }
+        if let Some(cause) = str_of(obj, "fault_dump_cause") {
+            println!("  latest injected-fault dump cause: {cause}");
+        }
+    }
     std::process::exit(0);
 }
 

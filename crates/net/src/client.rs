@@ -6,22 +6,40 @@
 //! request order (the server's per-connection writer preserves it), each
 //! carrying the request id for pairing. `net_bench` drives exactly this
 //! loop.
+//!
+//! **Tracing.** [`NetClient::set_tracing`] attaches the wire trace
+//! extension to every lookup, sampling one request in `sample_every`
+//! for server-side span collection. A pre-extension server rejects the
+//! flagged frame with `BadRequest`; [`NetClient::lookup`] detects that
+//! on the first traced request, retries it once without the extension,
+//! and stops tracing for the connection — so a new client against an
+//! old server degrades to exactly the old behavior (identical results,
+//! no trace) instead of failing.
 
 use crate::error::{NetError, Result};
 use crate::wire::{
-    self, needs_wide_limbs, LookupResponse, Status, OP_PING, WIRE_VERSION,
+    self, needs_wide_limbs, LookupResponse, Status, OP_PING, RESP_FLAG_TRACED, WIRE_VERSION,
 };
 use std::io::Write as _;
 use std::net::TcpStream;
 use std::time::Duration;
 use tcam_arch::packed::PackedWord;
 use tcam_core::bit::TernaryBit;
+use tcam_obs::trace::{next_trace_id, TraceContext};
 
 /// A connection to a [`NetServer`](crate::server::NetServer).
 pub struct NetClient {
     stream: TcpStream,
     frame: Vec<u8>,
     next_id: u32,
+    /// 0 = tracing off; N = attach a context to every lookup, sampled
+    /// every Nth.
+    trace_every: u32,
+    trace_seq: u32,
+    /// Learned peer capability: `Some(false)` after a traced request
+    /// came back `BadRequest` (pre-extension server), `Some(true)` after
+    /// a response acknowledged a trace.
+    peer_traces: Option<bool>,
 }
 
 impl NetClient {
@@ -37,7 +55,26 @@ impl NetClient {
             stream,
             frame: Vec::new(),
             next_id: 1,
+            trace_every: 0,
+            trace_seq: 0,
+            peer_traces: None,
         })
+    }
+
+    /// Enables the trace extension on subsequent lookups: every request
+    /// carries a context, every `sample_every`-th is marked sampled
+    /// (span collection server-side). `0` disables. Automatically
+    /// disabled for the connection if the peer proves pre-extension.
+    pub fn set_tracing(&mut self, sample_every: u32) {
+        self.trace_every = sample_every;
+        self.trace_seq = 0;
+    }
+
+    /// What this client has learned about the peer's trace support:
+    /// `None` until a traced exchange settles it.
+    #[must_use]
+    pub fn peer_traces(&self) -> Option<bool> {
+        self.peer_traces
     }
 
     /// Sets (or clears) the receive timeout for responses.
@@ -57,17 +94,50 @@ impl NetClient {
     ///
     /// Send I/O errors.
     pub fn send_lookup(&mut self, namespace: u16, keys: &[PackedWord]) -> Result<u32> {
+        let trace = self.next_trace_context();
+        self.send_lookup_traced(namespace, keys, trace.as_ref())
+    }
+
+    /// Sends one lookup with an explicit trace context (or none),
+    /// bypassing the sampling policy. Returns the request id.
+    ///
+    /// # Errors
+    ///
+    /// Send I/O errors.
+    pub fn send_lookup_traced(
+        &mut self,
+        namespace: u16,
+        keys: &[PackedWord],
+        trace: Option<&TraceContext>,
+    ) -> Result<u32> {
         let id = self.next_id;
         self.next_id = self.next_id.wrapping_add(1);
-        wire::encode_lookup_request(
+        wire::encode_lookup_request_traced(
             &mut self.frame,
             namespace,
             id,
             keys,
             needs_wide_limbs(keys),
+            trace,
         );
         self.stream.write_all(&self.frame)?;
         Ok(id)
+    }
+
+    /// The context the sampling policy attaches to the next lookup, if
+    /// tracing is on and the peer hasn't proven pre-extension.
+    fn next_trace_context(&mut self) -> Option<TraceContext> {
+        if self.trace_every == 0 || self.peer_traces == Some(false) {
+            return None;
+        }
+        let seq = self.trace_seq;
+        self.trace_seq = self.trace_seq.wrapping_add(1);
+        let id = next_trace_id();
+        Some(if seq.is_multiple_of(self.trace_every) {
+            TraceContext::sampled(id)
+        } else {
+            TraceContext::unsampled(id)
+        })
     }
 
     /// Receives the next response (they arrive in request order).
@@ -94,7 +164,9 @@ impl NetClient {
         namespace: u16,
         keys: &[PackedWord],
     ) -> Result<(u64, Vec<Option<u32>>)> {
-        let id = self.send_lookup(namespace, keys)?;
+        let trace = self.next_trace_context();
+        let traced = trace.is_some();
+        let id = self.send_lookup_traced(namespace, keys, trace.as_ref())?;
         let resp = self.recv_response()?;
         if resp.request_id != id {
             return Err(NetError::Wire(format!(
@@ -102,8 +174,18 @@ impl NetClient {
                 resp.request_id
             )));
         }
+        if resp.status == Status::BadRequest && traced && self.peer_traces.is_none() {
+            // A pre-extension server rejects the flagged frame's length.
+            // Learn that, stop tracing this connection, and retry the
+            // lookup once untraced — old-server interop at full function.
+            self.peer_traces = Some(false);
+            return self.lookup(namespace, keys);
+        }
         if resp.status != Status::Ok {
             return Err(NetError::Status(resp.status));
+        }
+        if traced && resp.flags & RESP_FLAG_TRACED != 0 {
+            self.peer_traces = Some(true);
         }
         Ok((resp.epoch, resp.results))
     }

@@ -37,6 +37,7 @@ use std::path::Path;
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 use tcam_arch::packed::PackedWord;
+use tcam_obs::RequestTrace;
 use tcam_serve::error::ServeError;
 use tcam_serve::service::{BatchReply, SearchBatch, ServiceConfig, TcamService};
 use tcam_serve::shard::ShardedRuleSet;
@@ -121,6 +122,22 @@ impl NamespaceGroup {
     /// for keys with a don't-care in the selector bits,
     /// [`ServeError::ServiceClosed`] during shutdown.
     pub fn submit(&self, keys: &[PackedWord]) -> Result<PendingLookup> {
+        self.submit_traced(keys, None)
+    }
+
+    /// [`Self::submit`] carrying a sampled request's hop collector: every
+    /// scattered [`SearchBatch`] holds a clone, so the shard workers record
+    /// their queue/match hops into the same trace the connection threads
+    /// use.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::submit`].
+    pub fn submit_traced(
+        &self,
+        keys: &[PackedWord],
+        trace: Option<&Arc<RequestTrace>>,
+    ) -> Result<PendingLookup> {
         let rules = self.service.rules();
         let shards = rules.shards();
         // Fast path: a single-shard namespace needs no scatter.
@@ -132,6 +149,7 @@ impl NamespaceGroup {
                     keys: keys.to_vec(),
                     submitted: Instant::now(),
                     reply: Some(tx),
+                    trace: trace.cloned(),
                 },
             )?;
             return Ok(PendingLookup {
@@ -159,6 +177,7 @@ impl NamespaceGroup {
                     keys: shard_keys,
                     submitted: Instant::now(),
                     reply: Some(tx),
+                    trace: trace.cloned(),
                 },
             )?;
             parts.push((rx, Some(positions)));
@@ -370,6 +389,17 @@ impl TcamNode {
             .group(namespace)
             .ok_or(NetError::Status(crate::wire::Status::UnknownNamespace))?;
         group.lookup(keys)
+    }
+
+    /// Arms WAL fault injection: the next `n` applied batches fail
+    /// mid-append and roll back, each leaving a flight-recorder dump (see
+    /// [`DurableStore::chaos_fail_appends`]). Testing/benchmark hook.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store lock is poisoned.
+    pub fn chaos_fail_appends(&self, n: u32) {
+        self.store.lock().expect("store lock").chaos_fail_appends(n);
     }
 
     /// Forces a snapshot + WAL compaction now.

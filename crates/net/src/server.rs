@@ -28,11 +28,24 @@
 //! timeout) stop decoding and hang up their channel, writers drain every
 //! in-flight request — each accepted request is answered — and the
 //! server joins all threads before returning.
+//!
+//! # Observability
+//!
+//! A request whose frame carries a **sampled** trace context gets a
+//! [`RequestTrace`] collector threaded reader → shard workers → writer:
+//! the reader records `net_decode` and `net_admission`, the workers
+//! record shard-labeled `serve_queue`/`serve_match` hops, and the
+//! writer records `net_gather` and `net_write` before finishing the
+//! trace — four top-level hops that tile the request's wall clock from
+//! frame receipt to response write. Every answered request (traced or
+//! not) feeds the `net_request` SLO tracker with its receipt-to-write
+//! latency; admission sheds feed the flight recorder, and a burst of
+//! [`SHED_BURST_DUMP_EVERY`] sheds triggers a post-mortem dump.
 
 use crate::error::{NetError, Result};
 use crate::node::{PendingLookup, TcamNode};
 use crate::wire::{
-    self, Status, MAX_KEYS_PER_REQUEST, OP_LOOKUP, OP_PING, WIRE_VERSION,
+    self, Status, MAX_KEYS_PER_REQUEST, OP_LOOKUP, OP_PING, RESP_FLAG_TRACED, WIRE_VERSION,
 };
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -40,10 +53,18 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tcam_arch::packed::PackedWord;
+use tcam_obs::trace::TraceContext;
+use tcam_obs::RequestTrace;
 use tcam_serve::error::ServeError;
 use tcam_serve::BoundedQueue;
+
+/// Admission sheds per flight-recorder post-mortem dump: every time the
+/// node-wide shed counter crosses a multiple of this, the current rings
+/// are dumped with cause `shed_burst` — overload is exactly when you
+/// want the recent-event record frozen.
+pub const SHED_BURST_DUMP_EVERY: u64 = 64;
 
 /// Front-end configuration.
 #[derive(Debug, Clone, Copy)]
@@ -86,6 +107,9 @@ struct Shared {
     config: ServerConfig,
     shutdown: AtomicBool,
     live_connections: AtomicU64,
+    /// Requests shed at admission since start (all connections); every
+    /// [`SHED_BURST_DUMP_EVERY`]th shed triggers a flight-recorder dump.
+    sheds: AtomicU64,
     /// Handles of running/finished connection threads, reaped by the
     /// dispatcher and drained at shutdown.
     connection_threads: Mutex<Vec<JoinHandle<()>>>,
@@ -111,11 +135,17 @@ impl NetServer {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        // A panicking server thread should leave a post-mortem, and the
+        // wire plane's latency objective should be tracked from the first
+        // request — both idempotent across multiple servers in-process.
+        tcam_obs::install_panic_hook();
+        tcam_obs::slo_configure("net_request", tcam_obs::SloConfig::default());
         let shared = Arc::new(Shared {
             node,
             config,
             shutdown: AtomicBool::new(false),
             live_connections: AtomicU64::new(0),
+            sheds: AtomicU64::new(0),
             connection_threads: Mutex::new(Vec::new()),
         });
         let admission: Arc<BoundedQueue<TcpStream>> =
@@ -298,6 +328,12 @@ struct QueuedReply {
     request_id: u32,
     opcode: u8,
     outcome: Outcome,
+    /// Frame-receipt instant: the request's SLO wall clock starts here.
+    received: Instant,
+    /// When admission (scatter) finished — the `net_gather` hop's start.
+    admitted: Instant,
+    /// The sampled request's hop collector (`None` = untraced).
+    trace: Option<Arc<RequestTrace>>,
 }
 
 fn start_connection(stream: TcpStream, shared: &Arc<Shared>) {
@@ -371,6 +407,9 @@ fn read_loop(mut stream: TcpStream, tx: &SyncSender<QueuedReply>, shared: &Share
             }
             Err(_) => return, // violation or hard I/O error: close
         };
+        // The request origin: captured before decode, so decode itself is
+        // inside the traced window (and the SLO wall clock).
+        let received = Instant::now();
         if payload.len() < 8 {
             return; // too short to even carry a request id: close
         }
@@ -383,6 +422,9 @@ fn read_loop(mut stream: TcpStream, tx: &SyncSender<QueuedReply>, shared: &Share
                 request_id,
                 opcode: OP_LOOKUP,
                 outcome: Outcome::Immediate(Status::UnsupportedVersion),
+                received,
+                admitted: received,
+                trace: None,
             });
             return;
         }
@@ -391,13 +433,35 @@ fn read_loop(mut stream: TcpStream, tx: &SyncSender<QueuedReply>, shared: &Share
                 request_id,
                 opcode,
                 outcome: Outcome::Pong,
+                received,
+                admitted: received,
+                trace: None,
             },
             OP_LOOKUP => match wire::decode_lookup_request(&payload) {
-                Ok(req) => QueuedReply {
-                    request_id,
-                    opcode,
-                    outcome: submit_lookup(shared, req.namespace, &req.keys),
-                },
+                Ok(req) => {
+                    let decoded = Instant::now();
+                    // Only a sampled context allocates a collector; the
+                    // unsampled (and untraced) hot path records nothing.
+                    let trace = req.trace.filter(TraceContext::is_sampled).map(|ctx| {
+                        let t = RequestTrace::start_at(ctx, received);
+                        t.hop("net_decode", received, decoded);
+                        t
+                    });
+                    let outcome =
+                        submit_lookup(shared, req.namespace, &req.keys, trace.as_ref());
+                    let admitted = Instant::now();
+                    if let Some(trace) = &trace {
+                        trace.hop("net_admission", decoded, admitted);
+                    }
+                    QueuedReply {
+                        request_id,
+                        opcode,
+                        outcome,
+                        received,
+                        admitted,
+                        trace,
+                    }
+                }
                 Err(_) => {
                     // Framing is intact (length-prefixed), so a malformed
                     // body is answerable without desyncing the stream.
@@ -405,6 +469,9 @@ fn read_loop(mut stream: TcpStream, tx: &SyncSender<QueuedReply>, shared: &Share
                         request_id,
                         opcode,
                         outcome: Outcome::Immediate(Status::BadRequest),
+                        received,
+                        admitted: received,
+                        trace: None,
                     }
                 }
             },
@@ -412,6 +479,9 @@ fn read_loop(mut stream: TcpStream, tx: &SyncSender<QueuedReply>, shared: &Share
                 request_id,
                 opcode: OP_LOOKUP,
                 outcome: Outcome::Immediate(Status::BadRequest),
+                received,
+                admitted: received,
+                trace: None,
             },
         };
         tcam_obs::counter_add("net_requests", 1);
@@ -422,17 +492,30 @@ fn read_loop(mut stream: TcpStream, tx: &SyncSender<QueuedReply>, shared: &Share
 }
 
 /// Scatters one decoded lookup, mapping every failure to its wire status.
-fn submit_lookup(shared: &Shared, namespace: u16, keys: &[PackedWord]) -> Outcome {
+fn submit_lookup(
+    shared: &Shared,
+    namespace: u16,
+    keys: &[PackedWord],
+    trace: Option<&Arc<RequestTrace>>,
+) -> Outcome {
     if keys.is_empty() || keys.len() > MAX_KEYS_PER_REQUEST {
         return Outcome::Immediate(Status::BadRequest);
     }
     let Some(group) = shared.node.group(namespace) else {
         return Outcome::Immediate(Status::UnknownNamespace);
     };
-    match group.submit(keys) {
+    match group.submit_traced(keys, trace) {
         Ok(pending) => Outcome::Pending(pending),
-        Err(NetError::Serve(ServeError::Overloaded { .. })) => {
+        Err(NetError::Serve(ServeError::Overloaded { shard })) => {
             tcam_obs::counter_add("net_shed_requests", 1);
+            tcam_obs::flight_record("net_shed", u64::from(namespace), shard as u64);
+            let sheds = shared.sheds.fetch_add(1, Ordering::Relaxed) + 1;
+            if sheds.is_multiple_of(SHED_BURST_DUMP_EVERY) {
+                let _ = tcam_obs::flight_dump(
+                    "shed_burst",
+                    &format!("{sheds} requests shed at admission since start"),
+                );
+            }
             Outcome::Immediate(Status::Overloaded)
         }
         Err(NetError::Serve(ServeError::ServiceClosed)) => {
@@ -445,23 +528,43 @@ fn submit_lookup(shared: &Shared, namespace: u16, keys: &[PackedWord]) -> Outcom
     }
 }
 
+/// The label a terminal wire status contributes to a finished trace.
+fn status_label(status: Status) -> &'static str {
+    match status {
+        Status::Ok => "ok",
+        Status::Overloaded => "overloaded",
+        Status::BadRequest => "bad_request",
+        Status::UnknownNamespace => "unknown_namespace",
+        Status::ShuttingDown => "shutting_down",
+        Status::UnsupportedVersion => "unsupported_version",
+        Status::WidthMismatch => "width_mismatch",
+    }
+}
+
 /// Gathers replies in request order and writes response frames; drains
 /// the channel fully (every accepted request is answered) before exiting.
 fn write_loop(mut stream: TcpStream, rx: &Receiver<QueuedReply>) {
     let mut frame = Vec::new();
     while let Ok(reply) = rx.recv() {
-        let t0 = std::time::Instant::now();
-        match reply.outcome {
+        let t0 = Instant::now();
+        let status = match reply.outcome {
             Outcome::Pending(pending) => match pending.wait() {
                 Ok((epoch, results)) => {
                     tcam_obs::counter_add("net_lookups", results.len() as u64);
-                    wire::encode_lookup_response(
+                    if let Some(trace) = &reply.trace {
+                        trace.hop("net_gather", reply.admitted, Instant::now());
+                    }
+                    let flags = if reply.trace.is_some() { RESP_FLAG_TRACED } else { 0 };
+                    wire::encode_response_flagged(
                         &mut frame,
+                        OP_LOOKUP,
                         Status::Ok,
                         reply.request_id,
                         epoch,
                         &results,
+                        flags,
                     );
+                    Status::Ok
                 }
                 Err(_) => {
                     wire::encode_lookup_response(
@@ -471,15 +574,19 @@ fn write_loop(mut stream: TcpStream, rx: &Receiver<QueuedReply>) {
                         0,
                         &[],
                     );
+                    Status::ShuttingDown
                 }
             },
             Outcome::Immediate(status) => {
                 wire::encode_response(&mut frame, reply.opcode, status, reply.request_id, 0, &[]);
+                status
             }
             Outcome::Pong => {
                 wire::encode_response(&mut frame, OP_PING, Status::Ok, reply.request_id, 0, &[]);
+                Status::Ok
             }
-        }
+        };
+        let write_start = Instant::now();
         if stream.write_all(&frame).is_err() {
             // Peer gone: keep draining so pending gathers complete and
             // shard replies aren't left dangling, but stop writing.
@@ -490,6 +597,20 @@ fn write_loop(mut stream: TcpStream, rx: &Receiver<QueuedReply>) {
             }
             return;
         }
+        let done = Instant::now();
+        if let Some(trace) = &reply.trace {
+            trace.hop("net_write", write_start, done);
+            let _ = trace.finish(status_label(status), done);
+        }
+        // Every answered request feeds the wire-plane SLO: wall clock
+        // from frame receipt to response written, non-OK counts against
+        // the error budget.
+        tcam_obs::slo_record(
+            "net_request",
+            u64::try_from(done.saturating_duration_since(reply.received).as_nanos())
+                .unwrap_or(u64::MAX),
+            status == Status::Ok,
+        );
         tcam_obs::hist_record(
             "net_request_ns",
             u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),

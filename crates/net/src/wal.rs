@@ -226,6 +226,10 @@ pub struct DurableStore {
     /// recovery silently truncate every batch behind it). A successful
     /// [`Self::snapshot`] rewrites the log from memory and clears this.
     poisoned: bool,
+    /// Fault injection: the next this-many applies write a partial frame
+    /// prefix and then fail, exercising the rollback path end to end
+    /// (see [`Self::chaos_fail_appends`]).
+    chaos_fail_appends: u32,
 }
 
 impl DurableStore {
@@ -263,7 +267,17 @@ impl DurableStore {
             wal_bytes,
             stores,
             poisoned: false,
+            chaos_fail_appends: 0,
         })
+    }
+
+    /// Arms fault injection: the next `n` applies write a partial frame
+    /// prefix to the log and then fail with an I/O error, driving the
+    /// torn-append rollback (and its flight-recorder dump) exactly as a
+    /// real mid-append crash would. Testing/benchmark hook — the store
+    /// stays consistent throughout (each injected failure rolls back).
+    pub fn chaos_fail_appends(&mut self, n: u32) {
+        self.chaos_fail_appends = n;
     }
 
     /// The directory holding the WAL and snapshot.
@@ -348,6 +362,18 @@ impl DurableStore {
         frame.extend_from_slice(&len.to_le_bytes());
         frame.extend_from_slice(&crc32c(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
+        if self.chaos_fail_appends > 0 {
+            // Injected torn append: leave a partial frame prefix in the
+            // file (the worst-case mid-write crash shape), then take the
+            // same rollback path a real write failure takes.
+            self.chaos_fail_appends -= 1;
+            let cut = (frame.len() / 2).max(1);
+            let _ = self.wal.write_all(&frame[..cut]);
+            self.rollback_append();
+            return Err(NetError::Io(std::io::Error::other(
+                "chaos: injected WAL append failure",
+            )));
+        }
         if let Err(e) = self.wal.write_all(&frame) {
             // A prefix of the frame may already be in the file; leaving it
             // there would let a later successful append strand garbage
@@ -366,6 +392,7 @@ impl DurableStore {
         }
         let fsync_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.wal_bytes += frame.len() as u64;
+        tcam_obs::flight_record("wal_fsync", frame.len() as u64, fsync_ns);
         tcam_obs::hist_record("wal_fsync_ns", fsync_ns);
         tcam_obs::counter_add("wal_batches", 1);
         tcam_obs::counter_add("wal_bytes_written", frame.len() as u64);
@@ -387,9 +414,22 @@ impl DurableStore {
             .wal
             .set_len(self.wal_bytes)
             .and_then(|()| self.wal.sync_data());
+        // A rollback is exactly the moment to freeze the recent-event
+        // record: the dump carries the fsync/append history leading here.
+        let _ = tcam_obs::flight_dump(
+            "wal_rollback",
+            &format!(
+                "append failed; WAL truncated back to byte {}",
+                self.wal_bytes
+            ),
+        );
         if rolled_back.is_err() {
             self.poisoned = true;
             tcam_obs::counter_add("wal_poisoned", 1);
+            let _ = tcam_obs::flight_dump(
+                "wal_poison",
+                "rollback truncation failed; WAL tail unknowable until snapshot/reopen",
+            );
         }
     }
 
@@ -584,6 +624,7 @@ fn replay_wal(wal: &mut File, path: &Path, stores: &mut BTreeMap<u16, RuleStore>
         // a record boundary.
         wal.set_len(at as u64)?;
         wal.sync_data()?;
+        tcam_obs::flight_record("wal_torn_tail", at as u64, bytes.len() as u64);
         tcam_obs::counter_add("wal_torn_tails_truncated", 1);
     }
     wal.seek(SeekFrom::End(0))?;

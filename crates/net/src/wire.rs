@@ -24,24 +24,47 @@
 //! 0  version      u8        0  version     u8
 //! 1  opcode 0x01  u8        1  opcode 0x81 u8
 //! 2  namespace    u16       2  status      u8
-//! 4  request_id   u32       3  reserved    u8
+//! 4  request_id   u32       3  flags       u8 (was reserved)
 //! 8  limbs (2|4)  u8        4  request_id  u32
-//! 9  reserved     u8        8  epoch       u64
+//! 9  flags        u8        8  epoch       u64
 //! 10 count        u16       16 count       u16
 //! 12 keys: count × limbs × 8 18 ids: count × u32 (0xFFFFFFFF = miss)
+//! [keys+12: trace context, 16 bytes, iff flags bit 0]
 //! ```
 //!
 //! A key's limbs are `mask[0], value[0]` (`limbs == 2`, words ≤ 64 bits)
 //! or `mask[0], value[0], mask[1], value[1]` (`limbs == 4`). An error
 //! response (status ≠ OK) carries `count == 0` and echoes the request id,
 //! so a pipelining client can always pair responses to requests.
+//!
+//! **Trace extension.** Request byte 9 — reserved (written 0) in the
+//! original v1 — is now a flags byte: bit 0 ([`REQ_FLAG_TRACE`]) says a
+//! 16-byte [`TraceContext`] trails the keys. This is exactly the
+//! reserved-byte evolution the versioning rules allow: an original-v1
+//! *client* writes 0 and is decoded unchanged; an original-v1 *server*
+//! sees a flagged frame whose length disagrees with its strict
+//! `12 + count×limbs×8` expectation and answers `BadRequest` without
+//! closing — which [`NetClient`](crate::client::NetClient) treats as
+//! "peer does not trace" and retries once without the extension, so new
+//! clients interop with old servers at full function, just untraced.
+//! The response echoes bit 0 in its own flags byte (offset 3,
+//! [`RESP_FLAG_TRACED`]) when the server actually collected the trace.
+//! Unknown flag bits are ignored on read (they must not change frame
+//! length; a length-bearing extension needs a new bit and a new tail,
+//! appended after the trace context in flag-bit order).
 
 use crate::error::{NetError, Result};
 use std::io::{Read, Write};
 use tcam_arch::packed::PackedWord;
+use tcam_obs::trace::{TraceContext, TRACE_CONTEXT_BYTES};
 
 /// Protocol major version (see the module docs for the evolution rules).
 pub const WIRE_VERSION: u8 = 1;
+
+/// Request flag bit 0: a 16-byte trace context trails the keys.
+pub const REQ_FLAG_TRACE: u8 = 0x01;
+/// Response flag bit 0: the server collected a trace for this request.
+pub const RESP_FLAG_TRACED: u8 = 0x01;
 
 /// Hard ceiling on a frame's payload size — a decoder guard against
 /// garbage length prefixes, not a batching limit (the largest legal
@@ -120,6 +143,9 @@ pub struct LookupRequest {
     pub request_id: u32,
     /// The packed search keys.
     pub keys: Vec<PackedWord>,
+    /// The optional trace-extension context (`None` on original-v1
+    /// frames).
+    pub trace: Option<TraceContext>,
 }
 
 /// A decoded lookup response.
@@ -134,6 +160,9 @@ pub struct LookupResponse {
     pub epoch: u64,
     /// Winning rule id per key, in request order (`None` = no match).
     pub results: Vec<Option<u32>>,
+    /// Response flags (byte 3; [`RESP_FLAG_TRACED`] when the server
+    /// collected a trace). Original-v1 servers write 0.
+    pub flags: u8,
 }
 
 fn put_u16(buf: &mut Vec<u8>, v: u16) {
@@ -183,17 +212,37 @@ pub fn encode_lookup_request(
     keys: &[PackedWord],
     wide: bool,
 ) {
+    encode_lookup_request_traced(buf, namespace, request_id, keys, wide, None);
+}
+
+/// [`encode_lookup_request`] plus the optional trace extension: with
+/// `Some(trace)`, flag bit 0 is set and the 16-byte context is appended
+/// after the keys. With `None` the frame is byte-identical to the
+/// original v1 encoding.
+///
+/// # Panics
+///
+/// Panics when `keys.len() > MAX_KEYS_PER_REQUEST`.
+pub fn encode_lookup_request_traced(
+    buf: &mut Vec<u8>,
+    namespace: u16,
+    request_id: u32,
+    keys: &[PackedWord],
+    wide: bool,
+    trace: Option<&TraceContext>,
+) {
     assert!(keys.len() <= MAX_KEYS_PER_REQUEST, "batch exceeds u16 count");
     let limbs: u8 = if wide { 4 } else { 2 };
     buf.clear();
-    let payload = 12 + keys.len() * usize::from(limbs) * 8;
+    let payload =
+        12 + keys.len() * usize::from(limbs) * 8 + trace.map_or(0, |_| TRACE_CONTEXT_BYTES);
     put_u32(buf, u32::try_from(payload).expect("payload fits u32"));
     buf.push(WIRE_VERSION);
     buf.push(OP_LOOKUP);
     put_u16(buf, namespace);
     put_u32(buf, request_id);
     buf.push(limbs);
-    buf.push(0); // reserved
+    buf.push(if trace.is_some() { REQ_FLAG_TRACE } else { 0 });
     put_u16(buf, u16::try_from(keys.len()).expect("checked above"));
     for key in keys {
         put_u64(buf, key.mask[0]);
@@ -202,6 +251,9 @@ pub fn encode_lookup_request(
             put_u64(buf, key.mask[1]);
             put_u64(buf, key.value[1]);
         }
+    }
+    if let Some(trace) = trace {
+        buf.extend_from_slice(&trace.encode());
     }
 }
 
@@ -234,8 +286,14 @@ pub fn decode_lookup_request(payload: &[u8]) -> Result<LookupRequest> {
     if limbs != 2 && limbs != 4 {
         return Err(NetError::Wire(format!("bad limb count {limbs}")));
     }
+    let flags = payload[9];
     let count = get_u16(payload, 10) as usize;
-    let expected = 12 + count * limbs * 8;
+    let trace_bytes = if flags & REQ_FLAG_TRACE != 0 {
+        TRACE_CONTEXT_BYTES
+    } else {
+        0
+    };
+    let expected = 12 + count * limbs * 8 + trace_bytes;
     if payload.len() != expected {
         return Err(NetError::Wire(format!(
             "lookup request of {count} keys × {limbs} limbs should be {expected} bytes, got {}",
@@ -257,10 +315,16 @@ pub fn decode_lookup_request(payload: &[u8]) -> Result<LookupRequest> {
         }
         keys.push(key);
     }
+    let trace = if trace_bytes > 0 {
+        TraceContext::decode(&payload[at..at + TRACE_CONTEXT_BYTES])
+    } else {
+        None
+    };
     Ok(LookupRequest {
         namespace,
         request_id,
         keys,
+        trace,
     })
 }
 
@@ -295,6 +359,26 @@ pub fn encode_response(
     epoch: u64,
     results: &[Option<u32>],
 ) {
+    encode_response_flagged(buf, opcode, status, request_id, epoch, results, 0);
+}
+
+/// [`encode_response`] with explicit response flags (byte 3;
+/// [`RESP_FLAG_TRACED`] acknowledges a collected trace). Flags 0 is
+/// byte-identical to the original v1 encoding.
+///
+/// # Panics
+///
+/// Panics when `results.len() > MAX_KEYS_PER_REQUEST`.
+#[allow(clippy::too_many_arguments)]
+pub fn encode_response_flagged(
+    buf: &mut Vec<u8>,
+    opcode: u8,
+    status: Status,
+    request_id: u32,
+    epoch: u64,
+    results: &[Option<u32>],
+    flags: u8,
+) {
     assert!(results.len() <= MAX_KEYS_PER_REQUEST, "batch exceeds u16 count");
     buf.clear();
     let payload = 18 + results.len() * 4;
@@ -302,7 +386,7 @@ pub fn encode_response(
     buf.push(WIRE_VERSION);
     buf.push(opcode | OP_RESPONSE);
     buf.push(status as u8);
-    buf.push(0); // reserved
+    buf.push(flags);
     put_u32(buf, request_id);
     put_u64(buf, epoch);
     put_u16(buf, u16::try_from(results.len()).expect("checked above"));
@@ -334,6 +418,7 @@ pub fn decode_lookup_response(payload: &[u8]) -> Result<LookupResponse> {
     }
     let status = Status::from_u8(payload[2])
         .ok_or_else(|| NetError::Wire(format!("unknown status {}", payload[2])))?;
+    let flags = payload[3];
     let request_id = get_u32(payload, 4);
     let epoch = get_u64(payload, 8);
     let count = get_u16(payload, 16) as usize;
@@ -354,6 +439,7 @@ pub fn decode_lookup_response(payload: &[u8]) -> Result<LookupResponse> {
         request_id,
         epoch,
         results,
+        flags,
     })
 }
 
@@ -477,6 +563,38 @@ mod tests {
         encode_lookup_request(&mut buf, 0, 1, &[wide_key], true);
         let req = decode_lookup_request(&buf[4..]).unwrap();
         assert_eq!(req.keys, vec![wide_key]);
+    }
+
+    #[test]
+    fn trace_extension_roundtrips_and_unflagged_frames_are_v1_identical() {
+        let keys = vec![key("10XX1"), key("00000")];
+        let ctx = TraceContext::sampled(0x1234_5678_9ABC_DEF0);
+        let mut traced = Vec::new();
+        encode_lookup_request_traced(&mut traced, 7, 42, &keys, false, Some(&ctx));
+        let req = decode_lookup_request(&traced[4..]).unwrap();
+        assert_eq!(req.keys, keys);
+        assert_eq!(req.trace, Some(ctx));
+
+        // No trace -> byte-identical to the original v1 encoder path.
+        let mut plain = Vec::new();
+        encode_lookup_request_traced(&mut plain, 7, 42, &keys, false, None);
+        let mut v1 = Vec::new();
+        encode_lookup_request(&mut v1, 7, 42, &keys, false);
+        assert_eq!(plain, v1);
+        assert_eq!(decode_lookup_request(&plain[4..]).unwrap().trace, None);
+
+        // A flagged frame whose trace tail is missing is structurally
+        // invalid (that's exactly what an original-v1 server rejects).
+        let torn = &traced[4..traced.len() - TRACE_CONTEXT_BYTES];
+        assert!(decode_lookup_request(torn).is_err());
+
+        // The response echoes the traced flag.
+        let mut buf = Vec::new();
+        encode_response_flagged(&mut buf, OP_LOOKUP, Status::Ok, 42, 3, &[Some(1)], RESP_FLAG_TRACED);
+        let resp = decode_lookup_response(&buf[4..]).unwrap();
+        assert_eq!(resp.flags & RESP_FLAG_TRACED, RESP_FLAG_TRACED);
+        encode_lookup_response(&mut buf, Status::Ok, 42, 3, &[Some(1)]);
+        assert_eq!(decode_lookup_response(&buf[4..]).unwrap().flags, 0);
     }
 
     #[test]

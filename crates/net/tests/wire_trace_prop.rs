@@ -1,0 +1,348 @@
+//! Wire-version interop properties for the trace extension: frames with
+//! and without the 16-byte trace context must interoperate across wire
+//! revisions in both directions.
+//!
+//! * Old client → new server: untraced frames (byte-identical to the
+//!   original v1 encoding) are served with identical results, and the
+//!   server collects no trace for them.
+//! * New client → old server: a strict pre-extension server answers the
+//!   flagged (over-long) frame with `BadRequest`; the client falls back
+//!   untraced once, learns `peer_traces = Some(false)`, and never sends
+//!   the extension again on that connection — lookups keep working.
+//! * Codec property sweep: for random key batches, the traced encoding
+//!   is the untraced encoding plus exactly the flag bit and the trailing
+//!   16 context bytes, and both decode to the same request modulo
+//!   `trace`.
+
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+use tcam_arch::bank::BankRefresh;
+use tcam_arch::packed::PackedWord;
+use tcam_net::client::NetClient;
+use tcam_net::node::{NodeConfig, TcamNode};
+use tcam_net::server::{NetServer, ServerConfig};
+use tcam_net::wire::{
+    self, Status, MAX_KEYS_PER_REQUEST, OP_LOOKUP, OP_PING, REQ_FLAG_TRACE, RESP_FLAG_TRACED,
+    WIRE_VERSION,
+};
+use tcam_obs::{next_trace_id, trace_lookup, TraceContext, TRACE_CONTEXT_BYTES};
+use tcam_serve::service::ServiceConfig;
+use tcam_update::store::{prefix_word, RuleChange};
+
+/// Serializes tests that observe the process-global trace store, so the
+/// in-process servers of parallel tests can't cross-pollinate counts.
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tcam-wire-prop-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn quiet_node(dir: &Path, shard_bits: u32) -> Arc<TcamNode> {
+    let config = NodeConfig {
+        shard_bits,
+        service: ServiceConfig {
+            refresh: BankRefresh::None,
+            ..ServiceConfig::default()
+        },
+        snapshot_every_batches: 0,
+    };
+    Arc::new(TcamNode::open(dir, config).unwrap())
+}
+
+fn seed_lpm(node: &TcamNode) {
+    let batch: Vec<RuleChange> = (0..16u32)
+        .map(|i| RuleChange::Insert {
+            priority: i,
+            word: prefix_word(u64::from(i) * 16, 4, 8),
+        })
+        .collect();
+    node.apply(0, 8, &batch).unwrap();
+}
+
+/// Old client → new server: a batch sent without the extension returns
+/// the same results as the same batch sent with it, and only the traced
+/// frame leaves a record in the server's trace store.
+#[test]
+fn untraced_frames_serve_identically_and_collect_no_trace() {
+    let _g = lock();
+    let dir = tmpdir("oldclient");
+    let node = quiet_node(&dir, 0);
+    seed_lpm(&node);
+    let server =
+        NetServer::start(Arc::clone(&node), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+
+    // The "old" client: a plain connection that never sets tracing, so
+    // every frame it emits is byte-identical to the pre-extension v1.
+    let mut old = NetClient::connect(&addr).unwrap();
+    // The "new" client sends an explicit sampled context per lookup.
+    let mut new = NetClient::connect(&addr).unwrap();
+
+    let keys: Vec<PackedWord> = (0..=255u64)
+        .map(|v| PackedWord::pack(&prefix_word(v, 8, 8)))
+        .collect();
+    for chunk in keys.chunks(32) {
+        let (old_epoch, old_results) = old.lookup(0, chunk).unwrap();
+
+        let trace_id = next_trace_id();
+        let ctx = TraceContext::sampled(trace_id);
+        let id = new.send_lookup_traced(0, chunk, Some(&ctx)).unwrap();
+        let resp = new.recv_response().unwrap();
+        assert_eq!(resp.request_id, id);
+        assert_eq!(resp.status, Status::Ok);
+        assert_ne!(
+            resp.flags & RESP_FLAG_TRACED,
+            0,
+            "a new server must acknowledge a sampled context"
+        );
+        assert_eq!(old_epoch, resp.epoch, "both paths see the same epoch");
+        assert_eq!(old_results, resp.results, "tracing must not change results");
+
+        // The sampled lookup's record lands in the store (the server
+        // finishes the span around the write; poll briefly).
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if let Some(record) = trace_lookup(trace_id) {
+                assert_eq!(record.trace_id, trace_id);
+                assert!(record.total_ns > 0);
+                break;
+            }
+            assert!(Instant::now() < deadline, "traced lookup left no record");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    // An untraced frame leaves nothing: a lookup with no context cannot
+    // mint a record for any id we could have observed, and the response
+    // never carries the traced acknowledgement.
+    let id = old.send_lookup_traced(0, &keys[..8], None).unwrap();
+    let resp = old.recv_response().unwrap();
+    assert_eq!(resp.request_id, id);
+    assert_eq!(resp.status, Status::Ok);
+    assert_eq!(
+        resp.flags & RESP_FLAG_TRACED,
+        0,
+        "untraced frames must not be acknowledged as traced"
+    );
+    assert_eq!(old.peer_traces(), None, "a silent client learns nothing");
+
+    server.shutdown();
+    node.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A strict pre-extension v1 server: accepts one connection and answers
+/// every lookup whose payload is exactly `12 + count × limbs × 8` bytes
+/// with deterministic results, and anything over-long with
+/// `BadRequest` — the original codec's exact-length check.
+struct StrictV1Server {
+    addr: String,
+    bad_requests: Arc<AtomicUsize>,
+    lookups_served: Arc<AtomicUsize>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+/// The deterministic result the mock returns for key `i` of a batch.
+fn mock_result(i: usize) -> Option<u32> {
+    if i % 3 == 2 {
+        None
+    } else {
+        Some(u32::try_from(i).unwrap() * 7 + 1)
+    }
+}
+
+impl StrictV1Server {
+    fn start() -> Self {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let bad_requests = Arc::new(AtomicUsize::new(0));
+        let lookups_served = Arc::new(AtomicUsize::new(0));
+        let bad = Arc::clone(&bad_requests);
+        let served = Arc::clone(&lookups_served);
+        let handle = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = Vec::new();
+            while let Ok(Some(payload)) = wire::read_frame(&mut stream) {
+                // The old decoder's header checks, inlined.
+                assert!(payload.len() >= 12, "runt frame");
+                assert_eq!(payload[0], WIRE_VERSION);
+                let opcode = payload[1];
+                let request_id = u32::from_le_bytes(payload[4..8].try_into().unwrap());
+                let limbs = usize::from(payload[8]);
+                let count = usize::from(u16::from_le_bytes(payload[10..12].try_into().unwrap()));
+                if opcode == OP_PING {
+                    wire::encode_response(&mut buf, OP_PING, Status::Ok, request_id, 0, &[]);
+                    wire::write_frame(&mut stream, &buf).unwrap();
+                    continue;
+                }
+                assert_eq!(opcode, OP_LOOKUP);
+                // The pre-extension length law: no flags byte existed, so
+                // a trace-extended frame is simply 16 bytes too long.
+                if payload.len() != 12 + count * limbs * 8 {
+                    bad.fetch_add(1, Ordering::SeqCst);
+                    wire::encode_response(
+                        &mut buf,
+                        OP_LOOKUP,
+                        Status::BadRequest,
+                        request_id,
+                        0,
+                        &[],
+                    );
+                } else {
+                    served.fetch_add(1, Ordering::SeqCst);
+                    let results: Vec<Option<u32>> = (0..count).map(mock_result).collect();
+                    wire::encode_response(&mut buf, OP_LOOKUP, Status::Ok, request_id, 9, &results);
+                }
+                wire::write_frame(&mut stream, &buf).unwrap();
+            }
+        });
+        Self {
+            addr,
+            bad_requests,
+            lookups_served,
+            handle,
+        }
+    }
+}
+
+/// New client → old server: the flagged first frame is rejected with
+/// `BadRequest`; `lookup` falls back untraced exactly once, pins
+/// `peer_traces` to `Some(false)`, and every later lookup goes out at
+/// the exact v1 length.
+#[test]
+fn new_client_falls_back_untraced_against_a_pre_extension_server() {
+    let mock = StrictV1Server::start();
+    let mut client = NetClient::connect(&mock.addr).unwrap();
+    client.set_tracing(1);
+    assert_eq!(client.peer_traces(), None, "nothing learned before traffic");
+
+    let keys: Vec<PackedWord> = (0..5u64)
+        .map(|v| PackedWord::pack(&prefix_word(v * 16, 8, 8)))
+        .collect();
+    let expected: Vec<Option<u32>> = (0..keys.len()).map(mock_result).collect();
+
+    // First lookup: traced attempt → BadRequest → silent untraced retry.
+    let (epoch, results) = client.lookup(0, &keys).unwrap();
+    assert_eq!(epoch, 9);
+    assert_eq!(results, expected);
+    assert_eq!(
+        client.peer_traces(),
+        Some(false),
+        "one BadRequest against a fresh connection proves a pre-extension peer"
+    );
+    assert_eq!(mock.bad_requests.load(Ordering::SeqCst), 1);
+    assert_eq!(mock.lookups_served.load(Ordering::SeqCst), 1);
+
+    // Every subsequent lookup stays untraced: no further rejections even
+    // though the sampling policy would flag each one.
+    for _ in 0..8 {
+        let (epoch, results) = client.lookup(0, &keys).unwrap();
+        assert_eq!(epoch, 9);
+        assert_eq!(results, expected);
+    }
+    assert_eq!(
+        mock.bad_requests.load(Ordering::SeqCst),
+        1,
+        "the fallback must be learned once, not rediscovered per request"
+    );
+    assert_eq!(mock.lookups_served.load(Ordering::SeqCst), 9);
+
+    drop(client);
+    mock.handle.join().unwrap();
+}
+
+/// Tiny deterministic xorshift64* for the property sweep (the offline
+/// rule: no external RNG crates, no OS entropy).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+/// Codec property sweep: across random batches, (a) the traced frame is
+/// the untraced frame plus exactly the flag bit and 16 trailing context
+/// bytes, and (b) both decode to the same request modulo `trace`.
+#[test]
+fn traced_and_untraced_encodings_agree_modulo_the_extension() {
+    let mut rng = Rng(0x9e37_79b9_7f4a_7c15);
+    let mut untraced = Vec::new();
+    let mut traced = Vec::new();
+    for round in 0..256 {
+        let count = (rng.next() % 9) as usize; // 0..=8 keys; 0 is legal
+        let wide = rng.next() % 2 == 1;
+        let keys: Vec<PackedWord> = (0..count)
+            .map(|_| {
+                let mut key = PackedWord {
+                    mask: [rng.next(), 0],
+                    value: [rng.next(), 0],
+                };
+                if wide {
+                    key.mask[1] = rng.next();
+                    key.value[1] = rng.next();
+                }
+                key
+            })
+            .collect();
+        assert!(keys.len() <= MAX_KEYS_PER_REQUEST);
+        let namespace = (rng.next() % 4) as u16;
+        let request_id = rng.next() as u32;
+        let ctx = TraceContext {
+            trace_id: rng.next(),
+            parent_span: rng.next() as u32,
+            flags: if rng.next().is_multiple_of(2) {
+                TraceContext::FLAG_SAMPLED
+            } else {
+                0
+            },
+        };
+
+        wire::encode_lookup_request(&mut untraced, namespace, request_id, &keys, wide);
+        wire::encode_lookup_request_traced(
+            &mut traced,
+            namespace,
+            request_id,
+            &keys,
+            wide,
+            Some(&ctx),
+        );
+
+        // Byte-level law: strip the extension from the traced frame and
+        // you get the untraced frame back exactly.
+        assert_eq!(
+            traced.len(),
+            untraced.len() + TRACE_CONTEXT_BYTES,
+            "round {round}: the extension is exactly {TRACE_CONTEXT_BYTES} bytes"
+        );
+        let mut stripped = traced[..traced.len() - TRACE_CONTEXT_BYTES].to_vec();
+        assert_eq!(stripped[4 + 9], REQ_FLAG_TRACE, "flag bit set when traced");
+        stripped[4 + 9] = 0;
+        let body_len = u32::try_from(untraced.len() - 4).unwrap();
+        stripped[0..4].copy_from_slice(&body_len.to_le_bytes());
+        assert_eq!(stripped, untraced, "round {round}: frames differ beyond the extension");
+
+        // Decode-level law: identical requests modulo the trace field.
+        let plain = wire::decode_lookup_request(&untraced[4..]).unwrap();
+        let with_ctx = wire::decode_lookup_request(&traced[4..]).unwrap();
+        assert_eq!(plain.trace, None);
+        assert_eq!(with_ctx.trace, Some(ctx), "round {round}: context round-trips");
+        assert_eq!(plain.namespace, with_ctx.namespace);
+        assert_eq!(plain.request_id, with_ctx.request_id);
+        assert_eq!(plain.keys, with_ctx.keys, "round {round}: keys must agree");
+        assert_eq!(plain.keys, keys, "round {round}: keys must round-trip");
+    }
+}

@@ -81,55 +81,101 @@ fn fmt_num(v: f64) -> String {
     }
 }
 
-/// Renders a snapshot in the Prometheus text exposition format
-/// (`# TYPE` headers; labels as `{label="i"}`; histograms as summaries
-/// with `quantile` labels plus `_sum`/`_count`/`_max`).
+/// Escapes a string for use as a Prometheus label **value**: `\` →
+/// `\\`, `"` → `\"`, newline → `\n` (the exposition-format rule). A
+/// hostile value can otherwise terminate the label early and inject
+/// arbitrary series into the scrape.
+#[must_use]
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one series identifier `name{k="v",...}` with every label
+/// value escaped via [`escape_label_value`]. No braces when `labels`
+/// is empty.
+#[must_use]
+pub fn prom_series(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let body = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{name}{{{body}}}")
+}
+
+/// Emits the `# HELP`/`# TYPE` pair for `name` unless it was the last
+/// family emitted in this section — labeled series of one family share
+/// one header, per the exposition format.
+fn family_header(out: &mut String, last: &mut String, name: &str, kind: &str, help: &str) {
+    if *last != name {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        last.clear();
+        last.push_str(name);
+    }
+}
+
+/// Renders a snapshot in the Prometheus text exposition format: one
+/// `# HELP`/`# TYPE` pair per metric *family* (labeled series share
+/// it), labels as `{label="i"}` with values escaped, histograms as
+/// summaries with `quantile` labels plus `_sum`/`_count`/`_max`.
 #[must_use]
 pub fn prometheus_text(snap: &Snapshot) -> String {
     let mut out = String::new();
+    let mut last = String::new();
     for &((name, label), v) in &snap.counters {
-        let _ = writeln!(out, "# TYPE {name} counter");
-        let _ = writeln!(out, "{name}{} {v}", prom_label(label));
+        family_header(&mut out, &mut last, name, "counter", "tcam-obs counter");
+        let ls = label.map(|l| l.to_string());
+        let pairs: Vec<(&str, &str)> = ls.iter().map(|l| ("label", l.as_str())).collect();
+        let _ = writeln!(out, "{} {v}", prom_series(name, &pairs));
     }
+    last.clear();
     for &((name, label), v) in &snap.gauges {
-        let _ = writeln!(out, "# TYPE {name} gauge");
-        let _ = writeln!(out, "{name}{} {v}", prom_label(label));
+        family_header(&mut out, &mut last, name, "gauge", "tcam-obs gauge");
+        let ls = label.map(|l| l.to_string());
+        let pairs: Vec<(&str, &str)> = ls.iter().map(|l| ("label", l.as_str())).collect();
+        let _ = writeln!(out, "{} {v}", prom_series(name, &pairs));
     }
+    last.clear();
     for ((name, label), h) in &snap.hists {
-        let _ = writeln!(out, "# TYPE {name} summary");
+        family_header(&mut out, &mut last, name, "summary", "tcam-obs latency summary (ns)");
+        let label = label.map(|l| l.to_string());
         for (q, qs) in [(50.0, "0.5"), (95.0, "0.95"), (99.0, "0.99"), (99.9, "0.999")] {
-            let _ = writeln!(
-                out,
-                "{name}{} {}",
-                prom_quantile_label(*label, qs),
-                h.quantile(q)
-            );
+            let mut pairs: Vec<(&str, &str)> = Vec::new();
+            if let Some(l) = &label {
+                pairs.push(("label", l.as_str()));
+            }
+            pairs.push(("quantile", qs));
+            let _ = writeln!(out, "{} {}", prom_series(name, &pairs), h.quantile(q));
         }
-        let _ = writeln!(out, "{name}_sum{} {}", prom_label(*label), h.sum());
-        let _ = writeln!(out, "{name}_count{} {}", prom_label(*label), h.count());
-        let _ = writeln!(out, "{name}_max{} {}", prom_label(*label), h.max());
+        let pairs: Vec<(&str, &str)> = label.iter().map(|l| ("label", l.as_str())).collect();
+        let _ = writeln!(out, "{} {}", prom_series(&format!("{name}_sum"), &pairs), h.sum());
+        let _ = writeln!(out, "{} {}", prom_series(&format!("{name}_count"), &pairs), h.count());
+        let _ = writeln!(out, "{} {}", prom_series(&format!("{name}_max"), &pairs), h.max());
     }
     for &(name, stat) in &snap.phases {
+        let _ = writeln!(out, "# HELP phase_{name}_ns tcam-obs phase self-time (ns)");
         let _ = writeln!(out, "# TYPE phase_{name}_ns counter");
         let _ = writeln!(out, "phase_{name}_ns {}", stat.ns);
+        let _ = writeln!(out, "# HELP phase_{name}_count tcam-obs phase entry count");
         let _ = writeln!(out, "# TYPE phase_{name}_count counter");
         let _ = writeln!(out, "phase_{name}_count {}", stat.count);
     }
     out
 }
 
-fn prom_label(label: Option<u32>) -> String {
-    label
-        .map(|l| format!("{{label=\"{l}\"}}"))
-        .unwrap_or_default()
-}
-
-fn prom_quantile_label(label: Option<u32>, q: &str) -> String {
-    match label {
-        Some(l) => format!("{{label=\"{l}\",quantile=\"{q}\"}}"),
-        None => format!("{{quantile=\"{q}\"}}"),
-    }
-}
 
 /// A tick-driven console reporter: call [`ConsoleReporter::tick`] from a
 /// long-running loop and it prints a one-line snapshot summary to stderr
@@ -232,11 +278,56 @@ mod tests {
     fn prometheus_text_renders_types_and_labels() {
         let text = prometheus_text(&test_snapshot());
         assert!(text.contains("# TYPE test_exp_total counter"), "{text}");
+        assert!(text.contains("# HELP test_exp_total "), "{text}");
         assert!(text.contains("test_exp_shard{label=\"1\"} 7"), "{text}");
         assert!(text.contains("# TYPE test_exp_lat summary"), "{text}");
         assert!(text.contains("test_exp_lat{quantile=\"0.5\"}"), "{text}");
         assert!(text.contains("test_exp_lat_count 3"), "{text}");
         assert!(text.contains("test_exp_lat_sum 600"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_families_share_one_header_across_labels() {
+        let snap = Snapshot {
+            counters: vec![
+                (("test_fam_shed", Some(0)), 1),
+                (("test_fam_shed", Some(1)), 2),
+                (("test_fam_shed", Some(2)), 3),
+            ],
+            gauges: Vec::new(),
+            hists: Vec::new(),
+            phases: Vec::new(),
+            events: Vec::new(),
+        };
+        let text = prometheus_text(&snap);
+        assert_eq!(
+            text.matches("# TYPE test_fam_shed counter").count(),
+            1,
+            "one TYPE line per family, not per series: {text}"
+        );
+        assert_eq!(text.matches("# HELP test_fam_shed ").count(), 1, "{text}");
+        for (l, v) in [(0, 1), (1, 2), (2, 3)] {
+            assert!(text.contains(&format!("test_fam_shed{{label=\"{l}\"}} {v}")), "{text}");
+        }
+    }
+
+    #[test]
+    fn hostile_label_values_are_escaped() {
+        // A value that would otherwise close the quote and inject a
+        // second series (the classic exposition-format injection).
+        let hostile = "a\"} 1\nevil_metric{x=\"\\";
+        let series = prom_series("test_esc", &[("user", hostile)]);
+        assert_eq!(
+            series,
+            "test_esc{user=\"a\\\"} 1\\nevil_metric{x=\\\"\\\\\"}"
+        );
+        assert!(!series.contains('\n'), "raw newline survived escaping");
+        assert_eq!(escape_label_value("plain_value"), "plain_value");
+        assert_eq!(escape_label_value("q\"q"), "q\\\"q");
+        assert_eq!(escape_label_value("b\\b"), "b\\\\b");
+        assert_eq!(escape_label_value("n\nn"), "n\\nn");
+        // Unlabeled series render bare.
+        assert_eq!(prom_series("bare_name", &[]), "bare_name");
     }
 
     #[test]

@@ -24,17 +24,32 @@
 #![deny(unsafe_code)]
 
 pub mod export;
+pub mod flight;
 pub mod hist;
 pub mod registry;
+pub mod slo;
 pub mod span;
+pub mod trace;
 
+pub use flight::{
+    flight_dump, flight_dump_count, flight_last_dump, flight_record, flight_reset,
+    install_panic_hook, FlightEvent,
+};
 pub use hist::LatencyHistogram;
 pub use registry::{
     counter_add, counter_add_at, enabled, flush, gauge_set, gauge_set_at, hist_merge, hist_record,
     hist_record_at, phase_mark, phases_since, reset, set_enabled, snapshot, PhaseMark, PhaseStat,
     Snapshot,
 };
+pub use slo::{
+    slo_configure, slo_flat_fragment, slo_json_array, slo_prometheus, slo_record, slo_report,
+    slo_reset, SloConfig, SloReport, SloWindow, SLO_WINDOWS_SECS,
+};
 pub use span::SpanGuard;
+pub use trace::{
+    next_trace_id, trace_exemplars, trace_exemplars_json, trace_lookup, trace_recent,
+    trace_store_reset, Hop, RequestTrace, TraceContext, TraceRecord, TRACE_CONTEXT_BYTES,
+};
 
 /// Serializes tests that toggle the global enabled flag or read global
 /// totals, so parallel test threads can't interleave.

@@ -103,6 +103,11 @@ struct AcamJob {
     keys: Arc<Vec<Vec<u16>>>,
     query: AcamQuery,
     reply: mpsc::SyncSender<Vec<Option<AcamMatch>>>,
+    /// Scatter time, for the `acam_queue` trace hop.
+    submitted: Instant,
+    /// Request trace to record per-shard `acam_queue`/`acam_match` hops
+    /// against (`None` on the untraced fast path — no clock reads added).
+    trace: Option<Arc<tcam_obs::RequestTrace>>,
 }
 
 /// Per-shard serving statistics, folded into [`AcamServeReport`].
@@ -164,10 +169,11 @@ impl AcamService {
         for (i, table) in shards.shards.into_iter().enumerate() {
             let queue = Arc::new(BoundedQueue::new(queue_capacity));
             queues.push(Arc::clone(&queue));
+            let shard_label = u32::try_from(i).unwrap_or(u32::MAX);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("acam-shard-{i}"))
-                    .spawn(move || run_worker(&table, &queue))
+                    .spawn(move || run_worker(&table, &queue, shard_label))
                     .expect("spawn acam shard worker"),
             );
         }
@@ -199,6 +205,23 @@ impl AcamService {
         keys: &[Vec<u16>],
         query: AcamQuery,
     ) -> Result<Vec<Option<AcamMatch>>> {
+        self.search_blocking_traced(keys, query, None)
+    }
+
+    /// As [`Self::search_blocking`], recording trace hops against `trace`
+    /// when one is supplied: a top-level `acam_scatter` span over the
+    /// fan-out, per-shard `acam_queue`/`acam_match` spans from the worker
+    /// side, and a top-level `acam_gather` span over the min-reduction.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::search_blocking`].
+    pub fn search_blocking_traced(
+        &self,
+        keys: &[Vec<u16>],
+        query: AcamQuery,
+        trace: Option<&Arc<tcam_obs::RequestTrace>>,
+    ) -> Result<Vec<Option<AcamMatch>>> {
         for key in keys {
             if key.len() != self.width {
                 return Err(ServeError::WidthMismatch {
@@ -213,17 +236,24 @@ impl AcamService {
         let shards = self.queues.len();
         let shared = Arc::new(keys.to_vec());
         let (tx, rx) = mpsc::sync_channel(shards);
+        let scatter_start = Instant::now();
         for queue in &self.queues {
             let job = AcamJob {
                 keys: Arc::clone(&shared),
                 query,
                 reply: tx.clone(),
+                submitted: scatter_start,
+                trace: trace.cloned(),
             };
             if queue.push(job).is_err() {
                 return Err(ServeError::ServiceClosed);
             }
         }
         drop(tx);
+        let scattered = Instant::now();
+        if let Some(trace) = trace {
+            trace.hop("acam_scatter", scatter_start, scattered);
+        }
         // Gather: element-wise min-reduce over the per-shard winners.
         // Reply order doesn't matter — both reductions are commutative.
         let mut merged: Vec<Option<AcamMatch>> = vec![None; keys.len()];
@@ -240,6 +270,9 @@ impl AcamService {
                     *slot = Some(c);
                 }
             }
+        }
+        if let Some(trace) = trace {
+            trace.hop("acam_gather", scattered, Instant::now());
         }
         Ok(merged)
     }
@@ -285,7 +318,11 @@ impl AcamService {
 
 /// The shard worker loop: drain scattered jobs, answer each through the
 /// batched kernel, reply with the shard-local winners.
-fn run_worker(table: &PackedAcamArray, queue: &BoundedQueue<AcamJob>) -> AcamShardStats {
+fn run_worker(
+    table: &PackedAcamArray,
+    queue: &BoundedQueue<AcamJob>,
+    shard_label: u32,
+) -> AcamShardStats {
     let mut stats = AcamShardStats {
         searches: 0,
         batches: 0,
@@ -296,7 +333,7 @@ fn run_worker(table: &PackedAcamArray, queue: &BoundedQueue<AcamJob>) -> AcamSha
     loop {
         let (jobs, closed) = queue.pop_batch(DRAIN_JOBS, POLL);
         for job in jobs {
-            let start = Instant::now();
+            let dequeued = Instant::now();
             let local: Vec<Option<AcamMatch>> = match job.query {
                 AcamQuery::Best(metric) => {
                     table.best_match_batch_tiled(
@@ -319,11 +356,16 @@ fn run_worker(table: &PackedAcamArray, queue: &BoundedQueue<AcamJob>) -> AcamSha
                         .collect()
                 }
             };
+            let done = Instant::now();
+            if let Some(trace) = &job.trace {
+                trace.hop_labeled("acam_queue", Some(shard_label), job.submitted, dequeued);
+                trace.hop_labeled("acam_match", Some(shard_label), dequeued, done);
+            }
             stats.searches += job.keys.len() as u64;
             stats.batches += 1;
             stats
                 .service
-                .record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                .record(u64::try_from(done.saturating_duration_since(dequeued).as_nanos()).unwrap_or(u64::MAX));
             // A gather that gave up (caller dropped) is not an error.
             let _ = job.reply.send(local);
         }

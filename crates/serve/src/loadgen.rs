@@ -147,6 +147,7 @@ fn flush(
             keys: batch,
             submitted: Instant::now(),
             reply: None,
+            trace: None,
         },
     )?;
     Ok(n)

@@ -154,6 +154,11 @@ pub struct SearchBatch {
     /// Reply channel for closed-loop callers; `None` discards results
     /// (open-loop load generation counts completions instead).
     pub reply: Option<SyncSender<BatchReply>>,
+    /// The sampled request's hop collector, when the submitter carries
+    /// one: the worker records its shard-labeled queue-wait and match
+    /// hops into it. `None` (the common case) costs nothing on the
+    /// match path.
+    pub trace: Option<Arc<tcam_obs::RequestTrace>>,
 }
 
 /// A worker's reply to a [`SearchBatch`].
@@ -417,6 +422,7 @@ impl TcamService {
                 keys: vec![packed],
                 submitted: Instant::now(),
                 reply: Some(tx),
+                trace: None,
             },
         )?;
         let mut reply = rx.recv().map_err(|_| ServeError::ServiceClosed)?;
@@ -703,10 +709,16 @@ fn run_worker(ctx: &WorkerCtx) -> ShardStats {
             stats.searches += n;
             stats.matched += kernel_out.iter().flatten().count() as u64;
             stats.meter.search_n(&config.costs, n);
+            let done = Instant::now();
+            if let Some(trace) = &batch.trace {
+                // Shard-labeled worker hops for the sampled request: its
+                // queue wait and the kernel-match interval, both nesting
+                // inside the submitter's gather span by containment.
+                trace.hop_labeled("serve_queue", Some(shard_label), batch.submitted, dequeued);
+                trace.hop_labeled("serve_match", Some(shard_label), dequeued, done);
+            }
             let latency = u64::try_from(
-                Instant::now()
-                    .saturating_duration_since(batch.submitted)
-                    .as_nanos(),
+                done.saturating_duration_since(batch.submitted).as_nanos(),
             )
             .unwrap_or(u64::MAX);
             stats.latency.record_n(latency, n);
@@ -1017,6 +1029,7 @@ mod tests {
                 keys: vec![key; 64],
                 submitted: Instant::now(),
                 reply: None,
+                trace: None,
             };
             match service.try_submit(0, batch) {
                 Ok(()) => accepted += 64,

@@ -881,6 +881,10 @@ pub fn batched_transient(
         match operating_point_traced(ckt, opts, &mut traces[lane]) {
             Ok(op) => op_xs.push(op.x),
             Err(e) => {
+                // `lane_quarantine` flight events carry (lane, cause):
+                // 0 = OP failure, 1 = step-attempt budget exhausted,
+                // 2 = structural mid-run error, 3 = timestep underflow.
+                tcam_obs::flight_record("lane_quarantine", lane as u64, 0);
                 quarantines[lane] = Some((0.0, e));
                 live[lane] = false;
                 op_xs.push(Vec::new());
@@ -1015,6 +1019,7 @@ pub fn batched_transient(
             for lane in 0..nl {
                 if live[lane] {
                     live[lane] = false;
+                    tcam_obs::flight_record("lane_quarantine", lane as u64, 1);
                     quarantines[lane] =
                         Some((t, SpiceError::non_convergence(t, attempts, f64::NAN)));
                 }
@@ -1101,6 +1106,7 @@ pub fn batched_transient(
                 // quarantine immediately, like the scalar hard error.
                 Err(e) => {
                     live[lane] = false;
+                    tcam_obs::flight_record("lane_quarantine", lane as u64, 2);
                     quarantines[lane] = Some((t, e));
                 }
             }
@@ -1158,6 +1164,7 @@ pub fn batched_transient(
                 for lane in 0..nl {
                     if unrescued[lane] {
                         live[lane] = false;
+                        tcam_obs::flight_record("lane_quarantine", lane as u64, 3);
                         quarantines[lane] =
                             Some((t, SpiceError::TimestepUnderflow { time: t, dt: dt_next }));
                     }

@@ -91,10 +91,22 @@ pub fn operating_point_traced(
                         Ok((o, stages)) => (o, opts.gmin_step_decades, stages),
                         // The gmin ladder's error names the worst unknown at
                         // full drive, which is the more actionable report.
-                        Err(_) => return Err(gmin_err),
+                        Err(_) => {
+                            let _ = tcam_obs::flight_dump(
+                                "non_convergence",
+                                &format!("operating point failed after full recovery ladder: {gmin_err}"),
+                            );
+                            return Err(gmin_err);
+                        }
                     }
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    let _ = tcam_obs::flight_dump(
+                        "non_convergence",
+                        &format!("operating point gmin ladder failed: {e}"),
+                    );
+                    return Err(e);
+                }
             }
         }
         Err(e) => return Err(e),

@@ -252,6 +252,12 @@ pub fn transient(
                         trace.rung_engaged(Rung::DtShrink);
                         dt = step * opts.dt_shrink;
                         if dt < opts.dt_min {
+                            let _ = tcam_obs::flight_dump(
+                                "non_convergence",
+                                &format!(
+                                    "transient timestep underflow at t={t:.6e}: dt={dt:.3e} below dt_min after Newton rejection"
+                                ),
+                            );
                             return Err(SpiceError::TimestepUnderflow { time: t, dt });
                         }
                         hist_valid = false;

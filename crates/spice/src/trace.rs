@@ -219,13 +219,25 @@ impl SolverTrace {
     }
 
     /// Counts one rung engagement (a retry attempt, successful or not).
+    ///
+    /// Every engagement also lands in the flight recorder (`rung_engaged`
+    /// events, first payload = rung code: 0 gmin ramp, 1 source stepping,
+    /// 2 integrator fallback, 3 dt shrink) so a post-mortem dump shows the
+    /// escalation ladder that preceded a failure.
     pub fn rung_engaged(&mut self, rung: Rung) {
-        match rung {
-            Rung::GminRamp => {}
-            Rung::SourceStepping => {}
-            Rung::IntegratorFallback => self.integrator_fallbacks += 1,
-            Rung::DtShrink => self.dt_shrinks += 1,
-        }
+        let code = match rung {
+            Rung::GminRamp => 0,
+            Rung::SourceStepping => 1,
+            Rung::IntegratorFallback => {
+                self.integrator_fallbacks += 1;
+                2
+            }
+            Rung::DtShrink => {
+                self.dt_shrinks += 1;
+                3
+            }
+        };
+        tcam_obs::flight_record("rung_engaged", code, self.steps_rejected);
     }
 
     /// Counts one gmin-ramp stage solve.

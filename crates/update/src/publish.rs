@@ -196,6 +196,7 @@ impl Updater {
             self.tables[s] = Arc::new(table);
         }
         self.epoch += 1;
+        tcam_obs::flight_record("update_apply", self.epoch, batch.len() as u64);
         tcam_obs::counter_add("update_batches_applied", 1);
         #[allow(clippy::cast_precision_loss)]
         tcam_obs::gauge_set("update_epoch", self.epoch as f64);
@@ -221,6 +222,7 @@ impl Updater {
         for (s, table) in self.tables.iter().enumerate() {
             service.publish(s, self.epoch, Arc::clone(table))?;
         }
+        tcam_obs::flight_record("update_publish", self.epoch, self.tables.len() as u64);
         tcam_obs::counter_add("update_epochs_published", 1);
         Ok(())
     }

@@ -26,6 +26,11 @@ cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# Every exported key — metric names, JSON fields, bench records — must
+# follow the one snake_case scheme (DESIGN.md §10); exporters and
+# parsers across the workspace assume it.
+./scripts/lint_keys.sh
+
 # The block-batched SoA match kernel must never lose to the scalar scan
 # it replaced: kernel_bench sweeps rows x tile and asserts blocked >=
 # scalar at every swept size (a relative, box-independent gate), after
@@ -66,6 +71,19 @@ if [ "$QUICK" -eq 0 ]; then
     ./target/release/acam_bench --check
 else
     ./target/release/acam_bench --check --quick
+fi
+
+# End-to-end tracing/flight-recorder/SLO gate over a loopback node:
+# sampled span trees must cover >= 90% of request wall time, the
+# injected WAL chaos fault must yield a flight dump that parses and
+# names wal_rollback, and the net_request SLO must have seen the
+# traffic. Full mode additionally holds tracing-enabled overhead < 5%
+# against the untraced baseline (counterbalanced A/B/B/A windows with
+# an A/A quietness null); --quick skips only those timing windows.
+if [ "$QUICK" -eq 0 ]; then
+    ./target/release/trace_bench --check
+else
+    ./target/release/trace_bench --check --quick
 fi
 
 if [ "$QUICK" -eq 0 ]; then
